@@ -1,0 +1,69 @@
+//! Ablation bench: replacement strategies under a likelihood sweep with a
+//! tight slot budget. The metric that matters is wall time, which tracks
+//! the recomputation count each policy induces (the paper's §VI names
+//! smarter strategies as future work — this is the harness to evaluate
+//! them in).
+
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phylo_amc::StrategyKind;
+use phylo_datasets::{neotrop, Scale};
+use phylo_engine::loglik::tree_log_likelihood;
+use phylo_engine::ManagedStore;
+
+fn bench_strategies(c: &mut Criterion) {
+    let f = fixture(neotrop(Scale::Ci));
+    let slots = f.ctx.min_slots() + 4;
+    let mut group = c.benchmark_group("eviction_strategy_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for kind in StrategyKind::all() {
+        group.bench_function(BenchmarkId::from_parameter(kind), |b| {
+            b.iter(|| {
+                let mut store = ManagedStore::with_strategy(
+                    &f.ctx,
+                    slots,
+                    kind.build(
+                        kind.needs_costs().then(|| f.ctx.cost_table()),
+                    ),
+                )
+                .unwrap();
+                let mut acc = 0.0;
+                for e in f.ctx.tree().all_edges() {
+                    acc += tree_log_likelihood(&f.ctx, &mut store, e).unwrap();
+                }
+                criterion::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_slot_budgets(c: &mut Criterion) {
+    // The slot-count axis: min → 2× min → full. More slots, fewer
+    // recomputations, faster sweep.
+    let f = fixture(neotrop(Scale::Ci));
+    let mut group = c.benchmark_group("slot_budget_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let min = f.ctx.min_slots();
+    for slots in [min, 2 * min, f.ctx.max_slots()] {
+        group.bench_function(BenchmarkId::from_parameter(slots), |b| {
+            b.iter(|| {
+                let mut store =
+                    ManagedStore::with_slots(&f.ctx, slots, StrategyKind::CostBased).unwrap();
+                let mut acc = 0.0;
+                for e in f.ctx.tree().all_edges() {
+                    acc += tree_log_likelihood(&f.ctx, &mut store, e).unwrap();
+                }
+                criterion::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_slot_budgets);
+criterion_main!(benches);

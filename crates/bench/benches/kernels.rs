@@ -1,0 +1,163 @@
+//! Microbenchmarks of the likelihood kernels: the per-CLV cost model
+//! (`patterns × rates × states²`) that every memory/runtime trade-off in
+//! the paper is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phylo_kernel::kernels::{update_partials, Side};
+use phylo_kernel::likelihood::edge_log_likelihood;
+use phylo_kernel::sitepar::update_partials_par;
+use phylo_kernel::{Layout, TipTable};
+use phylo_models::gamma::GammaMode;
+use phylo_models::{aa, dna, DiscreteGamma, SubstModel};
+
+struct KernelSetup {
+    layout: Layout,
+    pmatrix: Vec<f64>,
+    table: TipTable,
+    codes: Vec<u8>,
+    clv: Vec<f64>,
+    freqs: Vec<f64>,
+    rate_weights: Vec<f64>,
+    pattern_weights: Vec<u32>,
+}
+
+fn setup(patterns: usize, rates: usize, protein: bool) -> KernelSetup {
+    let (model, masks) = if protein {
+        let gamma = if rates > 1 {
+            DiscreteGamma::new(0.7, rates, GammaMode::Mean).unwrap()
+        } else {
+            DiscreteGamma::none()
+        };
+        let m = SubstModel::new(&aa::synthetic_aa(1).unwrap(), gamma).unwrap();
+        let a = phylo_seq::alphabet::protein();
+        let masks: Vec<u32> = (0..a.n_codes()).map(|c| a.state_mask(c as u8)).collect();
+        (m, masks)
+    } else {
+        let gamma = if rates > 1 {
+            DiscreteGamma::new(0.7, rates, GammaMode::Mean).unwrap()
+        } else {
+            DiscreteGamma::none()
+        };
+        let m = SubstModel::new(&dna::jc69(), gamma).unwrap();
+        let a = phylo_seq::alphabet::dna();
+        let masks: Vec<u32> = (0..a.n_codes()).map(|c| a.state_mask(c as u8)).collect();
+        (m, masks)
+    };
+    let states = model.n_states();
+    let layout = Layout::new(patterns, rates, states);
+    let mut pmatrix = vec![0.0; layout.pmatrix_len()];
+    model.transition_matrices(0.13, &mut pmatrix);
+    let table = TipTable::build(&layout, &pmatrix, &masks);
+    let codes: Vec<u8> = (0..patterns).map(|i| (i % states) as u8).collect();
+    let clv: Vec<f64> = (0..layout.clv_len()).map(|i| 0.1 + (i % 7) as f64 * 0.1).collect();
+    KernelSetup {
+        layout,
+        pmatrix,
+        table,
+        codes,
+        clv,
+        freqs: model.freqs().to_vec(),
+        rate_weights: model.gamma().weights().to_vec(),
+        pattern_weights: vec![1; patterns],
+    }
+}
+
+fn bench_update_partials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_partials");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, patterns, rates, protein) in [
+        ("dna-1rate", 1000usize, 1usize, false),
+        ("dna-gamma4", 1000, 4, false),
+        ("aa-gamma4", 250, 4, true),
+    ] {
+        let s = setup(patterns, rates, protein);
+        group.throughput(Throughput::Elements((patterns * rates) as u64));
+        let mut out = vec![0.0; s.layout.clv_len()];
+        let mut scale = vec![0u32; patterns];
+        group.bench_function(BenchmarkId::new("tip_inner", label), |b| {
+            b.iter(|| {
+                update_partials(
+                    &s.layout,
+                    Side::Tip { table: &s.table, codes: &s.codes },
+                    Side::Clv { clv: &s.clv, scale: None, pmatrix: &s.pmatrix },
+                    &mut out,
+                    &mut scale,
+                    0..s.layout.patterns,
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("inner_inner", label), |b| {
+            b.iter(|| {
+                update_partials(
+                    &s.layout,
+                    Side::Clv { clv: &s.clv, scale: None, pmatrix: &s.pmatrix },
+                    Side::Clv { clv: &s.clv, scale: None, pmatrix: &s.pmatrix },
+                    &mut out,
+                    &mut scale,
+                    0..s.layout.patterns,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sitepar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_partials_sitepar");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // Wide alignment (serratus-like) is where across-site parallelism
+    // pays; this bench quantifies the crossover.
+    let s = setup(4000, 4, false);
+    let mut out = vec![0.0; s.layout.clv_len()];
+    let mut scale = vec![0u32; s.layout.patterns];
+    for threads in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                update_partials_par(
+                    &s.layout,
+                    Side::Clv { clv: &s.clv, scale: None, pmatrix: &s.pmatrix },
+                    Side::Clv { clv: &s.clv, scale: None, pmatrix: &s.pmatrix },
+                    &mut out,
+                    &mut scale,
+                    threads,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_loglik(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_log_likelihood");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, patterns, rates, protein) in
+        [("dna-gamma4", 1000usize, 4usize, false), ("aa-gamma4", 250, 4, true)]
+    {
+        let s = setup(patterns, rates, protein);
+        group.throughput(Throughput::Elements(patterns as u64));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                edge_log_likelihood(
+                    &s.layout,
+                    &s.clv,
+                    None,
+                    Side::Clv { clv: &s.clv, scale: None, pmatrix: &s.pmatrix },
+                    &s.freqs,
+                    &s.rate_weights,
+                    &s.pattern_weights,
+                    0..s.layout.patterns,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_partials, bench_sitepar, bench_edge_loglik);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end memory/runtime trade-off (the Criterion companion of the
+//! paper's Fig. 3): one full placement run per `--maxmem` operating point
+//! on each dataset.
+
+use bench::{bench_specs, fixture};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epa_place::{memplan, EpaConfig, Placer};
+
+fn bench_memory_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_by_budget");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for spec in bench_specs() {
+        let f = fixture(spec.clone());
+        let base = EpaConfig { chunk_size: 8, threads: 1, ..Default::default() };
+        let floor = memplan::floor_budget(&f.ctx, &base, f.batch.len(), f.batch.n_sites());
+        let lookup_floor =
+            memplan::lookup_floor_budget(&f.ctx, &base, f.batch.len(), f.batch.n_sites());
+        drop(f);
+        for (label, maxmem) in [
+            ("off", None),
+            ("intermediate", Some(lookup_floor)),
+            ("full-saving", Some(floor)),
+        ] {
+            let cfg = EpaConfig { max_memory: maxmem, ..base.clone() };
+            group.bench_function(BenchmarkId::new(spec.name, label), |b| {
+                b.iter_batched(
+                    || fixture(spec.clone()),
+                    |f| {
+                        let placer = Placer::new(f.ctx, f.s2p, cfg.clone()).unwrap();
+                        criterion::black_box(placer.place(&f.batch).unwrap())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory_tradeoff);
+criterion_main!(benches);

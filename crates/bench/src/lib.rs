@@ -1,0 +1,57 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench file covers one layer of the system:
+//!
+//! * `kernels` — raw CLV update and likelihood kernels (DNA vs AA, with
+//!   and without Γ rates, serial vs across-site parallel);
+//! * `slot_manager` — acquire/pin/evict micro-costs of the AMC maps;
+//! * `eviction_strategies` — recomputation counts and wall time of the
+//!   replacement policies under a likelihood sweep (the design-choice
+//!   ablation the paper's §VI calls out);
+//! * `placement_phases` — lookup build, prescore, and thorough phases;
+//! * `memory_tradeoff` — end-to-end placement at decreasing `--maxmem`
+//!   (the Criterion companion of the paper's Fig. 3).
+
+use epa_place::QueryBatch;
+use phylo_datasets::{generate, DatasetSpec, Scale};
+use phylo_engine::ReferenceContext;
+use phylo_seq::compress;
+
+/// A ready-to-bench fixture: context, site map, and query batch.
+pub struct Fixture {
+    /// Engine context over the reference.
+    pub ctx: ReferenceContext,
+    /// Site → pattern map.
+    pub s2p: Vec<u32>,
+    /// Encoded query batch.
+    pub batch: QueryBatch,
+    /// The generating spec.
+    pub spec: DatasetSpec,
+}
+
+/// Builds the fixture for a dataset spec.
+pub fn fixture(spec: DatasetSpec) -> Fixture {
+    let ds = generate(&spec);
+    let patterns = compress(&ds.reference).expect("non-empty");
+    let s2p = patterns.site_to_pattern().to_vec();
+    let ctx = ReferenceContext::new(
+        ds.tree.clone(),
+        ds.model.clone(),
+        ds.spec.alphabet.alphabet(),
+        &patterns,
+    )
+    .expect("complete taxa");
+    let batch = QueryBatch::new(&ds.queries, ds.reference.n_sites()).expect("aligned");
+    Fixture { ctx, s2p, batch, spec }
+}
+
+/// The standard benchmark datasets (CI scale keeps `cargo bench`
+/// minutes-fast; pass `--scale` through the pewo binaries for larger
+/// runs).
+pub fn bench_specs() -> [DatasetSpec; 3] {
+    [
+        phylo_datasets::neotrop(Scale::Ci),
+        phylo_datasets::serratus(Scale::Ci),
+        phylo_datasets::pro_ref(Scale::Ci),
+    ]
+}

@@ -1,0 +1,226 @@
+//! Slot-backed CLV storage.
+//!
+//! The arena owns one flat `f64` buffer holding `n_slots` CLVs plus the
+//! matching per-pattern scaler vectors, and couples them with a
+//! [`SlotManager`]. A Felsenstein step needs simultaneous access to the
+//! (mutable) target slot and the (shared) child slots; [`SlotArena::
+//! compute_view`] hands these out as disjoint slices with a runtime
+//! distinctness check.
+
+use crate::error::AmcError;
+use crate::slots::{Acquire, ClvKey, SlotId, SlotManager, SlotStats};
+use crate::strategy::ReplacementStrategy;
+
+/// Slot storage + slot manager for one CLV shape.
+pub struct SlotArena {
+    mgr: SlotManager,
+    clv_len: usize,
+    patterns: usize,
+    data: Vec<f64>,
+    scales: Vec<u32>,
+}
+
+/// Disjoint access to a compute target and its resident children.
+pub struct ComputeView<'a> {
+    /// The target CLV buffer to fill.
+    pub target_clv: &'a mut [f64],
+    /// The target's per-pattern scaler counts to fill.
+    pub target_scale: &'a mut [u32],
+    /// `(clv, scale)` of each requested child slot, in request order.
+    pub children: Vec<(&'a [f64], &'a [u32])>,
+}
+
+impl SlotArena {
+    /// Allocates an arena of `n_slots` CLVs of `clv_len` entries
+    /// (`patterns` scaler counts each) over `n_clvs` logical keys.
+    pub fn new(
+        n_clvs: usize,
+        n_slots: usize,
+        clv_len: usize,
+        patterns: usize,
+        strategy: Box<dyn ReplacementStrategy>,
+    ) -> Self {
+        SlotArena {
+            mgr: SlotManager::new(n_clvs, n_slots, strategy),
+            clv_len,
+            patterns,
+            data: vec![0.0; n_slots * clv_len],
+            scales: vec![0; n_slots * patterns],
+        }
+    }
+
+    /// The slot manager (for pinning, stats, lookups).
+    #[inline]
+    pub fn manager(&self) -> &SlotManager {
+        &self.mgr
+    }
+
+    /// Mutable access to the slot manager.
+    #[inline]
+    pub fn manager_mut(&mut self) -> &mut SlotManager {
+        &mut self.mgr
+    }
+
+    /// Number of physical slots.
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.mgr.n_slots()
+    }
+
+    /// Entries per CLV.
+    #[inline]
+    pub fn clv_len(&self) -> usize {
+        self.clv_len
+    }
+
+    /// Traffic statistics.
+    #[inline]
+    pub fn stats(&self) -> SlotStats {
+        self.mgr.stats()
+    }
+
+    /// Shorthand for [`SlotManager::acquire`].
+    pub fn acquire(&mut self, clv: ClvKey) -> Result<Acquire, AmcError> {
+        self.mgr.acquire(clv)
+    }
+
+    /// The CLV data of a slot.
+    #[inline]
+    pub fn clv(&self, slot: SlotId) -> &[f64] {
+        &self.data[slot.idx() * self.clv_len..(slot.idx() + 1) * self.clv_len]
+    }
+
+    /// The scaler counts of a slot.
+    #[inline]
+    pub fn scale(&self, slot: SlotId) -> &[u32] {
+        &self.scales[slot.idx() * self.patterns..(slot.idx() + 1) * self.patterns]
+    }
+
+    /// Mutable CLV data of a slot (single-slot writes, e.g. copying in a
+    /// precomputed vector).
+    #[inline]
+    pub fn clv_mut(&mut self, slot: SlotId) -> (&mut [f64], &mut [u32]) {
+        let clv = &mut self.data[slot.idx() * self.clv_len..(slot.idx() + 1) * self.clv_len];
+        let scale = &mut self.scales[slot.idx() * self.patterns..(slot.idx() + 1) * self.patterns];
+        (clv, scale)
+    }
+
+    /// Simultaneous mutable access to `target` and shared access to
+    /// `children`. Panics if `target` appears among `children` (a compute
+    /// step never reads its own output).
+    pub fn compute_view(&mut self, target: SlotId, children: &[SlotId]) -> ComputeView<'_> {
+        assert!(
+            children.iter().all(|&c| c != target),
+            "compute target {target:?} aliases a child slot"
+        );
+        let clv_len = self.clv_len;
+        let patterns = self.patterns;
+        // SAFETY: slots are disjoint, fixed-size ranges of `data` and
+        // `scales`; `target` is distinct from every child (asserted above),
+        // so one mutable and many shared borrows never alias.
+        unsafe {
+            let data_ptr = self.data.as_mut_ptr();
+            let scale_ptr = self.scales.as_mut_ptr();
+            let target_clv =
+                std::slice::from_raw_parts_mut(data_ptr.add(target.idx() * clv_len), clv_len);
+            let target_scale =
+                std::slice::from_raw_parts_mut(scale_ptr.add(target.idx() * patterns), patterns);
+            let children = children
+                .iter()
+                .map(|&c| {
+                    let clv = std::slice::from_raw_parts(
+                        data_ptr.add(c.idx() * clv_len) as *const f64,
+                        clv_len,
+                    );
+                    let scale = std::slice::from_raw_parts(
+                        scale_ptr.add(c.idx() * patterns) as *const u32,
+                        patterns,
+                    );
+                    (clv, scale)
+                })
+                .collect();
+            ComputeView { target_clv, target_scale, children }
+        }
+    }
+
+    /// Bytes held by the CLV and scaler buffers — the quantity the paper's
+    /// `--maxmem` budget controls.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+            + self.scales.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Bytes one slot costs, for budget planning.
+    pub fn bytes_per_slot(clv_len: usize, patterns: usize) -> usize {
+        clv_len * std::mem::size_of::<f64>() + patterns * std::mem::size_of::<u32>()
+    }
+}
+
+impl std::fmt::Debug for SlotArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotArena")
+            .field("manager", &self.mgr)
+            .field("clv_len", &self.clv_len)
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Fifo;
+
+    fn arena(n_clvs: usize, n_slots: usize) -> SlotArena {
+        SlotArena::new(n_clvs, n_slots, 8, 2, Box::new(Fifo::new()))
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut a = arena(4, 2);
+        let s = a.acquire(ClvKey(0)).unwrap().slot();
+        {
+            let (clv, scale) = a.clv_mut(s);
+            clv.fill(1.5);
+            scale.fill(3);
+        }
+        assert!(a.clv(s).iter().all(|&v| v == 1.5));
+        assert!(a.scale(s).iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn compute_view_disjoint() {
+        let mut a = arena(4, 3);
+        let s0 = a.acquire(ClvKey(0)).unwrap().slot();
+        let s1 = a.acquire(ClvKey(1)).unwrap().slot();
+        let s2 = a.acquire(ClvKey(2)).unwrap().slot();
+        {
+            let (clv, _) = a.clv_mut(s0);
+            clv.fill(2.0);
+        }
+        {
+            let (clv, _) = a.clv_mut(s1);
+            clv.fill(3.0);
+        }
+        let view = a.compute_view(s2, &[s0, s1]);
+        for i in 0..8 {
+            view.target_clv[i] = view.children[0].0[i] * view.children[1].0[i];
+        }
+        assert!(a.clv(s2).iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "aliases")]
+    fn compute_view_rejects_aliasing() {
+        let mut a = arena(4, 2);
+        let s = a.acquire(ClvKey(0)).unwrap().slot();
+        let _ = a.compute_view(s, &[s]);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let a = SlotArena::new(10, 5, 100, 25, Box::new(Fifo::new()));
+        assert_eq!(a.bytes(), 5 * 100 * 8 + 5 * 25 * 4);
+        assert_eq!(SlotArena::bytes_per_slot(100, 25), 900);
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic memory accounting and budget planning.
+//!
+//! The paper's `--maxmem` option is backed by an accounting scheme: every
+//! major allocation is registered against a category, the running total is
+//! compared to the budget, and the *plan* (slot count, lookup table on/off,
+//! chunk buffers) is derived from what fits. The paper explicitly notes
+//! (§V-A) that imperfect accounting produced one anomalous datapoint —
+//! making the accounting a first-class, testable component here.
+
+use crate::error::AmcError;
+use std::fmt;
+
+/// What a tracked allocation is for. Categories mirror the paper's
+/// breakdown of EPA-NG's footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemCategory {
+    /// CLV slot storage + scalers (the dominant term).
+    ClvSlots,
+    /// The preplacement lookup table memoization.
+    LookupTable,
+    /// Per-chunk intermediate results (∝ chunk size × branches).
+    ChunkBuffers,
+    /// Per-edge transition matrix cache.
+    PMatrices,
+    /// Per-edge tip lookup tables.
+    TipTables,
+    /// Reference tree + alignment + query batch.
+    StaticData,
+    /// Anything else.
+    Other,
+}
+
+impl MemCategory {
+    /// All categories, for report ordering.
+    pub fn all() -> [MemCategory; 7] {
+        [
+            MemCategory::ClvSlots,
+            MemCategory::LookupTable,
+            MemCategory::ChunkBuffers,
+            MemCategory::PMatrices,
+            MemCategory::TipTables,
+            MemCategory::StaticData,
+            MemCategory::Other,
+        ]
+    }
+
+    fn index(self) -> usize {
+        match self {
+            MemCategory::ClvSlots => 0,
+            MemCategory::LookupTable => 1,
+            MemCategory::ChunkBuffers => 2,
+            MemCategory::PMatrices => 3,
+            MemCategory::TipTables => 4,
+            MemCategory::StaticData => 5,
+            MemCategory::Other => 6,
+        }
+    }
+}
+
+impl fmt::Display for MemCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemCategory::ClvSlots => "clv-slots",
+            MemCategory::LookupTable => "lookup-table",
+            MemCategory::ChunkBuffers => "chunk-buffers",
+            MemCategory::PMatrices => "p-matrices",
+            MemCategory::TipTables => "tip-tables",
+            MemCategory::StaticData => "static-data",
+            MemCategory::Other => "other",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Tracks current and peak bytes per category.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryTracker {
+    current: [usize; 7],
+    peak_total: usize,
+}
+
+impl MemoryTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an allocation.
+    pub fn allocate(&mut self, category: MemCategory, bytes: usize) {
+        self.current[category.index()] += bytes;
+        self.peak_total = self.peak_total.max(self.total());
+    }
+
+    /// Registers a release.
+    pub fn release(&mut self, category: MemCategory, bytes: usize) {
+        let slot = &mut self.current[category.index()];
+        *slot = slot.saturating_sub(bytes);
+    }
+
+    /// Current bytes in one category.
+    pub fn current(&self, category: MemCategory) -> usize {
+        self.current[category.index()]
+    }
+
+    /// Current total bytes across categories.
+    pub fn total(&self) -> usize {
+        self.current.iter().sum()
+    }
+
+    /// The high-water mark of the total.
+    pub fn peak(&self) -> usize {
+        self.peak_total
+    }
+
+    /// A compact multi-line report of the current breakdown.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for cat in MemCategory::all() {
+            let bytes = self.current(cat);
+            if bytes > 0 {
+                out.push_str(&format!("{cat:>14}: {:>12} B ({:.1} MiB)\n", bytes, mib(bytes)));
+            }
+        }
+        out.push_str(&format!(
+            "{:>14}: {:>12} B ({:.1} MiB), peak {:.1} MiB\n",
+            "total",
+            self.total(),
+            mib(self.total()),
+            mib(self.peak())
+        ));
+        out
+    }
+}
+
+/// Bytes → MiB.
+pub fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// MiB → bytes.
+pub fn mib_to_bytes(mib: f64) -> usize {
+    (mib * 1024.0 * 1024.0) as usize
+}
+
+/// Computes how many CLV slots a byte budget affords.
+///
+/// * `budget_bytes` — bytes available for slot storage (after mandatory
+///   structures);
+/// * `bytes_per_slot` — CLV + scaler bytes per slot;
+/// * `min_slots` — the `⌈log₂ n⌉ + 2` floor (plus any standing pins);
+/// * `max_slots` — `3(n − 2)`, beyond which more slots are pointless.
+///
+/// Errors when even `min_slots` do not fit — the paper's "budget too
+/// small" condition.
+pub fn slots_for_budget(
+    budget_bytes: usize,
+    bytes_per_slot: usize,
+    min_slots: usize,
+    max_slots: usize,
+) -> Result<usize, AmcError> {
+    assert!(bytes_per_slot > 0);
+    let affordable = budget_bytes / bytes_per_slot;
+    if affordable < min_slots {
+        return Err(AmcError::BudgetTooSmall {
+            budget_bytes,
+            required_bytes: min_slots * bytes_per_slot,
+        });
+    }
+    Ok(affordable.min(max_slots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_tracks_peak() {
+        let mut t = MemoryTracker::new();
+        t.allocate(MemCategory::ClvSlots, 1000);
+        t.allocate(MemCategory::LookupTable, 500);
+        assert_eq!(t.total(), 1500);
+        assert_eq!(t.peak(), 1500);
+        t.release(MemCategory::LookupTable, 500);
+        assert_eq!(t.total(), 1000);
+        assert_eq!(t.peak(), 1500);
+        t.allocate(MemCategory::ChunkBuffers, 200);
+        assert_eq!(t.peak(), 1500);
+        t.allocate(MemCategory::ChunkBuffers, 1000);
+        assert_eq!(t.peak(), 2200);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut t = MemoryTracker::new();
+        t.allocate(MemCategory::Other, 10);
+        t.release(MemCategory::Other, 100);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn slots_for_budget_clamps() {
+        // 1000 B budget, 100 B/slot => 10 affordable.
+        assert_eq!(slots_for_budget(1000, 100, 4, 50).unwrap(), 10);
+        // Clamp to max.
+        assert_eq!(slots_for_budget(100_000, 100, 4, 50).unwrap(), 50);
+        // Exactly min.
+        assert_eq!(slots_for_budget(400, 100, 4, 50).unwrap(), 4);
+    }
+
+    #[test]
+    fn slots_for_budget_errors_below_min() {
+        let err = slots_for_budget(399, 100, 4, 50).unwrap_err();
+        assert!(matches!(err, AmcError::BudgetTooSmall { required_bytes: 400, .. }));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(mib_to_bytes(1.0), 1024 * 1024);
+        assert!((mib(1024 * 1024) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_mentions_categories() {
+        let mut t = MemoryTracker::new();
+        t.allocate(MemCategory::ClvSlots, 2048);
+        let r = t.report();
+        assert!(r.contains("clv-slots"));
+        assert!(r.contains("total"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the AMC machinery.
+
+use std::fmt;
+
+/// Errors from slot management and constrained traversals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AmcError {
+    /// Every slot is pinned; the traversal cannot make progress. The paper's
+    /// invariant — keep at least `⌈log₂ n⌉ + 2` slots unpinned — was
+    /// violated by the caller.
+    AllSlotsPinned {
+        /// Total slots.
+        slots: usize,
+        /// Slots with a non-zero pin count.
+        pinned: usize,
+    },
+    /// A slot count below the hard minimum was requested.
+    TooFewSlots {
+        /// Requested slot count.
+        requested: usize,
+        /// The tree's minimum.
+        minimum: usize,
+    },
+    /// A CLV key outside the registered key space.
+    UnknownClv(u32),
+    /// Unpin called on a slot that was not pinned.
+    NotPinned(u32),
+    /// The memory budget cannot fit even the mandatory structures.
+    BudgetTooSmall {
+        /// The requested budget.
+        budget_bytes: usize,
+        /// The smallest feasible budget.
+        required_bytes: usize,
+    },
+}
+
+impl fmt::Display for AmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmcError::AllSlotsPinned { slots, pinned } => write!(
+                f,
+                "cannot evict: all {pinned} of {slots} slots are pinned; keep at least ⌈log₂ n⌉ + 2 slots unpinned"
+            ),
+            AmcError::TooFewSlots { requested, minimum } => {
+                write!(f, "{requested} slots requested but the tree requires at least {minimum}")
+            }
+            AmcError::UnknownClv(k) => write!(f, "CLV key {k} is outside the registered key space"),
+            AmcError::NotPinned(s) => write!(f, "slot {s} is not pinned"),
+            AmcError::BudgetTooSmall { budget_bytes, required_bytes } => write!(
+                f,
+                "memory budget of {budget_bytes} bytes cannot fit mandatory structures ({required_bytes} bytes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AmcError {}

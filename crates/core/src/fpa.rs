@@ -1,0 +1,492 @@
+//! The slot-constrained Felsenstein traversal planner.
+//!
+//! Given a set of target CLVs (directed edges of the reference tree), this
+//! module produces a **compute schedule** that makes every target resident
+//! in a slot, recomputing whatever intermediate CLVs were evicted, while
+//! never exceeding the configured slot count. Pinning guarantees that a
+//! CLV survives from the step that computes it to the last step that reads
+//! it; the paper's invariant — the traversal always succeeds while at
+//! least `⌈log₂ n⌉ + 2` slots remain unpinned — is upheld by scheduling
+//! dependencies in Sethi–Ullman (heavier-subtree-first) order.
+//!
+//! Planning is separated from execution: [`ensure_resident`] mutates only
+//! the slot *maps* and emits [`FpaOp`]s; the caller then runs the ops
+//! against the [`SlotArena`](crate::SlotArena) storage with its kernels.
+//! Because planning and execution process ops in the same order, the slot
+//! assignments recorded in the ops are exactly the slots that hold the
+//! right data at execution time.
+
+use crate::error::AmcError;
+use crate::slots::{ClvKey, SlotId, SlotManager};
+use phylo_tree::traversal::{extend_plan_for, OrderPolicy};
+use phylo_tree::{DirEdgeId, NodeId, Tree};
+
+/// Where a compute step reads one of its two inputs from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepSource {
+    /// A resident CLV in the given slot.
+    Slot(SlotId),
+    /// A tip: the engine supplies the leaf's encoded characters.
+    Tip(NodeId),
+}
+
+/// One Felsenstein step: compute the CLV of `target` into `slot` from two
+/// dependency sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpaOp {
+    /// The directed edge whose CLV is produced.
+    pub target: DirEdgeId,
+    /// The slot to write.
+    pub slot: SlotId,
+    /// The two inputs (orientations into the target's source node).
+    pub deps: [DepSource; 2],
+    /// The directed edges corresponding to `deps` (the engine needs them to
+    /// select branch lengths / transition matrices).
+    pub dep_edges: [DirEdgeId; 2],
+}
+
+/// Result of [`ensure_resident`]: the schedule plus where each requested
+/// target lives.
+#[derive(Debug, Clone, Default)]
+pub struct ResidentSet {
+    /// Compute steps, in execution order. Empty if everything was cached.
+    pub ops: Vec<FpaOp>,
+    /// Slot of every *inner-origin* requested target (tip-origin targets
+    /// need no slot and are omitted), in request order.
+    pub targets: Vec<(DirEdgeId, SlotId)>,
+}
+
+impl ResidentSet {
+    /// The slot holding a given target, if it was part of the request.
+    pub fn slot_of(&self, d: DirEdgeId) -> Option<SlotId> {
+        self.targets.iter().find(|&&(t, _)| t == d).map(|&(_, s)| s)
+    }
+
+    /// Releases the per-target pins taken by `ensure_resident` (call when
+    /// done reading the targets).
+    pub fn release(&self, mgr: &mut SlotManager) {
+        for &(_, slot) in &self.targets {
+            // A slot may appear for several targets; each got its own pin.
+            let _ = mgr.unpin(slot);
+        }
+    }
+}
+
+/// Makes every CLV in `targets` resident, evicting/recomputing as needed.
+///
+/// * `register_need` — the table from
+///   [`phylo_tree::stats::register_need`]; used to schedule the heavier
+///   dependency first so the log-bound holds.
+/// * Targets are pinned once each on success; release with
+///   [`ResidentSet::release`].
+///
+/// Fails with [`AmcError::AllSlotsPinned`] when the slot budget (minus
+/// prior pins) is genuinely insufficient for this tree.
+pub fn ensure_resident(
+    tree: &Tree,
+    targets: &[DirEdgeId],
+    mgr: &mut SlotManager,
+    register_need: &[u32],
+) -> Result<ResidentSet, AmcError> {
+    // ---- Phase 1: static plan against the current residency. ----
+    let mut planned = vec![false; tree.n_dir_edges()];
+    let mut plan: Vec<DirEdgeId> = Vec::new();
+    for &t in targets {
+        if tree.is_leaf(tree.src(t)) {
+            continue;
+        }
+        let planned_ref = &planned;
+        let before = plan.len();
+        extend_plan_for(
+            tree,
+            t,
+            OrderPolicy::MinRegisters,
+            Some(register_need),
+            &|d| planned_ref[d.idx()] || mgr.lookup(ClvKey(d.0)).is_some(),
+            &mut plan,
+        );
+        for &p in &plan[before..] {
+            planned[p.idx()] = true;
+        }
+    }
+
+    // ---- Phase 2: pin accounting. ----
+    // needed[d] = how many plan entries read d as a dependency.
+    let mut needed = vec![0u32; tree.n_dir_edges()];
+    for &d in &plan {
+        for dep in tree.deps(d).expect("plan entries are inner-origin") {
+            if !tree.is_leaf(tree.src(dep)) {
+                needed[dep.idx()] += 1;
+            }
+        }
+    }
+    // target_pins[d] = one pin per request occurrence.
+    let mut target_pins = vec![0u32; tree.n_dir_edges()];
+    for &t in targets {
+        if !tree.is_leaf(tree.src(t)) {
+            target_pins[t.idx()] += 1;
+        }
+    }
+    // Pin CLVs that are already resident and will be read (as deps) or
+    // returned (as targets), so evictions during planning cannot corrupt
+    // the schedule. The dep share of these pins is consumed one read at a
+    // time during phase 3.
+    for d in tree.all_dir_edges() {
+        if planned[d.idx()] {
+            continue; // will be (re)computed; pinned at its compute step
+        }
+        let pins = needed[d.idx()] + target_pins[d.idx()];
+        if pins > 0 {
+            let slot = mgr
+                .lookup(ClvKey(d.0))
+                .expect("un-planned CLV required by the plan must be resident");
+            mgr.pin_n(slot, pins);
+            mgr.touch(ClvKey(d.0));
+        }
+    }
+
+    // ---- Phase 3: schedule, assigning slots in execution order. ----
+    let mut ops = Vec::with_capacity(plan.len());
+    let mut installed: Vec<ClvKey> = Vec::with_capacity(plan.len());
+    let result: Result<(), AmcError> = (|| {
+        for &d in &plan {
+            let deps = tree.deps(d).expect("plan entries are inner-origin");
+            let acq = mgr.acquire(ClvKey(d.0))?;
+            debug_assert!(!acq.is_hit(), "plan entries are not resident");
+            let slot = acq.slot();
+            installed.push(ClvKey(d.0));
+            let mut sources = [DepSource::Tip(NodeId(0)); 2];
+            for (k, &dep) in deps.iter().enumerate() {
+                let src_node = tree.src(dep);
+                sources[k] = if tree.is_leaf(src_node) {
+                    DepSource::Tip(src_node)
+                } else {
+                    let dep_slot = mgr
+                        .lookup(ClvKey(dep.0))
+                        .expect("dependency must be resident when scheduled");
+                    DepSource::Slot(dep_slot)
+                };
+            }
+            ops.push(FpaOp { target: d, slot, deps: sources, dep_edges: deps });
+            // Pin the fresh CLV for its future reads and target pins.
+            mgr.pin_n(slot, needed[d.idx()] + target_pins[d.idx()]);
+            // Consume one read-pin from each inner dependency.
+            for &dep in &deps {
+                if !tree.is_leaf(tree.src(dep)) {
+                    let dep_slot = mgr.lookup(ClvKey(dep.0)).expect("still resident");
+                    mgr.unpin(dep_slot)?;
+                }
+            }
+        }
+        Ok(())
+    })();
+
+    if let Err(e) = result {
+        // The schedule will never execute, so the CLVs installed during
+        // this call hold uncomputed garbage: drop them from the maps, and
+        // clear all pins so the manager stays usable. (Callers treat this
+        // error as a configuration failure and must re-establish any
+        // cross-call pins they held.)
+        mgr.unpin_all();
+        for k in installed {
+            mgr.invalidate(k);
+        }
+        return Err(e);
+    }
+
+    // ---- Phase 4: collect target slots. ----
+    let mut out_targets = Vec::with_capacity(targets.len());
+    for &t in targets {
+        if tree.is_leaf(tree.src(t)) {
+            continue;
+        }
+        let slot = mgr.lookup(ClvKey(t.0)).expect("target resident after planning");
+        out_targets.push((t, slot));
+    }
+    Ok(ResidentSet { ops, targets: out_targets })
+}
+
+/// Pins the resident CLVs with the highest recomputation cost, keeping at
+/// least `min_unpinned` slots unpinned (the paper's cross-block retention,
+/// §IV). Returns the pinned slots; the caller unpins them when the block
+/// advances.
+pub fn pin_high_cost_resident(
+    mgr: &mut SlotManager,
+    costs: &[f64],
+    min_unpinned: usize,
+) -> Vec<SlotId> {
+    let budget = mgr.n_unpinned().saturating_sub(min_unpinned);
+    if budget == 0 {
+        return Vec::new();
+    }
+    let mut resident: Vec<(SlotId, f64)> = mgr
+        .resident()
+        .filter(|&(_, slot)| mgr.pin_count(slot) == 0)
+        .map(|(clv, slot)| (slot, costs.get(clv.idx()).copied().unwrap_or(0.0)))
+        .collect();
+    resident.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let picked: Vec<SlotId> = resident.into_iter().take(budget).map(|(s, _)| s).collect();
+    for &s in &picked {
+        mgr.pin(s);
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{CostBased, StrategyKind};
+    use phylo_tree::stats::{min_slots_bound, register_need, subtree_leaf_counts};
+    use phylo_tree::{generate, EdgeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Executes a schedule over a "hash arena": each slot holds a u64; the
+    /// value of a CLV is a deterministic hash of its dependency values.
+    /// Comparing against the unconstrained bottom-up DP proves the
+    /// schedule reads the right data at the right time.
+    fn hash_combine(a: u64, b: u64) -> u64 {
+        let mut x = a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.rotate_left(31);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+        x ^ (x >> 32)
+    }
+
+    fn tip_value(n: NodeId) -> u64 {
+        (n.0 as u64 + 1).wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn execute(ops: &[FpaOp], tree: &Tree, slots: &mut [u64]) {
+        for op in ops {
+            let mut vals = [0u64; 2];
+            for (k, dep) in op.deps.iter().enumerate() {
+                vals[k] = match dep {
+                    DepSource::Tip(n) => tip_value(*n),
+                    DepSource::Slot(s) => slots[s.idx()],
+                };
+            }
+            // deps order is fixed by dep_edges; combine must be symmetric
+            // with respect to the true computation, so sort by dep edge for
+            // stability.
+            let (a, b) = if op.dep_edges[0].0 <= op.dep_edges[1].0 {
+                (vals[0], vals[1])
+            } else {
+                (vals[1], vals[0])
+            };
+            slots[op.slot.idx()] = hash_combine(a, b);
+            let _ = tree;
+        }
+    }
+
+    /// Reference DP with the same dep-edge ordering convention.
+    fn reference_values_ordered(tree: &Tree) -> Vec<u64> {
+        let mut vals = vec![0u64; tree.n_dir_edges()];
+        let plan = phylo_tree::traversal::plan_all(tree, OrderPolicy::AsIs, None);
+        for d in tree.all_dir_edges() {
+            if tree.is_leaf(tree.src(d)) {
+                vals[d.idx()] = tip_value(tree.src(d));
+            }
+        }
+        for d in plan {
+            let deps = tree.deps(d).unwrap();
+            let (a, b) = if deps[0].0 <= deps[1].0 {
+                (vals[deps[0].idx()], vals[deps[1].idx()])
+            } else {
+                (vals[deps[1].idx()], vals[deps[0].idx()])
+            };
+            vals[d.idx()] = hash_combine(a, b);
+        }
+        vals
+    }
+
+    fn mgr_for(tree: &Tree, n_slots: usize) -> SlotManager {
+        let costs: Vec<f64> =
+            subtree_leaf_counts(tree).iter().map(|&c| c as f64).collect();
+        SlotManager::new(tree.n_dir_edges(), n_slots, Box::new(CostBased::new(costs)))
+    }
+
+    #[test]
+    fn min_slots_suffice_on_balanced_tree() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for k in [3usize, 5, 7] {
+            let n = 1 << k;
+            let tree = generate::balanced(n, 0.1, &mut rng).unwrap();
+            let need = register_need(&tree);
+            let mut mgr = mgr_for(&tree, min_slots_bound(n));
+            let mut slots = vec![0u64; mgr.n_slots()];
+            let reference = reference_values_ordered(&tree);
+            // Sweep every edge: both orientations resident, verify values.
+            for e in tree.all_edges() {
+                let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+                let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+                execute(&rs.ops, &tree, &mut slots);
+                for &(d, slot) in &rs.targets {
+                    assert_eq!(
+                        slots[slot.idx()],
+                        reference[d.idx()],
+                        "n={n} edge={e:?} dir={d:?}"
+                    );
+                }
+                rs.release(&mut mgr);
+                mgr.check_invariants().unwrap();
+            }
+            assert_eq!(mgr.n_pinned(), 0);
+        }
+    }
+
+    #[test]
+    fn various_topologies_and_slot_counts() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for gen in [generate::yule, generate::caterpillar, generate::uniform_topology] {
+            let tree = gen(33, 0.1, &mut rng).unwrap();
+            let need = register_need(&tree);
+            let reference = reference_values_ordered(&tree);
+            let bound = min_slots_bound(33);
+            for n_slots in [bound, bound + 3, tree.n_inner_dir_edges()] {
+                let mut mgr = mgr_for(&tree, n_slots);
+                let mut slots = vec![0u64; n_slots];
+                for e in tree.all_edges() {
+                    let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+                    let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+                    execute(&rs.ops, &tree, &mut slots);
+                    for &(d, slot) in &rs.targets {
+                        assert_eq!(slots[slot.idx()], reference[d.idx()]);
+                    }
+                    rs.release(&mut mgr);
+                }
+                mgr.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn full_slots_never_evict() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let tree = generate::yule(20, 0.1, &mut rng).unwrap();
+        let need = register_need(&tree);
+        let mut mgr = mgr_for(&tree, tree.n_inner_dir_edges());
+        for e in tree.all_edges() {
+            let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+            let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+            rs.release(&mut mgr);
+        }
+        assert_eq!(mgr.stats().evictions, 0);
+        // Second sweep: everything is cached, zero ops.
+        let mut total_ops = 0;
+        for e in tree.all_edges() {
+            let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+            let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+            total_ops += rs.ops.len();
+            rs.release(&mut mgr);
+        }
+        assert_eq!(total_ops, 0);
+    }
+
+    #[test]
+    fn fewer_slots_mean_more_recomputation() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let tree = generate::yule(64, 0.1, &mut rng).unwrap();
+        let need = register_need(&tree);
+        let mut ops_by_slots = Vec::new();
+        for n_slots in [min_slots_bound(64), 24, 64, tree.n_inner_dir_edges()] {
+            let mut mgr = mgr_for(&tree, n_slots);
+            let mut total = 0usize;
+            for e in tree.all_edges() {
+                let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+                let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+                total += rs.ops.len();
+                rs.release(&mut mgr);
+            }
+            ops_by_slots.push(total);
+        }
+        // Monotone non-increasing work with more slots.
+        for w in ops_by_slots.windows(2) {
+            assert!(w[0] >= w[1], "{ops_by_slots:?}");
+        }
+        // Full memory does each CLV exactly once.
+        assert_eq!(*ops_by_slots.last().unwrap(), tree.n_inner_dir_edges());
+    }
+
+    #[test]
+    fn insufficient_slots_error_and_recovery() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let tree = generate::balanced(64, 0.1, &mut rng).unwrap();
+        let need = register_need(&tree);
+        // 2 slots cannot satisfy a 64-leaf balanced tree.
+        let mut mgr = mgr_for(&tree, 2);
+        let central = tree
+            .all_edges()
+            .find(|&e| !tree.is_leaf(tree.edge(e).a) && !tree.is_leaf(tree.edge(e).b))
+            .unwrap();
+        let targets = [DirEdgeId::new(central, 0)];
+        let err = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap_err();
+        assert!(matches!(err, AmcError::AllSlotsPinned { .. }));
+        // The manager must remain usable afterwards.
+        assert_eq!(mgr.n_pinned(), 0);
+        mgr.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tip_targets_are_skipped() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let tree = generate::yule(8, 0.1, &mut rng).unwrap();
+        let need = register_need(&tree);
+        let mut mgr = mgr_for(&tree, 8);
+        // A tip-origin directed edge as target: no slot, no ops.
+        let tip_dir = tree.dirs_from(NodeId(0)).next().unwrap();
+        let rs = ensure_resident(&tree, &[tip_dir], &mut mgr, &need).unwrap();
+        assert!(rs.ops.is_empty());
+        assert!(rs.targets.is_empty());
+    }
+
+    #[test]
+    fn pin_high_cost_keeps_floor() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let tree = generate::yule(32, 0.1, &mut rng).unwrap();
+        let need = register_need(&tree);
+        let costs: Vec<f64> = subtree_leaf_counts(&tree).iter().map(|&c| c as f64).collect();
+        let n_slots = 16;
+        let mut mgr = mgr_for(&tree, n_slots);
+        // Warm the cache.
+        let e = EdgeId(0);
+        let rs =
+            ensure_resident(&tree, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)], &mut mgr, &need)
+                .unwrap();
+        rs.release(&mut mgr);
+        let floor = min_slots_bound(32);
+        let pinned = pin_high_cost_resident(&mut mgr, &costs, floor);
+        assert!(mgr.n_unpinned() >= floor);
+        // Pinned slots hold the highest-cost residents.
+        for &s in &pinned {
+            assert!(mgr.pin_count(s) > 0);
+        }
+        for &s in &pinned {
+            mgr.unpin(s).unwrap();
+        }
+        mgr.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_strategies_produce_correct_values() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let tree = generate::yule(24, 0.1, &mut rng).unwrap();
+        let need = register_need(&tree);
+        let reference = reference_values_ordered(&tree);
+        let costs: Vec<f64> = subtree_leaf_counts(&tree).iter().map(|&c| c as f64).collect();
+        for kind in StrategyKind::all() {
+            let strat = kind.build(Some(costs.clone()));
+            let n_slots = min_slots_bound(24) + 2;
+            let mut mgr = SlotManager::new(tree.n_dir_edges(), n_slots, strat);
+            let mut slots = vec![0u64; n_slots];
+            for e in tree.all_edges() {
+                let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+                let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+                execute(&rs.ops, &tree, &mut slots);
+                for &(d, slot) in &rs.targets {
+                    assert_eq!(slots[slot.idx()], reference[d.idx()], "strategy {kind}");
+                }
+                rs.release(&mut mgr);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Active Management of CLVs (AMC) — the paper's core contribution.
+//!
+//! Likelihood-based placement wants `3·(n − 2)` conditional likelihood
+//! vectors resident at once; this crate lets an engine run with any number
+//! of physical **slots** from `⌈log₂ n⌉ + 2` up to the full set, trading
+//! recomputation time for memory exactly as described in Barbera &
+//! Stamatakis (IPPS 2021):
+//!
+//! * [`slots::SlotManager`] — the two index maps (`clv → slot`,
+//!   `slot → clv`) with sentinel states, pin counts, and hit/miss/eviction
+//!   statistics;
+//! * [`strategy`] — the replacement-strategy interface (the paper's
+//!   callback customization point) with the default
+//!   recomputation-cost-based policy plus LRU/MRU/FIFO/random for
+//!   ablation;
+//! * [`arena::SlotArena`] — slot-backed CLV + scaler storage with safe
+//!   disjoint target/children access for the kernels;
+//! * [`fpa`] — the slot-constrained Felsenstein traversal planner: given a
+//!   set of target CLVs it emits a pin-correct compute schedule,
+//!   guaranteed to succeed whenever `⌈log₂ n⌉ + 2` slots are unpinned;
+//! * [`budget`] — deterministic memory accounting and the `--maxmem`-style
+//!   budget planner that decides slot counts and optional structures.
+
+pub mod arena;
+pub mod budget;
+pub mod error;
+pub mod fpa;
+pub mod slots;
+pub mod strategy;
+
+pub use arena::SlotArena;
+pub use budget::{MemCategory, MemoryTracker};
+pub use error::AmcError;
+pub use fpa::{ensure_resident, DepSource, FpaOp, ResidentSet};
+pub use slots::{Acquire, ClvKey, SlotId, SlotManager, SlotStats};
+pub use strategy::{CostBased, Fifo, Lru, Mru, RandomEvict, ReplacementStrategy, StrategyKind, VictimView};

@@ -1,0 +1,476 @@
+//! The slot manager: mapping many logical CLVs onto few physical slots.
+//!
+//! This is the first of the paper's two AMC components (§IV): two arrays
+//! map a CLV's *global index* to the *slot* currently holding it and vice
+//! versa, with dedicated sentinel values for "not slotted" and "free".
+//! Pinning is a per-slot counter so nested traversal phases compose.
+
+use crate::error::AmcError;
+use crate::strategy::{ReplacementStrategy, VictimView};
+
+/// Index of a physical CLV slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u32);
+
+/// Global logical CLV index (in the placement engine: the directed-edge
+/// index of the CLV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClvKey(pub u32);
+
+impl SlotId {
+    /// Raw index for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ClvKey {
+    /// Raw index for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Sentinel: CLV is not resident in any slot.
+const UNSLOTTED: u32 = u32::MAX;
+/// Sentinel: slot holds no CLV.
+const FREE: u32 = u32::MAX;
+
+/// Outcome of [`SlotManager::acquire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// The CLV was already resident.
+    Hit(SlotId),
+    /// A free slot was assigned.
+    Fresh(SlotId),
+    /// A victim was evicted to make room.
+    Evicted {
+        /// The slot now assigned to the requested CLV.
+        slot: SlotId,
+        /// The CLV whose data was discarded.
+        victim: ClvKey,
+    },
+}
+
+impl Acquire {
+    /// The slot assigned to the requested CLV, whatever the path taken.
+    #[inline]
+    pub fn slot(self) -> SlotId {
+        match self {
+            Acquire::Hit(s) | Acquire::Fresh(s) | Acquire::Evicted { slot: s, .. } => s,
+        }
+    }
+
+    /// True if the CLV was already resident (no recomputation needed).
+    #[inline]
+    pub fn is_hit(self) -> bool {
+        matches!(self, Acquire::Hit(_))
+    }
+}
+
+/// Counters describing slot-manager traffic; the experimental harness reads
+/// these to report recomputation overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// `acquire` calls that found the CLV resident.
+    pub hits: u64,
+    /// `acquire` calls that had to (re)assign a slot.
+    pub misses: u64,
+    /// Misses that discarded another CLV's data.
+    pub evictions: u64,
+}
+
+/// Maps a large logical CLV index space onto a small set of physical slots.
+pub struct SlotManager {
+    clv_to_slot: Vec<u32>,
+    slot_to_clv: Vec<u32>,
+    pin_counts: Vec<u32>,
+    free: Vec<u32>,
+    n_pinned_slots: usize,
+    stats: SlotStats,
+    strategy: Box<dyn ReplacementStrategy>,
+}
+
+impl SlotManager {
+    /// Creates a manager for `n_clvs` logical CLVs over `n_slots` physical
+    /// slots with the given replacement strategy.
+    pub fn new(n_clvs: usize, n_slots: usize, strategy: Box<dyn ReplacementStrategy>) -> Self {
+        assert!(n_slots > 0, "at least one slot required");
+        SlotManager {
+            clv_to_slot: vec![UNSLOTTED; n_clvs],
+            slot_to_clv: vec![FREE; n_slots],
+            pin_counts: vec![0; n_slots],
+            free: (0..n_slots as u32).rev().collect(),
+            n_pinned_slots: 0,
+            stats: SlotStats::default(),
+            strategy,
+        }
+    }
+
+    /// Number of physical slots.
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.slot_to_clv.len()
+    }
+
+    /// Number of logical CLVs.
+    #[inline]
+    pub fn n_clvs(&self) -> usize {
+        self.clv_to_slot.len()
+    }
+
+    /// Number of slots with a non-zero pin count.
+    #[inline]
+    pub fn n_pinned(&self) -> usize {
+        self.n_pinned_slots
+    }
+
+    /// Number of slots currently unpinned (free or evictable).
+    #[inline]
+    pub fn n_unpinned(&self) -> usize {
+        self.n_slots() - self.n_pinned_slots
+    }
+
+    /// Traffic counters so far.
+    #[inline]
+    pub fn stats(&self) -> SlotStats {
+        self.stats
+    }
+
+    /// Resets the traffic counters (e.g. between measured phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = SlotStats::default();
+    }
+
+    /// The slot currently holding `clv`, if resident.
+    #[inline]
+    pub fn lookup(&self, clv: ClvKey) -> Option<SlotId> {
+        let s = self.clv_to_slot[clv.idx()];
+        (s != UNSLOTTED).then_some(SlotId(s))
+    }
+
+    /// The CLV currently held by `slot`, if any.
+    #[inline]
+    pub fn occupant(&self, slot: SlotId) -> Option<ClvKey> {
+        let c = self.slot_to_clv[slot.idx()];
+        (c != FREE).then_some(ClvKey(c))
+    }
+
+    /// Current pin count of a slot.
+    #[inline]
+    pub fn pin_count(&self, slot: SlotId) -> u32 {
+        self.pin_counts[slot.idx()]
+    }
+
+    /// Notifies the strategy of a read access (LRU bookkeeping et al.)
+    /// without going through `acquire`.
+    pub fn touch(&mut self, clv: ClvKey) {
+        if let Some(slot) = self.lookup(clv) {
+            self.strategy.on_access(clv, slot);
+        }
+    }
+
+    /// Assigns a slot to `clv`: a hit if resident, otherwise a free slot,
+    /// otherwise the strategy's victim among unpinned slots. On a miss the
+    /// slot's previous contents are forgotten and the caller must recompute
+    /// the CLV into it.
+    pub fn acquire(&mut self, clv: ClvKey) -> Result<Acquire, AmcError> {
+        if clv.idx() >= self.clv_to_slot.len() {
+            return Err(AmcError::UnknownClv(clv.0));
+        }
+        if let Some(slot) = self.lookup(clv) {
+            self.stats.hits += 1;
+            self.strategy.on_access(clv, slot);
+            return Ok(Acquire::Hit(slot));
+        }
+        self.stats.misses += 1;
+        if let Some(raw) = self.free.pop() {
+            let slot = SlotId(raw);
+            self.install(clv, slot);
+            return Ok(Acquire::Fresh(slot));
+        }
+        let view = VictimView {
+            slot_to_clv: &self.slot_to_clv,
+            pin_counts: &self.pin_counts,
+        };
+        let Some(victim_slot) = self.strategy.choose_victim(&view) else {
+            return Err(AmcError::AllSlotsPinned {
+                slots: self.n_slots(),
+                pinned: self.n_pinned_slots,
+            });
+        };
+        debug_assert_eq!(self.pin_counts[victim_slot.idx()], 0, "strategy evicted a pinned slot");
+        let victim = ClvKey(self.slot_to_clv[victim_slot.idx()]);
+        self.stats.evictions += 1;
+        self.strategy.on_evict(victim, victim_slot);
+        self.clv_to_slot[victim.idx()] = UNSLOTTED;
+        self.install(clv, victim_slot);
+        Ok(Acquire::Evicted { slot: victim_slot, victim })
+    }
+
+    fn install(&mut self, clv: ClvKey, slot: SlotId) {
+        self.clv_to_slot[clv.idx()] = slot.0;
+        self.slot_to_clv[slot.idx()] = clv.0;
+        self.strategy.on_insert(clv, slot);
+    }
+
+    /// Increments a slot's pin count; pinned slots are never chosen as
+    /// eviction victims.
+    pub fn pin(&mut self, slot: SlotId) {
+        let c = &mut self.pin_counts[slot.idx()];
+        if *c == 0 {
+            self.n_pinned_slots += 1;
+        }
+        *c += 1;
+    }
+
+    /// Adds `count` pins at once (refcounted use across a plan).
+    pub fn pin_n(&mut self, slot: SlotId, count: u32) {
+        if count == 0 {
+            return;
+        }
+        let c = &mut self.pin_counts[slot.idx()];
+        if *c == 0 {
+            self.n_pinned_slots += 1;
+        }
+        *c += count;
+    }
+
+    /// Decrements a slot's pin count.
+    pub fn unpin(&mut self, slot: SlotId) -> Result<(), AmcError> {
+        let c = &mut self.pin_counts[slot.idx()];
+        if *c == 0 {
+            return Err(AmcError::NotPinned(slot.0));
+        }
+        *c -= 1;
+        if *c == 0 {
+            self.n_pinned_slots -= 1;
+        }
+        Ok(())
+    }
+
+    /// Forcibly clears all pins (end of a placement phase).
+    pub fn unpin_all(&mut self) {
+        for c in &mut self.pin_counts {
+            *c = 0;
+        }
+        self.n_pinned_slots = 0;
+    }
+
+    /// Drops `clv` from its slot, returning the slot to the free list.
+    /// No-op if not resident. The slot must not be pinned.
+    pub fn invalidate(&mut self, clv: ClvKey) {
+        if let Some(slot) = self.lookup(clv) {
+            assert_eq!(self.pin_counts[slot.idx()], 0, "cannot invalidate a pinned slot");
+            self.strategy.on_evict(clv, slot);
+            self.clv_to_slot[clv.idx()] = UNSLOTTED;
+            self.slot_to_clv[slot.idx()] = FREE;
+            self.free.push(slot.0);
+        }
+    }
+
+    /// Iterates `(clv, slot)` pairs currently resident.
+    pub fn resident(&self) -> impl Iterator<Item = (ClvKey, SlotId)> + '_ {
+        self.slot_to_clv
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != FREE)
+            .map(|(s, &c)| (ClvKey(c), SlotId(s as u32)))
+    }
+
+    /// Checks the bijection invariant between the two maps (tests/debug).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (c, &s) in self.clv_to_slot.iter().enumerate() {
+            if s != UNSLOTTED {
+                if s as usize >= self.slot_to_clv.len() {
+                    return Err(format!("clv {c} maps to out-of-range slot {s}"));
+                }
+                if self.slot_to_clv[s as usize] != c as u32 {
+                    return Err(format!(
+                        "clv {c} -> slot {s}, but slot {s} -> clv {}",
+                        self.slot_to_clv[s as usize]
+                    ));
+                }
+            }
+        }
+        let mut seen = vec![false; self.clv_to_slot.len()];
+        for (s, &c) in self.slot_to_clv.iter().enumerate() {
+            if c != FREE {
+                if c as usize >= seen.len() {
+                    return Err(format!("slot {s} holds out-of-range clv {c}"));
+                }
+                if seen[c as usize] {
+                    return Err(format!("clv {c} resident in two slots"));
+                }
+                seen[c as usize] = true;
+                if self.clv_to_slot[c as usize] != s as u32 {
+                    return Err(format!("slot {s} -> clv {c}, but clv {c} -> {}", self.clv_to_slot[c as usize]));
+                }
+            }
+        }
+        let pinned = self.pin_counts.iter().filter(|&&p| p > 0).count();
+        if pinned != self.n_pinned_slots {
+            return Err(format!("pin cache {} != actual {}", self.n_pinned_slots, pinned));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for SlotManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotManager")
+            .field("n_clvs", &self.n_clvs())
+            .field("n_slots", &self.n_slots())
+            .field("n_pinned", &self.n_pinned_slots)
+            .field("stats", &self.stats)
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{CostBased, Fifo};
+
+    fn mgr(n_clvs: usize, n_slots: usize) -> SlotManager {
+        SlotManager::new(n_clvs, n_slots, Box::new(Fifo::new()))
+    }
+
+    #[test]
+    fn fresh_then_hit() {
+        let mut m = mgr(10, 4);
+        let a = m.acquire(ClvKey(3)).unwrap();
+        assert!(matches!(a, Acquire::Fresh(_)));
+        let b = m.acquire(ClvKey(3)).unwrap();
+        assert_eq!(b, Acquire::Hit(a.slot()));
+        assert_eq!(m.stats().hits, 1);
+        assert_eq!(m.stats().misses, 1);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_when_full() {
+        let mut m = mgr(10, 2);
+        m.acquire(ClvKey(0)).unwrap();
+        m.acquire(ClvKey(1)).unwrap();
+        let a = m.acquire(ClvKey(2)).unwrap();
+        match a {
+            Acquire::Evicted { victim, .. } => assert_eq!(victim, ClvKey(0)), // FIFO
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(m.lookup(ClvKey(0)), None);
+        assert!(m.lookup(ClvKey(2)).is_some());
+        assert_eq!(m.stats().evictions, 1);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pinned_slots_survive() {
+        let mut m = mgr(10, 2);
+        let s0 = m.acquire(ClvKey(0)).unwrap().slot();
+        m.acquire(ClvKey(1)).unwrap();
+        m.pin(s0);
+        // Next eviction must take clv 1's slot, not the pinned one.
+        let a = m.acquire(ClvKey(2)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }));
+        assert!(m.lookup(ClvKey(0)).is_some());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_pinned_errors() {
+        let mut m = mgr(10, 2);
+        let s0 = m.acquire(ClvKey(0)).unwrap().slot();
+        let s1 = m.acquire(ClvKey(1)).unwrap().slot();
+        m.pin(s0);
+        m.pin(s1);
+        let err = m.acquire(ClvKey(2)).unwrap_err();
+        assert!(matches!(err, AmcError::AllSlotsPinned { slots: 2, pinned: 2 }));
+    }
+
+    #[test]
+    fn pin_counts_nest() {
+        let mut m = mgr(4, 2);
+        let s = m.acquire(ClvKey(0)).unwrap().slot();
+        m.pin(s);
+        m.pin(s);
+        assert_eq!(m.n_pinned(), 1);
+        m.unpin(s).unwrap();
+        assert_eq!(m.pin_count(s), 1);
+        assert_eq!(m.n_pinned(), 1);
+        m.unpin(s).unwrap();
+        assert_eq!(m.n_pinned(), 0);
+        assert!(m.unpin(s).is_err());
+    }
+
+    #[test]
+    fn pin_n_counts() {
+        let mut m = mgr(4, 2);
+        let s = m.acquire(ClvKey(0)).unwrap().slot();
+        m.pin_n(s, 3);
+        assert_eq!(m.pin_count(s), 3);
+        m.pin_n(s, 0);
+        assert_eq!(m.pin_count(s), 3);
+        for _ in 0..3 {
+            m.unpin(s).unwrap();
+        }
+        assert_eq!(m.n_pinned(), 0);
+    }
+
+    #[test]
+    fn invalidate_releases() {
+        let mut m = mgr(4, 1);
+        m.acquire(ClvKey(0)).unwrap();
+        m.invalidate(ClvKey(0));
+        assert_eq!(m.lookup(ClvKey(0)), None);
+        // Slot is free again: next acquire is Fresh, not Evicted.
+        assert!(matches!(m.acquire(ClvKey(1)).unwrap(), Acquire::Fresh(_)));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unknown_clv_rejected() {
+        let mut m = mgr(3, 2);
+        assert!(matches!(m.acquire(ClvKey(7)), Err(AmcError::UnknownClv(7))));
+    }
+
+    #[test]
+    fn cost_based_evicts_cheapest() {
+        let costs = vec![5.0, 1.0, 3.0, 4.0];
+        let mut m = SlotManager::new(4, 2, Box::new(CostBased::new(costs)));
+        m.acquire(ClvKey(0)).unwrap(); // cost 5
+        m.acquire(ClvKey(1)).unwrap(); // cost 1
+        // clv 2 arrives: evict the cheapest-to-recompute resident (clv 1).
+        let a = m.acquire(ClvKey(2)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }), "{a:?}");
+        // clv 3 (cost 4) arrives: residents are 0 (5) and 2 (3) -> evict 2.
+        let a = m.acquire(ClvKey(3)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(2), .. }), "{a:?}");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn resident_iterates_current() {
+        let mut m = mgr(5, 3);
+        m.acquire(ClvKey(1)).unwrap();
+        m.acquire(ClvKey(4)).unwrap();
+        let mut r: Vec<u32> = m.resident().map(|(c, _)| c.0).collect();
+        r.sort_unstable();
+        assert_eq!(r, vec![1, 4]);
+    }
+
+    #[test]
+    fn unpin_all_clears() {
+        let mut m = mgr(4, 3);
+        let s0 = m.acquire(ClvKey(0)).unwrap().slot();
+        let s1 = m.acquire(ClvKey(1)).unwrap().slot();
+        m.pin_n(s0, 2);
+        m.pin(s1);
+        m.unpin_all();
+        assert_eq!(m.n_pinned(), 0);
+        m.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,432 @@
+//! Replacement strategies: which slotted CLV to overwrite.
+//!
+//! The paper implements "a generic replacement strategy interface via a set
+//! of callback functions" (§IV) with a default that evicts the CLV that is
+//! *cheapest to recompute*, approximating recomputation cost by the number
+//! of descendant leaves the CLV summarizes. The same interface is exposed
+//! here as a trait; LRU, MRU, FIFO, and random policies are provided for
+//! the ablation benchmarks (the paper's future-work "different replacement
+//! strategies").
+
+use crate::slots::{ClvKey, SlotId};
+
+/// Read-only view of the eviction candidates, handed to
+/// [`ReplacementStrategy::choose_victim`].
+pub struct VictimView<'a> {
+    /// Per slot: the resident CLV's raw key, or `u32::MAX` if free.
+    pub(crate) slot_to_clv: &'a [u32],
+    /// Per slot: pin count; only zero-pin slots may be chosen.
+    pub(crate) pin_counts: &'a [u32],
+}
+
+impl<'a> VictimView<'a> {
+    /// Iterates evictable `(slot, clv)` pairs: occupied and unpinned.
+    pub fn candidates(&self) -> impl Iterator<Item = (SlotId, ClvKey)> + '_ {
+        self.slot_to_clv
+            .iter()
+            .zip(self.pin_counts)
+            .enumerate()
+            .filter(|&(_, (&clv, &pins))| clv != u32::MAX && pins == 0)
+            .map(|(s, (&clv, _))| (SlotId(s as u32), ClvKey(clv)))
+    }
+}
+
+/// The paper's callback interface for slot replacement.
+///
+/// `on_insert` / `on_access` / `on_evict` let a policy maintain recency or
+/// order bookkeeping; `choose_victim` picks an unpinned occupied slot to
+/// overwrite, or `None` if it finds none (which the manager reports as
+/// [`crate::AmcError::AllSlotsPinned`]).
+pub trait ReplacementStrategy: Send + Sync {
+    /// Human-readable policy name (for reports and benches).
+    fn name(&self) -> &'static str;
+    /// A CLV was installed into a slot.
+    fn on_insert(&mut self, clv: ClvKey, slot: SlotId);
+    /// A resident CLV was read.
+    fn on_access(&mut self, clv: ClvKey, slot: SlotId);
+    /// A CLV was removed from its slot.
+    fn on_evict(&mut self, clv: ClvKey, slot: SlotId);
+    /// Picks the victim among the view's candidates.
+    fn choose_victim(&mut self, view: &VictimView<'_>) -> Option<SlotId>;
+}
+
+/// Convenient tag for constructing strategies by name (CLI/bench plumbing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// Evict the CLV cheapest to recompute (paper default).
+    #[default]
+    CostBased,
+    /// Least recently used.
+    Lru,
+    /// Most recently used.
+    Mru,
+    /// First in, first out.
+    Fifo,
+    /// Uniformly random unpinned slot.
+    Random,
+    /// Adaptive cost × recency hybrid (the paper's §VI outlook): evict the
+    /// slot with the lowest recency-discounted recomputation cost.
+    CostLru,
+}
+
+impl StrategyKind {
+    /// Instantiates the strategy. `costs` is required by
+    /// [`StrategyKind::CostBased`] (one recomputation-cost value per CLV
+    /// key) and ignored by the others.
+    pub fn build(self, costs: Option<Vec<f64>>) -> Box<dyn ReplacementStrategy> {
+        match self {
+            StrategyKind::CostBased => Box::new(CostBased::new(
+                costs.expect("CostBased strategy requires a recomputation-cost table"),
+            )),
+            StrategyKind::Lru => Box::new(Lru::new()),
+            StrategyKind::Mru => Box::new(Mru::new()),
+            StrategyKind::Fifo => Box::new(Fifo::new()),
+            StrategyKind::Random => Box::new(RandomEvict::new(0x5eed)),
+            StrategyKind::CostLru => Box::new(CostLru::new(
+                costs.expect("CostLru strategy requires a recomputation-cost table"),
+            )),
+        }
+    }
+
+    /// All kinds, for ablation sweeps.
+    pub fn all() -> [StrategyKind; 6] {
+        [
+            StrategyKind::CostBased,
+            StrategyKind::Lru,
+            StrategyKind::Mru,
+            StrategyKind::Fifo,
+            StrategyKind::Random,
+            StrategyKind::CostLru,
+        ]
+    }
+
+    /// True for kinds whose constructor requires a cost table.
+    pub fn needs_costs(self) -> bool {
+        matches!(self, StrategyKind::CostBased | StrategyKind::CostLru)
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StrategyKind::CostBased => "cost",
+            StrategyKind::Lru => "lru",
+            StrategyKind::Mru => "mru",
+            StrategyKind::Fifo => "fifo",
+            StrategyKind::Random => "random",
+            StrategyKind::CostLru => "cost-lru",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Paper-default policy: evict the unpinned CLV with the lowest
+/// recomputation cost (ties broken by lower CLV key, for determinism).
+pub struct CostBased {
+    costs: Vec<f64>,
+}
+
+impl CostBased {
+    /// `costs[k]` = approximate cost of recomputing CLV `k` (the engine
+    /// passes subtree leaf counts).
+    pub fn new(costs: Vec<f64>) -> Self {
+        CostBased { costs }
+    }
+
+    /// Access to the cost table (e.g. for pin-priority decisions).
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+impl ReplacementStrategy for CostBased {
+    fn name(&self) -> &'static str {
+        "cost-based"
+    }
+    fn on_insert(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn on_access(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn on_evict(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn choose_victim(&mut self, view: &VictimView<'_>) -> Option<SlotId> {
+        view.candidates()
+            .min_by(|&(_, a), &(_, b)| {
+                let ca = self.costs.get(a.idx()).copied().unwrap_or(f64::INFINITY);
+                let cb = self.costs.get(b.idx()).copied().unwrap_or(f64::INFINITY);
+                ca.partial_cmp(&cb).unwrap().then(a.0.cmp(&b.0))
+            })
+            .map(|(s, _)| s)
+    }
+}
+
+/// Adaptive policy (the paper's "different (e.g. adaptive …) replacement
+/// strategies" outlook): combines the default cost heuristic with
+/// recency. Each candidate's recomputation cost is discounted by how long
+/// ago it was touched — `effective = cost / (1 + age)` — so a big subtree
+/// that has gone cold can still be evicted, while recently used cheap
+/// CLVs survive short reuse windows.
+pub struct CostLru {
+    costs: Vec<f64>,
+    clock: u64,
+    last_access: Vec<u64>,
+}
+
+impl CostLru {
+    /// `costs[k]` = approximate recomputation cost of CLV `k`.
+    pub fn new(costs: Vec<f64>) -> Self {
+        CostLru { costs, clock: 0, last_access: Vec::new() }
+    }
+
+    fn stamp(&mut self, slot: SlotId) {
+        self.clock += 1;
+        if slot.idx() >= self.last_access.len() {
+            self.last_access.resize(slot.idx() + 1, 0);
+        }
+        self.last_access[slot.idx()] = self.clock;
+    }
+}
+
+impl ReplacementStrategy for CostLru {
+    fn name(&self) -> &'static str {
+        "cost-lru"
+    }
+    fn on_insert(&mut self, _clv: ClvKey, slot: SlotId) {
+        self.stamp(slot);
+    }
+    fn on_access(&mut self, _clv: ClvKey, slot: SlotId) {
+        self.stamp(slot);
+    }
+    fn on_evict(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn choose_victim(&mut self, view: &VictimView<'_>) -> Option<SlotId> {
+        let now = self.clock;
+        view.candidates()
+            .min_by(|&(sa, a), &(sb, b)| {
+                let eff = |slot: SlotId, clv: ClvKey| {
+                    let cost = self.costs.get(clv.idx()).copied().unwrap_or(f64::INFINITY);
+                    let age =
+                        now.saturating_sub(self.last_access.get(slot.idx()).copied().unwrap_or(0));
+                    cost / (1.0 + age as f64)
+                };
+                eff(sa, a).partial_cmp(&eff(sb, b)).unwrap().then(a.0.cmp(&b.0))
+            })
+            .map(|(s, _)| s)
+    }
+}
+
+/// Least-recently-used eviction (classic cache baseline).
+pub struct Lru {
+    clock: u64,
+    last_access: Vec<u64>,
+}
+
+impl Lru {
+    /// An empty LRU policy.
+    pub fn new() -> Self {
+        Lru { clock: 0, last_access: Vec::new() }
+    }
+
+    fn stamp(&mut self, slot: SlotId) {
+        self.clock += 1;
+        if slot.idx() >= self.last_access.len() {
+            self.last_access.resize(slot.idx() + 1, 0);
+        }
+        self.last_access[slot.idx()] = self.clock;
+    }
+}
+
+impl Default for Lru {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplacementStrategy for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+    fn on_insert(&mut self, _clv: ClvKey, slot: SlotId) {
+        self.stamp(slot);
+    }
+    fn on_access(&mut self, _clv: ClvKey, slot: SlotId) {
+        self.stamp(slot);
+    }
+    fn on_evict(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn choose_victim(&mut self, view: &VictimView<'_>) -> Option<SlotId> {
+        view.candidates()
+            .min_by_key(|&(s, _)| self.last_access.get(s.idx()).copied().unwrap_or(0))
+            .map(|(s, _)| s)
+    }
+}
+
+/// Most-recently-used eviction — the pathological counterpoint for loops
+/// that sweep more CLVs than there are slots.
+pub struct Mru {
+    inner: Lru,
+}
+
+impl Mru {
+    /// An empty MRU policy.
+    pub fn new() -> Self {
+        Mru { inner: Lru::new() }
+    }
+}
+
+impl Default for Mru {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplacementStrategy for Mru {
+    fn name(&self) -> &'static str {
+        "mru"
+    }
+    fn on_insert(&mut self, clv: ClvKey, slot: SlotId) {
+        self.inner.on_insert(clv, slot);
+    }
+    fn on_access(&mut self, clv: ClvKey, slot: SlotId) {
+        self.inner.on_access(clv, slot);
+    }
+    fn on_evict(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn choose_victim(&mut self, view: &VictimView<'_>) -> Option<SlotId> {
+        view.candidates()
+            .max_by_key(|&(s, _)| self.inner.last_access.get(s.idx()).copied().unwrap_or(0))
+            .map(|(s, _)| s)
+    }
+}
+
+/// First-in-first-out eviction.
+pub struct Fifo {
+    clock: u64,
+    inserted: Vec<u64>,
+}
+
+impl Fifo {
+    /// An empty FIFO policy.
+    pub fn new() -> Self {
+        Fifo { clock: 0, inserted: Vec::new() }
+    }
+}
+
+impl Default for Fifo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplacementStrategy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+    fn on_insert(&mut self, _clv: ClvKey, slot: SlotId) {
+        self.clock += 1;
+        if slot.idx() >= self.inserted.len() {
+            self.inserted.resize(slot.idx() + 1, 0);
+        }
+        self.inserted[slot.idx()] = self.clock;
+    }
+    fn on_access(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn on_evict(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn choose_victim(&mut self, view: &VictimView<'_>) -> Option<SlotId> {
+        view.candidates()
+            .min_by_key(|&(s, _)| self.inserted.get(s.idx()).copied().unwrap_or(0))
+            .map(|(s, _)| s)
+    }
+}
+
+/// Uniformly random eviction (deterministic xorshift, seedable).
+pub struct RandomEvict {
+    state: u64,
+}
+
+impl RandomEvict {
+    /// A random policy with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomEvict { state: seed.max(1) }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+impl ReplacementStrategy for RandomEvict {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+    fn on_insert(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn on_access(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn on_evict(&mut self, _clv: ClvKey, _slot: SlotId) {}
+    fn choose_victim(&mut self, view: &VictimView<'_>) -> Option<SlotId> {
+        let candidates: Vec<SlotId> = view.candidates().map(|(s, _)| s).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let i = (self.next() % candidates.len() as u64) as usize;
+        Some(candidates[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slots::{Acquire, ClvKey, SlotManager};
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut m = SlotManager::new(10, 2, Box::new(Lru::new()));
+        m.acquire(ClvKey(0)).unwrap();
+        m.acquire(ClvKey(1)).unwrap();
+        m.acquire(ClvKey(0)).unwrap(); // touch 0
+        let a = m.acquire(ClvKey(2)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }), "{a:?}");
+    }
+
+    #[test]
+    fn mru_evicts_most_recent() {
+        let mut m = SlotManager::new(10, 2, Box::new(Mru::new()));
+        m.acquire(ClvKey(0)).unwrap();
+        m.acquire(ClvKey(1)).unwrap();
+        let a = m.acquire(ClvKey(2)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }), "{a:?}");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = SlotManager::new(20, 3, Box::new(RandomEvict::new(seed)));
+            let mut victims = Vec::new();
+            for k in 0..12 {
+                if let Acquire::Evicted { victim, .. } = m.acquire(ClvKey(k)).unwrap() {
+                    victims.push(victim.0);
+                }
+            }
+            victims
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(99));
+    }
+
+    #[test]
+    fn kind_round_trip() {
+        for kind in StrategyKind::all() {
+            let costs = kind.needs_costs().then(|| vec![1.0; 8]);
+            let s = kind.build(costs);
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn cost_based_ignores_pinned() {
+        let mut m = SlotManager::new(10, 2, Box::new(CostBased::new(vec![1.0, 2.0, 3.0, 4.0])));
+        let s0 = m.acquire(ClvKey(0)).unwrap().slot(); // cheapest
+        m.acquire(ClvKey(1)).unwrap();
+        m.pin(s0);
+        // 0 is cheapest but pinned; must evict 1.
+        let a = m.acquire(ClvKey(2)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }));
+    }
+}

@@ -1,0 +1,167 @@
+//! Dataset instantiation.
+
+use crate::sim::{evolve_query, simulate};
+use crate::spec::DatasetSpec;
+use phylo_models::gamma::GammaMode;
+use phylo_models::{aa, dna, DiscreteGamma, SubstModel};
+use phylo_seq::alphabet::AlphabetKind;
+use phylo_seq::{Msa, Sequence};
+use phylo_tree::{generate as treegen, NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully instantiated synthetic dataset.
+pub struct Dataset {
+    /// The specification it was generated from.
+    pub spec: DatasetSpec,
+    /// The reference tree.
+    pub tree: Tree,
+    /// The reference alignment (rows named after the tree's taxa).
+    pub reference: Msa,
+    /// Aligned query sequences.
+    pub queries: Vec<Sequence>,
+    /// The substitution model the data was simulated under (and should be
+    /// analyzed with).
+    pub model: SubstModel,
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("name", &self.spec.name)
+            .field("leaves", &self.tree.n_leaves())
+            .field("sites", &self.reference.n_sites())
+            .field("queries", &self.queries.len())
+            .field("alphabet", &self.spec.alphabet)
+            .finish()
+    }
+}
+
+/// The model a spec calls for: GTR-like (NT) or synthetic-empirical (AA),
+/// both with 4-category mean-discretized Γ rates.
+pub fn model_for(spec: &DatasetSpec) -> SubstModel {
+    let gamma = DiscreteGamma::new(spec.gamma_alpha, 4, GammaMode::Mean)
+        .expect("spec gamma parameters are valid");
+    match spec.alphabet {
+        AlphabetKind::Dna => {
+            // A mildly informative GTR: unequal frequencies, transition
+            // bias — representative of 16S-style data.
+            let rates = [1.0, 2.5, 1.2, 0.8, 3.1, 1.0];
+            let freqs = [0.30, 0.21, 0.27, 0.22];
+            SubstModel::new(&dna::gtr(&rates, &freqs).expect("static GTR is valid"), gamma)
+                .expect("GTR compiles")
+        }
+        AlphabetKind::Protein => {
+            SubstModel::new(&aa::synthetic_aa(spec.seed).expect("synthetic AA is valid"), gamma)
+                .expect("AA model compiles")
+        }
+    }
+}
+
+/// Generates the dataset a spec describes. Deterministic in `spec.seed`.
+pub fn generate(spec: &DatasetSpec) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let tree = treegen::yule(spec.leaves, spec.mean_branch_length, &mut rng)
+        .expect("spec leaf counts are >= 3");
+    let model = model_for(spec);
+    let sim = simulate(&tree, &model, spec.sites, &mut rng);
+    let alphabet = spec.alphabet.alphabet();
+    let _ = alphabet;
+    // Reference rows from the leaf states.
+    let rows: Vec<Sequence> = (0..tree.n_leaves())
+        .map(|i| {
+            Sequence::from_codes(
+                tree.taxon(NodeId(i as u32)).to_string(),
+                spec.alphabet,
+                sim.states[i].clone(),
+            )
+            .expect("simulated states are concrete codes")
+        })
+        .collect();
+    let reference = Msa::new(rows).expect("simulated rows are rectangular");
+    // Queries: evolve off random nodes, then fragment.
+    let unknown = spec.alphabet.alphabet().unknown_code();
+    let queries: Vec<Sequence> = (0..spec.n_queries)
+        .map(|qi| {
+            let origin = rng.gen_range(0..tree.n_nodes());
+            let pendant = -spec.mean_branch_length * rng.gen_range(1e-6f64..1.0).ln();
+            let mut codes =
+                evolve_query(&sim.states[origin], &sim.site_rates, &model, pendant, &mut rng);
+            if spec.query_fragment > 0.0 {
+                // Keep a contiguous window of (1 - fragment) of the sites;
+                // mask the flanks like an amplicon read.
+                let keep = ((1.0 - spec.query_fragment) * spec.sites as f64) as usize;
+                let keep = keep.clamp(spec.sites.min(20), spec.sites);
+                let start = rng.gen_range(0..=spec.sites - keep);
+                for (i, c) in codes.iter_mut().enumerate() {
+                    if i < start || i >= start + keep {
+                        *c = unknown;
+                    }
+                }
+            }
+            Sequence::from_codes(format!("Q{qi:06}"), spec.alphabet, codes)
+                .expect("query codes are valid")
+        })
+        .collect();
+    Dataset { spec: spec.clone(), tree, reference, queries, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{neotrop, pro_ref, serratus, Scale};
+
+    #[test]
+    fn ci_scale_datasets_build() {
+        for spec in [neotrop(Scale::Ci), serratus(Scale::Ci), pro_ref(Scale::Ci)] {
+            let d = generate(&spec);
+            assert_eq!(d.tree.n_leaves(), spec.leaves);
+            assert_eq!(d.reference.n_sites(), spec.sites);
+            assert_eq!(d.queries.len(), spec.n_queries);
+            assert_eq!(d.reference.n_rows(), spec.leaves);
+            for q in &d.queries {
+                assert_eq!(q.len(), spec.sites);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_spec() {
+        let spec = neotrop(Scale::Ci);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(
+            phylo_tree::newick::write(&a.tree),
+            phylo_tree::newick::write(&b.tree)
+        );
+        assert_eq!(a.reference.row(0).codes(), b.reference.row(0).codes());
+        assert_eq!(a.queries[0].codes(), b.queries[0].codes());
+    }
+
+    #[test]
+    fn fragmented_queries_have_gap_flanks() {
+        let spec = neotrop(Scale::Ci); // query_fragment = 0.5
+        let d = generate(&spec);
+        let unknown = spec.alphabet.alphabet().unknown_code();
+        let masked: usize = d.queries[0].codes().iter().filter(|&&c| c == unknown).count();
+        // Roughly half the sites are masked (evolution can also produce
+        // a few ambiguous codes, so just check the order of magnitude).
+        assert!(masked * 3 >= spec.sites, "only {masked}/{} masked", spec.sites);
+    }
+
+    #[test]
+    fn serratus_is_protein() {
+        let d = generate(&serratus(Scale::Ci));
+        assert_eq!(d.model.n_states(), 20);
+        assert_eq!(d.reference.kind(), AlphabetKind::Protein);
+    }
+
+    #[test]
+    fn reference_rows_match_taxa() {
+        let d = generate(&pro_ref(Scale::Ci));
+        for i in 0..d.tree.n_leaves() {
+            let name = d.tree.taxon(NodeId(i as u32));
+            assert!(d.reference.row_by_name(name).is_some(), "taxon {name} missing");
+        }
+    }
+}

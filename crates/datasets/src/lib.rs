@@ -1,0 +1,25 @@
+//! Synthetic analogues of the paper's empirical datasets.
+//!
+//! The paper evaluates on three datasets chosen to stress different
+//! dimensions (Table I):
+//!
+//! | name     | leaves | sites  | #QS    | type |
+//! |----------|--------|--------|--------|------|
+//! | neotrop  | 512    | 4 686  | 95 417 | NT   |
+//! | serratus | 546    | 10 170 | 136    | AA   |
+//! | pro_ref  | 20 000 | 1 582  | 3 333  | NT   |
+//!
+//! The real alignments are not redistributable (and irrelevant to the
+//! memory/runtime behavior under study — see `DESIGN.md` §2), so this
+//! crate *simulates* them: a Yule reference tree, sequences evolved along
+//! it under the study model, and query sequences evolved off random nodes
+//! and fragmented like amplicon reads. Three scales are provided:
+//! [`Scale::Paper`] (the table above), [`Scale::Bench`] (minutes-long
+//! harness runs), and [`Scale::Ci`] (sub-second tests).
+
+pub mod gen;
+pub mod sim;
+pub mod spec;
+
+pub use gen::{generate, Dataset};
+pub use spec::{neotrop, pro_ref, serratus, DatasetSpec, Scale};

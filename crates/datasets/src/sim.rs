@@ -1,0 +1,174 @@
+//! Sequence simulation along a tree.
+//!
+//! The standard generative process: per site, draw a rate category and a
+//! root state from the stationary distribution, then walk the tree
+//! sampling child states from `P(t · rate)` rows. Simulated data is, by
+//! construction, exactly the regime the likelihood model assumes — which
+//! is what makes synthetic datasets a faithful substitute for measuring
+//! memory/runtime behavior.
+
+use phylo_models::SubstModel;
+use phylo_tree::{NodeId, Tree};
+use rand::Rng;
+
+/// Character states at every node of the tree (leaves and inner), plus the
+/// per-site rate category assignment.
+#[derive(Debug, Clone)]
+pub struct SimulatedStates {
+    /// `states[node][site]` — sampled concrete state codes.
+    pub states: Vec<Vec<u8>>,
+    /// Rate category per site.
+    pub site_rates: Vec<u8>,
+}
+
+/// Samples one state from a probability row via inverse CDF.
+fn sample_row(row: &[f64], rng: &mut impl Rng) -> u8 {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in row.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i as u8;
+        }
+    }
+    (row.len() - 1) as u8
+}
+
+/// Simulates states for every node of `tree` under `model`.
+pub fn simulate(tree: &Tree, model: &SubstModel, sites: usize, rng: &mut impl Rng) -> SimulatedStates {
+    let states = model.n_states();
+    let rates = model.gamma().rates();
+    let n_nodes = tree.n_nodes();
+    let mut out = vec![vec![0u8; sites]; n_nodes];
+    // Per-site rate categories (uniform weights).
+    let site_rates: Vec<u8> = (0..sites).map(|_| rng.gen_range(0..rates.len()) as u8).collect();
+    // Root the walk at the first inner node.
+    let root = NodeId(tree.n_leaves() as u32);
+    for site in 0..sites {
+        out[root.idx()][site] = sample_row(model.freqs(), rng);
+    }
+    // Precompute per-edge per-rate transition matrices once.
+    let mut pmats: Vec<Vec<f64>> = Vec::with_capacity(tree.n_edges());
+    for e in tree.all_edges() {
+        let mut pm = vec![0.0; rates.len() * states * states];
+        model.transition_matrices(tree.edge_length(e), &mut pm);
+        pmats.push(pm);
+    }
+    // BFS from the root, sampling each child from its parent.
+    let mut stack = vec![root];
+    let mut visited = vec![false; n_nodes];
+    visited[root.idx()] = true;
+    while let Some(u) = stack.pop() {
+        for &(v, e) in tree.neighbors(u) {
+            if visited[v.idx()] {
+                continue;
+            }
+            visited[v.idx()] = true;
+            let pm = &pmats[e.idx()];
+            for site in 0..sites {
+                let r = site_rates[site] as usize;
+                let parent_state = out[u.idx()][site] as usize;
+                let row = &pm[r * states * states + parent_state * states
+                    ..r * states * states + (parent_state + 1) * states];
+                out[v.idx()][site] = sample_row(row, rng);
+            }
+            stack.push(v);
+        }
+    }
+    SimulatedStates { states: out, site_rates }
+}
+
+/// Evolves a fresh sequence from `origin`'s states along a pendant branch
+/// of length `t` (used to fabricate query sequences).
+pub fn evolve_query(
+    source: &[u8],
+    site_rates: &[u8],
+    model: &SubstModel,
+    t: f64,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let states = model.n_states();
+    let rates = model.gamma().rates();
+    let mut pm = vec![0.0; rates.len() * states * states];
+    model.transition_matrices(t, &mut pm);
+    source
+        .iter()
+        .zip(site_rates)
+        .map(|(&s, &r)| {
+            let row = &pm[r as usize * states * states + s as usize * states
+                ..r as usize * states * states + (s as usize + 1) * states];
+            sample_row(row, rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_models::{dna, DiscreteGamma, SubstModel};
+    use phylo_tree::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn jc() -> SubstModel {
+        SubstModel::new(&dna::jc69(), DiscreteGamma::none()).unwrap()
+    }
+
+    #[test]
+    fn simulation_covers_all_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = generate::yule(20, 0.1, &mut rng).unwrap();
+        let sim = simulate(&tree, &jc(), 50, &mut rng);
+        assert_eq!(sim.states.len(), tree.n_nodes());
+        for s in &sim.states {
+            assert_eq!(s.len(), 50);
+            assert!(s.iter().all(|&c| c < 4));
+        }
+    }
+
+    #[test]
+    fn short_branches_preserve_states() {
+        // With near-zero branch lengths the whole tree shares the root's
+        // states.
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = generate::yule(10, 1e-9, &mut rng).unwrap();
+        let sim = simulate(&tree, &jc(), 30, &mut rng);
+        let root = sim.states[10].clone();
+        for s in &sim.states {
+            assert_eq!(s, &root);
+        }
+    }
+
+    #[test]
+    fn long_branches_decorrelate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = generate::yule(8, 50.0, &mut rng).unwrap();
+        let sim = simulate(&tree, &jc(), 2000, &mut rng);
+        // Two random leaves should agree at ≈25% of sites.
+        let a = &sim.states[0];
+        let b = &sim.states[1];
+        let agree = a.iter().zip(b).filter(|(x, y)| x == y).count() as f64 / 2000.0;
+        assert!((agree - 0.25).abs() < 0.06, "agreement {agree}");
+    }
+
+    #[test]
+    fn query_evolution_preserves_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let tree = generate::yule(8, 0.1, &mut rng).unwrap();
+        let model = jc();
+        let sim = simulate(&tree, &model, 40, &mut rng);
+        let q = evolve_query(&sim.states[0], &sim.site_rates, &model, 0.05, &mut rng);
+        assert_eq!(q.len(), 40);
+        // At t=0.05 most characters are preserved.
+        let same = q.iter().zip(&sim.states[0]).filter(|(a, b)| a == b).count();
+        assert!(same > 30, "only {same}/40 preserved");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let tree = generate::yule(12, 0.1, &mut StdRng::seed_from_u64(9)).unwrap();
+        let a = simulate(&tree, &jc(), 25, &mut StdRng::seed_from_u64(5));
+        let b = simulate(&tree, &jc(), 25, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.states, b.states);
+    }
+}

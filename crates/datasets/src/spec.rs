@@ -1,0 +1,169 @@
+//! Dataset specifications and scaling.
+
+use phylo_seq::alphabet::AlphabetKind;
+
+/// How large to instantiate a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// The paper's dimensions (Table I). Heavy: use for full
+    /// reproduction runs.
+    Paper,
+    /// Reduced dimensions that preserve the datasets' *relative*
+    /// characteristics; minutes per experiment.
+    #[default]
+    Bench,
+    /// Tiny instances for unit/integration tests.
+    Ci,
+}
+
+impl Scale {
+    /// Parses `paper` / `bench` / `ci` (harness CLI flag).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" => Some(Scale::Paper),
+            "bench" => Some(Scale::Bench),
+            "ci" => Some(Scale::Ci),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Paper => write!(f, "paper"),
+            Scale::Bench => write!(f, "bench"),
+            Scale::Ci => write!(f, "ci"),
+        }
+    }
+}
+
+/// Everything needed to instantiate a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name (matches the paper's Table I).
+    pub name: &'static str,
+    /// Reference-tree leaves.
+    pub leaves: usize,
+    /// Alignment columns.
+    pub sites: usize,
+    /// Query sequences.
+    pub n_queries: usize,
+    /// Character alphabet.
+    pub alphabet: AlphabetKind,
+    /// Γ shape parameter (4 categories).
+    pub gamma_alpha: f64,
+    /// Mean branch length of the reference tree.
+    pub mean_branch_length: f64,
+    /// Fraction of each query masked out as gaps (amplicon-style
+    /// fragments).
+    pub query_fragment: f64,
+    /// RNG seed (fixed per dataset so every run sees identical data).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Scales leaves/sites/queries down for `Bench`/`Ci` runs.
+    fn scaled(mut self, scale: Scale) -> DatasetSpec {
+        let (leaf_div, site_div, query_div) = match scale {
+            Scale::Paper => (1, 1, 1),
+            Scale::Bench => (8, 8, 64),
+            Scale::Ci => (32, 64, 512),
+        };
+        self.leaves = (self.leaves / leaf_div).max(8);
+        self.sites = (self.sites / site_div).max(40);
+        self.n_queries = (self.n_queries / query_div).max(4);
+        self
+    }
+}
+
+/// The `neotrop` analogue: many queries, medium tree (QS-volume
+/// dimension).
+pub fn neotrop(scale: Scale) -> DatasetSpec {
+    DatasetSpec {
+        name: "neotrop",
+        leaves: 512,
+        sites: 4686,
+        n_queries: 95_417,
+        alphabet: AlphabetKind::Dna,
+        gamma_alpha: 0.5,
+        mean_branch_length: 0.08,
+        query_fragment: 0.5,
+        seed: 0x6e656f74,
+    }
+    .scaled(scale)
+}
+
+/// The `serratus` analogue: wide amino-acid alignment (CLV-size
+/// dimension).
+pub fn serratus(scale: Scale) -> DatasetSpec {
+    DatasetSpec {
+        name: "serratus",
+        leaves: 546,
+        sites: 10_170,
+        n_queries: 136,
+        alphabet: AlphabetKind::Protein,
+        gamma_alpha: 0.8,
+        mean_branch_length: 0.12,
+        query_fragment: 0.0,
+        seed: 0x73657272,
+    }
+    .scaled(scale)
+}
+
+/// The `pro_ref` analogue: very large reference tree (RT-size dimension).
+pub fn pro_ref(scale: Scale) -> DatasetSpec {
+    DatasetSpec {
+        name: "pro_ref",
+        leaves: 20_000,
+        sites: 1582,
+        n_queries: 3333,
+        alphabet: AlphabetKind::Dna,
+        gamma_alpha: 0.6,
+        mean_branch_length: 0.05,
+        query_fragment: 0.3,
+        seed: 0x70726f72,
+    }
+    .scaled(scale)
+}
+
+/// All three paper datasets at a scale.
+pub fn all(scale: Scale) -> [DatasetSpec; 3] {
+    [neotrop(scale), serratus(scale), pro_ref(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_table1() {
+        let n = neotrop(Scale::Paper);
+        assert_eq!((n.leaves, n.sites, n.n_queries), (512, 4686, 95_417));
+        let s = serratus(Scale::Paper);
+        assert_eq!((s.leaves, s.sites, s.n_queries), (546, 10_170, 136));
+        assert_eq!(s.alphabet, AlphabetKind::Protein);
+        let p = pro_ref(Scale::Paper);
+        assert_eq!((p.leaves, p.sites, p.n_queries), (20_000, 1582, 3333));
+    }
+
+    #[test]
+    fn scaling_preserves_ordering() {
+        for scale in [Scale::Bench, Scale::Ci] {
+            let (n, s, p) = (neotrop(scale), serratus(scale), pro_ref(scale));
+            // pro_ref keeps the largest tree; serratus the widest
+            // alignment; neotrop the most queries.
+            assert!(p.leaves > n.leaves && p.leaves > s.leaves);
+            assert!(s.sites > n.sites && s.sites > p.sites);
+            assert!(n.n_queries > s.n_queries && n.n_queries > p.n_queries);
+        }
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bench"), Some(Scale::Bench));
+        assert_eq!(Scale::parse("ci"), Some(Scale::Ci));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for engine assembly.
+
+use std::fmt;
+
+/// Errors raised while building or driving the likelihood engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A tree taxon has no matching alignment row.
+    MissingSequence(String),
+    /// The alignment's alphabet does not match the model's state count.
+    AlphabetMismatch {
+        /// States in the substitution model.
+        model_states: usize,
+        /// Concrete states in the alphabet.
+        alphabet_states: usize,
+    },
+    /// Propagated from the AMC layer (slot exhaustion, budget too small).
+    Amc(phylo_amc::AmcError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MissingSequence(name) => {
+                write!(f, "tree taxon {name:?} has no row in the reference alignment")
+            }
+            EngineError::AlphabetMismatch { model_states, alphabet_states } => write!(
+                f,
+                "model has {model_states} states but the alignment alphabet has {alphabet_states}"
+            ),
+            EngineError::Amc(e) => write!(f, "CLV management error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Amc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<phylo_amc::AmcError> for EngineError {
+    fn from(e: phylo_amc::AmcError) -> Self {
+        EngineError::Amc(e)
+    }
+}

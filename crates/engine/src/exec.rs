@@ -1,0 +1,79 @@
+//! Executing AMC compute schedules with the likelihood kernels.
+
+use crate::ctx::ReferenceContext;
+use phylo_amc::{DepSource, FpaOp, SlotArena, SlotId};
+use phylo_kernel::kernels::{update_partials, Side};
+use phylo_kernel::sitepar::update_partials_par;
+
+/// Executes one Felsenstein step: reads the dependency slots / tip
+/// encodings named by `op` and writes the target slot.
+pub fn execute_op(ctx: &ReferenceContext, arena: &mut SlotArena, op: &FpaOp) {
+    execute_op_inner(ctx, arena, op, 1);
+}
+
+/// As [`execute_op`], splitting the pattern range over `n_threads`
+/// (the paper's across-site experimental parallelization, Fig. 7).
+pub fn execute_op_par(
+    ctx: &ReferenceContext,
+    arena: &mut SlotArena,
+    op: &FpaOp,
+    n_threads: usize,
+) {
+    execute_op_inner(ctx, arena, op, n_threads);
+}
+
+fn execute_op_inner(ctx: &ReferenceContext, arena: &mut SlotArena, op: &FpaOp, n_threads: usize) {
+    let layout = *ctx.layout();
+    let child_slots: Vec<SlotId> = op
+        .deps
+        .iter()
+        .filter_map(|d| match d {
+            DepSource::Slot(s) => Some(*s),
+            DepSource::Tip(_) => None,
+        })
+        .collect();
+    let view = arena.compute_view(op.slot, &child_slots);
+    let mut next_child = 0usize;
+    let mut sides: [Option<Side<'_>>; 2] = [None, None];
+    for k in 0..2 {
+        let edge = op.dep_edges[k].edge();
+        sides[k] = Some(match op.deps[k] {
+            DepSource::Tip(node) => Side::Tip {
+                table: ctx
+                    .tip_table(edge)
+                    .expect("tip dependency edge must have a tip table"),
+                codes: ctx.tip_codes(node),
+            },
+            DepSource::Slot(_) => {
+                let (clv, scale) = view.children[next_child];
+                next_child += 1;
+                Side::Clv { clv, scale: Some(scale), pmatrix: ctx.pmatrix(edge) }
+            }
+        });
+    }
+    let (left, right) = (sides[0].take().unwrap(), sides[1].take().unwrap());
+    if n_threads <= 1 {
+        update_partials(&layout, left, right, view.target_clv, view.target_scale, 0..layout.patterns);
+    } else {
+        update_partials_par(&layout, left, right, view.target_clv, view.target_scale, n_threads);
+    }
+}
+
+/// Executes a whole schedule in order.
+pub fn execute_ops(ctx: &ReferenceContext, arena: &mut SlotArena, ops: &[FpaOp]) {
+    for op in ops {
+        execute_op(ctx, arena, op);
+    }
+}
+
+/// Executes a whole schedule with across-site parallelism per step.
+pub fn execute_ops_par(
+    ctx: &ReferenceContext,
+    arena: &mut SlotArena,
+    ops: &[FpaOp],
+    n_threads: usize,
+) {
+    for op in ops {
+        execute_op_par(ctx, arena, op, n_threads);
+    }
+}

@@ -1,0 +1,446 @@
+//! CLV storage policies.
+//!
+//! A [`ManagedStore`] holds the reference tree's directional CLVs in an AMC
+//! slot arena. The two operating points of the paper fall out of the slot
+//! count:
+//!
+//! * `ManagedStore::full` — one slot per CLV (`3(n−2)`), EPA-NG's default
+//!   memory layout: after a warm-up sweep nothing is ever recomputed;
+//! * `ManagedStore::with_slots` — any budget down to `⌈log₂ n⌉ + 2`,
+//!   where CLVs are recomputed on demand under the chosen replacement
+//!   strategy.
+//!
+//! The protocol is *prepare → read → release*: `prepare` makes a set of
+//! directed edges resident and pins them, `side` hands out kernel-ready
+//! views, `release` unpins.
+
+use crate::ctx::ReferenceContext;
+use crate::error::EngineError;
+use crate::exec;
+use phylo_amc::{ensure_resident, ClvKey, ResidentSet, SlotArena, SlotId, SlotStats, StrategyKind};
+use phylo_kernel::kernels::Side;
+use phylo_tree::{DirEdgeId, NodeId};
+
+/// One side of a branch, as stored: either a leaf (tips are not slotted)
+/// or a resident CLV.
+#[derive(Debug, Clone, Copy)]
+pub enum EdgeSide {
+    /// The side is a single leaf.
+    Tip(NodeId),
+    /// The side's CLV is resident in this slot.
+    Resident(SlotId),
+}
+
+/// Slot-managed directional CLV store for a reference tree.
+pub struct ManagedStore {
+    arena: SlotArena,
+    /// Across-site threads used when recomputing CLVs (1 = serial).
+    compute_threads: usize,
+}
+
+/// A pinned, resident set of directed edges returned by
+/// [`ManagedStore::prepare`]. Multiple blocks may be outstanding at once
+/// (current + prefetched); each must be returned via
+/// [`ManagedStore::release`].
+#[derive(Debug)]
+pub struct PreparedBlock {
+    rs: ResidentSet,
+}
+
+impl PreparedBlock {
+    /// Number of compute steps this preparation needed (0 = fully cached).
+    pub fn ops(&self) -> usize {
+        self.rs.ops.len()
+    }
+}
+
+/// A planned-but-not-yet-computed block from
+/// [`ManagedStore::plan_prepare`]: pins are taken, compute steps are
+/// pending.
+#[derive(Debug)]
+pub struct PendingBlock {
+    rs: ResidentSet,
+    next_op: usize,
+}
+
+impl PendingBlock {
+    /// Remaining compute steps.
+    pub fn remaining(&self) -> usize {
+        self.rs.ops.len() - self.next_op
+    }
+
+    /// Converts into a readable block once every step has executed.
+    pub fn into_prepared(self) -> PreparedBlock {
+        assert_eq!(self.next_op, self.rs.ops.len(), "pending block has unexecuted steps");
+        PreparedBlock { rs: self.rs }
+    }
+}
+
+/// Alias kept for API clarity where "any storage policy" is meant.
+pub type ClvStore = ManagedStore;
+
+/// Full-memory store: a managed store with one slot per CLV.
+pub type FullStore = ManagedStore;
+
+impl std::fmt::Debug for ManagedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagedStore")
+            .field("arena", &self.arena)
+            .field("compute_threads", &self.compute_threads)
+            .finish()
+    }
+}
+
+impl ManagedStore {
+    /// A store with an explicit slot budget and replacement strategy.
+    pub fn with_slots(
+        ctx: &ReferenceContext,
+        n_slots: usize,
+        strategy: StrategyKind,
+    ) -> Result<Self, EngineError> {
+        let min = ctx.min_slots();
+        if n_slots < min {
+            return Err(EngineError::Amc(phylo_amc::AmcError::TooFewSlots {
+                requested: n_slots,
+                minimum: min,
+            }));
+        }
+        let n_slots = n_slots.min(ctx.max_slots().max(min));
+        let costs = strategy.needs_costs().then(|| ctx.cost_table());
+        let arena = SlotArena::new(
+            ctx.tree().n_dir_edges(),
+            n_slots,
+            ctx.layout().clv_len(),
+            ctx.layout().patterns,
+            strategy.build(costs),
+        );
+        Ok(ManagedStore { arena, compute_threads: 1 })
+    }
+
+    /// A store with a caller-supplied replacement strategy — the paper's
+    /// customization point ("a generic replacement strategy interface via
+    /// a set of callback functions", §IV).
+    pub fn with_strategy(
+        ctx: &ReferenceContext,
+        n_slots: usize,
+        strategy: Box<dyn phylo_amc::ReplacementStrategy>,
+    ) -> Result<Self, EngineError> {
+        let min = ctx.min_slots();
+        if n_slots < min {
+            return Err(EngineError::Amc(phylo_amc::AmcError::TooFewSlots {
+                requested: n_slots,
+                minimum: min,
+            }));
+        }
+        let n_slots = n_slots.min(ctx.max_slots().max(min));
+        let arena = SlotArena::new(
+            ctx.tree().n_dir_edges(),
+            n_slots,
+            ctx.layout().clv_len(),
+            ctx.layout().patterns,
+            strategy,
+        );
+        Ok(ManagedStore { arena, compute_threads: 1 })
+    }
+
+    /// The full-memory store (`3(n−2)` slots, EPA-NG default mode).
+    pub fn full(ctx: &ReferenceContext) -> Self {
+        Self::with_slots(ctx, ctx.max_slots().max(ctx.min_slots()), StrategyKind::CostBased)
+            .expect("full slot count is always above the minimum")
+    }
+
+    /// Sets the number of threads used for across-site parallel CLV
+    /// recomputation (the paper's Fig. 7 mode). 1 = serial.
+    pub fn set_compute_threads(&mut self, n: usize) {
+        self.compute_threads = n.max(1);
+    }
+
+    /// Number of physical slots.
+    pub fn n_slots(&self) -> usize {
+        self.arena.n_slots()
+    }
+
+    /// Slot traffic counters (hits/misses/evictions).
+    pub fn stats(&self) -> SlotStats {
+        self.arena.stats()
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset_stats(&mut self) {
+        self.arena.manager_mut().reset_stats();
+    }
+
+    /// Bytes held by the slot storage (the `--maxmem`-controlled term).
+    pub fn bytes(&self) -> usize {
+        self.arena.bytes()
+    }
+
+    /// Makes every directed edge in `dirs` resident and pinned, computing
+    /// whatever the slot state requires. The returned block keeps the CLVs
+    /// pinned; hand it back to [`Self::release`] when done reading.
+    /// Multiple blocks may be outstanding (e.g. current + prefetched),
+    /// provided enough slots stay unpinned for further traversals.
+    pub fn prepare(
+        &mut self,
+        ctx: &ReferenceContext,
+        dirs: &[DirEdgeId],
+    ) -> Result<PreparedBlock, EngineError> {
+        let rs = ensure_resident(ctx.tree(), dirs, self.arena.manager_mut(), ctx.register_need())?;
+        if self.compute_threads <= 1 {
+            exec::execute_ops(ctx, &mut self.arena, &rs.ops);
+        } else {
+            exec::execute_ops_par(ctx, &mut self.arena, &rs.ops, self.compute_threads);
+        }
+        Ok(PreparedBlock { rs })
+    }
+
+    /// Releases the pins held by a prepared block.
+    pub fn release(&mut self, block: PreparedBlock) {
+        block.rs.release(self.arena.manager_mut());
+    }
+
+    /// First half of an incremental prepare: plans the schedule and takes
+    /// all pins, but executes nothing. Drive the returned block through
+    /// [`Self::execute_one`] until it reports completion, then convert it
+    /// with [`PendingBlock::into_prepared`].
+    ///
+    /// This split exists for the asynchronous branch-block prefetch: the
+    /// prefetch thread holds the store's write lock only for one compute
+    /// step at a time, so placement workers reading the *current* block
+    /// interleave freely.
+    pub fn plan_prepare(
+        &mut self,
+        ctx: &ReferenceContext,
+        dirs: &[DirEdgeId],
+    ) -> Result<PendingBlock, EngineError> {
+        let rs = ensure_resident(ctx.tree(), dirs, self.arena.manager_mut(), ctx.register_need())?;
+        Ok(PendingBlock { rs, next_op: 0 })
+    }
+
+    /// Executes the next compute step of a pending block. Returns `false`
+    /// when every step has run.
+    pub fn execute_one(&mut self, ctx: &ReferenceContext, pending: &mut PendingBlock) -> bool {
+        let Some(op) = pending.rs.ops.get(pending.next_op).copied() else { return false };
+        if self.compute_threads <= 1 {
+            exec::execute_op(ctx, &mut self.arena, &op);
+        } else {
+            exec::execute_op_par(ctx, &mut self.arena, &op, self.compute_threads);
+        }
+        pending.next_op += 1;
+        pending.next_op < pending.rs.ops.len()
+    }
+
+    /// The stored side for a directed edge. The CLV variant requires the
+    /// edge to be resident — i.e. inside a `prepare`/`release` window that
+    /// included it.
+    pub fn side(&self, ctx: &ReferenceContext, d: DirEdgeId) -> EdgeSide {
+        let node = ctx.tree().src(d);
+        if ctx.tree().is_leaf(node) {
+            return EdgeSide::Tip(node);
+        }
+        let slot = self
+            .arena
+            .manager()
+            .lookup(ClvKey(d.0))
+            .expect("side() requires the directed edge to be prepared");
+        EdgeSide::Resident(slot)
+    }
+
+    /// A kernel-ready [`Side`] view of a directed edge `d = x → y`,
+    /// propagated across its own branch (transition matrices / tip table
+    /// of `d.edge()`). This is the "everything beyond the branch" term of
+    /// an edge likelihood.
+    pub fn kernel_side<'a>(&'a self, ctx: &'a ReferenceContext, d: DirEdgeId) -> Side<'a> {
+        match self.side(ctx, d) {
+            EdgeSide::Tip(node) => Side::Tip {
+                table: ctx.tip_table(d.edge()).expect("pendant edge has a tip table"),
+                codes: ctx.tip_codes(node),
+            },
+            EdgeSide::Resident(slot) => Side::Clv {
+                clv: self.arena.clv(slot),
+                scale: Some(self.arena.scale(slot)),
+                pmatrix: ctx.pmatrix(d.edge()),
+            },
+        }
+    }
+
+    /// Raw CLV and scaler slices of a resident directed edge (unpropagated;
+    /// the `u` term of an edge likelihood). Returns `None` for tips.
+    pub fn clv_of(&self, ctx: &ReferenceContext, d: DirEdgeId) -> Option<(&[f64], &[u32])> {
+        match self.side(ctx, d) {
+            EdgeSide::Tip(_) => None,
+            EdgeSide::Resident(slot) => Some((self.arena.clv(slot), self.arena.scale(slot))),
+        }
+    }
+
+    /// Pins the highest-recomputation-cost resident CLVs, keeping
+    /// `min_unpinned` slots free for traversals — the paper's cross-block
+    /// retention. Returns the pinned slots; pass them to
+    /// [`Self::unpin_slots`] when the block advances.
+    pub fn pin_high_cost(&mut self, ctx: &ReferenceContext, min_unpinned: usize) -> Vec<SlotId> {
+        let costs = ctx.cost_table();
+        phylo_amc::fpa::pin_high_cost_resident(self.arena.manager_mut(), &costs, min_unpinned)
+    }
+
+    /// Releases pins taken by [`Self::pin_high_cost`].
+    pub fn unpin_slots(&mut self, slots: &[SlotId]) {
+        for &s in slots {
+            let _ = self.arena.manager_mut().unpin(s);
+        }
+    }
+
+    /// Drops every resident, unpinned CLV from the cache. Used as a
+    /// fallback when a traversal cannot proceed because too many *cached*
+    /// dependencies would need pinning at once: a fresh plan over an empty
+    /// cache pins at most the Sethi–Ullman need plus the targets, which the
+    /// `⌈log₂ n⌉ + 2` floor covers.
+    pub fn flush_cache(&mut self) {
+        let keys: Vec<ClvKey> = self
+            .arena
+            .manager()
+            .resident()
+            .filter(|&(_, slot)| self.arena.manager().pin_count(slot) == 0)
+            .map(|(clv, _)| clv)
+            .collect();
+        for k in keys {
+            self.arena.manager_mut().invalidate(k);
+        }
+    }
+
+    /// Direct access to the arena (tests, instrumentation).
+    pub fn arena(&self) -> &SlotArena {
+        &self.arena
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_models::{dna, DiscreteGamma, SubstModel};
+    use phylo_seq::alphabet::AlphabetKind;
+    use phylo_seq::{compress, Msa, Sequence};
+    use phylo_tree::generate;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_ctx(n: usize, sites: usize, seed: u64) -> ReferenceContext {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = generate::yule(n, 0.1, &mut rng).unwrap();
+        let rows: Vec<Sequence> = (0..n)
+            .map(|i| {
+                let text: String =
+                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                Sequence::from_text(tree.taxon(phylo_tree::NodeId(i as u32)), AlphabetKind::Dna, &text)
+                    .unwrap()
+            })
+            .collect();
+        let patterns = compress(&Msa::new(rows).unwrap()).unwrap();
+        let model = SubstModel::new(&dna::jc69(), DiscreteGamma::none()).unwrap();
+        ReferenceContext::new(tree, model, AlphabetKind::Dna.alphabet(), &patterns).unwrap()
+    }
+
+    #[test]
+    fn prepare_and_read() {
+        let ctx = random_ctx(12, 30, 1);
+        let mut store = ManagedStore::full(&ctx);
+        let e = phylo_tree::EdgeId(3);
+        let dirs = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+        let block = store.prepare(&ctx, &dirs).unwrap();
+        for d in dirs {
+            if !ctx.tree().is_leaf(ctx.tree().src(d)) {
+                let (clv, _) = store.clv_of(&ctx, d).unwrap();
+                assert!(clv.iter().any(|&v| v > 0.0));
+            }
+        }
+        store.release(block);
+    }
+
+    #[test]
+    fn min_slots_equals_full_values() {
+        let ctx = random_ctx(16, 25, 2);
+        let mut full = ManagedStore::full(&ctx);
+        let mut tight =
+            ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased).unwrap();
+        for e in ctx.tree().all_edges() {
+            let dirs = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+            let bf = full.prepare(&ctx, &dirs).unwrap();
+            let bt = tight.prepare(&ctx, &dirs).unwrap();
+            for d in dirs {
+                if ctx.tree().is_leaf(ctx.tree().src(d)) {
+                    continue;
+                }
+                let (a, sa) = full.clv_of(&ctx, d).unwrap();
+                let (b, sb) = tight.clv_of(&ctx, d).unwrap();
+                assert_eq!(a, b, "CLV mismatch at {d:?}");
+                assert_eq!(sa, sb);
+            }
+            full.release(bf);
+            tight.release(bt);
+        }
+        // Full store never evicts; tight store must have.
+        assert_eq!(full.stats().evictions, 0);
+        assert!(tight.stats().evictions > 0);
+    }
+
+    #[test]
+    fn too_few_slots_rejected() {
+        let ctx = random_ctx(16, 10, 3);
+        let err = ManagedStore::with_slots(&ctx, 2, StrategyKind::CostBased).unwrap_err();
+        assert!(matches!(err, EngineError::Amc(phylo_amc::AmcError::TooFewSlots { .. })));
+    }
+
+    #[test]
+    fn full_store_caches_across_prepares() {
+        let ctx = random_ctx(10, 20, 4);
+        let mut store = ManagedStore::full(&ctx);
+        let mut total_ops = 0;
+        for e in ctx.tree().all_edges() {
+            let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
+            total_ops += block.ops();
+            store.release(block);
+        }
+        assert_eq!(total_ops, ctx.tree().n_inner_dir_edges());
+        // Second sweep: all hits.
+        for e in ctx.tree().all_edges() {
+            let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
+            assert_eq!(block.ops(), 0);
+            store.release(block);
+        }
+    }
+
+    #[test]
+    fn sitepar_compute_matches_serial() {
+        let ctx = random_ctx(14, 64, 5);
+        let mut serial = ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased)
+            .unwrap();
+        let mut par =
+            ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased).unwrap();
+        par.set_compute_threads(4);
+        for e in ctx.tree().all_edges().take(6) {
+            let dirs = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+            let bs = serial.prepare(&ctx, &dirs).unwrap();
+            let bp = par.prepare(&ctx, &dirs).unwrap();
+            for d in dirs {
+                if ctx.tree().is_leaf(ctx.tree().src(d)) {
+                    continue;
+                }
+                assert_eq!(serial.clv_of(&ctx, d).unwrap().0, par.clv_of(&ctx, d).unwrap().0);
+            }
+            serial.release(bs);
+            par.release(bp);
+        }
+    }
+
+    #[test]
+    fn pin_high_cost_protects_and_releases() {
+        let ctx = random_ctx(20, 15, 6);
+        let mut store = ManagedStore::with_slots(&ctx, 12, StrategyKind::CostBased).unwrap();
+        let e = phylo_tree::EdgeId(0);
+        let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
+        store.release(block);
+        let pins = store.pin_high_cost(&ctx, ctx.min_slots());
+        assert!(store.arena().manager().n_unpinned() >= ctx.min_slots());
+        store.unpin_slots(&pins);
+        assert_eq!(store.arena().manager().n_pinned(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! CLV memory layout.
+
+/// Describes the shape of every CLV in a partitioned analysis:
+/// `[pattern][rate][state]`, patterns outermost so that site ranges are
+/// contiguous (which is what makes across-site parallelism a simple slice
+/// split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Number of (compressed) site patterns.
+    pub patterns: usize,
+    /// Number of Γ rate categories.
+    pub rates: usize,
+    /// Number of character states (4 for DNA, 20 for protein).
+    pub states: usize,
+}
+
+impl Layout {
+    /// Creates a layout; all dimensions must be non-zero.
+    pub fn new(patterns: usize, rates: usize, states: usize) -> Self {
+        assert!(patterns > 0 && rates > 0 && states > 0, "layout dimensions must be non-zero");
+        Layout { patterns, rates, states }
+    }
+
+    /// Number of `f64` entries in one CLV.
+    #[inline]
+    pub fn clv_len(&self) -> usize {
+        self.patterns * self.rates * self.states
+    }
+
+    /// Entries per pattern (`rates × states`).
+    #[inline]
+    pub fn pattern_stride(&self) -> usize {
+        self.rates * self.states
+    }
+
+    /// Entries in one per-rate transition matrix block (`states²`).
+    #[inline]
+    pub fn pmatrix_block(&self) -> usize {
+        self.states * self.states
+    }
+
+    /// Total entries in a per-edge probability matrix set
+    /// (`rates × states²`).
+    #[inline]
+    pub fn pmatrix_len(&self) -> usize {
+        self.rates * self.states * self.states
+    }
+
+    /// Bytes of one CLV (the unit of the paper's memory accounting).
+    #[inline]
+    pub fn clv_bytes(&self) -> usize {
+        self.clv_len() * std::mem::size_of::<f64>()
+    }
+
+    /// Bytes of one per-pattern scaler vector.
+    #[inline]
+    pub fn scaler_bytes(&self) -> usize {
+        self.patterns * std::mem::size_of::<u32>()
+    }
+
+    /// The sub-layout covering `range` of the patterns (for across-site
+    /// work splitting).
+    #[inline]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Layout {
+        debug_assert!(range.end <= self.patterns);
+        Layout { patterns: range.len(), rates: self.rates, states: self.states }
+    }
+
+    /// The f64 index range covering the given pattern range of a CLV.
+    #[inline]
+    pub fn clv_range(&self, range: &std::ops::Range<usize>) -> std::ops::Range<usize> {
+        let s = self.pattern_stride();
+        range.start * s..range.end * s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        let l = Layout::new(100, 4, 4);
+        assert_eq!(l.clv_len(), 1600);
+        assert_eq!(l.pattern_stride(), 16);
+        assert_eq!(l.pmatrix_len(), 64);
+        assert_eq!(l.clv_bytes(), 12800);
+        assert_eq!(l.scaler_bytes(), 400);
+    }
+
+    #[test]
+    fn protein_layout() {
+        let l = Layout::new(10, 4, 20);
+        assert_eq!(l.clv_len(), 800);
+        assert_eq!(l.pmatrix_block(), 400);
+    }
+
+    #[test]
+    fn slicing() {
+        let l = Layout::new(100, 2, 4);
+        let sub = l.slice(10..30);
+        assert_eq!(sub.patterns, 20);
+        assert_eq!(l.clv_range(&(10..30)), 80..240);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dims_rejected() {
+        Layout::new(0, 4, 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Likelihood compute kernels — the numerical heart of the workspace.
+//!
+//! This crate is the Rust analogue of libpll-2's compute layer: it knows
+//! nothing about trees or placement, only about **conditional likelihood
+//! vectors** (CLVs) laid out as `[pattern][rate][state]` and the operations
+//! the Felsenstein pruning algorithm performs on them:
+//!
+//! * [`kernels::update_partials`] — combine two child CLVs (or compact tip
+//!   encodings) through per-rate transition matrices into a parent CLV,
+//!   with per-pattern numerical scaling to survive trees with tens of
+//!   thousands of taxa;
+//! * [`likelihood::edge_log_likelihood`] — evaluate the tree likelihood at
+//!   a branch from the two CLVs facing each other across it;
+//! * [`likelihood::point_log_likelihood`] — the multi-way combination
+//!   that scores a query-sequence insertion into a branch;
+//! * [`tips::TipTable`] — precomputed per-character tip lookups that make
+//!   tip children (and ambiguity codes) free in the inner loop;
+//! * [`sitepar`] — across-site parallel wrappers (the paper's Fig. 7
+//!   "experimental" mode) that split the pattern range over worker threads.
+//!
+//! CLV memory itself is owned by callers (the engine's stores or the AMC
+//! slot arena); kernels only ever see slices, which is what lets one kernel
+//! implementation serve full-memory, slot-managed, and file-backed modes.
+
+pub mod kernels;
+pub mod layout;
+pub mod likelihood;
+pub mod scaling;
+pub mod sitepar;
+pub mod tips;
+
+pub use layout::Layout;
+pub use scaling::{LN_SCALE, SCALE_FACTOR, SCALE_THRESHOLD};
+pub use tips::TipTable;

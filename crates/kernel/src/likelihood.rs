@@ -1,0 +1,303 @@
+//! Log-likelihood evaluation from CLVs.
+
+use crate::kernels::Side;
+use crate::layout::Layout;
+use crate::scaling::LN_SCALE;
+
+/// Evaluates the tree log-likelihood at a branch: one side is the CLV
+/// *at* node `u` (unpropagated), the other is everything beyond the branch,
+/// propagated through the branch's transition matrices.
+///
+/// `L_p = Σ_r w_r Σ_i π_i · u[p,r,i] · v_prop[p,r,i]`, summed over patterns
+/// with their multiplicities and corrected for scaler counts.
+#[allow(clippy::too_many_arguments)]
+pub fn edge_log_likelihood(
+    layout: &Layout,
+    u_clv: &[f64],
+    u_scale: Option<&[u32]>,
+    v: Side<'_>,
+    freqs: &[f64],
+    rate_weights: &[f64],
+    pattern_weights: &[u32],
+    range: std::ops::Range<usize>,
+) -> f64 {
+    debug_assert_eq!(u_clv.len(), layout.clv_len());
+    debug_assert_eq!(freqs.len(), layout.states);
+    debug_assert_eq!(rate_weights.len(), layout.rates);
+    debug_assert_eq!(pattern_weights.len(), layout.patterns);
+    let states = layout.states;
+    let stride = layout.pattern_stride();
+    let mut buf = vec![0.0f64; states];
+    let mut total = 0.0f64;
+    for p in range {
+        let mut site = 0.0f64;
+        for r in 0..layout.rates {
+            propagate_into(&v, layout, p, r, &mut buf);
+            let u = &u_clv[p * stride + r * states..p * stride + (r + 1) * states];
+            let mut cat = 0.0;
+            for i in 0..states {
+                cat += freqs[i] * u[i] * buf[i];
+            }
+            site += rate_weights[r] * cat;
+        }
+        let scale = u_scale.map_or(0, |s| s[p]) + v.scale_at(p);
+        total += pattern_weights[p] as f64 * (site.ln() - scale as f64 * LN_SCALE);
+    }
+    total
+}
+
+/// Evaluates the log-likelihood at a *point* where several sides meet —
+/// the placement case: proximal subtree, distal subtree, and the pendant
+/// query tip all propagated to the attachment node.
+///
+/// `L_p = Σ_r w_r Σ_i π_i · Π_s side_s_prop[p,r,i]`.
+pub fn point_log_likelihood(
+    layout: &Layout,
+    sides: &[Side<'_>],
+    freqs: &[f64],
+    rate_weights: &[f64],
+    pattern_weights: &[u32],
+    range: std::ops::Range<usize>,
+) -> f64 {
+    debug_assert!(!sides.is_empty());
+    let states = layout.states;
+    let mut acc = vec![0.0f64; states];
+    let mut buf = vec![0.0f64; states];
+    let mut total = 0.0f64;
+    for p in range {
+        let mut site = 0.0f64;
+        for r in 0..layout.rates {
+            propagate_into(&sides[0], layout, p, r, &mut acc);
+            for side in &sides[1..] {
+                propagate_into(side, layout, p, r, &mut buf);
+                for (a, &b) in acc.iter_mut().zip(&buf) {
+                    *a *= b;
+                }
+            }
+            let mut cat = 0.0;
+            for i in 0..states {
+                cat += freqs[i] * acc[i];
+            }
+            site += rate_weights[r] * cat;
+        }
+        let scale: u32 = sides.iter().map(|s| s.scale_at(p)).sum();
+        total += pattern_weights[p] as f64 * (site.ln() - scale as f64 * LN_SCALE);
+    }
+    total
+}
+
+#[inline]
+fn propagate_into(side: &Side<'_>, layout: &Layout, pattern: usize, rate: usize, out: &mut [f64]) {
+    let states = layout.states;
+    match *side {
+        Side::Clv { clv, pmatrix, .. } => {
+            let base = pattern * layout.pattern_stride() + rate * states;
+            let child = &clv[base..base + states];
+            let pm = &pmatrix[rate * states * states..(rate + 1) * states * states];
+            for (i, o) in out.iter_mut().enumerate() {
+                let row = &pm[i * states..(i + 1) * states];
+                let mut sum = 0.0;
+                for (p, c) in row.iter().zip(child) {
+                    sum += p * c;
+                }
+                *o = sum;
+            }
+        }
+        Side::Tip { table, codes } => {
+            out.copy_from_slice(table.code_rate(codes[pattern], rate));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tips::TipTable;
+
+    const DNA_MASKS: [u32; 5] = [0b0001, 0b0010, 0b0100, 0b1000, 0b1111];
+
+    /// JC69 P(t) as an explicit matrix.
+    fn jc_pmatrix(t: f64) -> Vec<f64> {
+        let e = (-4.0 * t / 3.0f64).exp();
+        let same = 0.25 + 0.75 * e;
+        let diff = 0.25 - 0.25 * e;
+        let mut p = vec![diff; 16];
+        for i in 0..4 {
+            p[i * 4 + i] = same;
+        }
+        p
+    }
+
+    /// Two-taxon likelihood under JC computed by hand:
+    /// L = π_a P_ab(t) for concrete observed states a, b at distance t.
+    #[test]
+    fn two_taxon_edge_likelihood() {
+        let layout = Layout::new(2, 1, 4);
+        let t = 0.3;
+        let pm = jc_pmatrix(t);
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        // "u" is tip A's CLV *at* the node: indicator vectors.
+        // patterns: (A,A) and (A,C)
+        let mut u_clv = vec![0.0; layout.clv_len()];
+        u_clv[0] = 1.0; // pattern 0: state A
+        u_clv[4] = 1.0; // pattern 1: state A
+        let codes_v = [0u8, 1]; // A, C
+        let freqs = [0.25; 4];
+        let rw = [1.0];
+        let pw = [1u32, 1];
+        let ll = edge_log_likelihood(
+            &layout,
+            &u_clv,
+            None,
+            Side::Tip { table: &table, codes: &codes_v },
+            &freqs,
+            &rw,
+            &pw,
+            0..2,
+        );
+        let e = (-4.0 * t / 3.0f64).exp();
+        let same = 0.25 * (0.25 + 0.75 * e);
+        let diff = 0.25 * (0.25 - 0.25 * e);
+        let expect = same.ln() + diff.ln();
+        assert!((ll - expect).abs() < 1e-12, "{ll} vs {expect}");
+    }
+
+    #[test]
+    fn pattern_weights_multiply() {
+        let layout = Layout::new(1, 1, 4);
+        let pm = jc_pmatrix(0.2);
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        let mut u_clv = vec![0.0; 4];
+        u_clv[2] = 1.0; // G
+        let codes = [2u8]; // G
+        let freqs = [0.25; 4];
+        let ll1 = edge_log_likelihood(
+            &layout,
+            &u_clv,
+            None,
+            Side::Tip { table: &table, codes: &codes },
+            &freqs,
+            &[1.0],
+            &[1],
+            0..1,
+        );
+        let ll5 = edge_log_likelihood(
+            &layout,
+            &u_clv,
+            None,
+            Side::Tip { table: &table, codes: &codes },
+            &freqs,
+            &[1.0],
+            &[5],
+            0..1,
+        );
+        assert!((ll5 - 5.0 * ll1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaler_counts_shift_loglik() {
+        let layout = Layout::new(1, 1, 4);
+        let pm = jc_pmatrix(0.1);
+        let mut u_clv = vec![0.0; 4];
+        u_clv[0] = 1.0;
+        let v_clv = vec![0.25; 4];
+        let freqs = [0.25; 4];
+        let no_scale = edge_log_likelihood(
+            &layout,
+            &u_clv,
+            None,
+            Side::Clv { clv: &v_clv, scale: None, pmatrix: &pm },
+            &freqs,
+            &[1.0],
+            &[1],
+            0..1,
+        );
+        let scales = vec![2u32];
+        let with_scale = edge_log_likelihood(
+            &layout,
+            &u_clv,
+            None,
+            Side::Clv { clv: &v_clv, scale: Some(&scales), pmatrix: &pm },
+            &freqs,
+            &[1.0],
+            &[1],
+            0..1,
+        );
+        assert!((no_scale - with_scale - 2.0 * LN_SCALE).abs() < 1e-10);
+    }
+
+    #[test]
+    fn point_likelihood_three_tips() {
+        // Tripod with all tips at distance t from the center, observing
+        // A, A, A: L = Σ_i π_i P_iA(t)³.
+        let layout = Layout::new(1, 1, 4);
+        let t = 0.25;
+        let pm = jc_pmatrix(t);
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        let codes = [0u8];
+        let freqs = [0.25; 4];
+        let sides = [
+            Side::Tip { table: &table, codes: &codes },
+            Side::Tip { table: &table, codes: &codes },
+            Side::Tip { table: &table, codes: &codes },
+        ];
+        let ll = point_log_likelihood(&layout, &sides, &freqs, &[1.0], &[1], 0..1);
+        let e = (-4.0 * t / 3.0f64).exp();
+        let same = 0.25 + 0.75 * e;
+        let diff = 0.25 - 0.25 * e;
+        let expect = (0.25 * (same.powi(3) + 3.0 * diff.powi(3))).ln();
+        assert!((ll - expect).abs() < 1e-12, "{ll} vs {expect}");
+    }
+
+    #[test]
+    fn impossible_data_gives_neg_infinity() {
+        // Zero CLV (contradictory subtree) yields -inf log-likelihood.
+        let layout = Layout::new(1, 1, 4);
+        let pm = jc_pmatrix(0.0); // identity
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        let u_clv = vec![0.0; 4];
+        let codes = [0u8];
+        let ll = edge_log_likelihood(
+            &layout,
+            &u_clv,
+            None,
+            Side::Tip { table: &table, codes: &codes },
+            &[0.25; 4],
+            &[1.0],
+            &[1],
+            0..1,
+        );
+        assert!(ll.is_infinite() && ll < 0.0);
+    }
+
+    #[test]
+    fn rate_mixture_averages() {
+        // Two rate categories with weights 0.5/0.5; mixture likelihood is
+        // the average of per-category likelihoods.
+        let layout = Layout::new(1, 2, 4);
+        let mut pm = jc_pmatrix(0.1);
+        pm.extend(jc_pmatrix(0.9));
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        let mut u_clv = vec![0.0; 8];
+        u_clv[0] = 1.0; // rate 0, state A
+        u_clv[4] = 1.0; // rate 1, state A
+        let codes = [0u8];
+        let freqs = [0.25; 4];
+        let ll = edge_log_likelihood(
+            &layout,
+            &u_clv,
+            None,
+            Side::Tip { table: &table, codes: &codes },
+            &freqs,
+            &[0.5, 0.5],
+            &[1],
+            0..1,
+        );
+        let lik = |t: f64| {
+            let e = (-4.0 * t / 3.0f64).exp();
+            0.25 * (0.25 + 0.75 * e)
+        };
+        let expect = (0.5 * lik(0.1) + 0.5 * lik(0.9)).ln();
+        assert!((ll - expect).abs() < 1e-12);
+    }
+}

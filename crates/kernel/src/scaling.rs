@@ -1,0 +1,37 @@
+//! Numerical scaling constants.
+//!
+//! Conditional likelihoods decay exponentially with tree depth: on a
+//! 20 000-taxon reference tree the raw per-site values underflow `f64` long
+//! before reaching the root. The standard remedy (identical to libpll-2's)
+//! is per-pattern scaling: whenever every entry of a pattern drops below
+//! [`SCALE_THRESHOLD`], multiply the pattern by [`SCALE_FACTOR`] and
+//! increment that pattern's scaler count. The log-likelihood then subtracts
+//! `count · LN_SCALE` per site.
+
+/// Patterns whose largest entry falls below this threshold get rescaled.
+/// `2⁻²⁵⁶` leaves ample headroom above the `f64` denormal range.
+pub const SCALE_THRESHOLD: f64 = 1.0 / SCALE_FACTOR;
+
+/// The rescaling multiplier, `2²⁵⁶`.
+pub const SCALE_FACTOR: f64 = 1.157920892373162e77;
+
+/// `ln(SCALE_FACTOR) = 256 · ln 2`, subtracted per scaling event when
+/// assembling log-likelihoods.
+pub const LN_SCALE: f64 = 177.445_678_223_346;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_consistent() {
+        assert!((SCALE_FACTOR - 2f64.powi(256)).abs() / SCALE_FACTOR < 1e-15);
+        assert!((LN_SCALE - SCALE_FACTOR.ln()).abs() < 1e-12);
+        assert!((SCALE_THRESHOLD - 2f64.powi(-256)).abs() < 1e-90);
+    }
+
+    #[test]
+    fn threshold_well_above_denormals() {
+        assert!(SCALE_THRESHOLD > f64::MIN_POSITIVE * 1e100);
+    }
+}

@@ -1,0 +1,239 @@
+//! Across-site parallel kernel wrappers.
+//!
+//! The paper's Fig. 7 "experimental" mode parallelizes CLV recomputation
+//! over alignment sites instead of (only) overlapping it with placement
+//! work. Because the CLV layout keeps patterns outermost, splitting the
+//! pattern range splits every buffer into disjoint contiguous slices, so
+//! the parallel kernels are plain safe Rust over `chunks_mut`.
+//!
+//! As the paper observes (§V-C), this only pays off for wide alignments:
+//! each thread must amortize its spawn/join over `patterns / threads`
+//! sites.
+
+use crate::kernels::{update_partials, Side};
+use crate::layout::Layout;
+use crate::likelihood::edge_log_likelihood;
+
+/// Splits `patterns` into at most `n_chunks` near-equal contiguous ranges.
+pub fn split_ranges(patterns: usize, n_chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let n_chunks = n_chunks.max(1).min(patterns.max(1));
+    let base = patterns / n_chunks;
+    let extra = patterns % n_chunks;
+    let mut out = Vec::with_capacity(n_chunks);
+    let mut start = 0;
+    for i in 0..n_chunks {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Restricts a [`Side`] to a pattern range, producing a side whose pattern
+/// indices are range-local.
+fn slice_side<'a>(side: &Side<'a>, layout: &Layout, range: &std::ops::Range<usize>) -> Side<'a> {
+    match *side {
+        Side::Clv { clv, scale, pmatrix } => Side::Clv {
+            clv: &clv[layout.clv_range(range)],
+            scale: scale.map(|s| &s[range.clone()]),
+            pmatrix,
+        },
+        Side::Tip { table, codes } => Side::Tip { table, codes: &codes[range.clone()] },
+    }
+}
+
+/// Parallel [`update_partials`]: splits the pattern range across
+/// `n_threads` OS threads. Falls back to the serial kernel for one thread
+/// or tiny pattern counts.
+pub fn update_partials_par(
+    layout: &Layout,
+    left: Side<'_>,
+    right: Side<'_>,
+    out: &mut [f64],
+    out_scale: &mut [u32],
+    n_threads: usize,
+) {
+    if n_threads <= 1 || layout.patterns < 2 * n_threads {
+        update_partials(layout, left, right, out, out_scale, 0..layout.patterns);
+        return;
+    }
+    let ranges = split_ranges(layout.patterns, n_threads);
+    let stride = layout.pattern_stride();
+    crossbeam::thread::scope(|s| {
+        let mut out_rest = out;
+        let mut scale_rest = out_scale;
+        for range in &ranges {
+            let (out_chunk, tail) = out_rest.split_at_mut(range.len() * stride);
+            out_rest = tail;
+            let (scale_chunk, tail) = scale_rest.split_at_mut(range.len());
+            scale_rest = tail;
+            let sub = layout.slice(range.clone());
+            let l = slice_side(&left, layout, range);
+            let r = slice_side(&right, layout, range);
+            s.spawn(move |_| {
+                update_partials(&sub, l, r, out_chunk, scale_chunk, 0..sub.patterns);
+            });
+        }
+    })
+    .expect("site-parallel worker panicked");
+}
+
+/// Parallel [`edge_log_likelihood`]: each thread sums its pattern range;
+/// partial sums are added in range order so the result is deterministic
+/// for a fixed thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn edge_log_likelihood_par(
+    layout: &Layout,
+    u_clv: &[f64],
+    u_scale: Option<&[u32]>,
+    v: Side<'_>,
+    freqs: &[f64],
+    rate_weights: &[f64],
+    pattern_weights: &[u32],
+    n_threads: usize,
+) -> f64 {
+    if n_threads <= 1 || layout.patterns < 2 * n_threads {
+        return edge_log_likelihood(
+            layout,
+            u_clv,
+            u_scale,
+            v,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            0..layout.patterns,
+        );
+    }
+    let ranges = split_ranges(layout.patterns, n_threads);
+    let mut partials = vec![0.0f64; ranges.len()];
+    crossbeam::thread::scope(|s| {
+        for (range, slot) in ranges.iter().zip(partials.iter_mut()) {
+            let sub = layout.slice(range.clone());
+            let u = &u_clv[layout.clv_range(range)];
+            let us = u_scale.map(|x| &x[range.clone()]);
+            let vv = slice_side(&v, layout, range);
+            let pw = &pattern_weights[range.clone()];
+            s.spawn(move |_| {
+                *slot = edge_log_likelihood(&sub, u, us, vv, freqs, rate_weights, pw, 0..sub.patterns);
+            });
+        }
+    })
+    .expect("site-parallel worker panicked");
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tips::TipTable;
+
+    const DNA_MASKS: [u32; 5] = [0b0001, 0b0010, 0b0100, 0b1000, 0b1111];
+
+    fn jc_pmatrix(t: f64) -> Vec<f64> {
+        let e = (-4.0 * t / 3.0f64).exp();
+        let same = 0.25 + 0.75 * e;
+        let diff = 0.25 - 0.25 * e;
+        let mut p = vec![diff; 16];
+        for i in 0..4 {
+            p[i * 4 + i] = same;
+        }
+        p
+    }
+
+    #[test]
+    fn split_ranges_cover() {
+        for patterns in [1usize, 7, 100, 101] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let rs = split_ranges(patterns, chunks);
+                assert_eq!(rs[0].start, 0);
+                assert_eq!(rs.last().unwrap().end, patterns);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_update() {
+        let patterns = 101;
+        let layout = Layout::new(patterns, 2, 4);
+        let mut pm = jc_pmatrix(0.2);
+        pm.extend(jc_pmatrix(0.6));
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        let codes1: Vec<u8> = (0..patterns).map(|i| (i % 5) as u8).collect();
+        let codes2: Vec<u8> = (0..patterns).map(|i| ((i * 3 + 1) % 5) as u8).collect();
+        let left = Side::Tip { table: &table, codes: &codes1 };
+        let right = Side::Tip { table: &table, codes: &codes2 };
+        let mut serial = vec![0.0; layout.clv_len()];
+        let mut serial_scale = vec![0u32; patterns];
+        update_partials(&layout, left, right, &mut serial, &mut serial_scale, 0..patterns);
+        for threads in [2usize, 3, 7] {
+            let mut par = vec![0.0; layout.clv_len()];
+            let mut par_scale = vec![0u32; patterns];
+            update_partials_par(&layout, left, right, &mut par, &mut par_scale, threads);
+            assert_eq!(serial, par, "threads={threads}");
+            assert_eq!(serial_scale, par_scale);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_loglik() {
+        let patterns = 64;
+        let layout = Layout::new(patterns, 1, 4);
+        let pm = jc_pmatrix(0.4);
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        let codes: Vec<u8> = (0..patterns).map(|i| (i % 4) as u8).collect();
+        let mut u_clv = vec![0.0; layout.clv_len()];
+        for p in 0..patterns {
+            u_clv[p * 4 + (p + 1) % 4] = 1.0;
+        }
+        let pw: Vec<u32> = (0..patterns).map(|i| 1 + (i % 3) as u32).collect();
+        let freqs = [0.25; 4];
+        let serial = edge_log_likelihood(
+            &layout,
+            &u_clv,
+            None,
+            Side::Tip { table: &table, codes: &codes },
+            &freqs,
+            &[1.0],
+            &pw,
+            0..patterns,
+        );
+        for threads in [2usize, 4, 5] {
+            let par = edge_log_likelihood_par(
+                &layout,
+                &u_clv,
+                None,
+                Side::Tip { table: &table, codes: &codes },
+                &freqs,
+                &[1.0],
+                &pw,
+                threads,
+            );
+            assert!((serial - par).abs() < 1e-9, "threads={threads}: {serial} vs {par}");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_serial() {
+        let layout = Layout::new(3, 1, 4);
+        let pm = jc_pmatrix(0.2);
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        let codes = [0u8, 1, 2];
+        let mut out = vec![0.0; layout.clv_len()];
+        let mut scale = vec![0u32; 3];
+        update_partials_par(
+            &layout,
+            Side::Tip { table: &table, codes: &codes },
+            Side::Tip { table: &table, codes: &codes },
+            &mut out,
+            &mut scale,
+            8,
+        );
+        assert!(out.iter().any(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Precomputed tip lookups.
+//!
+//! For a tip child with character code `c`, the propagated value at parent
+//! state `i` is `Σ_{j ∈ mask(c)} P[i][j]` — it depends only on `(code,
+//! rate, i)`, not on the pattern. Precomputing this table once per edge
+//! turns every tip-child contribution into a single indexed load, and makes
+//! IUPAC ambiguity codes exactly as cheap as concrete states. This is the
+//! same trick libpll-2 applies for its tip-inner kernels.
+
+use crate::layout::Layout;
+
+/// Per-edge tip lookup: `data[code][rate][state]` = propagated likelihood
+/// of observing `code` at the far end of the edge, given parent state.
+#[derive(Debug, Clone)]
+pub struct TipTable {
+    n_codes: usize,
+    rates: usize,
+    states: usize,
+    data: Vec<f64>,
+}
+
+impl TipTable {
+    /// Builds the table from a per-rate transition matrix set
+    /// (`pmatrix[rate · states² + i · states + j]`) and the alphabet's
+    /// per-code state masks.
+    pub fn build(layout: &Layout, pmatrix: &[f64], masks: &[u32]) -> TipTable {
+        let (rates, states) = (layout.rates, layout.states);
+        debug_assert_eq!(pmatrix.len(), layout.pmatrix_len());
+        let n_codes = masks.len();
+        let mut data = vec![0.0; n_codes * rates * states];
+        for (code, &mask) in masks.iter().enumerate() {
+            for r in 0..rates {
+                let pm = &pmatrix[r * states * states..(r + 1) * states * states];
+                let out = &mut data
+                    [code * rates * states + r * states..code * rates * states + (r + 1) * states];
+                for (i, o) in out.iter_mut().enumerate() {
+                    let mut sum = 0.0;
+                    let row = &pm[i * states..(i + 1) * states];
+                    for (j, &p) in row.iter().enumerate() {
+                        if (mask >> j) & 1 == 1 {
+                            sum += p;
+                        }
+                    }
+                    *o = sum;
+                }
+            }
+        }
+        TipTable { n_codes, rates, states, data }
+    }
+
+    /// The `[rate][state]` block for one character code.
+    #[inline]
+    pub fn code_block(&self, code: u8) -> &[f64] {
+        let stride = self.rates * self.states;
+        &self.data[code as usize * stride..(code as usize + 1) * stride]
+    }
+
+    /// The `states`-long vector for one (code, rate) pair.
+    #[inline]
+    pub fn code_rate(&self, code: u8, rate: usize) -> &[f64] {
+        let base = code as usize * self.rates * self.states + rate * self.states;
+        &self.data[base..base + self.states]
+    }
+
+    /// Number of codes covered.
+    #[inline]
+    pub fn n_codes(&self) -> usize {
+        self.n_codes
+    }
+
+    /// Heap bytes used (for memory accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity P-matrix over 4 states, 1 rate.
+    fn identity_pmatrix() -> Vec<f64> {
+        let mut p = vec![0.0; 16];
+        for i in 0..4 {
+            p[i * 4 + i] = 1.0;
+        }
+        p
+    }
+
+    #[test]
+    fn identity_concrete_codes() {
+        let layout = Layout::new(1, 1, 4);
+        let masks = [0b0001, 0b0010, 0b0100, 0b1000, 0b1111];
+        let t = TipTable::build(&layout, &identity_pmatrix(), &masks);
+        // Concrete code j: lookup[i] = P[i][j] = δ_ij.
+        for code in 0..4u8 {
+            let v = t.code_rate(code, 0);
+            for i in 0..4 {
+                assert_eq!(v[i], if i == code as usize { 1.0 } else { 0.0 });
+            }
+        }
+        // Fully ambiguous: row sums of identity = 1 everywhere.
+        assert_eq!(t.code_rate(4, 0), &[1.0; 4]);
+    }
+
+    #[test]
+    fn ambiguity_is_sum_of_columns() {
+        let layout = Layout::new(1, 1, 4);
+        // An arbitrary stochastic matrix.
+        let p = vec![
+            0.7, 0.1, 0.1, 0.1, //
+            0.2, 0.5, 0.2, 0.1, //
+            0.1, 0.2, 0.6, 0.1, //
+            0.05, 0.05, 0.1, 0.8,
+        ];
+        let masks = [0b0001, 0b0010, 0b0100, 0b1000, 0b0101 /* A|G */];
+        let t = TipTable::build(&layout, &p, &masks);
+        for i in 0..4 {
+            let expect = p[i * 4] + p[i * 4 + 2];
+            assert!((t.code_rate(4, 0)[i] - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn multi_rate_blocks() {
+        let layout = Layout::new(1, 2, 4);
+        let mut p = identity_pmatrix();
+        // Second rate category: uniform 0.25 matrix.
+        p.extend(std::iter::repeat_n(0.25, 16));
+        let masks = [0b0001, 0b0010, 0b0100, 0b1000];
+        let t = TipTable::build(&layout, &p, &masks);
+        assert_eq!(t.code_rate(0, 0), &[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(t.code_rate(0, 1), &[0.25; 4]);
+        assert_eq!(t.code_block(0).len(), 8);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the likelihood kernels.
+
+use phylo_kernel::kernels::{update_partials, Side};
+use phylo_kernel::likelihood::edge_log_likelihood;
+use phylo_kernel::{Layout, TipTable, LN_SCALE, SCALE_FACTOR};
+use proptest::prelude::*;
+
+const DNA_MASKS: [u32; 5] = [0b0001, 0b0010, 0b0100, 0b1000, 0b1111];
+
+/// A JC-like stochastic matrix for an arbitrary "time" parameter.
+fn stochastic_pmatrix(t: f64, rates: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(rates * 16);
+    for r in 0..rates {
+        let tr = t * (0.5 + r as f64);
+        let e = (-4.0 * tr / 3.0f64).exp();
+        let same = 0.25 + 0.75 * e;
+        let diff = 0.25 - 0.25 * e;
+        for i in 0..4 {
+            for j in 0..4 {
+                out.push(if i == j { same } else { diff });
+            }
+        }
+    }
+    out
+}
+
+fn arb_clv(patterns: usize, rates: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-6f64..1.0, patterns * rates * 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The parent CLV is symmetric in its two children.
+    #[test]
+    fn update_partials_child_symmetry(
+        patterns in 1usize..12,
+        rates in 1usize..3,
+        t1 in 0.01f64..1.0,
+        t2 in 0.01f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let layout = Layout::new(patterns, rates, 4);
+        let mk = |s: u64| -> Vec<f64> {
+            (0..layout.clv_len())
+                .map(|i| 0.05 + (((i as u64 + 1) * (s + 3)) % 97) as f64 / 100.0)
+                .collect()
+        };
+        let c1 = mk(seed);
+        let c2 = mk(seed + 7);
+        let p1 = stochastic_pmatrix(t1, rates);
+        let p2 = stochastic_pmatrix(t2, rates);
+        let mut out_a = vec![0.0; layout.clv_len()];
+        let mut scale_a = vec![0u32; patterns];
+        update_partials(
+            &layout,
+            Side::Clv { clv: &c1, scale: None, pmatrix: &p1 },
+            Side::Clv { clv: &c2, scale: None, pmatrix: &p2 },
+            &mut out_a,
+            &mut scale_a,
+            0..patterns,
+        );
+        let mut out_b = vec![0.0; layout.clv_len()];
+        let mut scale_b = vec![0u32; patterns];
+        update_partials(
+            &layout,
+            Side::Clv { clv: &c2, scale: None, pmatrix: &p2 },
+            Side::Clv { clv: &c1, scale: None, pmatrix: &p1 },
+            &mut out_b,
+            &mut scale_b,
+            0..patterns,
+        );
+        for (a, b) in out_a.iter().zip(&out_b) {
+            prop_assert!((a - b).abs() <= 1e-15 * a.abs().max(1.0));
+        }
+        prop_assert_eq!(scale_a, scale_b);
+    }
+
+    /// Pre-scaling a child by `SCALE_FACTOR^k` (with matching scaler
+    /// counts) leaves the final log-likelihood unchanged.
+    #[test]
+    fn scaling_is_likelihood_neutral(
+        patterns in 1usize..10,
+        k in 1u32..3,
+        t in 0.01f64..1.0,
+        clv in arb_clv(6, 1),
+    ) {
+        let patterns = patterns.min(6);
+        let layout = Layout::new(patterns, 1, 4);
+        let clv = &clv[..layout.clv_len()];
+        let pm = stochastic_pmatrix(t, 1);
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        let codes: Vec<u8> = (0..patterns).map(|i| (i % 4) as u8).collect();
+        let pw = vec![1u32; patterns];
+        let freqs = [0.25; 4];
+
+        let base = edge_log_likelihood(
+            &layout, clv, None,
+            Side::Tip { table: &table, codes: &codes },
+            &freqs, &[1.0], &pw, 0..patterns,
+        );
+        // Scale the CLV up by SCALE_FACTOR^k and record k in the scaler.
+        let scaled: Vec<f64> =
+            clv.iter().map(|&v| v * SCALE_FACTOR.powi(k as i32)).collect();
+        let scales = vec![k; patterns];
+        let with_scale = edge_log_likelihood(
+            &layout, &scaled, Some(&scales),
+            Side::Tip { table: &table, codes: &codes },
+            &freqs, &[1.0], &pw, 0..patterns,
+        );
+        prop_assert!(
+            (base - with_scale).abs() < 1e-6 * base.abs().max(1.0),
+            "{base} vs {with_scale}"
+        );
+    }
+
+    /// The log-likelihood is invariant under moving probability flow
+    /// across the edge: L(u, P·v) must equal L computed with the tip table
+    /// that embeds the same P.
+    #[test]
+    fn tip_table_equals_explicit_indicator(
+        patterns in 1usize..8,
+        t in 0.01f64..2.0,
+    ) {
+        let layout = Layout::new(patterns, 1, 4);
+        let pm = stochastic_pmatrix(t, 1);
+        let table = TipTable::build(&layout, &pm, &DNA_MASKS);
+        let codes: Vec<u8> = (0..patterns).map(|i| ((i * 3) % 4) as u8).collect();
+        // Explicit indicator CLV for the same characters.
+        let mut tip_clv = vec![0.0; layout.clv_len()];
+        for (p, &c) in codes.iter().enumerate() {
+            tip_clv[p * 4 + c as usize] = 1.0;
+        }
+        let u: Vec<f64> =
+            (0..layout.clv_len()).map(|i| 0.1 + (i % 5) as f64 * 0.11).collect();
+        let pw = vec![1u32; patterns];
+        let freqs = [0.25; 4];
+        let via_table = edge_log_likelihood(
+            &layout, &u, None,
+            Side::Tip { table: &table, codes: &codes },
+            &freqs, &[1.0], &pw, 0..patterns,
+        );
+        let via_clv = edge_log_likelihood(
+            &layout, &u, None,
+            Side::Clv { clv: &tip_clv, scale: None, pmatrix: &pm },
+            &freqs, &[1.0], &pw, 0..patterns,
+        );
+        prop_assert!((via_table - via_clv).abs() < 1e-10);
+    }
+
+    /// LN_SCALE bookkeeping: adding one scaler count shifts lnL by exactly
+    /// −LN_SCALE per pattern weight.
+    #[test]
+    fn scaler_shift_is_exact(weight in 1u32..20) {
+        let layout = Layout::new(1, 1, 4);
+        let pm = stochastic_pmatrix(0.3, 1);
+        let u = vec![0.3, 0.4, 0.2, 0.1];
+        let v = vec![0.25; 4];
+        let no = edge_log_likelihood(
+            &layout, &u, None,
+            Side::Clv { clv: &v, scale: None, pmatrix: &pm },
+            &[0.25; 4], &[1.0], &[weight], 0..1,
+        );
+        let scales = [1u32];
+        let yes = edge_log_likelihood(
+            &layout, &u, Some(&[0u32]),
+            Side::Clv { clv: &v, scale: Some(&scales), pmatrix: &pm },
+            &[0.25; 4], &[1.0], &[weight], 0..1,
+        );
+        prop_assert!((no - yes - weight as f64 * LN_SCALE).abs() < 1e-9);
+    }
+}

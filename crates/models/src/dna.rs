@@ -1,0 +1,164 @@
+//! Nucleotide substitution models: JC69, K80, HKY85, GTR.
+//!
+//! State order is `A, C, G, T` (matching the DNA [`Alphabet`] in
+//! `phylo-seq`); the six GTR exchangeabilities are given in the standard
+//! order `AC, AG, AT, CG, CT, GT`.
+//!
+//! [`Alphabet`]: phylo_seq::Alphabet
+
+use crate::error::ModelError;
+use crate::subst::RateMatrix;
+
+/// Jukes–Cantor 1969: equal rates, equal frequencies.
+pub fn jc69() -> RateMatrix {
+    RateMatrix::new(4, &[1.0; 6], &[0.25; 4]).expect("JC69 parameters are static and valid")
+}
+
+/// Kimura 1980: transition/transversion ratio `kappa`, equal frequencies.
+///
+/// Transitions are `A↔G` and `C↔T`.
+pub fn k80(kappa: f64) -> Result<RateMatrix, ModelError> {
+    if !(kappa.is_finite() && kappa > 0.0) {
+        return Err(ModelError::BadParameter(format!("kappa must be positive, got {kappa}")));
+    }
+    //            AC   AG     AT   CG   CT     GT
+    RateMatrix::new(4, &[1.0, kappa, 1.0, 1.0, kappa, 1.0], &[0.25; 4])
+}
+
+/// Hasegawa–Kishino–Yano 1985: `kappa` plus empirical frequencies.
+pub fn hky(kappa: f64, freqs: &[f64; 4]) -> Result<RateMatrix, ModelError> {
+    if !(kappa.is_finite() && kappa > 0.0) {
+        return Err(ModelError::BadParameter(format!("kappa must be positive, got {kappa}")));
+    }
+    RateMatrix::new(4, &[1.0, kappa, 1.0, 1.0, kappa, 1.0], freqs)
+}
+
+/// General time-reversible model with six exchangeabilities
+/// (`AC, AG, AT, CG, CT, GT`) and four frequencies.
+pub fn gtr(exch: &[f64; 6], freqs: &[f64; 4]) -> Result<RateMatrix, ModelError> {
+    RateMatrix::new(4, exch, freqs)
+}
+
+/// The analytic JC69 transition probability: `P(same | t)` and
+/// `P(different | t)`. Used as a golden reference for the eigen path.
+pub fn jc69_analytic(t: f64) -> (f64, f64) {
+    let e = (-4.0 * t / 3.0).exp();
+    (0.25 + 0.75 * e, 0.25 - 0.25 * e)
+}
+
+/// Estimates stationary state frequencies from observed character counts
+/// (the "+F" convention): ambiguity codes spread their mass uniformly over
+/// their compatible states; a +1 pseudocount per state keeps every
+/// frequency positive.
+pub fn empirical_freqs(
+    alphabet: &phylo_seq::Alphabet,
+    rows: impl Iterator<Item = impl AsRef<[u8]>>,
+) -> Vec<f64> {
+    let states = alphabet.states();
+    let mut counts = vec![1.0f64; states];
+    for row in rows {
+        for &code in row.as_ref() {
+            let mask = alphabet.state_mask(code);
+            let k = mask.count_ones();
+            if k == 0 || k as usize == states {
+                continue; // gaps/unknowns carry no signal
+            }
+            let share = 1.0 / k as f64;
+            for (i, c) in counts.iter_mut().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    *c += share;
+                }
+            }
+        }
+    }
+    let total: f64 = counts.iter().sum();
+    counts.iter().map(|&c| c / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::DiscreteGamma;
+    use crate::subst::SubstModel;
+
+    #[test]
+    fn k80_rejects_bad_kappa() {
+        assert!(k80(0.0).is_err());
+        assert!(k80(-2.0).is_err());
+        assert!(k80(f64::INFINITY).is_err());
+        assert!(k80(2.0).is_ok());
+    }
+
+    #[test]
+    fn k80_transition_bias() {
+        // With kappa >> 1 transitions (A->G) dominate transversions (A->C).
+        let m = SubstModel::new(&k80(10.0).unwrap(), DiscreteGamma::none()).unwrap();
+        let mut p = vec![0.0; 16];
+        m.transition_matrix(0.1, &mut p);
+        let a_g = p[2]; // A->G
+        let a_c = p[1]; // A->C
+        assert!(a_g > 3.0 * a_c, "A->G {a_g} vs A->C {a_c}");
+    }
+
+    #[test]
+    fn hky_stationary_freqs() {
+        let freqs = [0.1, 0.2, 0.3, 0.4];
+        let m = SubstModel::new(&hky(4.0, &freqs).unwrap(), DiscreteGamma::none()).unwrap();
+        let mut p = vec![0.0; 16];
+        m.transition_matrix(50.0, &mut p);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((p[i * 4 + j] - freqs[j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn gtr_reduces_to_jc() {
+        let m_gtr =
+            SubstModel::new(&gtr(&[1.0; 6], &[0.25; 4]).unwrap(), DiscreteGamma::none()).unwrap();
+        let m_jc = SubstModel::new(&jc69(), DiscreteGamma::none()).unwrap();
+        let mut p1 = vec![0.0; 16];
+        let mut p2 = vec![0.0; 16];
+        m_gtr.transition_matrix(0.37, &mut p1);
+        m_jc.transition_matrix(0.37, &mut p2);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_freqs_count_correctly() {
+        let a = phylo_seq::alphabet::dna();
+        // 3×A, 1×C, 1×R (A|G split .5/.5), gaps ignored.
+        let rows = vec![vec![0u8, 0, 0, 1], vec![a.encode(b'R').unwrap(), a.unknown_code()]];
+        let f = empirical_freqs(a, rows.iter());
+        // counts: A=1+3.5, C=1+1, G=1+0.5, T=1; total 9
+        assert!((f[0] - 4.5 / 9.0).abs() < 1e-12);
+        assert!((f[1] - 2.0 / 9.0).abs() < 1e-12);
+        assert!((f[2] - 1.5 / 9.0).abs() < 1e-12);
+        assert!((f[3] - 1.0 / 9.0).abs() < 1e-12);
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_freqs_all_gaps_is_uniform() {
+        let a = phylo_seq::alphabet::dna();
+        let rows = vec![vec![a.unknown_code(); 5]];
+        let f = empirical_freqs(a, rows.iter());
+        for &x in &f {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analytic_helper_consistent() {
+        let (same, diff) = jc69_analytic(0.4);
+        assert!((same + 3.0 * diff - 1.0).abs() < 1e-12);
+        assert!(same > diff);
+        let (s0, d0) = jc69_analytic(0.0);
+        assert_eq!(s0, 1.0);
+        assert_eq!(d0, 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Error type for model construction.
+
+use std::fmt;
+
+/// Errors produced while building substitution models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A rate, frequency, or shape parameter is out of range.
+    BadParameter(String),
+    /// State frequencies do not form a probability distribution.
+    BadFrequencies(String),
+    /// Eigendecomposition failed to converge.
+    EigenFailure(String),
+    /// Mismatched dimensions between model pieces.
+    Dimension {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadParameter(msg) => write!(f, "bad model parameter: {msg}"),
+            ModelError::BadFrequencies(msg) => write!(f, "bad state frequencies: {msg}"),
+            ModelError::EigenFailure(msg) => write!(f, "eigendecomposition failed: {msg}"),
+            ModelError::Dimension { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,31 @@
+//! Statistical models of sequence evolution.
+//!
+//! Everything a likelihood kernel needs to turn branch lengths into
+//! transition probabilities:
+//!
+//! * [`numerics`] — special functions (log-gamma, regularized incomplete
+//!   gamma, gamma/normal quantiles) implemented from scratch;
+//! * [`gamma`] — Yang-style discrete Γ rate heterogeneity (the "+G4" in
+//!   model names), the standard mixture that multiplies CLV memory by the
+//!   number of rate categories;
+//! * [`linalg`] — small dense matrices and a Jacobi eigensolver for
+//!   symmetric matrices;
+//! * [`dna`] / [`aa`] — concrete time-reversible rate matrices: JC69, K80,
+//!   HKY85, GTR for nucleotides, and a synthetic empirical-style
+//!   exchangeability matrix for amino acids (see `DESIGN.md` §2 for why a
+//!   synthetic matrix is a faithful substitute here);
+//! * [`subst`] — the compiled [`SubstModel`]: eigendecomposition of the
+//!   rate matrix and fast `P(t)` evaluation, plus the per-rate-category
+//!   probability matrices consumed by the kernels.
+
+pub mod aa;
+pub mod dna;
+pub mod error;
+pub mod gamma;
+pub mod linalg;
+pub mod numerics;
+pub mod subst;
+
+pub use error::ModelError;
+pub use gamma::DiscreteGamma;
+pub use subst::{RateMatrix, SubstModel};

@@ -1,0 +1,307 @@
+//! Small dense matrices and a Jacobi eigensolver.
+//!
+//! Substitution models are 4×4 or 20×20, so a cyclic Jacobi sweep — simple,
+//! branch-predictable, and accurate to machine precision for symmetric
+//! matrices — beats pulling in a general-purpose linear-algebra crate.
+
+use crate::error::ModelError;
+
+/// A square row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// A zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        SquareMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// The identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Wraps existing row-major data.
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Result<Self, ModelError> {
+        if data.len() != n * n {
+            return Err(ModelError::Dimension { expected: n * n, found: data.len() });
+        }
+        Ok(SquareMatrix { n, data })
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// `self · other`.
+    pub fn mul(&self, other: &SquareMatrix) -> SquareMatrix {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> SquareMatrix {
+        let n = self.n;
+        let mut out = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute off-diagonal element.
+    pub fn max_off_diagonal(&self) -> f64 {
+        let mut m = 0.0f64;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    m = m.max(self[(i, j)].abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// True if `self` is symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for SquareMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for SquareMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix: `A = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as *columns* of `V`.
+    pub vectors: SquareMatrix,
+}
+
+/// Cyclic Jacobi eigensolver for symmetric matrices.
+///
+/// Converges quadratically; for the 4–20 dimensional matrices used here a
+/// handful of sweeps reaches machine precision.
+pub fn symmetric_eigen(a: &SquareMatrix) -> Result<SymmetricEigen, ModelError> {
+    if !a.is_symmetric(1e-9) {
+        return Err(ModelError::EigenFailure("matrix is not symmetric".into()));
+    }
+    let n = a.n();
+    let mut a = a.clone();
+    let mut v = SquareMatrix::identity(n);
+    const MAX_SWEEPS: usize = 100;
+    for _sweep in 0..MAX_SWEEPS {
+        let off = a.max_off_diagonal();
+        if off < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                // Rotation angle zeroing a[p][q].
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if a.max_off_diagonal() > 1e-8 {
+        return Err(ModelError::EigenFailure(format!(
+            "Jacobi did not converge: residual {}",
+            a.max_off_diagonal()
+        )));
+    }
+    // Extract and sort ascending by eigenvalue.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)], i)).collect();
+    pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = SquareMatrix::zeros(n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for k in 0..n {
+            vectors[(k, new_col)] = v[(k, old_col)];
+        }
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_eigen() {
+        let e = symmetric_eigen(&SquareMatrix::identity(4)).unwrap();
+        for &v in &e.values {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let m = SquareMatrix::from_vec(2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = symmetric_eigen(&m).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        // Random-ish symmetric 5x5; A must equal V diag(λ) Vᵀ.
+        let n = 5;
+        let mut m = SquareMatrix::zeros(n);
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                let x = next();
+                m[(i, j)] = x;
+                m[(j, i)] = x;
+            }
+        }
+        let e = symmetric_eigen(&m).unwrap();
+        let mut lam = SquareMatrix::zeros(n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.mul(&lam).mul(&e.vectors.transpose());
+        for i in 0..n {
+            for j in 0..n {
+                assert!((rec[(i, j)] - m[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let m = SquareMatrix::from_vec(
+            3,
+            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0],
+        )
+        .unwrap();
+        let e = symmetric_eigen(&m).unwrap();
+        let vtv = e.vectors.transpose().mul(&e.vectors);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let m = SquareMatrix::from_vec(2, vec![1.0, 2.0, 0.0, 1.0]).unwrap();
+        assert!(symmetric_eigen(&m).is_err());
+    }
+
+    #[test]
+    fn matrix_ops() {
+        let a = SquareMatrix::from_vec(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = SquareMatrix::identity(2);
+        assert_eq!(a.mul(&i), a);
+        let at = a.transpose();
+        assert_eq!(at[(0, 1)], 3.0);
+        assert_eq!(at[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn dimension_check() {
+        assert!(SquareMatrix::from_vec(3, vec![0.0; 8]).is_err());
+    }
+}

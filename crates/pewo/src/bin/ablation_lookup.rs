@@ -1,0 +1,75 @@
+//! Ablation: the preplacement lookup table under AMC.
+//!
+//! "executing EPA-NG with AMC, using this lookup table improves execution
+//! times by up to ≈23 times (neotrop data)" (paper §II). This harness
+//! runs each dataset at the intermediate budget (lookup fits) and at the
+//! same slot budget with the lookup forcibly disabled, isolating the
+//! memoization's effect from the slot count's.
+
+use epa_place::{memplan, EpaConfig, Placer, PreplacementMode};
+use pewo_bench::{
+    build_batch, build_reference, equivalent_chunk, parse_args, repeat_mean, write_csv, Table,
+    Timed,
+};
+use phylo_datasets as datasets;
+
+fn main() {
+    let args = parse_args();
+    let mut table = Table::new(
+        format!(
+            "Ablation — lookup table on/off under AMC (scale: {}, repeats: {})",
+            args.scale, args.repeats
+        ),
+        &["dataset", "lookup", "time (s)", "speedup from lookup", "recomputes"],
+    );
+    for spec in datasets::spec::all(args.scale) {
+        let ds = datasets::generate(&spec);
+        let batch = build_batch(&ds);
+        let chunk = equivalent_chunk(paper_queries(spec.name), 5000, batch.len());
+        let base = EpaConfig { chunk_size: chunk, threads: 1, ..Default::default() };
+        let (probe, _) = build_reference(&ds);
+        let budget = memplan::lookup_floor_budget(&probe, &base, batch.len(), batch.n_sites());
+        drop(probe);
+
+        let mut times = [0.0f64; 2];
+        let mut recomputes = [0u64; 2];
+        for (i, preplacement) in
+            [PreplacementMode::Auto, PreplacementMode::Off].into_iter().enumerate()
+        {
+            let cfg = EpaConfig {
+                max_memory: Some(budget),
+                preplacement,
+                ..base.clone()
+            };
+            let run = repeat_mean(args.repeats, || {
+                let (ctx, s2p) = build_reference(&ds);
+                let placer = Placer::new(ctx, s2p, cfg.clone()).expect("valid cfg");
+                let (_, report) = placer.place(&batch).expect("ablation run");
+                Timed { time: report.total_time, payload: report.slot_stats.misses }
+            });
+            times[i] = run.time.as_secs_f64();
+            recomputes[i] = run.payload;
+        }
+        for (i, label) in ["on", "off"].into_iter().enumerate() {
+            table.row(&[
+                spec.name.to_string(),
+                label.to_string(),
+                format!("{:.2}", times[i]),
+                if i == 1 { format!("{:.1}x", times[1] / times[0]) } else { "1.0x".into() },
+                recomputes[i].to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = write_csv(&format!("ablation_lookup_{}", args.scale), &table);
+    eprintln!("csv: {}", path.display());
+}
+
+fn paper_queries(name: &str) -> usize {
+    match name {
+        "neotrop" => 95_417,
+        "serratus" => 136,
+        "pro_ref" => 3_333,
+        _ => unreachable!("unknown dataset {name}"),
+    }
+}

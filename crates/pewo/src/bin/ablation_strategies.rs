@@ -1,0 +1,76 @@
+//! Ablation: replacement strategies under a tight slot budget.
+//!
+//! The paper ships the cost-based default and names "different (e.g.
+//! adaptive or machine learning based) replacement strategies" as future
+//! work (§VI). This harness sweeps the implemented policies (cost-based,
+//! LRU, MRU, FIFO, random) at the minimum-memory operating point and
+//! reports run time and CLV recomputation counts — the recomputation
+//! column is the policy-quality signal.
+
+use epa_place::{memplan, EpaConfig, Placer, PreplacementMode};
+use pewo_bench::{
+    build_batch, build_reference, equivalent_chunk, parse_args, repeat_mean, write_csv, Table,
+    Timed,
+};
+use phylo_amc::StrategyKind;
+use phylo_datasets as datasets;
+
+fn main() {
+    let args = parse_args();
+    let mut table = Table::new(
+        format!(
+            "Ablation — replacement strategies at minimum memory (scale: {}, repeats: {})",
+            args.scale, args.repeats
+        ),
+        &["dataset", "strategy", "time (s)", "recomputes", "evictions", "hit rate"],
+    );
+    for spec in datasets::spec::all(args.scale) {
+        let ds = datasets::generate(&spec);
+        let batch = build_batch(&ds);
+        let chunk = equivalent_chunk(paper_queries(spec.name), 500, batch.len());
+        // Disable the lookup table so the slot manager is actually
+        // exercised by the prescore phase.
+        let base = EpaConfig {
+            chunk_size: chunk,
+            threads: 1,
+            preplacement: PreplacementMode::Off,
+            async_prefetch: false,
+            ..Default::default()
+        };
+        let (probe, _) = build_reference(&ds);
+        let floor = memplan::floor_budget(&probe, &base, batch.len(), batch.n_sites());
+        drop(probe);
+        for strategy in StrategyKind::all() {
+            let cfg =
+                EpaConfig { max_memory: Some(floor), strategy, ..base.clone() };
+            let run = repeat_mean(args.repeats, || {
+                let (ctx, s2p) = build_reference(&ds);
+                let placer = Placer::new(ctx, s2p, cfg.clone()).expect("valid cfg");
+                let (_, report) = placer.place(&batch).expect("ablation run");
+                Timed { time: report.total_time, payload: report.slot_stats }
+            });
+            let stats = run.payload;
+            let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+            table.row(&[
+                spec.name.to_string(),
+                strategy.to_string(),
+                format!("{:.2}", run.time.as_secs_f64()),
+                stats.misses.to_string(),
+                stats.evictions.to_string(),
+                format!("{hit_rate:.3}"),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = write_csv(&format!("ablation_strategies_{}", args.scale), &table);
+    eprintln!("csv: {}", path.display());
+}
+
+fn paper_queries(name: &str) -> usize {
+    match name {
+        "neotrop" => 95_417,
+        "serratus" => 136,
+        "pro_ref" => 3_333,
+        _ => unreachable!("unknown dataset {name}"),
+    }
+}

@@ -1,0 +1,15 @@
+//! Reproduces **Fig. 3**: execution-time slowdown versus memory fraction,
+//! chunk size = 5 000-equivalent.
+//!
+//! For each dataset, the reference run (memory saving off) anchors the
+//! axes; then `--maxmem` is swept from the full footprint down to the
+//! feasible floor. The expected shape: a flat region while the lookup
+//! table fits, then a sharp slowdown cliff once it no longer does, and a
+//! dataset-dependent memory floor.
+
+use pewo_bench::{parse_args, sweeps};
+
+fn main() {
+    let args = parse_args();
+    sweeps::run_sweep(5000, "fig3", &args);
+}

@@ -1,0 +1,97 @@
+//! Reproduces **Fig. 5**: EPA-NG versus pplacer on the two
+//! highest-footprint datasets (serratus, pro_ref), each with memory saving
+//! disabled and enabled.
+//!
+//! Expected shape (paper §V-B): EPA-NG beats pplacer on both axes in both
+//! modes; pplacer's file backing cuts its memory a lot at a moderate time
+//! cost, yet its saved footprint remains well above EPA-NG with AMC
+//! *off*; EPA-NG's AMC slowdown is much larger on pro_ref than on
+//! serratus.
+
+use epa_place::{memplan, EpaConfig, Placer};
+use pewo_bench::{
+    build_batch, build_reference, equivalent_chunk, parse_args, repeat_mean, write_csv, Table,
+    Timed,
+};
+use phylo_amc::budget::mib;
+use phylo_datasets as datasets;
+use pplacer_mmap::{Backing, PplacerConfig, PplacerLike};
+
+fn main() {
+    let args = parse_args();
+    let mut table = Table::new(
+        format!("Fig. 5 — EPA-NG vs pplacer (scale: {}, repeats: {})", args.scale, args.repeats),
+        &["dataset", "tool", "memsave", "time (s)", "memory (MiB)"],
+    );
+    for spec in [datasets::serratus(args.scale), datasets::pro_ref(args.scale)] {
+        let ds = datasets::generate(&spec);
+        let batch = build_batch(&ds);
+        // The paper limits EPA-NG's chunk size to 500 in this comparison.
+        let chunk = equivalent_chunk(paper_queries(spec.name), 500, batch.len());
+
+        // EPA-NG, memory saving off.
+        let cfg_off = EpaConfig { chunk_size: chunk, threads: 1, ..Default::default() };
+        let run = repeat_mean(args.repeats, || {
+            let (ctx, s2p) = build_reference(&ds);
+            let placer = Placer::new(ctx, s2p, cfg_off.clone()).expect("valid cfg");
+            let (_, report) = placer.place(&batch).expect("EPA off run");
+            Timed { time: report.total_time, payload: report.peak_memory }
+        });
+        push(&mut table, spec.name, "epa-ng", "off", &run);
+
+        // EPA-NG, fullest AMC.
+        let (probe, _) = build_reference(&ds);
+        let floor = memplan::floor_budget(&probe, &cfg_off, batch.len(), batch.n_sites());
+        drop(probe);
+        let cfg_on = EpaConfig { max_memory: Some(floor), ..cfg_off.clone() };
+        let run = repeat_mean(args.repeats, || {
+            let (ctx, s2p) = build_reference(&ds);
+            let placer = Placer::new(ctx, s2p, cfg_on.clone()).expect("valid cfg");
+            let (_, report) = placer.place(&batch).expect("EPA AMC run");
+            Timed { time: report.total_time, payload: report.peak_memory }
+        });
+        push(&mut table, spec.name, "epa-ng", "on", &run);
+
+        // pplacer, RAM.
+        let run = repeat_mean(args.repeats, || {
+            let (ctx, s2p) = build_reference(&ds);
+            let mut pp = PplacerLike::build(ctx, s2p, PplacerConfig::default())
+                .expect("pplacer build");
+            let (_, report) = pp.place(&batch).expect("pplacer RAM run");
+            Timed { time: report.build_time + report.place_time, payload: report.peak_memory }
+        });
+        push(&mut table, spec.name, "pplacer", "off", &run);
+
+        // pplacer, file-backed.
+        let cfg_file = PplacerConfig { backing: Backing::File, ..Default::default() };
+        let run = repeat_mean(args.repeats, || {
+            let (ctx, s2p) = build_reference(&ds);
+            let mut pp =
+                PplacerLike::build(ctx, s2p, cfg_file.clone()).expect("pplacer build");
+            let (_, report) = pp.place(&batch).expect("pplacer file run");
+            Timed { time: report.build_time + report.place_time, payload: report.peak_memory }
+        });
+        push(&mut table, spec.name, "pplacer", "on", &run);
+    }
+    print!("{}", table.render());
+    let path = write_csv(&format!("fig5_{}", args.scale), &table);
+    eprintln!("csv: {}", path.display());
+}
+
+fn push(table: &mut Table, dataset: &str, tool: &str, memsave: &str, run: &pewo_bench::Timed<usize>) {
+    table.row(&[
+        dataset.to_string(),
+        tool.to_string(),
+        memsave.to_string(),
+        format!("{:.2}", run.time.as_secs_f64()),
+        format!("{:.1}", mib(run.payload)),
+    ]);
+}
+
+fn paper_queries(name: &str) -> usize {
+    match name {
+        "serratus" => 136,
+        "pro_ref" => 3_333,
+        _ => unreachable!("fig5 uses serratus and pro_ref only"),
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduces **Table I**: the characteristics of the three evaluation
+//! datasets (leaves, sites, #QS, data type), at the selected scale,
+//! together with the derived quantities that drive the memory model
+//! (patterns after compression, CLV bytes, full-layout bytes, lookup-table
+//! bytes, minimum slots).
+
+use pewo_bench::{build_reference, parse_args, write_csv, Table};
+use phylo_amc::budget::mib;
+use phylo_datasets as datasets;
+
+fn main() {
+    let args = parse_args();
+    let mut table = Table::new(
+        format!("Table I — dataset characteristics (scale: {})", args.scale),
+        &[
+            "dataset", "leaves", "sites", "#QS", "type", "patterns", "clv KiB",
+            "full-layout MiB", "lookup MiB", "min slots",
+        ],
+    );
+    for spec in datasets::spec::all(args.scale) {
+        let ds = datasets::generate(&spec);
+        let (ctx, _) = build_reference(&ds);
+        let clv_bytes = ctx.layout().clv_bytes();
+        let full_bytes = ctx.max_slots() * (clv_bytes + ctx.layout().scaler_bytes());
+        let lookup = epa_place::memplan::lookup_bytes(&ctx);
+        table.row(&[
+            spec.name.to_string(),
+            spec.leaves.to_string(),
+            spec.sites.to_string(),
+            spec.n_queries.to_string(),
+            spec.alphabet.to_string(),
+            ctx.layout().patterns.to_string(),
+            format!("{:.1}", clv_bytes as f64 / 1024.0),
+            format!("{:.1}", mib(full_bytes)),
+            format!("{:.1}", mib(lookup)),
+            ctx.min_slots().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    let path = write_csv(&format!("table1_{}", args.scale), &table);
+    eprintln!("csv: {}", path.display());
+}

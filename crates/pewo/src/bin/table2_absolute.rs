@@ -1,0 +1,72 @@
+//! Reproduces **Table II**: absolute execution time and peak memory for
+//! the three operating points per dataset —
+//!
+//! * **O** — reference run, memory saving disabled (no `--maxmem`);
+//! * **I** — intermediate: the smallest budget at which the preplacement
+//!   lookup table still fits (just above the cliff);
+//! * **F** — fullest memory saving: minimum feasible budget (lookup table
+//!   dropped, minimum slot count).
+//!
+//! One worker thread, chunk size = the paper's 5 000 translated to the
+//! scaled query count (see `equivalent_chunk`).
+
+use epa_place::{memplan, EpaConfig, Placer};
+use pewo_bench::{
+    build_batch, build_reference, equivalent_chunk, parse_args, repeat_mean, write_csv, Table,
+    Timed,
+};
+use phylo_amc::budget::mib;
+use phylo_datasets as datasets;
+
+fn main() {
+    let args = parse_args();
+    let mut table = Table::new(
+        format!("Table II — absolute time/memory, O/I/F (scale: {}, repeats: {})", args.scale, args.repeats),
+        &["dataset", "setting", "time (s)", "memory (MiB)", "lookup", "slots", "recomputes"],
+    );
+    for spec in datasets::spec::all(args.scale) {
+        let ds = datasets::generate(&spec);
+        let batch = build_batch(&ds);
+        let chunk = equivalent_chunk(spec_paper_queries(spec.name), 5000, batch.len());
+        let base_cfg = EpaConfig { chunk_size: chunk, threads: 1, ..Default::default() };
+
+        // Probe budgets with a throwaway context (Placer consumes ctx).
+        let (probe_ctx, _) = build_reference(&ds);
+        let floor = memplan::floor_budget(&probe_ctx, &base_cfg, batch.len(), batch.n_sites());
+        let lookup_floor =
+            memplan::lookup_floor_budget(&probe_ctx, &base_cfg, batch.len(), batch.n_sites());
+        drop(probe_ctx);
+
+        for (tag, maxmem) in [("O", None), ("I", Some(lookup_floor)), ("F", Some(floor))] {
+            let cfg = EpaConfig { max_memory: maxmem, ..base_cfg.clone() };
+            let run = repeat_mean(args.repeats, || {
+                let (ctx, s2p) = build_reference(&ds);
+                let placer = Placer::new(ctx, s2p, cfg.clone()).expect("valid configuration");
+                let (_, report) = placer.place(&batch).expect("placement succeeds");
+                Timed { time: report.total_time, payload: report }
+            });
+            let rep = &run.payload;
+            table.row(&[
+                spec.name.to_string(),
+                tag.to_string(),
+                format!("{:.2}", run.time.as_secs_f64()),
+                format!("{:.1}", mib(rep.peak_memory)),
+                if rep.used_lookup { "yes" } else { "no" }.to_string(),
+                rep.slots.to_string(),
+                rep.slot_stats.misses.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = write_csv(&format!("table2_{}", args.scale), &table);
+    eprintln!("csv: {}", path.display());
+}
+
+fn spec_paper_queries(name: &str) -> usize {
+    match name {
+        "neotrop" => 95_417,
+        "serratus" => 136,
+        "pro_ref" => 3_333,
+        _ => unreachable!("unknown dataset {name}"),
+    }
+}

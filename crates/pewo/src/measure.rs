@@ -1,0 +1,85 @@
+//! Run-repetition protocol (PEWO-style).
+
+use std::time::Duration;
+
+/// A measured run: wall-clock time plus whatever payload the experiment
+/// extracted (peak memory, slot stats, ...).
+#[derive(Debug, Clone)]
+pub struct Timed<T> {
+    /// Wall-clock duration of the run.
+    pub time: Duration,
+    /// Experiment-specific payload.
+    pub payload: T,
+}
+
+/// Runs `f` `repeats` times and returns the run with the **mean** time
+/// (payload taken from the first run — payloads are deterministic).
+///
+/// This is the paper's protocol for the memory-sweep figures: "Every
+/// --maxmem/dataset configuration was executed five times, and the results
+/// we show are calculated as the mean of all five runs".
+pub fn repeat_mean<T>(repeats: usize, mut f: impl FnMut() -> Timed<T>) -> Timed<T> {
+    assert!(repeats >= 1);
+    let first = f();
+    let mut total = first.time;
+    for _ in 1..repeats {
+        total += f().time;
+    }
+    Timed { time: total / repeats as u32, payload: first.payload }
+}
+
+/// Runs `f` `repeats` times and returns the **fastest** run — the paper's
+/// protocol for the parallel-efficiency figures ("we again choose the
+/// fastest out of five runs").
+pub fn repeat_fastest<T>(repeats: usize, mut f: impl FnMut() -> Timed<T>) -> Timed<T> {
+    assert!(repeats >= 1);
+    let mut best = f();
+    for _ in 1..repeats {
+        let run = f();
+        if run.time < best.time {
+            best = run;
+        }
+    }
+    best
+}
+
+/// Mean of a set of durations.
+pub fn mean_duration(times: &[Duration]) -> Duration {
+    if times.is_empty() {
+        return Duration::ZERO;
+    }
+    times.iter().sum::<Duration>() / times.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_protocol_averages() {
+        let mut times = [30u64, 10, 20].into_iter();
+        let r = repeat_mean(3, || Timed {
+            time: Duration::from_millis(times.next().unwrap()),
+            payload: 7u32,
+        });
+        assert_eq!(r.time, Duration::from_millis(20));
+        assert_eq!(r.payload, 7);
+    }
+
+    #[test]
+    fn fastest_protocol_takes_min() {
+        let mut times = [30u64, 10, 20].into_iter();
+        let r = repeat_fastest(3, || Timed {
+            time: Duration::from_millis(times.next().unwrap()),
+            payload: (),
+        });
+        assert_eq!(r.time, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn mean_duration_works() {
+        let times = [Duration::from_secs(1), Duration::from_secs(3)];
+        assert_eq!(mean_duration(&times), Duration::from_secs(2));
+        assert_eq!(mean_duration(&[]), Duration::ZERO);
+    }
+}

@@ -1,0 +1,141 @@
+//! Experiment setup shared by every harness binary.
+
+use epa_place::QueryBatch;
+use phylo_datasets::{Dataset, Scale};
+use phylo_engine::ReferenceContext;
+use phylo_seq::compress;
+
+/// Builds the reference context and site→pattern map from a dataset.
+pub fn build_reference(ds: &Dataset) -> (ReferenceContext, Vec<u32>) {
+    let patterns = compress(&ds.reference).expect("dataset alignments are non-empty");
+    let s2p = patterns.site_to_pattern().to_vec();
+    let ctx = ReferenceContext::new(
+        ds.tree.clone(),
+        ds.model.clone(),
+        ds.spec.alphabet.alphabet(),
+        &patterns,
+    )
+    .expect("dataset taxa always have alignment rows");
+    (ctx, s2p)
+}
+
+/// Builds the query batch of a dataset.
+pub fn build_batch(ds: &Dataset) -> QueryBatch {
+    QueryBatch::new(&ds.queries, ds.reference.n_sites())
+        .expect("dataset queries are aligned to the reference")
+}
+
+/// Translates a paper-scale chunk size to the scaled dataset: the number
+/// of *chunks* (sweeps over the tree) is what drives AMC recomputation
+/// cost, so the equivalent chunk preserves the paper's chunk count.
+///
+/// E.g. neotrop: 95 417 QS at chunk 5 000 → 20 chunks; a 1 490-query
+/// bench-scale instance gets chunk ⌈1490/20⌉ = 75.
+pub fn equivalent_chunk(paper_queries: usize, paper_chunk: usize, actual_queries: usize) -> usize {
+    let paper_chunks = paper_queries.div_ceil(paper_chunk).max(1);
+    actual_queries.div_ceil(paper_chunks).max(1)
+}
+
+/// Common CLI arguments of the harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Repeats per configuration (paper: 5).
+    pub repeats: usize,
+    /// Cap on the thread sweep (PE figures).
+    pub max_threads: usize,
+}
+
+/// Parses `--scale`, `--repeats`, `--max-threads` from `std::env::args`.
+/// Unknown flags abort with a usage message.
+pub fn parse_args() -> HarnessArgs {
+    let mut args = HarnessArgs {
+        scale: Scale::Bench,
+        repeats: 3,
+        max_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                args.scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use ci|bench|paper");
+                    std::process::exit(2);
+                });
+            }
+            "--repeats" => {
+                args.repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--repeats needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--max-threads" => {
+                args.max_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\nusage: <bin> [--scale ci|bench|paper] [--repeats N] [--max-threads N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The thread counts a PE sweep visits (powers of two up to the cap).
+pub fn thread_sweep(max_threads: usize) -> Vec<usize> {
+    let mut out = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        out.push(t);
+        t *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_chunk_preserves_chunk_count() {
+        // neotrop paper: 20 chunks.
+        assert_eq!(equivalent_chunk(95_417, 5_000, 1490), 75);
+        // serratus paper: 1 chunk -> everything in one chunk.
+        assert_eq!(equivalent_chunk(136, 5_000, 4), 4);
+        // pro_ref at chunk 500: 7 chunks.
+        let c = equivalent_chunk(3_333, 500, 52);
+        assert_eq!(c, 8); // ceil(52/7)
+    }
+
+    #[test]
+    fn thread_sweep_is_powers_of_two() {
+        assert_eq!(thread_sweep(8), vec![1, 2, 4, 8]);
+        assert_eq!(thread_sweep(6), vec![1, 2, 4]);
+        assert_eq!(thread_sweep(1), vec![1]);
+    }
+
+    #[test]
+    fn ci_dataset_reference_builds() {
+        let ds = phylo_datasets::generate(&phylo_datasets::neotrop(Scale::Ci));
+        let (ctx, s2p) = build_reference(&ds);
+        assert_eq!(ctx.tree().n_leaves(), ds.spec.leaves);
+        assert_eq!(s2p.len(), ds.spec.sites);
+        let batch = build_batch(&ds);
+        assert_eq!(batch.len(), ds.spec.n_queries);
+    }
+}

@@ -1,0 +1,102 @@
+//! The shared `--maxmem` sweep behind Fig. 3 and Fig. 4.
+
+use crate::{build_batch, build_reference, equivalent_chunk, repeat_mean, write_csv, Table, Timed};
+use epa_place::{memplan, EpaConfig, Placer};
+use phylo_amc::budget::mib;
+use phylo_datasets as datasets;
+
+/// Runs the memory sweep of Fig. 3 / Fig. 4: per dataset, one reference
+/// run plus a descending-budget series, reporting slowdown and memory
+/// fraction relative to the reference. `paper_chunk` is translated to the
+/// scaled dataset via [`crate::equivalent_chunk`].
+pub fn run_sweep(paper_chunk: usize, figure: &str, args: &crate::HarnessArgs) {
+    let mut table = Table::new(
+        format!(
+            "{figure} — slowdown vs memory fraction, chunk {paper_chunk}-equivalent (scale: {}, repeats: {})",
+            args.scale, args.repeats
+        ),
+        &[
+            "dataset", "maxmem MiB", "mem fraction", "slowdown", "time (s)", "lookup", "slots",
+            "recomputes",
+        ],
+    );
+    for spec in datasets::spec::all(args.scale) {
+        let ds = datasets::generate(&spec);
+        let batch = build_batch(&ds);
+        let chunk = equivalent_chunk(paper_queries(spec.name), paper_chunk, batch.len());
+        let base_cfg = EpaConfig { chunk_size: chunk, threads: 1, ..Default::default() };
+
+        // Reference run (off).
+        let reference = repeat_mean(args.repeats, || {
+            let (ctx, s2p) = build_reference(&ds);
+            let placer = Placer::new(ctx, s2p, base_cfg.clone()).expect("valid cfg");
+            let (_, report) = placer.place(&batch).expect("reference run");
+            Timed { time: report.total_time, payload: report }
+        });
+        let ref_time = reference.time.as_secs_f64();
+        let ref_mem = reference.payload.peak_memory;
+        table.row(&[
+            spec.name.to_string(),
+            "(off)".into(),
+            "1.000".into(),
+            "1.00".into(),
+            format!("{ref_time:.2}"),
+            "yes".into(),
+            reference.payload.slots.to_string(),
+            reference.payload.slot_stats.misses.to_string(),
+        ]);
+
+        // Sweep budgets from the full footprint down to the floor.
+        let (probe_ctx, _) = build_reference(&ds);
+        let floor = memplan::floor_budget(&probe_ctx, &base_cfg, batch.len(), batch.n_sites());
+        drop(probe_ctx);
+        let budgets = sweep_budgets(ref_mem, floor);
+        for budget in budgets {
+            let cfg = EpaConfig { max_memory: Some(budget), ..base_cfg.clone() };
+            let run = repeat_mean(args.repeats, || {
+                let (ctx, s2p) = build_reference(&ds);
+                let placer = Placer::new(ctx, s2p, cfg.clone()).expect("valid cfg");
+                let (_, report) = placer.place(&batch).expect("swept run");
+                Timed { time: report.total_time, payload: report }
+            });
+            let rep = &run.payload;
+            table.row(&[
+                spec.name.to_string(),
+                format!("{:.1}", mib(budget)),
+                format!("{:.3}", rep.peak_memory as f64 / ref_mem as f64),
+                format!("{:.2}", run.time.as_secs_f64() / ref_time),
+                format!("{:.2}", run.time.as_secs_f64()),
+                if rep.used_lookup { "yes" } else { "no" }.to_string(),
+                rep.slots.to_string(),
+                rep.slot_stats.misses.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = write_csv(&format!("{figure}_{}", args.scale), &table);
+    eprintln!("csv: {}", path.display());
+}
+
+/// Budget points between the reference footprint and the floor: denser
+/// near the floor where the cliff lives.
+fn sweep_budgets(ref_mem: usize, floor: usize) -> Vec<usize> {
+    let fractions = [0.85, 0.6, 0.4, 0.25, 0.12, 0.05];
+    let mut out: Vec<usize> = fractions
+        .iter()
+        .map(|f| (ref_mem as f64 * f) as usize)
+        .filter(|&b| b > floor)
+        .collect();
+    out.push(floor + floor / 50); // just above the floor
+    out.push(floor); // the floor itself
+    out.dedup();
+    out
+}
+
+fn paper_queries(name: &str) -> usize {
+    match name {
+        "neotrop" => 95_417,
+        "serratus" => 136,
+        "pro_ref" => 3_333,
+        _ => unreachable!("unknown dataset {name}"),
+    }
+}

@@ -1,0 +1,104 @@
+//! Candidate selection between the prescore and thorough phases.
+
+use phylo_tree::EdgeId;
+
+/// Selects the branches each query is thoroughly re-scored on: the top
+/// `max(min_candidates, ceil(fraction · branches))` by prescore.
+///
+/// `prescores` is the per-branch prescore row of one query.
+pub fn select_candidates(
+    prescores: &[f64],
+    fraction: f64,
+    min_candidates: usize,
+) -> Vec<EdgeId> {
+    let n = prescores.len();
+    let k = ((n as f64 * fraction).ceil() as usize).max(min_candidates).min(n);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // Partial selection: full sort is fine at these branch counts and keeps
+    // determinism trivial (ties broken by branch id).
+    order.sort_by(|&a, &b| {
+        prescores[b as usize]
+            .partial_cmp(&prescores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order.into_iter().map(EdgeId).collect()
+}
+
+/// Groups (query, branch) candidate pairs by branch, so thorough scoring
+/// touches each branch's CLVs once per chunk. Returns `(branch, query
+/// indices)` sorted by branch id — the "branch block" iteration order.
+pub fn group_by_branch(per_query: &[Vec<EdgeId>]) -> Vec<(EdgeId, Vec<usize>)> {
+    let mut map: std::collections::BTreeMap<u32, Vec<usize>> = std::collections::BTreeMap::new();
+    for (q, edges) in per_query.iter().enumerate() {
+        for &e in edges {
+            map.entry(e.0).or_default().push(q);
+        }
+    }
+    map.into_iter().map(|(e, qs)| (EdgeId(e), qs)).collect()
+}
+
+/// As [`group_by_branch`], but ordered by the given branch ranking
+/// (typically a DFS edge order) so slot-managed thorough scoring walks
+/// topologically adjacent branches.
+pub fn group_by_branch_ranked(
+    per_query: &[Vec<EdgeId>],
+    rank: &[u32],
+) -> Vec<(EdgeId, Vec<usize>)> {
+    let mut grouped = group_by_branch(per_query);
+    grouped.sort_by_key(|&(e, _)| rank[e.idx()]);
+    grouped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_top_fraction() {
+        let scores = vec![-10.0, -1.0, -5.0, -2.0, -20.0, -3.0, -7.0, -4.0, -6.0, -8.0];
+        let picked = select_candidates(&scores, 0.2, 1);
+        assert_eq!(picked, vec![EdgeId(1), EdgeId(3)]);
+    }
+
+    #[test]
+    fn respects_minimum() {
+        let scores = vec![-1.0, -2.0, -3.0];
+        let picked = select_candidates(&scores, 0.0, 2);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0], EdgeId(0));
+    }
+
+    #[test]
+    fn min_clamped_to_branch_count() {
+        let scores = vec![-1.0, -2.0];
+        let picked = select_candidates(&scores, 0.0, 10);
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let scores = vec![-1.0, -1.0, -1.0];
+        let picked = select_candidates(&scores, 0.0, 2);
+        assert_eq!(picked, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn grouping_inverts_candidates() {
+        let per_query = vec![
+            vec![EdgeId(3), EdgeId(1)],
+            vec![EdgeId(1)],
+            vec![EdgeId(2), EdgeId(3)],
+        ];
+        let grouped = group_by_branch(&per_query);
+        assert_eq!(
+            grouped,
+            vec![
+                (EdgeId(1), vec![0, 1]),
+                (EdgeId(2), vec![2]),
+                (EdgeId(3), vec![0, 2]),
+            ]
+        );
+    }
+}

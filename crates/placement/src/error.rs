@@ -1,0 +1,68 @@
+//! Error type for the placement pipeline.
+
+use std::fmt;
+
+/// Errors raised while configuring or running placement.
+#[derive(Debug)]
+pub enum PlaceError {
+    /// The memory budget cannot hold even the mandatory structures; the
+    /// message suggests the smallest workable budget and a smaller chunk.
+    BudgetTooSmall {
+        /// The requested budget.
+        budget_bytes: usize,
+        /// The smallest feasible budget at this chunk size.
+        required_bytes: usize,
+        /// The chunk size the requirement was computed for.
+        chunk_size: usize,
+    },
+    /// A query sequence's aligned length differs from the reference.
+    QueryLength {
+        /// The query's name.
+        name: String,
+        /// The reference alignment width.
+        expected: usize,
+        /// The query's aligned length.
+        found: usize,
+    },
+    /// No queries were supplied.
+    NoQueries,
+    /// A configuration field is out of range.
+    BadConfig(String),
+    /// Propagated engine/AMC failure.
+    Engine(phylo_engine::EngineError),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::BudgetTooSmall { budget_bytes, required_bytes, chunk_size } => write!(
+                f,
+                "--maxmem budget of {budget_bytes} B cannot hold mandatory structures \
+                 ({required_bytes} B at chunk size {chunk_size}); raise the budget or \
+                 lower the chunk size"
+            ),
+            PlaceError::QueryLength { name, expected, found } => write!(
+                f,
+                "query {name:?} has aligned length {found}, reference alignment has {expected} sites"
+            ),
+            PlaceError::NoQueries => write!(f, "no query sequences supplied"),
+            PlaceError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            PlaceError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlaceError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<phylo_engine::EngineError> for PlaceError {
+    fn from(e: phylo_engine::EngineError) -> Self {
+        PlaceError::Engine(e)
+    }
+}

@@ -1,0 +1,125 @@
+//! Query sequence batches.
+//!
+//! Queries arrive aligned against the reference alignment (EPA-NG performs
+//! or expects this alignment step; here it is a precondition). A query is
+//! stored as per-*site* codes — unlike reference CLVs, queries cannot be
+//! pattern-compressed because two reference-identical columns may carry
+//! different query characters.
+
+use crate::error::PlaceError;
+use phylo_seq::Sequence;
+
+/// One aligned, encoded query sequence.
+#[derive(Debug, Clone)]
+pub struct EncodedQuery {
+    /// Query name (carried into the results).
+    pub name: String,
+    /// Alphabet codes per original alignment site.
+    pub codes: Vec<u8>,
+}
+
+/// A set of aligned queries, streamed in chunks.
+#[derive(Debug, Clone)]
+pub struct QueryBatch {
+    queries: Vec<EncodedQuery>,
+    n_sites: usize,
+}
+
+impl QueryBatch {
+    /// Validates and encodes a set of query sequences against the
+    /// reference alignment width.
+    pub fn new(queries: &[Sequence], n_sites: usize) -> Result<Self, PlaceError> {
+        if queries.is_empty() {
+            return Err(PlaceError::NoQueries);
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            if q.len() != n_sites {
+                return Err(PlaceError::QueryLength {
+                    name: q.name().to_string(),
+                    expected: n_sites,
+                    found: q.len(),
+                });
+            }
+            out.push(EncodedQuery { name: q.name().to_string(), codes: q.codes().to_vec() });
+        }
+        Ok(QueryBatch { queries: out, n_sites })
+    }
+
+    /// Number of queries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the batch is empty (never for a constructed batch).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Alignment width.
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// All queries.
+    #[inline]
+    pub fn queries(&self) -> &[EncodedQuery] {
+        &self.queries
+    }
+
+    /// Iterates the batch in chunks of at most `chunk_size` queries — the
+    /// unit the paper's chunked processing streams through the tree.
+    pub fn chunks(&self, chunk_size: usize) -> impl Iterator<Item = &[EncodedQuery]> {
+        self.queries.chunks(chunk_size.max(1))
+    }
+
+    /// Bytes a chunk of this batch occupies (per-chunk accounting).
+    pub fn chunk_bytes(&self, chunk_size: usize) -> usize {
+        chunk_size.min(self.len()) * self.n_sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_seq::alphabet::AlphabetKind;
+
+    fn seqs(texts: &[&str]) -> Vec<Sequence> {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Sequence::from_text(format!("q{i}"), AlphabetKind::Dna, t).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn batch_builds_and_chunks() {
+        let b = QueryBatch::new(&seqs(&["ACGT", "TTTT", "NNNN", "AC-T", "GGGG"]), 4).unwrap();
+        assert_eq!(b.len(), 5);
+        let chunks: Vec<_> = b.chunks(2).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 2);
+        assert_eq!(chunks[2].len(), 1);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = QueryBatch::new(&seqs(&["ACGT", "TTT"]), 4).unwrap_err();
+        assert!(matches!(err, PlaceError::QueryLength { expected: 4, found: 3, .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(QueryBatch::new(&[], 4), Err(PlaceError::NoQueries)));
+    }
+
+    #[test]
+    fn gaps_become_unknown() {
+        let b = QueryBatch::new(&seqs(&["A-GT"]), 4).unwrap();
+        let alphabet = AlphabetKind::Dna.alphabet();
+        assert_eq!(b.queries()[0].codes[1], alphabet.unknown_code());
+    }
+}

@@ -1,0 +1,713 @@
+//! The placement orchestrator: chunks × branch blocks × worker threads.
+
+use crate::candidates::{group_by_branch_ranked, select_candidates};
+use crate::config::EpaConfig;
+use crate::error::PlaceError;
+use crate::lookup::LookupTable;
+use crate::memplan::{self, MemoryPlan};
+use crate::queries::{EncodedQuery, QueryBatch};
+use crate::result::{PlacementEntry, PlacementResult, RunReport};
+use crate::score::{attachment_partials, score_thorough, BranchScoreTable, ScoreScratch};
+use parking_lot::RwLock;
+use phylo_engine::{ManagedStore, PreparedBlock, ReferenceContext};
+use phylo_tree::{DirEdgeId, EdgeId};
+use std::time::Instant;
+
+/// A configured placement engine over one reference.
+pub struct Placer {
+    ctx: ReferenceContext,
+    site_to_pattern: Vec<u32>,
+    cfg: EpaConfig,
+}
+
+impl Placer {
+    /// Builds a placer. `site_to_pattern` is the site→pattern map of the
+    /// compressed reference alignment
+    /// ([`phylo_seq::PatternMsa::site_to_pattern`]).
+    pub fn new(
+        ctx: ReferenceContext,
+        site_to_pattern: Vec<u32>,
+        cfg: EpaConfig,
+    ) -> Result<Self, PlaceError> {
+        cfg.validate()?;
+        Ok(Placer { ctx, site_to_pattern, cfg })
+    }
+
+    /// The reference context.
+    pub fn ctx(&self) -> &ReferenceContext {
+        &self.ctx
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EpaConfig {
+        &self.cfg
+    }
+
+    /// The memory plan this placer would run under for a given batch.
+    pub fn memory_plan(&self, batch: &QueryBatch) -> Result<MemoryPlan, PlaceError> {
+        memplan::plan(&self.ctx, &self.cfg, batch.len(), batch.n_sites())
+    }
+
+    /// The largest branch-block size the slot budget supports: each block
+    /// pins two CLVs per branch (both orientations), async prefetch keeps
+    /// two blocks pinned at once, and `⌈log₂ n⌉ + 2` slots must stay
+    /// unpinned for the traversal itself.
+    fn effective_block_size(&self, slots: usize) -> usize {
+        let spare = slots.saturating_sub(self.ctx.min_slots());
+        let per_block = if self.cfg.async_prefetch { 4 } else { 2 };
+        (spare / per_block).clamp(1, self.cfg.block_size)
+    }
+
+    /// Places every query of the batch; returns per-query results (in
+    /// batch order) and the run report.
+    pub fn place(
+        &self,
+        batch: &QueryBatch,
+    ) -> Result<(Vec<PlacementResult>, RunReport), PlaceError> {
+        let t_total = Instant::now();
+        let ctx = &self.ctx;
+        let cfg = &self.cfg;
+        let plan = self.memory_plan(batch)?;
+        let mut report = RunReport {
+            n_queries: batch.len(),
+            used_lookup: plan.use_lookup,
+            slots: plan.slots,
+            peak_memory: plan.tracker.peak(),
+            ..Default::default()
+        };
+        let mut store = ManagedStore::with_slots(ctx, plan.slots, cfg.strategy)?;
+        store.set_compute_threads(cfg.sitepar_threads.max(1));
+
+        let lookup = if plan.use_lookup {
+            let t = Instant::now();
+            let table = LookupTable::build(ctx, &mut store, cfg)?;
+            report.lookup_time = t.elapsed();
+            Some(table)
+        } else {
+            None
+        };
+
+        let branches = ctx.tree().n_edges();
+        // Rank branches by DFS order once; thorough blocks follow it.
+        let mut dfs_rank = vec![0u32; branches];
+        for (i, e) in phylo_tree::traversal::edge_dfs_order(ctx.tree()).into_iter().enumerate() {
+            dfs_rank[e.idx()] = i as u32;
+        }
+        let mut results: Vec<PlacementResult> = batch
+            .queries()
+            .iter()
+            .map(|q| PlacementResult { name: q.name.clone(), placements: Vec::new() })
+            .collect();
+        let mut prescores = vec![0.0f64; plan.chunk_size * branches];
+        let store = RwLock::new(store);
+
+        for (chunk_idx, chunk) in batch.chunks(plan.chunk_size).enumerate() {
+            let qoff = chunk_idx * plan.chunk_size;
+            let mat = &mut prescores[..chunk.len() * branches];
+
+            // ---- Phase 1: prescore every (query, branch) pair. ----
+            let t = Instant::now();
+            match &lookup {
+                Some(table) => {
+                    prescore_with_lookup(
+                        ctx,
+                        table,
+                        &self.site_to_pattern,
+                        chunk,
+                        mat,
+                        branches,
+                        cfg.threads,
+                    );
+                }
+                None => {
+                    self.prescore_blocked(ctx, &store, chunk, mat, branches)?;
+                }
+            }
+            report.n_prescored += (chunk.len() * branches) as u64;
+            report.prescore_time += t.elapsed();
+
+            // ---- Candidate selection. ----
+            let cand: Vec<Vec<EdgeId>> = mat
+                .chunks(branches)
+                .map(|row| select_candidates(row, cfg.thorough_fraction, cfg.thorough_min))
+                .collect();
+
+            // ---- Phase 2: thorough scoring, grouped by branch. ----
+            let t = Instant::now();
+            let grouped = group_by_branch_ranked(&cand, &dfs_rank);
+            report.n_thorough += grouped.iter().map(|(_, qs)| qs.len() as u64).sum::<u64>();
+            self.thorough_blocked(ctx, &store, chunk, &grouped, qoff, &mut results)?;
+            report.thorough_time += t.elapsed();
+        }
+
+        for r in &mut results {
+            r.finalize();
+        }
+        report.slot_stats = store.into_inner().stats();
+        report.total_time = t_total.elapsed();
+        Ok((results, report))
+    }
+
+    /// Prescoring without the lookup table: branch blocks are prepared
+    /// under the slot budget (optionally prefetched asynchronously) and a
+    /// transient score table is built per branch — the paper's expensive
+    /// path.
+    fn prescore_blocked(
+        &self,
+        ctx: &ReferenceContext,
+        store: &RwLock<ManagedStore>,
+        chunk: &[EncodedQuery],
+        mat: &mut [f64],
+        branches: usize,
+    ) -> Result<(), PlaceError> {
+        let cfg = &self.cfg;
+        let block_size = self.effective_block_size(store.read().n_slots());
+        // DFS order keeps consecutive blocks topologically adjacent, so
+        // AMC reuses most subtree CLVs between blocks.
+        let all_edges: Vec<EdgeId> = phylo_tree::traversal::edge_dfs_order(ctx.tree());
+        let blocks: Vec<Vec<EdgeId>> =
+            all_edges.chunks(block_size).map(|b| b.to_vec()).collect();
+        let s2p = &self.site_to_pattern;
+        let pendant = (ctx.tree().total_length() / branches as f64).max(1e-6);
+        let mut mat_cell = RowMatrix { data: mat, width: branches };
+        run_blocks(ctx, store, &blocks, cfg.async_prefetch, |block| {
+            // Build the block's transient tables under a read lock.
+            let tables: Vec<BranchScoreTable> = {
+                let st = store.read();
+                let mut scratch = ScoreScratch::new(ctx);
+                block
+                    .iter()
+                    .map(|&e| {
+                        let partials = attachment_partials(ctx, &st, e, 0.5, &mut scratch);
+                        BranchScoreTable::build(ctx, &partials, pendant, &mut scratch)
+                    })
+                    .collect()
+            };
+            // Score the chunk against the block, parallel over queries.
+            mat_cell.with_rows(chunk.len(), cfg.threads, |q_range, rows| {
+                for (local, row) in q_range.clone().zip(rows.chunks_mut(branches)) {
+                    let codes = &chunk[local].codes;
+                    for (bi, &e) in block.iter().enumerate() {
+                        row[e.idx()] = tables[bi].prescore(ctx, s2p, codes);
+                    }
+                }
+            });
+            Ok(())
+        })
+    }
+
+    /// Thorough scoring of the candidate (query, branch) pairs, processed
+    /// in branch blocks.
+    fn thorough_blocked(
+        &self,
+        ctx: &ReferenceContext,
+        store: &RwLock<ManagedStore>,
+        chunk: &[EncodedQuery],
+        grouped: &[(EdgeId, Vec<usize>)],
+        qoff: usize,
+        results: &mut Vec<PlacementResult>,
+    ) -> Result<(), PlaceError> {
+        let cfg = &self.cfg;
+        let s2p = &self.site_to_pattern;
+        let block_size = self.effective_block_size(store.read().n_slots());
+        let blocks: Vec<Vec<EdgeId>>  = grouped
+            .chunks(block_size)
+            .map(|g| g.iter().map(|&(e, _)| e).collect())
+            .collect();
+        // Blocks may be re-split under slot pressure, so group membership
+        // is looked up per edge rather than tracked by a cursor.
+        let group_of: std::collections::HashMap<u32, &Vec<usize>> =
+            grouped.iter().map(|(e, qs)| (e.0, qs)).collect();
+        run_blocks(ctx, store, &blocks, cfg.async_prefetch, |block| {
+            // Flatten to (edge, query) work items and strip across threads.
+            let items: Vec<(EdgeId, usize)> = block
+                .iter()
+                .flat_map(|e| {
+                    group_of[&e.0].iter().map(move |&q| (*e, q))
+                })
+                .collect();
+            let n_threads = cfg.threads.min(items.len().max(1));
+            let mut outputs: Vec<Vec<(usize, PlacementEntry)>> = Vec::new();
+            crossbeam::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for t in 0..n_threads {
+                    let items = &items;
+                    let store = &store;
+                    handles.push(s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        let mut scratch = ScoreScratch::new(ctx);
+                        let mut k = t;
+                        while k < items.len() {
+                            let (e, q) = items[k];
+                            let st = store.read();
+                            let sp = score_thorough(
+                                ctx,
+                                &st,
+                                e,
+                                s2p,
+                                &chunk[q].codes,
+                                cfg.blo_iterations,
+                                &mut scratch,
+                            )
+                            .expect("thorough scoring on a prepared branch");
+                            drop(st);
+                            let t_len = ctx.tree().edge_length(e);
+                            out.push((
+                                q,
+                                PlacementEntry {
+                                    edge: e,
+                                    log_likelihood: sp.log_likelihood,
+                                    like_weight_ratio: 0.0,
+                                    pendant_length: sp.pendant,
+                                    distal_length: sp.proximal_fraction * t_len,
+                                },
+                            ));
+                            k += n_threads;
+                        }
+                        out
+                    }));
+                }
+                for h in handles {
+                    outputs.push(h.join().expect("thorough worker panicked"));
+                }
+            })
+            .expect("thorough scope");
+            for out in outputs {
+                for (q, entry) in out {
+                    results[qoff + q].placements.push(entry);
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Shared-nothing row access: hands disjoint row ranges of a flat matrix
+/// to worker threads.
+struct RowMatrix<'a> {
+    data: &'a mut [f64],
+    width: usize,
+}
+
+impl<'a> RowMatrix<'a> {
+    fn with_rows(
+        &mut self,
+        n_rows: usize,
+        n_threads: usize,
+        work: impl Fn(std::ops::Range<usize>, &mut [f64]) + Sync,
+    ) {
+        let width = self.width;
+        let n_threads = n_threads.max(1).min(n_rows.max(1));
+        let rows_per = n_rows.div_ceil(n_threads);
+        crossbeam::thread::scope(|s| {
+            let mut rest: &mut [f64] = self.data;
+            let mut start = 0usize;
+            while start < n_rows {
+                let take = rows_per.min(n_rows - start);
+                let (head, tail) = rest.split_at_mut(take * width);
+                rest = tail;
+                let range = start..start + take;
+                let work = &work;
+                s.spawn(move |_| work(range, head));
+                start += take;
+            }
+        })
+        .expect("prescore scope");
+    }
+}
+
+/// Phase-1 prescoring against the lookup table, parallel over queries.
+fn prescore_with_lookup(
+    ctx: &ReferenceContext,
+    table: &LookupTable,
+    s2p: &[u32],
+    chunk: &[EncodedQuery],
+    mat: &mut [f64],
+    branches: usize,
+    n_threads: usize,
+) {
+    let mut m = RowMatrix { data: mat, width: branches };
+    m.with_rows(chunk.len(), n_threads, |q_range, rows| {
+        for (local, row) in q_range.clone().zip(rows.chunks_mut(branches)) {
+            let codes = &chunk[local].codes;
+            for e in ctx.tree().all_edges() {
+                row[e.idx()] = table.prescore(ctx, e, s2p, codes);
+            }
+        }
+    });
+}
+
+/// Runs `scorer` over branch blocks whose CLVs are prepared under the slot
+/// budget. With `async_prefetch`, the next block's CLVs are computed on a
+/// dedicated thread (one compute step per write-lock acquisition) while
+/// the current block is scored — the paper's adapted parallelization.
+///
+/// Degrades gracefully under slot pressure: if a block's targets cannot
+/// all be pinned at once ([`phylo_amc::AmcError::AllSlotsPinned`]), the
+/// block is recursively split and prepared synchronously, and prefetching
+/// resumes at the next block.
+fn run_blocks(
+    ctx: &ReferenceContext,
+    store: &RwLock<ManagedStore>,
+    blocks: &[Vec<EdgeId>],
+    async_prefetch: bool,
+    mut scorer: impl FnMut(&[EdgeId]) -> Result<(), PlaceError>,
+) -> Result<(), PlaceError> {
+    if blocks.is_empty() {
+        return Ok(());
+    }
+    if !async_prefetch {
+        for block in blocks {
+            prepare_split(ctx, store, block, &mut scorer)?;
+        }
+        return Ok(());
+    }
+    let mut next: Option<PreparedBlock> = try_prepare(ctx, store, &blocks[0])?;
+    for k in 0..blocks.len() {
+        match next.take() {
+            Some(prepared) => {
+                let mut prefetched: Option<PreparedBlock> = None;
+                let mut prefetch_result: Result<(), PlaceError> = Ok(());
+                let mut scorer_result: Result<(), PlaceError> = Ok(());
+                if k + 1 < blocks.len() {
+                    let next_dirs = dirs_of(&blocks[k + 1]);
+                    let pref_slot = &mut prefetched;
+                    let pref_err = &mut prefetch_result;
+                    crossbeam::thread::scope(|s| {
+                        let handle =
+                            s.spawn(|_| -> Result<Option<PreparedBlock>, PlaceError> {
+                                // Plan quickly, then execute one compute
+                                // step per lock acquisition so scoring
+                                // readers interleave.
+                                let plan_attempt =
+                                    store.write().plan_prepare(ctx, &next_dirs);
+                                let mut pending = match plan_attempt {
+                                    Ok(p) => p,
+                                    Err(e) if is_pin_exhaustion(&e) => return Ok(None),
+                                    Err(e) => return Err(e.into()),
+                                };
+                                while store.write().execute_one(ctx, &mut pending) {}
+                                Ok(Some(pending.into_prepared()))
+                            });
+                        scorer_result = scorer(&blocks[k]);
+                        match handle.join().expect("prefetch thread panicked") {
+                            Ok(opt) => *pref_slot = opt,
+                            Err(e) => *pref_err = Err(e),
+                        }
+                    })
+                    .expect("prefetch scope");
+                } else {
+                    scorer_result = scorer(&blocks[k]);
+                }
+                store.write().release(prepared);
+                scorer_result?;
+                prefetch_result?;
+                next = prefetched;
+            }
+            None => {
+                // This block could not be prefetched whole: prepare it
+                // synchronously, splitting as needed, then resume
+                // prefetching from the next block.
+                prepare_split(ctx, store, &blocks[k], &mut scorer)?;
+                if k + 1 < blocks.len() {
+                    next = try_prepare(ctx, store, &blocks[k + 1])?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn dirs_of(block: &[EdgeId]) -> Vec<DirEdgeId> {
+    block
+        .iter()
+        .flat_map(|&e| [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)])
+        .collect()
+}
+
+fn is_pin_exhaustion(e: &phylo_engine::EngineError) -> bool {
+    matches!(
+        e,
+        phylo_engine::EngineError::Amc(phylo_amc::AmcError::AllSlotsPinned { .. })
+    )
+}
+
+/// Prepares a block, scoring and releasing it; on pin exhaustion the block
+/// is split in half recursively (a single branch always fits: two target
+/// pins plus the `⌈log₂ n⌉ + 2` traversal floor).
+fn prepare_split(
+    ctx: &ReferenceContext,
+    store: &RwLock<ManagedStore>,
+    block: &[EdgeId],
+    scorer: &mut impl FnMut(&[EdgeId]) -> Result<(), PlaceError>,
+) -> Result<(), PlaceError> {
+    // Bind the prepare result first: a `match` on the expression would
+    // keep the write guard (a scrutinee temporary) alive across the
+    // scorer's read locks and self-deadlock.
+    let attempt = store.write().prepare(ctx, &dirs_of(block));
+    match attempt {
+        Ok(prepared) => {
+            let r = scorer(block);
+            store.write().release(prepared);
+            r
+        }
+        Err(e) if is_pin_exhaustion(&e) && block.len() > 1 => {
+            let mid = block.len() / 2;
+            prepare_split(ctx, store, &block[..mid], scorer)?;
+            prepare_split(ctx, store, &block[mid..], scorer)
+        }
+        Err(e) if is_pin_exhaustion(&e) => {
+            // Even a single branch can exhaust the pins when the plan
+            // references many *cached* dependencies (each gets pinned for
+            // the pass). Flush the cache and retry over a clean slate,
+            // where the pin demand is bounded by the traversal floor.
+            {
+                let mut st = store.write();
+                st.flush_cache();
+            }
+            let attempt = store.write().prepare(ctx, &dirs_of(block));
+            match attempt {
+                Ok(prepared) => {
+                    let r = scorer(block);
+                    store.write().release(prepared);
+                    r
+                }
+                Err(e) => Err(e.into()),
+            }
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Prefetch-style preparation that treats pin exhaustion as "not now"
+/// rather than an error.
+fn try_prepare(
+    ctx: &ReferenceContext,
+    store: &RwLock<ManagedStore>,
+    block: &[EdgeId],
+) -> Result<Option<PreparedBlock>, PlaceError> {
+    let attempt = store.write().prepare(ctx, &dirs_of(block));
+    match attempt {
+        Ok(p) => Ok(Some(p)),
+        Err(e) if is_pin_exhaustion(&e) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PreplacementMode;
+    use phylo_models::{dna, DiscreteGamma, SubstModel};
+    use phylo_seq::alphabet::AlphabetKind;
+    use phylo_seq::{compress, Msa, Sequence};
+    use phylo_tree::{generate, NodeId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(
+        n: usize,
+        sites: usize,
+        n_queries: usize,
+        seed: u64,
+    ) -> (ReferenceContext, Vec<u32>, QueryBatch) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = generate::yule(n, 0.1, &mut rng).unwrap();
+        let rows: Vec<Sequence> = (0..n)
+            .map(|i| {
+                let text: String =
+                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
+            })
+            .collect();
+        let msa = Msa::new(rows).unwrap();
+        let patterns = compress(&msa).unwrap();
+        let s2p = patterns.site_to_pattern().to_vec();
+        // Queries: mutated copies of random reference rows.
+        let queries: Vec<Sequence> = (0..n_queries)
+            .map(|i| {
+                let src = msa.row(rng.gen_range(0..n)).codes().to_vec();
+                let mutated: Vec<u8> = src
+                    .iter()
+                    .map(|&c| if rng.gen_bool(0.05) { rng.gen_range(0..4) } else { c })
+                    .collect();
+                Sequence::from_codes(format!("q{i}"), AlphabetKind::Dna, mutated).unwrap()
+            })
+            .collect();
+        let batch = QueryBatch::new(&queries, sites).unwrap();
+        let model = SubstModel::new(&dna::jc69(), DiscreteGamma::none()).unwrap();
+        let ctx =
+            ReferenceContext::new(tree, model, AlphabetKind::Dna.alphabet(), &patterns).unwrap();
+        (ctx, s2p, batch)
+    }
+
+    fn best_edges(results: &[PlacementResult]) -> Vec<u32> {
+        results.iter().map(|r| r.best().unwrap().edge.0).collect()
+    }
+
+    #[test]
+    fn default_run_places_everything() {
+        let (ctx, s2p, batch) = setup(12, 60, 8, 1);
+        let placer = Placer::new(ctx, s2p, EpaConfig::default()).unwrap();
+        let (results, report) = placer.place(&batch).unwrap();
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            assert!(!r.placements.is_empty());
+            let lwr: f64 = r.placements.iter().map(|p| p.like_weight_ratio).sum();
+            assert!((lwr - 1.0).abs() < 1e-9);
+        }
+        assert!(report.used_lookup);
+        assert!(report.n_prescored >= (8 * 21) as u64);
+        assert!(report.total_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn amc_and_full_agree_on_best_placements() {
+        let (ctx, s2p, batch) = setup(16, 80, 10, 2);
+        let full = Placer::new(ctx, s2p.clone(), EpaConfig::default()).unwrap();
+        let (r_full, rep_full) = full.place(&batch).unwrap();
+
+        let (ctx2, _, _) = setup(16, 80, 10, 2);
+        let tight_cfg = EpaConfig {
+            max_memory: Some(rep_full.peak_memory), // plenty: same layout
+            ..Default::default()
+        };
+        let tight = Placer::new(ctx2, s2p, tight_cfg).unwrap();
+        let (r_tight, _) = tight.place(&batch).unwrap();
+        assert_eq!(best_edges(&r_full), best_edges(&r_tight));
+        for (a, b) in r_full.iter().zip(&r_tight) {
+            assert!((a.best().unwrap().log_likelihood - b.best().unwrap().log_likelihood).abs()
+                < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_lookup_path_matches_lookup_path() {
+        let (ctx, s2p, batch) = setup(12, 50, 6, 3);
+        let with = Placer::new(ctx, s2p.clone(), EpaConfig::default()).unwrap();
+        let (r_with, rep_with) = with.place(&batch).unwrap();
+        assert!(rep_with.used_lookup);
+
+        let (ctx2, _, _) = setup(12, 50, 6, 3);
+        let cfg = EpaConfig { preplacement: PreplacementMode::Off, ..Default::default() };
+        let without = Placer::new(ctx2, s2p, cfg).unwrap();
+        let (r_without, rep_without) = without.place(&batch).unwrap();
+        assert!(!rep_without.used_lookup);
+        assert_eq!(best_edges(&r_with), best_edges(&r_without));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (ctx, s2p, batch) = setup(14, 60, 9, 4);
+        let serial = Placer::new(ctx, s2p.clone(), EpaConfig { threads: 1, ..Default::default() })
+            .unwrap();
+        let (r1, _) = serial.place(&batch).unwrap();
+        let (ctx2, _, _) = setup(14, 60, 9, 4);
+        let par = Placer::new(
+            ctx2,
+            s2p,
+            EpaConfig { threads: 4, ..Default::default() },
+        )
+        .unwrap();
+        let (r2, _) = par.place(&batch).unwrap();
+        assert_eq!(best_edges(&r1), best_edges(&r2));
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!(a.placements.len(), b.placements.len());
+            for (x, y) in a.placements.iter().zip(&b.placements) {
+                assert_eq!(x.edge, y.edge);
+                assert_eq!(x.log_likelihood.to_bits(), y.log_likelihood.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn async_prefetch_matches_sync() {
+        let (ctx, s2p, batch) = setup(14, 50, 6, 5);
+        let cfg_sync = EpaConfig {
+            preplacement: PreplacementMode::Off,
+            async_prefetch: false,
+            block_size: 4,
+            ..Default::default()
+        };
+        let sync = Placer::new(ctx, s2p.clone(), cfg_sync).unwrap();
+        let (r1, _) = sync.place(&batch).unwrap();
+        let (ctx2, _, _) = setup(14, 50, 6, 5);
+        let cfg_async = EpaConfig {
+            preplacement: PreplacementMode::Off,
+            async_prefetch: true,
+            block_size: 4,
+            threads: 2,
+            ..Default::default()
+        };
+        let asy = Placer::new(ctx2, s2p, cfg_async).unwrap();
+        let (r2, _) = asy.place(&batch).unwrap();
+        assert_eq!(best_edges(&r1), best_edges(&r2));
+    }
+
+    #[test]
+    fn small_chunks_match_large_chunks() {
+        let (ctx, s2p, batch) = setup(12, 40, 10, 6);
+        let big = Placer::new(ctx, s2p.clone(), EpaConfig::default()).unwrap();
+        let (r1, _) = big.place(&batch).unwrap();
+        let (ctx2, _, _) = setup(12, 40, 10, 6);
+        let small =
+            Placer::new(ctx2, s2p, EpaConfig { chunk_size: 3, ..Default::default() }).unwrap();
+        let (r2, _) = small.place(&batch).unwrap();
+        assert_eq!(best_edges(&r1), best_edges(&r2));
+    }
+
+    #[test]
+    fn tight_memory_recomputes_more() {
+        let (ctx, s2p, batch) = setup(24, 60, 6, 7);
+        // Baseline: unlimited.
+        let off = Placer::new(ctx, s2p.clone(), EpaConfig::default()).unwrap();
+        let (_, rep_off) = off.place(&batch).unwrap();
+        // Tight: minimum feasible slots (floor budget), no lookup.
+        let (ctx2, _, _) = setup(24, 60, 6, 7);
+        let slot_bytes = phylo_amc::SlotArena::bytes_per_slot(
+            ctx2.layout().clv_len(),
+            ctx2.layout().patterns,
+        );
+        let floor = ctx2.approx_bytes()
+            + memplan::chunk_bytes(&ctx2, 2, batch.n_sites())
+            + (ctx2.min_slots() + 4) * slot_bytes;
+        let cfg = EpaConfig {
+            preplacement: PreplacementMode::Off,
+            max_memory: Some(floor),
+            chunk_size: 2,
+            block_size: 8,
+            async_prefetch: false,
+            ..Default::default()
+        };
+        let tight = Placer::new(ctx2, s2p, cfg).unwrap();
+        let (_, rep_tight) = tight.place(&batch).unwrap();
+        assert!(
+            rep_tight.slot_stats.misses > rep_off.slot_stats.misses,
+            "no-lookup chunked runs must recompute more CLVs: {:?} vs {:?}",
+            rep_tight.slot_stats,
+            rep_off.slot_stats
+        );
+    }
+
+    #[test]
+    fn identical_queries_place_at_their_taxon() {
+        let (ctx, s2p, _) = setup(10, 100, 1, 8);
+        // Build queries identical to the first three taxa.
+        let queries: Vec<Sequence> = (0..3)
+            .map(|i| {
+                let per_pattern = ctx.tip_codes(NodeId(i as u32)).to_vec();
+                let codes: Vec<u8> =
+                    s2p.iter().map(|&p| per_pattern[p as usize]).collect();
+                Sequence::from_codes(format!("taxon-copy-{i}"), AlphabetKind::Dna, codes).unwrap()
+            })
+            .collect();
+        let batch = QueryBatch::new(&queries, 100).unwrap();
+        let pendant_edges: Vec<u32> =
+            (0..3).map(|i| ctx.tree().neighbors(NodeId(i as u32))[0].1 .0).collect();
+        let placer = Placer::new(ctx, s2p, EpaConfig::default()).unwrap();
+        let (results, _) = placer.place(&batch).unwrap();
+        for (r, expect) in results.iter().zip(pendant_edges) {
+            assert_eq!(r.best().unwrap().edge.0, expect, "query {}", r.name);
+        }
+    }
+}

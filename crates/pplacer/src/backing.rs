@@ -1,0 +1,217 @@
+//! CLV storage backings: RAM or an on-disk file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+/// Which medium holds the CLV set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backing {
+    /// Everything in main memory (pplacer default).
+    Ram,
+    /// CLVs in an unlinked temporary file, read back on demand
+    /// (pplacer's `--mmap-file` memory-saving mode).
+    File,
+}
+
+/// A fixed-size array of CLV records, each `clv_len` f64 values plus
+/// `patterns` scaler counts, stored in RAM or a temp file.
+pub enum ClvStoreBacking {
+    /// In-memory storage.
+    Ram {
+        /// Flat CLV values, `n_records × clv_len`.
+        data: Vec<f64>,
+        /// Flat scaler counts, `n_records × patterns`.
+        scales: Vec<u32>,
+        /// Entries per CLV.
+        clv_len: usize,
+        /// Patterns per CLV.
+        patterns: usize,
+    },
+    /// File-backed storage; only scratch buffers live in RAM.
+    File {
+        /// Backing file (removed from the filesystem once opened).
+        file: File,
+        /// Path (kept for diagnostics; the file is already unlinked).
+        path: PathBuf,
+        /// Entries per CLV.
+        clv_len: usize,
+        /// Patterns per CLV.
+        patterns: usize,
+    },
+}
+
+impl ClvStoreBacking {
+    /// Allocates storage for `n_records` CLVs.
+    pub fn new(
+        backing: Backing,
+        n_records: usize,
+        clv_len: usize,
+        patterns: usize,
+    ) -> std::io::Result<Self> {
+        match backing {
+            Backing::Ram => Ok(ClvStoreBacking::Ram {
+                data: vec![0.0; n_records * clv_len],
+                scales: vec![0; n_records * patterns],
+                clv_len,
+                patterns,
+            }),
+            Backing::File => {
+                let path = std::env::temp_dir().join(format!(
+                    "pplacer-clv-{}-{:x}.bin",
+                    std::process::id(),
+                    n_records * clv_len
+                ));
+                let file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(&path)?;
+                file.set_len((n_records * Self::record_bytes(clv_len, patterns)) as u64)?;
+                // Unlink immediately so the file disappears with the process.
+                let _ = std::fs::remove_file(&path);
+                Ok(ClvStoreBacking::File { file, path, clv_len, patterns })
+            }
+        }
+    }
+
+    /// Bytes per record on disk (CLV values + scaler counts).
+    fn record_bytes(clv_len: usize, patterns: usize) -> usize {
+        clv_len * 8 + patterns * 4
+    }
+
+    /// Writes record `idx`.
+    pub fn write_record(
+        &mut self,
+        idx: usize,
+        clv: &[f64],
+        scale: &[u32],
+    ) -> std::io::Result<()> {
+        match self {
+            ClvStoreBacking::Ram { data, scales, clv_len, patterns } => {
+                data[idx * *clv_len..(idx + 1) * *clv_len].copy_from_slice(clv);
+                scales[idx * *patterns..(idx + 1) * *patterns].copy_from_slice(scale);
+                Ok(())
+            }
+            ClvStoreBacking::File { file, clv_len, patterns, .. } => {
+                let off = (idx * Self::record_bytes(*clv_len, *patterns)) as u64;
+                file.seek(SeekFrom::Start(off))?;
+                let mut buf = Vec::with_capacity(Self::record_bytes(*clv_len, *patterns));
+                for v in clv {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                for s in scale {
+                    buf.extend_from_slice(&s.to_le_bytes());
+                }
+                file.write_all(&buf)
+            }
+        }
+    }
+
+    /// Reads record `idx` into the provided buffers.
+    pub fn read_record(
+        &mut self,
+        idx: usize,
+        clv: &mut [f64],
+        scale: &mut [u32],
+    ) -> std::io::Result<()> {
+        match self {
+            ClvStoreBacking::Ram { data, scales, clv_len, patterns } => {
+                clv.copy_from_slice(&data[idx * *clv_len..(idx + 1) * *clv_len]);
+                scale.copy_from_slice(&scales[idx * *patterns..(idx + 1) * *patterns]);
+                Ok(())
+            }
+            ClvStoreBacking::File { file, clv_len, patterns, .. } => {
+                let off = (idx * Self::record_bytes(*clv_len, *patterns)) as u64;
+                file.seek(SeekFrom::Start(off))?;
+                let mut buf = vec![0u8; Self::record_bytes(*clv_len, *patterns)];
+                file.read_exact(&mut buf)?;
+                for (i, v) in clv.iter_mut().enumerate() {
+                    *v = f64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
+                }
+                let base = *clv_len * 8;
+                for (i, s) in scale.iter_mut().enumerate() {
+                    *s = u32::from_le_bytes(
+                        buf[base + i * 4..base + (i + 1) * 4].try_into().unwrap(),
+                    );
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Bytes resident in main memory (the quantity Fig. 5 compares).
+    pub fn ram_bytes(&self) -> usize {
+        match self {
+            ClvStoreBacking::Ram { data, scales, .. } => data.len() * 8 + scales.len() * 4,
+            // File mode keeps nothing resident besides scratch (counted by
+            // the caller).
+            ClvStoreBacking::File { .. } => 0,
+        }
+    }
+
+    /// Total logical bytes of the CLV database, independent of medium
+    /// (used to model mmap page-cache residency in file mode).
+    pub fn db_bytes(&self) -> usize {
+        match self {
+            ClvStoreBacking::Ram { data, scales, .. } => data.len() * 8 + scales.len() * 4,
+            ClvStoreBacking::File { file, .. } => {
+                file.metadata().map(|m| m.len() as usize).unwrap_or(0)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ClvStoreBacking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClvStoreBacking::Ram { clv_len, .. } => {
+                write!(f, "ClvStoreBacking::Ram(clv_len={clv_len}, bytes={})", self.ram_bytes())
+            }
+            ClvStoreBacking::File { path, clv_len, .. } => {
+                write!(f, "ClvStoreBacking::File({path:?}, clv_len={clv_len})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(backing: Backing) {
+        let mut store = ClvStoreBacking::new(backing, 4, 6, 3).unwrap();
+        let clv: Vec<f64> = (0..6).map(|i| i as f64 * 1.5).collect();
+        let scale = vec![7u32, 8, 9];
+        store.write_record(2, &clv, &scale).unwrap();
+        let other: Vec<f64> = (0..6).map(|i| -(i as f64)).collect();
+        store.write_record(0, &other, &[1, 1, 1]).unwrap();
+        let mut c = vec![0.0; 6];
+        let mut s = vec![0u32; 3];
+        store.read_record(2, &mut c, &mut s).unwrap();
+        assert_eq!(c, clv);
+        assert_eq!(s, scale);
+        store.read_record(0, &mut c, &mut s).unwrap();
+        assert_eq!(c, other);
+        assert_eq!(s, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn ram_round_trip() {
+        round_trip(Backing::Ram);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        round_trip(Backing::File);
+    }
+
+    #[test]
+    fn ram_accounting() {
+        let store = ClvStoreBacking::new(Backing::Ram, 10, 100, 25).unwrap();
+        assert_eq!(store.ram_bytes(), 10 * (100 * 8 + 25 * 4));
+        let store = ClvStoreBacking::new(Backing::File, 10, 100, 25).unwrap();
+        assert_eq!(store.ram_bytes(), 0);
+    }
+}

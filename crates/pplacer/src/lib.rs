@@ -1,0 +1,24 @@
+//! A pplacer-style baseline placer with optional file-backed CLV storage.
+//!
+//! The paper compares EPA-NG's AMC against `pplacer`, "the only other ML
+//! phylogenetic placement software that offers an option to reduce the
+//! memory footprint": pplacer can back its large allocations with a
+//! memory-mapped file, trading RAM for disk bandwidth, as an on/off switch
+//! with no finer control (paper §III, §V-B).
+//!
+//! This crate reproduces that *behavioral envelope* rather than pplacer's
+//! OCaml internals:
+//!
+//! * all `3(n−2)` directional CLVs are materialized (no slot management);
+//! * [`Backing::Ram`] keeps them in memory — the high-footprint baseline;
+//! * [`Backing::File`] streams them to an on-disk store and reads them
+//!   back per branch during placement — low RAM, moderate slowdown, still
+//!   2–3× the memory of EPA-NG with AMC *off*, as in the paper's Fig. 5;
+//! * there is no preplacement heuristic: every query is scored thoroughly
+//!   against every branch, which is exactly why the baseline is slower.
+
+pub mod backing;
+pub mod place;
+
+pub use backing::{Backing, ClvStoreBacking};
+pub use place::{PplacerConfig, PplacerLike, PplacerReport};

@@ -1,0 +1,70 @@
+//! Error type for sequence handling.
+
+use std::fmt;
+
+/// Errors produced while encoding, parsing, or aligning sequences.
+#[derive(Debug)]
+pub enum SeqError {
+    /// A character outside the alphabet was encountered.
+    BadCharacter {
+        /// Offset of the character in its sequence.
+        position: usize,
+        /// The rejected character.
+        character: char,
+    },
+    /// Sequences in an alignment have differing lengths.
+    RaggedAlignment {
+        /// The offending sequence's name.
+        name: String,
+        /// The alignment's column count.
+        expected: usize,
+        /// The sequence's length.
+        found: usize,
+    },
+    /// A sequence name occurs more than once in an alignment.
+    DuplicateName(String),
+    /// FASTA text was malformed.
+    Fasta {
+        /// 1-based line number of the error.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// An alignment was empty or otherwise unusable.
+    Empty,
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::BadCharacter { position, character } => {
+                write!(f, "invalid character {character:?} at position {position}")
+            }
+            SeqError::RaggedAlignment { name, expected, found } => write!(
+                f,
+                "sequence {name:?} has length {found}, but the alignment is {expected} columns"
+            ),
+            SeqError::DuplicateName(name) => write!(f, "duplicate sequence name {name:?}"),
+            SeqError::Fasta { line, msg } => write!(f, "FASTA parse error at line {line}: {msg}"),
+            SeqError::Empty => write!(f, "empty alignment"),
+            SeqError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SeqError {
+    fn from(e: std::io::Error) -> Self {
+        SeqError::Io(e)
+    }
+}

@@ -1,0 +1,152 @@
+//! FASTA reading and writing.
+
+use crate::alphabet::AlphabetKind;
+use crate::error::SeqError;
+use crate::sequence::Sequence;
+use std::io::{BufRead, Write};
+
+/// Parses FASTA text into sequences under the given alphabet.
+///
+/// Headers are truncated at the first whitespace (the conventional "id" /
+/// "description" split); empty records are rejected.
+pub fn parse(text: &str, kind: AlphabetKind) -> Result<Vec<Sequence>, SeqError> {
+    read(text.as_bytes(), kind)
+}
+
+/// Reads FASTA from any buffered source.
+pub fn read(reader: impl std::io::Read, kind: AlphabetKind) -> Result<Vec<Sequence>, SeqError> {
+    let reader = std::io::BufReader::new(reader);
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    let mut body = String::new();
+    let mut line_no = 0usize;
+
+    let flush = |name: &mut Option<String>,
+                     body: &mut String,
+                     line_no: usize,
+                     out: &mut Vec<Sequence>|
+     -> Result<(), SeqError> {
+        if let Some(n) = name.take() {
+            if body.is_empty() {
+                return Err(SeqError::Fasta { line: line_no, msg: format!("record {n:?} has no sequence data") });
+            }
+            out.push(Sequence::from_text(n, kind, body)?);
+            body.clear();
+        }
+        Ok(())
+    };
+
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            flush(&mut name, &mut body, line_no, &mut out)?;
+            let id = header.split_whitespace().next().unwrap_or("");
+            if id.is_empty() {
+                return Err(SeqError::Fasta { line: line_no, msg: "empty header".into() });
+            }
+            name = Some(id.to_string());
+        } else {
+            if name.is_none() {
+                return Err(SeqError::Fasta {
+                    line: line_no,
+                    msg: "sequence data before first '>' header".into(),
+                });
+            }
+            body.push_str(line);
+        }
+    }
+    flush(&mut name, &mut body, line_no, &mut out)?;
+    if out.is_empty() {
+        return Err(SeqError::Empty);
+    }
+    Ok(out)
+}
+
+/// Writes sequences as FASTA with the given line width (0 = single line).
+pub fn write(
+    writer: &mut impl Write,
+    sequences: &[Sequence],
+    line_width: usize,
+) -> Result<(), SeqError> {
+    for seq in sequences {
+        writeln!(writer, ">{}", seq.name())?;
+        let text = seq.to_text();
+        if line_width == 0 {
+            writeln!(writer, "{text}")?;
+        } else {
+            for chunk in text.as_bytes().chunks(line_width) {
+                writer.write_all(chunk)?;
+                writer.write_all(b"\n")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes sequences to a FASTA string (convenience for tests and
+/// dataset dumps).
+pub fn to_string(sequences: &[Sequence], line_width: usize) -> String {
+    let mut buf = Vec::new();
+    write(&mut buf, sequences, line_width).expect("write to Vec cannot fail");
+    String::from_utf8(buf).expect("FASTA output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let text = ">a desc here\nACGT\n>b\nTG\nCA\n";
+        let seqs = parse(text, AlphabetKind::Dna).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].name(), "a");
+        assert_eq!(seqs[0].to_text(), "ACGT");
+        assert_eq!(seqs[1].name(), "b");
+        assert_eq!(seqs[1].to_text(), "TGCA");
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let seqs = parse(">a\n\nAC\n\nGT\n", AlphabetKind::Dna).unwrap();
+        assert_eq!(seqs[0].to_text(), "ACGT");
+    }
+
+    #[test]
+    fn parse_rejects_headerless_data() {
+        assert!(parse("ACGT\n", AlphabetKind::Dna).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_empty_record() {
+        assert!(parse(">a\n>b\nACGT\n", AlphabetKind::Dna).is_err());
+        assert!(parse(">a\nACGT\n>b\n", AlphabetKind::Dna).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_empty_input() {
+        assert!(matches!(parse("", AlphabetKind::Dna), Err(SeqError::Empty)));
+    }
+
+    #[test]
+    fn round_trip_with_wrapping() {
+        let seqs = vec![
+            Sequence::from_text("x", AlphabetKind::Dna, "ACGTACGTACGT").unwrap(),
+            Sequence::from_text("y", AlphabetKind::Dna, "TTTT").unwrap(),
+        ];
+        let text = to_string(&seqs, 5);
+        let parsed = parse(&text, AlphabetKind::Dna).unwrap();
+        assert_eq!(parsed, seqs);
+    }
+
+    #[test]
+    fn protein_fasta() {
+        let seqs = parse(">p\nMKVL\n", AlphabetKind::Protein).unwrap();
+        assert_eq!(seqs[0].to_text(), "MKVL");
+    }
+}

@@ -1,0 +1,28 @@
+//! Molecular sequences and alignments.
+//!
+//! Provides the data substrate for likelihood computation:
+//!
+//! * [`Alphabet`] — nucleotide (4-state) and amino-acid (20-state)
+//!   character coding, including IUPAC ambiguity codes mapped to multi-state
+//!   tip vectors;
+//! * [`Sequence`] / [`Msa`] — encoded sequences and multiple sequence
+//!   alignments;
+//! * [`fasta`] / [`phylip`] — FASTA and PHYLIP reading and writing;
+//! * [`patterns`] — site-pattern compression: identical alignment columns
+//!   are collapsed into one pattern with a weight, the standard trick that
+//!   makes wide alignments tractable and that all CLV sizes in this
+//!   workspace are expressed in.
+
+pub mod alphabet;
+pub mod error;
+pub mod fasta;
+pub mod msa;
+pub mod patterns;
+pub mod phylip;
+pub mod sequence;
+
+pub use alphabet::{Alphabet, AlphabetKind};
+pub use error::SeqError;
+pub use msa::Msa;
+pub use patterns::{compress, PatternMsa};
+pub use sequence::Sequence;

@@ -1,0 +1,144 @@
+//! Multiple sequence alignments.
+
+use crate::alphabet::AlphabetKind;
+use crate::error::SeqError;
+use crate::sequence::Sequence;
+use std::collections::HashMap;
+
+/// A rectangular multiple sequence alignment: every row has the same number
+/// of columns ("sites").
+#[derive(Debug, Clone)]
+pub struct Msa {
+    kind: AlphabetKind,
+    n_sites: usize,
+    rows: Vec<Sequence>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Msa {
+    /// Builds an alignment from rows, checking rectangularity, non-emptiness,
+    /// alphabet consistency, and name uniqueness.
+    pub fn new(rows: Vec<Sequence>) -> Result<Self, SeqError> {
+        let first = rows.first().ok_or(SeqError::Empty)?;
+        let kind = first.kind();
+        let n_sites = first.len();
+        if n_sites == 0 {
+            return Err(SeqError::Empty);
+        }
+        let mut by_name = HashMap::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            if row.kind() != kind {
+                return Err(SeqError::Fasta {
+                    line: 0,
+                    msg: format!("row {:?} uses a different alphabet", row.name()),
+                });
+            }
+            if row.len() != n_sites {
+                return Err(SeqError::RaggedAlignment {
+                    name: row.name().to_string(),
+                    expected: n_sites,
+                    found: row.len(),
+                });
+            }
+            if by_name.insert(row.name().to_string(), i).is_some() {
+                return Err(SeqError::DuplicateName(row.name().to_string()));
+            }
+        }
+        Ok(Msa { kind, n_sites, rows, by_name })
+    }
+
+    /// The alphabet of the alignment.
+    #[inline]
+    pub fn kind(&self) -> AlphabetKind {
+        self.kind
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Number of rows (taxa).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// All rows in insertion order.
+    #[inline]
+    pub fn rows(&self) -> &[Sequence] {
+        &self.rows
+    }
+
+    /// A row by index.
+    #[inline]
+    pub fn row(&self, i: usize) -> &Sequence {
+        &self.rows[i]
+    }
+
+    /// Looks up a row index by sequence name.
+    pub fn row_by_name(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Copies column `site` into `out` (one code per row).
+    pub fn column(&self, site: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(self.rows.iter().map(|r| r.codes()[site]));
+    }
+
+    /// Approximate heap footprint in bytes (used by memory accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.len() + r.name().len() + std::mem::size_of::<Sequence>())
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(name: &str, text: &str) -> Sequence {
+        Sequence::from_text(name, AlphabetKind::Dna, text).unwrap()
+    }
+
+    #[test]
+    fn rectangular_ok() {
+        let m = Msa::new(vec![seq("a", "ACGT"), seq("b", "TGCA")]).unwrap();
+        assert_eq!(m.n_sites(), 4);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row_by_name("b"), Some(1));
+        assert_eq!(m.row_by_name("c"), None);
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let err = Msa::new(vec![seq("a", "ACGT"), seq("b", "TGC")]).unwrap_err();
+        assert!(matches!(err, SeqError::RaggedAlignment { .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(Msa::new(vec![]), Err(SeqError::Empty)));
+        assert!(Msa::new(vec![seq("a", "")]).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Msa::new(vec![seq("a", "AC"), seq("a", "GT")]).unwrap_err();
+        assert!(matches!(err, SeqError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let m = Msa::new(vec![seq("a", "ACGT"), seq("b", "TGCA")]).unwrap();
+        let mut col = Vec::new();
+        m.column(0, &mut col);
+        assert_eq!(col, vec![0, 3]); // A, T
+        m.column(3, &mut col);
+        assert_eq!(col, vec![3, 0]); // T, A
+    }
+}

@@ -1,0 +1,197 @@
+//! Site-pattern compression.
+//!
+//! Alignment columns that are identical across all rows contribute the same
+//! per-site likelihood, so they are computed once and weighted by their
+//! multiplicity. All CLV and lookup-table sizes downstream are proportional
+//! to the number of *patterns*, not raw sites; the paper's `sites` numbers
+//! are alignment widths, and compression is what real libpll-2 applies
+//! before allocating.
+
+use crate::error::SeqError;
+use crate::msa::Msa;
+use std::collections::HashMap;
+
+/// An alignment compressed to unique columns with multiplicities.
+#[derive(Debug, Clone)]
+pub struct PatternMsa {
+    /// Per-row encoded characters over *patterns*: `data[row * n_patterns +
+    /// p]`.
+    data: Vec<u8>,
+    n_rows: usize,
+    n_patterns: usize,
+    /// Pattern multiplicities; sums to the original site count.
+    weights: Vec<u32>,
+    /// For each original site, which pattern it maps to.
+    site_to_pattern: Vec<u32>,
+    /// Row names, in the original MSA order.
+    names: Vec<String>,
+}
+
+impl PatternMsa {
+    /// Number of unique patterns.
+    #[inline]
+    pub fn n_patterns(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Original (uncompressed) site count.
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        self.site_to_pattern.len()
+    }
+
+    /// Pattern multiplicities.
+    #[inline]
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Mapping original site → pattern index.
+    #[inline]
+    pub fn site_to_pattern(&self) -> &[u32] {
+        &self.site_to_pattern
+    }
+
+    /// The compressed character row for one taxon.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u8] {
+        &self.data[row * self.n_patterns..(row + 1) * self.n_patterns]
+    }
+
+    /// Row names in original order.
+    #[inline]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Looks up a row index by name (linear; do the mapping once).
+    pub fn row_by_name(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Approximate heap footprint in bytes (for memory accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.data.len()
+            + self.weights.len() * 4
+            + self.site_to_pattern.len() * 4
+            + self.names.iter().map(|n| n.len()).sum::<usize>()
+    }
+}
+
+/// Compresses an alignment into unique site patterns.
+pub fn compress(msa: &Msa) -> Result<PatternMsa, SeqError> {
+    let n_rows = msa.n_rows();
+    let n_sites = msa.n_sites();
+    if n_rows == 0 || n_sites == 0 {
+        return Err(SeqError::Empty);
+    }
+    let mut index: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    let mut weights: Vec<u32> = Vec::new();
+    let mut site_to_pattern = Vec::with_capacity(n_sites);
+    let mut col = Vec::with_capacity(n_rows);
+    for site in 0..n_sites {
+        msa.column(site, &mut col);
+        let p = match index.get(&col) {
+            Some(&p) => p,
+            None => {
+                let p = order.len() as u32;
+                index.insert(col.clone(), p);
+                order.push(col.clone());
+                weights.push(0);
+                p
+            }
+        };
+        weights[p as usize] += 1;
+        site_to_pattern.push(p);
+    }
+    let n_patterns = order.len();
+    // Transpose: pattern-major columns into row-major storage.
+    let mut data = vec![0u8; n_rows * n_patterns];
+    for (p, col) in order.iter().enumerate() {
+        for (row, &code) in col.iter().enumerate() {
+            data[row * n_patterns + p] = code;
+        }
+    }
+    Ok(PatternMsa {
+        data,
+        n_rows,
+        n_patterns,
+        weights,
+        site_to_pattern,
+        names: msa.rows().iter().map(|r| r.name().to_string()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::AlphabetKind;
+    use crate::sequence::Sequence;
+
+    fn msa(rows: &[(&str, &str)]) -> Msa {
+        Msa::new(
+            rows.iter()
+                .map(|(n, t)| Sequence::from_text(*n, AlphabetKind::Dna, t).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_columns_collapse() {
+        // Columns: ACA / ACA / GTG -> patterns {ACA(x2 at sites 0,1... wait)
+        let m = msa(&[("a", "AAG"), ("b", "CCT"), ("c", "AAG")]);
+        let p = compress(&m).unwrap();
+        assert_eq!(p.n_patterns(), 2);
+        assert_eq!(p.n_sites(), 3);
+        assert_eq!(p.weights(), &[2, 1]);
+        assert_eq!(p.site_to_pattern(), &[0, 0, 1]);
+        assert_eq!(p.row(0), &[0, 2]); // A, G
+        assert_eq!(p.row(1), &[1, 3]); // C, T
+    }
+
+    #[test]
+    fn weights_sum_to_sites() {
+        let m = msa(&[("a", "ACGTACGT"), ("b", "ACGTTGCA"), ("c", "AAAACCCC")]);
+        let p = compress(&m).unwrap();
+        let total: u32 = p.weights().iter().sum();
+        assert_eq!(total as usize, m.n_sites());
+        assert!(p.n_patterns() <= m.n_sites());
+    }
+
+    #[test]
+    fn all_unique_columns() {
+        let m = msa(&[("a", "ACGT"), ("b", "AAAA")]);
+        let p = compress(&m).unwrap();
+        assert_eq!(p.n_patterns(), 4);
+        assert!(p.weights().iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn ambiguity_distinguishes_patterns() {
+        // A vs N in row b must not collapse.
+        let m = msa(&[("a", "AA"), ("b", "AN")]);
+        let p = compress(&m).unwrap();
+        assert_eq!(p.n_patterns(), 2);
+    }
+
+    #[test]
+    fn site_to_pattern_is_consistent() {
+        let m = msa(&[("a", "ACACAC"), ("b", "GTGTGT")]);
+        let p = compress(&m).unwrap();
+        assert_eq!(p.n_patterns(), 2);
+        for site in 0..m.n_sites() {
+            let pat = p.site_to_pattern()[site] as usize;
+            for row in 0..m.n_rows() {
+                assert_eq!(p.row(row)[pat], m.row(row).codes()[site]);
+            }
+        }
+    }
+}

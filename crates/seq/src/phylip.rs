@@ -1,0 +1,149 @@
+//! PHYLIP alignment reading and writing.
+//!
+//! The other interchange format reference alignments commonly arrive in
+//! (RAxML's native input). Both sequential and interleaved layouts are
+//! read; writing uses the relaxed sequential layout (names of any length,
+//! terminated by whitespace).
+
+use crate::alphabet::AlphabetKind;
+use crate::error::SeqError;
+use crate::msa::Msa;
+use crate::sequence::Sequence;
+
+/// Parses PHYLIP text (sequential or interleaved, relaxed names) into an
+/// alignment.
+pub fn parse(text: &str, kind: AlphabetKind) -> Result<Msa, SeqError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(SeqError::Empty)?;
+    let mut parts = header.split_whitespace();
+    let n_taxa: usize = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| SeqError::Fasta { line: 1, msg: "bad PHYLIP header (taxa count)".into() })?;
+    let n_sites: usize = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| SeqError::Fasta { line: 1, msg: "bad PHYLIP header (site count)".into() })?;
+    if n_taxa == 0 || n_sites == 0 {
+        return Err(SeqError::Empty);
+    }
+
+    let mut names: Vec<String> = Vec::with_capacity(n_taxa);
+    let mut bodies: Vec<String> = vec![String::new(); n_taxa];
+    let mut row = 0usize;
+    for (line_no, line) in lines {
+        let line = line.trim_end();
+        if names.len() < n_taxa {
+            // First block: leading name, then sequence characters.
+            let mut parts = line.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| SeqError::Fasta { line: line_no + 1, msg: "missing name".into() })?
+                .to_string();
+            names.push(name);
+            let idx = names.len() - 1;
+            for p in parts {
+                bodies[idx].push_str(p);
+            }
+        } else {
+            // Interleaved continuation blocks: rows cycle in order.
+            for p in line.split_whitespace() {
+                bodies[row].push_str(p);
+            }
+            row = (row + 1) % n_taxa;
+        }
+    }
+    if names.len() != n_taxa {
+        return Err(SeqError::Fasta {
+            line: 0,
+            msg: format!("expected {n_taxa} taxa, found {}", names.len()),
+        });
+    }
+    let mut rows = Vec::with_capacity(n_taxa);
+    for (name, body) in names.into_iter().zip(bodies) {
+        let seq = Sequence::from_text(&name, kind, &body)?;
+        if seq.len() != n_sites {
+            return Err(SeqError::RaggedAlignment {
+                name,
+                expected: n_sites,
+                found: seq.len(),
+            });
+        }
+        rows.push(seq);
+    }
+    Msa::new(rows)
+}
+
+/// Writes an alignment in relaxed sequential PHYLIP.
+pub fn to_string(msa: &Msa) -> String {
+    let mut out = format!("{} {}\n", msa.n_rows(), msa.n_sites());
+    for row in msa.rows() {
+        out.push_str(row.name());
+        out.push(' ');
+        out.push_str(&row.to_text());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_round_trip() {
+        let text = "3 8\ntaxA ACGTACGT\ntaxB ACGTTGCA\ntaxC AAAACCCC\n";
+        let msa = parse(text, AlphabetKind::Dna).unwrap();
+        assert_eq!(msa.n_rows(), 3);
+        assert_eq!(msa.n_sites(), 8);
+        assert_eq!(msa.row(1).to_text(), "ACGTTGCA");
+        let again = parse(&to_string(&msa), AlphabetKind::Dna).unwrap();
+        assert_eq!(again.row(2).to_text(), msa.row(2).to_text());
+    }
+
+    #[test]
+    fn interleaved_layout() {
+        let text = "2 8\nA ACGT\nB TTTT\nACGT\nCCCC\n";
+        let msa = parse(text, AlphabetKind::Dna).unwrap();
+        assert_eq!(msa.row(0).to_text(), "ACGTACGT");
+        assert_eq!(msa.row(1).to_text(), "TTTTCCCC");
+    }
+
+    #[test]
+    fn spaces_inside_sequences() {
+        let text = "1 8\nx ACGT ACGT\n";
+        // 1 taxon is below the MSA minimum? Msa::new allows 1 row; the
+        // tree layer is what needs ≥3. Check parsing only.
+        let msa = parse(text, AlphabetKind::Dna).unwrap();
+        assert_eq!(msa.row(0).to_text(), "ACGTACGT");
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(parse("", AlphabetKind::Dna).is_err());
+        assert!(parse("x y\nA ACGT\n", AlphabetKind::Dna).is_err());
+        assert!(parse("0 4\n", AlphabetKind::Dna).is_err());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let text = "2 8\nA ACGTACGT\nB ACGT\n";
+        let err = parse(text, AlphabetKind::Dna).unwrap_err();
+        assert!(matches!(err, SeqError::RaggedAlignment { .. }));
+    }
+
+    #[test]
+    fn missing_taxa_rejected() {
+        let text = "3 4\nA ACGT\nB ACGT\n";
+        // Parses two names then treats nothing as continuation; the count
+        // check fires.
+        assert!(parse(text, AlphabetKind::Dna).is_err());
+    }
+
+    #[test]
+    fn protein_phylip() {
+        let text = "2 4\np1 MKVL\np2 MRVL\n";
+        let msa = parse(text, AlphabetKind::Protein).unwrap();
+        assert_eq!(msa.kind(), AlphabetKind::Protein);
+    }
+}

@@ -1,0 +1,115 @@
+//! A single named, encoded sequence.
+
+use crate::alphabet::{Alphabet, AlphabetKind};
+use crate::error::SeqError;
+
+/// A named molecular sequence, stored as alphabet codes (see
+/// [`Alphabet`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sequence {
+    name: String,
+    kind: AlphabetKind,
+    codes: Vec<u8>,
+}
+
+impl Sequence {
+    /// Encodes `text` under the given alphabet.
+    pub fn from_text(
+        name: impl Into<String>,
+        kind: AlphabetKind,
+        text: &str,
+    ) -> Result<Self, SeqError> {
+        let codes = kind.alphabet().encode_str(text)?;
+        Ok(Sequence { name: name.into(), kind, codes })
+    }
+
+    /// Wraps pre-encoded codes. Codes are validated against the alphabet's
+    /// code range.
+    pub fn from_codes(
+        name: impl Into<String>,
+        kind: AlphabetKind,
+        codes: Vec<u8>,
+    ) -> Result<Self, SeqError> {
+        let n_codes = kind.alphabet().n_codes() as u8;
+        if let Some(pos) = codes.iter().position(|&c| c >= n_codes) {
+            return Err(SeqError::BadCharacter { position: pos, character: codes[pos] as char });
+        }
+        Ok(Sequence { name: name.into(), kind, codes })
+    }
+
+    /// The sequence name (FASTA header without `>`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The alphabet this sequence is encoded under.
+    #[inline]
+    pub fn kind(&self) -> AlphabetKind {
+        self.kind
+    }
+
+    /// The matching alphabet instance.
+    #[inline]
+    pub fn alphabet(&self) -> &'static Alphabet {
+        self.kind.alphabet()
+    }
+
+    /// The encoded characters.
+    #[inline]
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Sequence length in characters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the sequence has no characters.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Decodes back to text.
+    pub fn to_text(&self) -> String {
+        self.alphabet().decode_str(&self.codes)
+    }
+
+    /// Fraction of characters that are concrete (non-ambiguous) states.
+    pub fn concrete_fraction(&self) -> f64 {
+        if self.codes.is_empty() {
+            return 0.0;
+        }
+        let alphabet = self.alphabet();
+        let concrete = self.codes.iter().filter(|&&c| alphabet.is_concrete(c)).count();
+        concrete as f64 / self.codes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let s = Sequence::from_text("q1", AlphabetKind::Dna, "ACGTN").unwrap();
+        assert_eq!(s.name(), "q1");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.to_text(), "ACGTN");
+    }
+
+    #[test]
+    fn codes_validated() {
+        assert!(Sequence::from_codes("x", AlphabetKind::Dna, vec![0, 1, 2, 3]).is_ok());
+        assert!(Sequence::from_codes("x", AlphabetKind::Dna, vec![0, 200]).is_err());
+    }
+
+    #[test]
+    fn concrete_fraction() {
+        let s = Sequence::from_text("q", AlphabetKind::Dna, "ACG-").unwrap();
+        assert!((s.concrete_fraction() - 0.75).abs() < 1e-12);
+    }
+}

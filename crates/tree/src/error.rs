@@ -1,0 +1,57 @@
+//! Error type for tree construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building or parsing trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// The tree has fewer than three leaves; unrooted binary likelihood
+    /// machinery needs at least one inner node.
+    TooFewLeaves(usize),
+    /// A node violates the strictly-binary (unrooted) degree constraint.
+    NotBinary {
+        /// The offending node id.
+        node: u32,
+        /// Its degree.
+        degree: usize,
+    },
+    /// Newick text could not be parsed.
+    Parse {
+        /// Byte offset of the error.
+        pos: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A taxon name occurs more than once.
+    DuplicateTaxon(String),
+    /// A branch length is negative, NaN, or infinite.
+    BadBranchLength {
+        /// The offending edge id.
+        edge: u32,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The builder produced a disconnected or cyclic graph.
+    Malformed(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::TooFewLeaves(n) => {
+                write!(f, "tree has {n} leaves; at least 3 are required")
+            }
+            TreeError::NotBinary { node, degree } => {
+                write!(f, "node {node} has degree {degree}; unrooted binary trees require leaves of degree 1 and inner nodes of degree 3")
+            }
+            TreeError::Parse { pos, msg } => write!(f, "newick parse error at byte {pos}: {msg}"),
+            TreeError::DuplicateTaxon(name) => write!(f, "duplicate taxon name: {name:?}"),
+            TreeError::BadBranchLength { edge, value } => {
+                write!(f, "edge {edge} has invalid branch length {value}")
+            }
+            TreeError::Malformed(msg) => write!(f, "malformed tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

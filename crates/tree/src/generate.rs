@@ -1,0 +1,253 @@
+//! Random and deterministic tree generators.
+//!
+//! These back the synthetic datasets: the paper's reference trees are
+//! empirical, but for the memory/runtime behavior under study only the
+//! *shape statistics* (leaf count, balance, branch-length scale) matter.
+//!
+//! * [`yule`] — birth-process trees (split a random extant leaf), the
+//!   standard null model for species trees; moderately balanced.
+//! * [`uniform_topology`] — attach each new leaf to a uniformly random
+//!   branch (the "PDA" model); less balanced than Yule.
+//! * [`caterpillar`] — maximally unbalanced comb; adversarial case for
+//!   subtree-depth statistics.
+//! * [`balanced`] — fully balanced tree (power-of-two leaves); the
+//!   worst case of the `⌈log₂ n⌉ + 2` slot bound.
+//!
+//! All branch lengths are drawn i.i.d. exponential with a given mean, the
+//! conventional prior for phylogenetic branch lengths.
+
+use crate::error::TreeError;
+use crate::tree::{BuildNode, Tree, TreeBuilder};
+use rand::Rng;
+
+/// Draws an exponential branch length with the given mean, bounded away
+/// from zero so transition matrices stay well-conditioned.
+fn exp_len(mean: f64, rng: &mut impl Rng) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    (-mean * u.ln()).max(1e-6)
+}
+
+/// Internal growth structure: a tree under construction, represented by a
+/// set of edges over provisional node handles.
+struct Growing {
+    builder: TreeBuilder,
+    /// Current edges; attaching a leaf splits one entry into three.
+    edges: Vec<(BuildNode, BuildNode)>,
+    /// Indices into `edges` that are pendant to a leaf (for Yule growth).
+    pendant: Vec<usize>,
+}
+
+impl Growing {
+    /// Starts from the 3-leaf tripod.
+    fn tripod(names: &mut impl Iterator<Item = String>) -> Self {
+        let mut builder = TreeBuilder::new();
+        let center = builder.add_inner();
+        let mut edges = Vec::new();
+        let mut pendant = Vec::new();
+        for _ in 0..3 {
+            let leaf = builder.add_leaf(names.next().expect("name supply"));
+            pendant.push(edges.len());
+            edges.push((center, leaf));
+        }
+        Growing { builder, edges, pendant }
+    }
+
+    /// Splits edge `ei` by a new inner node and hangs a fresh leaf off it.
+    fn attach_leaf(&mut self, ei: usize, name: String) {
+        let (u, v) = self.edges[ei];
+        let w = self.builder.add_inner();
+        let leaf = self.builder.add_leaf(name);
+        // Replace (u,v) with (u,w); add (w,v) and the new pendant (w,leaf).
+        self.edges[ei] = (u, w);
+        self.edges.push((w, v));
+        self.pendant.push(self.edges.len());
+        self.edges.push((w, leaf));
+    }
+
+    /// Assigns lengths and finalizes.
+    fn finish(mut self, mean_len: f64, rng: &mut impl Rng) -> Result<Tree, TreeError> {
+        for &(u, v) in &self.edges {
+            self.builder.connect(u, v, exp_len(mean_len, rng));
+        }
+        self.builder.build()
+    }
+}
+
+fn default_names(n: usize) -> impl Iterator<Item = String> {
+    (0..n).map(|i| format!("T{i:05}"))
+}
+
+/// Generates a Yule (pure-birth) tree with `n` leaves and exponential branch
+/// lengths of the given mean.
+pub fn yule(n: usize, mean_len: f64, rng: &mut impl Rng) -> Result<Tree, TreeError> {
+    if n < 3 {
+        return Err(TreeError::TooFewLeaves(n));
+    }
+    let mut names = default_names(n);
+    let mut g = Growing::tripod(&mut names);
+    for name in names {
+        // Yule: split a uniformly random extant leaf = attach to a random
+        // pendant edge. Note: `attach_leaf` turns the chosen pendant edge
+        // into an internal edge (u,w), so the pendant list entry must be
+        // repointed at the surviving pendant half (w,v).
+        let k = rng.gen_range(0..g.pendant.len());
+        let ei = g.pendant[k];
+        g.pendant[k] = g.edges.len(); // (w, v) keeps the original leaf v
+        g.attach_leaf(ei, name);
+    }
+    g.finish(mean_len, rng)
+}
+
+/// Generates a tree by attaching each new leaf to a uniformly random branch
+/// (the proportional-to-distinguishable-arrangements model).
+pub fn uniform_topology(n: usize, mean_len: f64, rng: &mut impl Rng) -> Result<Tree, TreeError> {
+    if n < 3 {
+        return Err(TreeError::TooFewLeaves(n));
+    }
+    let mut names = default_names(n);
+    let mut g = Growing::tripod(&mut names);
+    for name in names {
+        let ei = rng.gen_range(0..g.edges.len());
+        g.attach_leaf(ei, name);
+    }
+    g.finish(mean_len, rng)
+}
+
+/// Generates the maximally unbalanced caterpillar (comb) tree.
+pub fn caterpillar(n: usize, mean_len: f64, rng: &mut impl Rng) -> Result<Tree, TreeError> {
+    if n < 3 {
+        return Err(TreeError::TooFewLeaves(n));
+    }
+    let mut names = default_names(n);
+    let mut g = Growing::tripod(&mut names);
+    for name in names {
+        // Always extend at the most recently created pendant edge,
+        // producing a comb.
+        let ei = *g.pendant.last().unwrap();
+        g.attach_leaf(ei, name);
+    }
+    g.finish(mean_len, rng)
+}
+
+/// Generates a fully balanced tree. `n` must be a power of two and ≥ 4.
+///
+/// This is the topology for which the `⌈log₂ n⌉ + 2` bound is tight.
+pub fn balanced(n: usize, mean_len: f64, rng: &mut impl Rng) -> Result<Tree, TreeError> {
+    if n < 4 || !n.is_power_of_two() {
+        return Err(TreeError::Malformed(format!(
+            "balanced trees require a power-of-two leaf count ≥ 4, got {n}"
+        )));
+    }
+    let mut builder = TreeBuilder::new();
+    let mut next = 0usize;
+
+    fn subtree(
+        size: usize,
+        builder: &mut TreeBuilder,
+        next: &mut usize,
+        mean_len: f64,
+        rng: &mut impl Rng,
+    ) -> BuildNode {
+        if size == 1 {
+            let node = builder.add_leaf(format!("T{:05}", *next));
+            *next += 1;
+            return node;
+        }
+        let root = builder.add_inner();
+        let left = subtree(size / 2, builder, next, mean_len, rng);
+        let right = subtree(size / 2, builder, next, mean_len, rng);
+        builder.connect(root, left, exp_len(mean_len, rng));
+        builder.connect(root, right, exp_len(mean_len, rng));
+        root
+    }
+
+    // Unrooted: join the two half-trees directly by an edge.
+    let left = subtree(n / 2, &mut builder, &mut next, mean_len, rng);
+    let right = subtree(n / 2, &mut builder, &mut next, mean_len, rng);
+    builder.connect(left, right, exp_len(mean_len, rng));
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn yule_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [3usize, 4, 10, 100, 513] {
+            let t = yule(n, 0.1, &mut rng).unwrap();
+            assert_eq!(t.n_leaves(), n);
+            assert_eq!(t.n_edges(), 2 * n - 3);
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn uniform_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = uniform_topology(50, 0.1, &mut rng).unwrap();
+        assert_eq!(t.n_leaves(), 50);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn caterpillar_is_maximally_deep() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20;
+        let t = caterpillar(n, 0.1, &mut rng).unwrap();
+        let counts = stats::subtree_leaf_counts(&t);
+        // A caterpillar has inner orientations summarizing every size
+        // 2..n-1.
+        let mut sizes: Vec<u32> = t
+            .inner_dir_edges()
+            .map(|d| counts[d.idx()])
+            .filter(|&c| c >= 2)
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert!(sizes.len() >= n - 2, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn balanced_rejects_non_powers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(balanced(6, 0.1, &mut rng).is_err());
+        assert!(balanced(2, 0.1, &mut rng).is_err());
+        assert!(balanced(16, 0.1, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn balanced_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = balanced(32, 0.1, &mut rng).unwrap();
+        let counts = stats::subtree_leaf_counts(&t);
+        // Every inner orientation summarizes a power of two (or n/2 on the
+        // central edge).
+        for d in t.inner_dir_edges() {
+            let c = counts[d.idx()];
+            assert!(c.is_power_of_two() || (32 - c).is_power_of_two(), "count {c}");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let t1 = yule(40, 0.1, &mut StdRng::seed_from_u64(9)).unwrap();
+        let t2 = yule(40, 0.1, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(crate::newick::write(&t1), crate::newick::write(&t2));
+        let t3 = yule(40, 0.1, &mut StdRng::seed_from_u64(10)).unwrap();
+        assert_ne!(crate::newick::write(&t1), crate::newick::write(&t3));
+    }
+
+    #[test]
+    fn branch_lengths_positive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = yule(64, 0.05, &mut rng).unwrap();
+        for e in t.edges() {
+            assert!(e.length > 0.0 && e.length.is_finite());
+        }
+    }
+}

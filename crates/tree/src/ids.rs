@@ -1,0 +1,152 @@
+//! Index newtypes for nodes, edges, and directed edges.
+//!
+//! All three are thin wrappers around `u32`: trees with more than 4 billion
+//! nodes are out of scope, and the narrower type halves the footprint of the
+//! large index tables kept by the CLV slot manager.
+
+use std::fmt;
+
+/// Identifies a node (leaf or inner) of a [`Tree`](crate::Tree).
+///
+/// Leaves always occupy ids `0..n_leaves`; inner nodes follow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies an undirected branch of a [`Tree`](crate::Tree).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// Identifies a *directed* edge `x → y` of a [`Tree`](crate::Tree).
+///
+/// Encoded as `2 * edge + side`, where `side == 0` is the `a → b`
+/// orientation of the underlying [`Edge`](crate::Edge) and `side == 1` is
+/// `b → a`. The conditional likelihood vector attached to `x → y`
+/// summarizes the subtree containing `x` once the branch `{x, y}` is cut.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirEdgeId(pub u32);
+
+impl NodeId {
+    /// The raw index as `usize`, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The raw index as `usize`, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DirEdgeId {
+    /// Builds the directed edge for `edge` in the given orientation.
+    #[inline]
+    pub fn new(edge: EdgeId, side: u8) -> Self {
+        debug_assert!(side < 2);
+        DirEdgeId(edge.0 * 2 + side as u32)
+    }
+
+    /// The underlying undirected edge.
+    #[inline]
+    pub fn edge(self) -> EdgeId {
+        EdgeId(self.0 / 2)
+    }
+
+    /// Orientation: `0` for `a → b`, `1` for `b → a`.
+    #[inline]
+    pub fn side(self) -> u8 {
+        (self.0 & 1) as u8
+    }
+
+    /// The same branch traversed in the opposite direction.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        DirEdgeId(self.0 ^ 1)
+    }
+
+    /// The raw index as `usize`, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl fmt::Debug for DirEdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}({:?}{})", self.0, self.edge(), if self.side() == 0 { ">" } else { "<" })
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for DirEdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_edge_round_trip() {
+        let e = EdgeId(7);
+        let fwd = DirEdgeId::new(e, 0);
+        let bwd = DirEdgeId::new(e, 1);
+        assert_eq!(fwd.edge(), e);
+        assert_eq!(bwd.edge(), e);
+        assert_eq!(fwd.side(), 0);
+        assert_eq!(bwd.side(), 1);
+        assert_eq!(fwd.reversed(), bwd);
+        assert_eq!(bwd.reversed(), fwd);
+        assert_eq!(fwd.reversed().reversed(), fwd);
+    }
+
+    #[test]
+    fn dir_edge_indices_are_dense() {
+        // Directed edges for edges 0..k tile 0..2k without gaps.
+        let mut seen = [false; 10];
+        for e in 0..5 {
+            for side in 0..2 {
+                let d = DirEdgeId::new(EdgeId(e), side);
+                assert!(!seen[d.idx()]);
+                seen[d.idx()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", NodeId(3)), "N3");
+        assert_eq!(format!("{:?}", EdgeId(4)), "E4");
+        let d = DirEdgeId::new(EdgeId(4), 1);
+        assert_eq!(format!("{:?}", d), "D9(E4<)");
+    }
+}

@@ -1,0 +1,37 @@
+//! Phylogenetic tree data structures for likelihood computation and placement.
+//!
+//! The central type is [`Tree`], an **unrooted, strictly binary** phylogeny:
+//! every leaf has degree 1 and every inner node degree 3. This is the shape
+//! required by likelihood-based placement: a reference tree with `n` leaves
+//! has `n − 2` inner nodes and `2n − 3` branches, and a placement engine
+//! evaluates query insertions into each of those branches.
+//!
+//! Likelihood bookkeeping is organized around **directed edges**
+//! ([`DirEdgeId`]): the conditional likelihood vector (CLV) associated with
+//! the directed edge `x → y` summarizes the subtree that contains `x` when
+//! the branch `{x, y}` is removed. An inner node has three outgoing directed
+//! edges, which is exactly the `3·(n − 2)` CLV layout used by EPA-NG; leaves
+//! contribute cheap tip vectors instead.
+//!
+//! The crate also provides:
+//!
+//! * Newick parsing and writing ([`newick`]),
+//! * post-order traversal planning for single CLVs and whole-tree sweeps
+//!   ([`traversal`]),
+//! * random tree generators (Yule, uniform, caterpillar, fully balanced)
+//!   used by the synthetic datasets ([`generate`]),
+//! * per-directed-edge subtree statistics (leaf counts as recomputation-cost
+//!   proxies, Sethi–Ullman register need for the `⌈log₂ n⌉ + 2` minimum-slot
+//!   bound) in [`stats`].
+
+pub mod error;
+pub mod generate;
+pub mod ids;
+pub mod newick;
+pub mod stats;
+pub mod traversal;
+pub mod tree;
+
+pub use error::TreeError;
+pub use ids::{DirEdgeId, EdgeId, NodeId};
+pub use tree::{Edge, Tree, TreeBuilder};

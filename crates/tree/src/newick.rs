@@ -1,0 +1,351 @@
+//! Newick serialization for unrooted binary trees.
+//!
+//! The parser accepts both the rooted-binary convention (root of degree 2,
+//! which is suppressed into a single branch) and the unrooted convention
+//! (trifurcation at the outermost level). Every other inner node must have
+//! exactly two children, so the resulting [`Tree`] is strictly binary.
+//!
+//! The writer emits the unrooted convention, rooting the output at the inner
+//! node adjacent to leaf 0, so `parse(write(t))` reproduces `t` up to node
+//! relabeling.
+
+use crate::error::TreeError;
+use crate::ids::NodeId;
+use crate::tree::{BuildNode, Tree, TreeBuilder};
+
+/// Default branch length assigned when the Newick text omits one.
+pub const DEFAULT_BRANCH_LENGTH: f64 = 0.0;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// A parsed subtree: either a leaf name or a list of children.
+enum Ast {
+    Leaf(String),
+    Inner(Vec<(Ast, f64)>),
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> TreeError {
+        TreeError::Parse { pos: self.pos, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), TreeError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn parse_name(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'(' | b')' | b',' | b':' | b';') || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn parse_length(&mut self) -> Result<f64, TreeError> {
+        self.skip_ws();
+        if self.peek() != Some(b':') {
+            return Ok(DEFAULT_BRANCH_LENGTH);
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in branch length"))?;
+        text.parse::<f64>().map_err(|_| self.err(format!("invalid branch length {text:?}")))
+    }
+
+    /// Parses a subtree and the branch length that follows it.
+    fn parse_subtree(&mut self) -> Result<(Ast, f64), TreeError> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let mut children = Vec::new();
+            loop {
+                children.push(self.parse_subtree()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or ')'")),
+                }
+            }
+            // Optional internal label, ignored.
+            let _ = self.parse_name();
+            let len = self.parse_length()?;
+            Ok((Ast::Inner(children), len))
+        } else {
+            let name = self.parse_name();
+            if name.is_empty() {
+                return Err(self.err("expected taxon name"));
+            }
+            let len = self.parse_length()?;
+            Ok((Ast::Leaf(name), len))
+        }
+    }
+}
+
+fn emit(ast: Ast, parent: BuildNode, length: f64, b: &mut TreeBuilder) -> Result<(), TreeError> {
+    match ast {
+        Ast::Leaf(name) => {
+            let leaf = b.add_leaf(name);
+            b.connect(parent, leaf, length);
+        }
+        Ast::Inner(children) => {
+            if children.len() != 2 {
+                return Err(TreeError::Malformed(format!(
+                    "non-root inner node has {} children; strictly binary trees require 2",
+                    children.len()
+                )));
+            }
+            let node = b.add_inner();
+            b.connect(parent, node, length);
+            for (child, len) in children {
+                emit(child, node, len, b)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a Newick string into an unrooted binary [`Tree`].
+///
+/// Degree-2 roots are suppressed (their two incident branch lengths are
+/// summed); a trifurcating root becomes a regular inner node.
+pub fn parse(text: &str) -> Result<Tree, TreeError> {
+    let mut p = Parser::new(text);
+    let (root, _len) = p.parse_subtree()?;
+    p.expect(b';')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after ';'"));
+    }
+
+    let children = match root {
+        Ast::Inner(c) => c,
+        Ast::Leaf(_) => return Err(TreeError::TooFewLeaves(1)),
+    };
+
+    let mut b = TreeBuilder::new();
+    match children.len() {
+        2 => {
+            // Rooted convention: suppress the root. The two root children
+            // are joined by a single branch whose length is the sum.
+            let mut it = children.into_iter();
+            let (left, llen) = it.next().unwrap();
+            let (right, rlen) = it.next().unwrap();
+            let joined = llen + rlen;
+            match (left, right) {
+                (Ast::Inner(lc), right_ast) => {
+                    if lc.len() != 2 {
+                        return Err(TreeError::Malformed(
+                            "non-binary inner node under root".into(),
+                        ));
+                    }
+                    let node = b.add_inner();
+                    for (child, len) in lc {
+                        emit(child, node, len, &mut b)?;
+                    }
+                    emit(right_ast, node, joined, &mut b)?;
+                }
+                (left_ast @ Ast::Leaf(_), Ast::Inner(rc)) => {
+                    if rc.len() != 2 {
+                        return Err(TreeError::Malformed(
+                            "non-binary inner node under root".into(),
+                        ));
+                    }
+                    let node = b.add_inner();
+                    for (child, len) in rc {
+                        emit(child, node, len, &mut b)?;
+                    }
+                    emit(left_ast, node, joined, &mut b)?;
+                }
+                (Ast::Leaf(_), Ast::Leaf(_)) => {
+                    return Err(TreeError::TooFewLeaves(2));
+                }
+            }
+        }
+        3 => {
+            let node = b.add_inner();
+            for (child, len) in children {
+                emit(child, node, len, &mut b)?;
+            }
+        }
+        k => {
+            return Err(TreeError::Malformed(format!(
+                "root has {k} children; expected 2 (rooted) or 3 (unrooted)"
+            )))
+        }
+    }
+    b.build()
+}
+
+fn write_subtree(tree: &Tree, node: NodeId, from: NodeId, out: &mut String) {
+    if tree.is_leaf(node) {
+        out.push_str(tree.taxon(node));
+        return;
+    }
+    out.push('(');
+    let mut first = true;
+    for &(w, e) in tree.neighbors(node) {
+        if w == from {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_subtree(tree, w, node, out);
+        out.push(':');
+        push_len(out, tree.edge_length(e));
+    }
+    out.push(')');
+}
+
+fn push_len(out: &mut String, len: f64) {
+    // Shortest representation that round-trips f64.
+    let mut buf = format!("{len}");
+    if !buf.contains('.') && !buf.contains('e') && !buf.contains("inf") && !buf.contains("NaN") {
+        buf.push_str(".0");
+    }
+    out.push_str(&buf);
+}
+
+/// Serializes the tree in the unrooted Newick convention (trifurcation at
+/// the inner node adjacent to leaf 0).
+pub fn write(tree: &Tree) -> String {
+    let leaf0 = NodeId(0);
+    let (anchor, e0) = tree.neighbors(leaf0)[0];
+    let mut out = String::with_capacity(tree.n_leaves() * 12);
+    out.push('(');
+    out.push_str(tree.taxon(leaf0));
+    out.push(':');
+    push_len(&mut out, tree.edge_length(e0));
+    for &(w, e) in tree.neighbors(anchor) {
+        if w == leaf0 {
+            continue;
+        }
+        out.push(',');
+        write_subtree(tree, w, anchor, &mut out);
+        out.push(':');
+        push_len(&mut out, tree.edge_length(e));
+    }
+    out.push_str(");");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_unrooted_trifurcation() {
+        let t = parse("(A:0.1,B:0.2,C:0.3);").unwrap();
+        assert_eq!(t.n_leaves(), 3);
+        assert!((t.total_length() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rooted_binary_suppresses_root() {
+        let t = parse("((A:0.1,B:0.2):0.05,(C:0.3,D:0.4):0.15);").unwrap();
+        assert_eq!(t.n_leaves(), 4);
+        assert_eq!(t.n_edges(), 5);
+        // The suppressed root merges 0.05 + 0.15 into one internal branch.
+        assert!((t.total_length() - (0.1 + 0.2 + 0.3 + 0.4 + 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rooted_with_leaf_child() {
+        let t = parse("(A:0.5,(B:0.1,C:0.2):0.3);").unwrap();
+        assert_eq!(t.n_leaves(), 3);
+        assert!((t.total_length() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_lengths_default_to_zero() {
+        let t = parse("(A,B,C);").unwrap();
+        assert_eq!(t.total_length(), 0.0);
+    }
+
+    #[test]
+    fn inner_labels_ignored() {
+        let t = parse("((A:0.1,B:0.2)inner1:0.05,(C:0.3,D:0.4)inner2:0.15)root;").unwrap();
+        assert_eq!(t.n_leaves(), 4);
+    }
+
+    #[test]
+    fn scientific_notation_lengths() {
+        let t = parse("(A:1e-3,B:2.5E-2,C:1.0);").unwrap();
+        assert!((t.total_length() - (0.001 + 0.025 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let src = "((A:0.1,B:0.2):0.05,(C:0.3,(D:0.25,E:0.35):0.1):0.15);";
+        let t1 = parse(src).unwrap();
+        let text = write(&t1);
+        let t2 = parse(&text).unwrap();
+        assert_eq!(t1.n_leaves(), t2.n_leaves());
+        assert!((t1.total_length() - t2.total_length()).abs() < 1e-9);
+        let mut names1: Vec<_> = t1.taxa().to_vec();
+        let mut names2: Vec<_> = t2.taxa().to_vec();
+        names1.sort();
+        names2.sort();
+        assert_eq!(names1, names2);
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("(A,B,C)").is_err()); // missing ';'
+        assert!(parse("(A,B,C); extra").is_err());
+        assert!(parse("A;").is_err()); // single leaf
+        assert!(parse("(A,B);").is_err()); // two leaves
+        assert!(parse("(A,B,C,D);").is_err()); // root quadrifurcation
+        assert!(parse("((A,B,X):0.1,C,D);").is_err()); // inner trifurcation
+        assert!(parse("(A:x,B:0.2,C:0.3);").is_err()); // bad length
+    }
+
+    #[test]
+    fn reject_negative_length() {
+        assert!(parse("(A:-0.5,B:0.2,C:0.3);").is_err());
+    }
+}

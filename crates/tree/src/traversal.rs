@@ -1,0 +1,264 @@
+//! Traversal planning for the Felsenstein pruning algorithm.
+//!
+//! A *plan* is a post-order list of inner-origin directed edges: computing
+//! the CLVs in list order guarantees that both dependencies of each entry
+//! are available (either computed earlier in the list, already cached, or
+//! tips). Plans are consumed by the likelihood engine and by the
+//! slot-constrained FPA of the AMC crate.
+
+use crate::ids::{DirEdgeId, EdgeId};
+use crate::tree::Tree;
+
+/// Controls the order in which the two dependencies of a CLV are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderPolicy {
+    /// Dependencies in adjacency order. Fine when memory is unconstrained.
+    #[default]
+    AsIs,
+    /// Descend into the dependency with the larger Sethi–Ullman register
+    /// need first. This is the order under which the `⌈log₂ n⌉ + 2` slot
+    /// bound holds; always use it when slots are scarce.
+    MinRegisters,
+}
+
+/// Builds the post-order plan to compute the CLV of `target`, skipping any
+/// directed edge for which `cached` returns true (its CLV is assumed
+/// available and pinned by the caller).
+///
+/// The returned list contains only inner-origin directed edges (tips need no
+/// computation) and ends with `target` itself unless `target` is cached or
+/// tip-origin. Iterative, so arbitrarily deep trees are safe.
+pub fn plan_for(
+    tree: &Tree,
+    target: DirEdgeId,
+    policy: OrderPolicy,
+    register_need: Option<&[u32]>,
+    cached: impl Fn(DirEdgeId) -> bool,
+) -> Vec<DirEdgeId> {
+    let mut plan = Vec::new();
+    extend_plan_for(tree, target, policy, register_need, &cached, &mut plan);
+    plan
+}
+
+/// Like [`plan_for`], but appends to an existing plan and treats edges
+/// already in the plan as cached is the *caller's* responsibility (pass an
+/// appropriate `cached` closure).
+pub fn extend_plan_for(
+    tree: &Tree,
+    target: DirEdgeId,
+    policy: OrderPolicy,
+    register_need: Option<&[u32]>,
+    cached: &impl Fn(DirEdgeId) -> bool,
+    plan: &mut Vec<DirEdgeId>,
+) {
+    if tree.is_leaf(tree.src(target)) || cached(target) {
+        return;
+    }
+    debug_assert!(
+        !(policy == OrderPolicy::MinRegisters && register_need.is_none()),
+        "MinRegisters ordering requires the register_need table"
+    );
+    // Iterative post-order: (dir_edge, expanded?) entries.
+    let mut stack: Vec<(DirEdgeId, bool)> = vec![(target, false)];
+    while let Some((d, expanded)) = stack.pop() {
+        if expanded {
+            plan.push(d);
+            continue;
+        }
+        stack.push((d, true));
+        let Some(mut deps) = tree.deps(d) else { continue };
+        if let (OrderPolicy::MinRegisters, Some(need)) = (policy, register_need) {
+            // Heavier dependency first means it is *popped* first, so push
+            // it last.
+            if need[deps[0].idx()] > need[deps[1].idx()] {
+                deps.swap(0, 1);
+            }
+        }
+        for dep in deps {
+            if !tree.is_leaf(tree.src(dep)) && !cached(dep) {
+                stack.push((dep, false));
+            }
+        }
+    }
+    // The DFS may visit a directed edge twice if the two dependency
+    // subtrees overlap; in a tree they never do, so the plan has no
+    // duplicates by construction.
+}
+
+/// Builds the plan that makes *both* orientations of `edge` available —
+/// everything needed to evaluate the tree likelihood at that branch
+/// (virtual root placement).
+pub fn plan_for_edge(
+    tree: &Tree,
+    edge: EdgeId,
+    policy: OrderPolicy,
+    register_need: Option<&[u32]>,
+    cached: impl Fn(DirEdgeId) -> bool,
+) -> Vec<DirEdgeId> {
+    let fwd = DirEdgeId::new(edge, 0);
+    let bwd = DirEdgeId::new(edge, 1);
+    let mut plan = Vec::new();
+    extend_plan_for(tree, fwd, policy, register_need, &cached, &mut plan);
+    extend_plan_for(tree, bwd, policy, register_need, &cached, &mut plan);
+    plan
+}
+
+/// A full sweep: the plan computing every inner-origin directed edge of the
+/// tree (all `3(n−2)` CLVs), as used by the full-memory placement engine.
+///
+/// The sweep is organized as `plan_for_edge` over every branch with a
+/// shared "already planned" set, so each CLV appears exactly once and in a
+/// valid order.
+pub fn plan_all(tree: &Tree, policy: OrderPolicy, register_need: Option<&[u32]>) -> Vec<DirEdgeId> {
+    let mut planned = vec![false; tree.n_dir_edges()];
+    let mut plan = Vec::with_capacity(tree.n_inner_dir_edges());
+    for edge in tree.all_edges() {
+        for side in 0..2 {
+            let d = DirEdgeId::new(edge, side);
+            let before = plan.len();
+            extend_plan_for(tree, d, policy, register_need, &|x| planned[x.idx()], &mut plan);
+            for &p in &plan[before..] {
+                planned[p.idx()] = true;
+            }
+        }
+    }
+    plan
+}
+
+/// Orders the branches by a depth-first walk of the tree (an Euler-tour
+/// edge order): consecutive edges share most of their subtree CLVs, which
+/// is what makes slot-managed branch sweeps cheap. EPA-NG's branch-block
+/// iteration visits branches in traversal order for exactly this reason.
+pub fn edge_dfs_order(tree: &Tree) -> Vec<EdgeId> {
+    let start = tree.neighbors(crate::NodeId(0))[0].0; // inner anchor
+    let mut order = Vec::with_capacity(tree.n_edges());
+    let mut seen_edge = vec![false; tree.n_edges()];
+    let mut seen_node = vec![false; tree.n_nodes()];
+    let mut stack = vec![start];
+    seen_node[start.idx()] = true;
+    while let Some(u) = stack.pop() {
+        for &(v, e) in tree.neighbors(u) {
+            if !seen_edge[e.idx()] {
+                seen_edge[e.idx()] = true;
+                order.push(e);
+            }
+            if !seen_node[v.idx()] {
+                seen_node[v.idx()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), tree.n_edges());
+    order
+}
+
+/// Checks that `plan` is dependency-valid: each entry's dependencies are
+/// tips, cached, or appear earlier in the plan. Returns the first violating
+/// entry, if any. Used by tests and debug assertions.
+pub fn first_violation(
+    tree: &Tree,
+    plan: &[DirEdgeId],
+    cached: impl Fn(DirEdgeId) -> bool,
+) -> Option<DirEdgeId> {
+    let mut done = vec![false; tree.n_dir_edges()];
+    for &d in plan {
+        if let Some(deps) = tree.deps(d) {
+            for dep in deps {
+                if !tree.is_leaf(tree.src(dep)) && !done[dep.idx()] && !cached(dep) {
+                    return Some(d);
+                }
+            }
+        }
+        done[d.idx()] = true;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn never(_: DirEdgeId) -> bool {
+        false
+    }
+
+    #[test]
+    fn plan_for_tip_is_empty() {
+        let t = crate::tree::tripod(["A", "B", "C"], [0.1; 3]).unwrap();
+        let tip_dir = t.dir_between(crate::NodeId(0), crate::NodeId(3)).unwrap();
+        assert!(plan_for(&t, tip_dir, OrderPolicy::AsIs, None, never).is_empty());
+    }
+
+    #[test]
+    fn plan_covers_dependencies() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = generate::yule(40, 0.1, &mut rng).unwrap();
+        for d in t.inner_dir_edges() {
+            let plan = plan_for(&t, d, OrderPolicy::AsIs, None, never);
+            assert_eq!(*plan.last().unwrap(), d);
+            assert!(first_violation(&t, &plan, never).is_none());
+        }
+    }
+
+    #[test]
+    fn plan_respects_cache() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let t = generate::yule(30, 0.1, &mut rng).unwrap();
+        let d = t.inner_dir_edges().last().unwrap();
+        let full = plan_for(&t, d, OrderPolicy::AsIs, None, never);
+        // Cache everything except the target: plan shrinks to just the
+        // target.
+        let cached = |x: DirEdgeId| x != d;
+        let small = plan_for(&t, d, OrderPolicy::AsIs, None, cached);
+        assert_eq!(small, vec![d]);
+        assert!(full.len() > 1);
+        assert!(first_violation(&t, &small, cached).is_none());
+    }
+
+    #[test]
+    fn plan_all_is_complete_and_unique() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for gen in [generate::yule, generate::caterpillar, generate::uniform_topology] {
+            let t = gen(25, 0.1, &mut rng).unwrap();
+            let plan = plan_all(&t, OrderPolicy::AsIs, None);
+            assert_eq!(plan.len(), t.n_inner_dir_edges());
+            let mut seen = vec![false; t.n_dir_edges()];
+            for &d in &plan {
+                assert!(!seen[d.idx()], "duplicate {d:?}");
+                seen[d.idx()] = true;
+            }
+            assert!(first_violation(&t, &plan, never).is_none());
+        }
+    }
+
+    #[test]
+    fn min_register_order_is_valid() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let t = generate::balanced(64, 0.1, &mut rng).unwrap();
+        let need = stats::register_need(&t);
+        for d in t.inner_dir_edges().take(20) {
+            let plan = plan_for(&t, d, OrderPolicy::MinRegisters, Some(&need), never);
+            assert!(first_violation(&t, &plan, never).is_none());
+        }
+    }
+
+    #[test]
+    fn plan_for_edge_covers_both_sides() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let t = generate::yule(20, 0.1, &mut rng).unwrap();
+        for e in t.all_edges() {
+            let plan = plan_for_edge(&t, e, OrderPolicy::AsIs, None, never);
+            assert!(first_violation(&t, &plan, never).is_none());
+            for side in 0..2 {
+                let d = DirEdgeId::new(e, side);
+                if !t.is_leaf(t.src(d)) {
+                    assert!(plan.contains(&d));
+                }
+            }
+        }
+    }
+}

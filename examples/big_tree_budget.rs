@@ -1,0 +1,101 @@
+//! The paper's headline scenario: placement on a *large* reference tree
+//! that does not fit comfortably in memory.
+//!
+//! This example builds a pro_ref-style tree (the paper's 20 000-taxon
+//! PICRUSt2 reference, scaled to keep the example fast), shows how the
+//! memory planner turns a `--maxmem` budget into slot counts and the
+//! lookup-table decision, and sweeps the budget to expose the
+//! memory-versus-runtime trade-off — including the sharp cliff when the
+//! preplacement lookup table no longer fits.
+//!
+//! Run with: `cargo run --release --example big_tree_budget`
+
+use phyloplace::place::{memplan, EpaConfig, Placer, QueryBatch};
+use phyloplace::prelude::*;
+use std::time::Instant;
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let spec = phyloplace::datasets::pro_ref(Scale::Ci);
+    let ds = generate_dataset(&spec);
+    let patterns = phyloplace::seq::compress(&ds.reference).unwrap();
+    let s2p = patterns.site_to_pattern().to_vec();
+    let build_ctx = || {
+        ReferenceContext::new(
+            ds.tree.clone(),
+            ds.model.clone(),
+            ds.spec.alphabet.alphabet(),
+            &patterns,
+        )
+        .unwrap()
+    };
+    let batch = QueryBatch::new(&ds.queries, ds.reference.n_sites()).unwrap();
+
+    let probe = build_ctx();
+    println!(
+        "reference tree: {} taxa, {} branches -> full layout = {} directional CLVs",
+        probe.tree().n_leaves(),
+        probe.tree().n_edges(),
+        probe.max_slots()
+    );
+    println!(
+        "minimum slots (⌈log2 n⌉ + 2): {}   CLV size: {:.1} KiB",
+        probe.min_slots(),
+        probe.layout().clv_bytes() as f64 / 1024.0
+    );
+
+    let base = EpaConfig { chunk_size: 4, threads: 1, ..Default::default() };
+    let floor = memplan::floor_budget(&probe, &base, batch.len(), batch.n_sites());
+    let lookup_floor = memplan::lookup_floor_budget(&probe, &base, batch.len(), batch.n_sites());
+    drop(probe);
+    println!(
+        "feasible budgets: floor {:.1} MiB (no lookup), lookup floor {:.1} MiB\n",
+        mib(floor),
+        mib(lookup_floor)
+    );
+
+    // Reference run: no budget.
+    let placer = Placer::new(build_ctx(), s2p.clone(), base.clone()).unwrap();
+    let t = Instant::now();
+    let (reference_results, report) = placer.place(&batch).unwrap();
+    let ref_time = t.elapsed();
+    let ref_mem = report.peak_memory;
+    println!(
+        "{:>12}  {:>10}  {:>9}  {:>7}  {:>10}  lookup",
+        "budget", "peak MiB", "time", "slots", "recomputes"
+    );
+    println!(
+        "{:>12}  {:>10.1}  {:>8.2}s  {:>7}  {:>10}  yes",
+        "(none)",
+        mib(ref_mem),
+        ref_time.as_secs_f64(),
+        report.slots,
+        report.slot_stats.misses
+    );
+
+    // Sweep: comfortable -> just above cliff -> at the floor.
+    for budget in [ref_mem * 7 / 10, lookup_floor, floor] {
+        let cfg = EpaConfig { max_memory: Some(budget), ..base.clone() };
+        let placer = Placer::new(build_ctx(), s2p.clone(), cfg).unwrap();
+        let t = Instant::now();
+        let (results, report) = placer.place(&batch).unwrap();
+        let dt = t.elapsed();
+        println!(
+            "{:>9.1}MiB  {:>10.1}  {:>8.2}s  {:>7}  {:>10}  {}",
+            mib(budget),
+            mib(report.peak_memory),
+            dt.as_secs_f64(),
+            report.slots,
+            report.slot_stats.misses,
+            if report.used_lookup { "yes" } else { "no" }
+        );
+        // Placements never change, only cost does.
+        for (a, b) in reference_results.iter().zip(&results) {
+            assert_eq!(a.best().unwrap().edge, b.best().unwrap().edge);
+        }
+    }
+    println!("\nall budgets produced identical best placements.");
+}

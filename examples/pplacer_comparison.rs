@@ -1,0 +1,111 @@
+//! EPA-NG versus the pplacer-style baseline on the same data (the
+//! paper's Fig. 5 scenario, in miniature).
+//!
+//! Four configurations: each tool with memory saving off and on. EPA-NG's
+//! saving is the Active Management of CLVs (slot budget); pplacer's is a
+//! file-backed CLV store. Placements agree; costs differ.
+//!
+//! Run with: `cargo run --release --example pplacer_comparison`
+
+use phyloplace::baseline::{Backing, PplacerConfig, PplacerLike};
+use phyloplace::place::{memplan, EpaConfig, Placer, QueryBatch};
+use phyloplace::prelude::*;
+use std::time::Instant;
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let spec = phyloplace::datasets::serratus(Scale::Ci);
+    let ds = generate_dataset(&spec);
+    let patterns = phyloplace::seq::compress(&ds.reference).unwrap();
+    let s2p = patterns.site_to_pattern().to_vec();
+    let build_ctx = || {
+        ReferenceContext::new(
+            ds.tree.clone(),
+            ds.model.clone(),
+            ds.spec.alphabet.alphabet(),
+            &patterns,
+        )
+        .unwrap()
+    };
+    let batch = QueryBatch::new(&ds.queries, ds.reference.n_sites()).unwrap();
+    println!(
+        "dataset: {} AA taxa × {} sites, {} queries\n",
+        ds.tree.n_leaves(),
+        ds.reference.n_sites(),
+        batch.len()
+    );
+    println!("{:>8} {:>8} {:>9} {:>10}  best edges", "tool", "memsave", "time", "peak MiB");
+
+    let mut best: Option<Vec<u32>> = None;
+    let mut check = |name: &str, edges: Vec<u32>| {
+        if let Some(reference) = &best {
+            assert_eq!(reference, &edges, "{name} disagrees on placements");
+        } else {
+            best = Some(edges);
+        }
+    };
+
+    // EPA-NG, off.
+    let cfg = EpaConfig { threads: 1, ..Default::default() };
+    let placer = Placer::new(build_ctx(), s2p.clone(), cfg.clone()).unwrap();
+    let t = Instant::now();
+    let (r, rep) = placer.place(&batch).unwrap();
+    println!(
+        "{:>8} {:>8} {:>8.2}s {:>10.1}  {:?}",
+        "epa-ng",
+        "off",
+        t.elapsed().as_secs_f64(),
+        mib(rep.peak_memory),
+        r.iter().map(|x| x.best().unwrap().edge.0).collect::<Vec<_>>()
+    );
+    check("epa-off", r.iter().map(|x| x.best().unwrap().edge.0).collect());
+
+    // EPA-NG, AMC at the floor.
+    let probe = build_ctx();
+    let floor = memplan::floor_budget(&probe, &cfg, batch.len(), batch.n_sites());
+    drop(probe);
+    let amc_cfg = EpaConfig { max_memory: Some(floor), ..cfg.clone() };
+    let placer = Placer::new(build_ctx(), s2p.clone(), amc_cfg).unwrap();
+    let t = Instant::now();
+    let (r, rep) = placer.place(&batch).unwrap();
+    println!(
+        "{:>8} {:>8} {:>8.2}s {:>10.1}  (identical)",
+        "epa-ng",
+        "on",
+        t.elapsed().as_secs_f64(),
+        mib(rep.peak_memory)
+    );
+    check("epa-amc", r.iter().map(|x| x.best().unwrap().edge.0).collect());
+
+    // pplacer, RAM.
+    let t = Instant::now();
+    let mut pp = PplacerLike::build(build_ctx(), s2p.clone(), PplacerConfig::default()).unwrap();
+    let (r, rep) = pp.place(&batch).unwrap();
+    println!(
+        "{:>8} {:>8} {:>8.2}s {:>10.1}  (identical)",
+        "pplacer",
+        "off",
+        t.elapsed().as_secs_f64(),
+        mib(rep.peak_memory)
+    );
+    check("pplacer-ram", r.iter().map(|x| x.best().unwrap().edge.0).collect());
+
+    // pplacer, file-backed.
+    let t = Instant::now();
+    let cfg_file = PplacerConfig { backing: Backing::File, ..Default::default() };
+    let mut pp = PplacerLike::build(build_ctx(), s2p, cfg_file).unwrap();
+    let (r, rep) = pp.place(&batch).unwrap();
+    println!(
+        "{:>8} {:>8} {:>8.2}s {:>10.1}  (identical)",
+        "pplacer",
+        "on",
+        t.elapsed().as_secs_f64(),
+        mib(rep.peak_memory)
+    );
+    check("pplacer-file", r.iter().map(|x| x.best().unwrap().edge.0).collect());
+
+    println!("\nall four configurations agree on every query's best branch.");
+}

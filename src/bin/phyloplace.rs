@@ -1,0 +1,39 @@
+//! The `phyloplace` command-line tool.
+//!
+//! ```text
+//! phyloplace place --tree ref.nwk --ref-msa ref.fasta --queries q.fasta \
+//!     [--aa] [--maxmem MIB|auto] [--gamma ALPHA|--no-gamma] \
+//!     [--chunk N] [--threads N] [--out out.jplace]
+//! ```
+
+use phyloplace::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, out_path) = match cli::parse_cli(&args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match cli::run_placement(&opts) {
+        Ok((jplace, summary)) => {
+            eprintln!("{summary}");
+            match out_path {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, jplace) {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{jplace}"),
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

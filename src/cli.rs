@@ -1,0 +1,285 @@
+//! The `phyloplace` command-line pipeline: files in, `jplace` out.
+//!
+//! This is the shape in which EPA-NG is actually consumed: a reference
+//! tree (Newick), a reference alignment (FASTA), and aligned query
+//! sequences (FASTA), producing placements in the `jplace` interchange
+//! format — here with the paper's `--maxmem` memory management surface.
+
+use crate::place::result::to_jplace;
+use crate::place::{memplan, EpaConfig, Placer, QueryBatch};
+use phylo_models::gamma::GammaMode;
+use phylo_models::{aa, dna, DiscreteGamma, SubstModel};
+use phylo_seq::alphabet::AlphabetKind;
+use phylo_seq::{compress, fasta, Msa};
+use phylo_engine::ReferenceContext;
+
+/// Parsed command-line options for `phyloplace place`.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Newick reference tree text.
+    pub tree_text: String,
+    /// FASTA reference alignment text.
+    pub ref_fasta: String,
+    /// FASTA aligned query text.
+    pub query_fasta: String,
+    /// Alphabet (DNA default; `--aa` switches).
+    pub alphabet: AlphabetKind,
+    /// Memory budget in MiB (`None` = unlimited; `Some(0)` = autodetect).
+    pub maxmem_mib: Option<f64>,
+    /// Γ shape (4 categories); `None` = rate-homogeneous.
+    pub gamma_alpha: Option<f64>,
+    /// Queries per chunk.
+    pub chunk_size: usize,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            tree_text: String::new(),
+            ref_fasta: String::new(),
+            query_fasta: String::new(),
+            alphabet: AlphabetKind::Dna,
+            maxmem_mib: None,
+            gamma_alpha: Some(1.0),
+            chunk_size: 5000,
+            threads: 1,
+        }
+    }
+}
+
+/// Runs the full pipeline and returns the `jplace` document plus a short
+/// human-readable run summary.
+pub fn run_placement(opts: &CliOptions) -> Result<(String, String), String> {
+    let tree = phylo_tree::newick::parse(&opts.tree_text)
+        .map_err(|e| format!("reference tree: {e}"))?;
+    let ref_rows = fasta::parse(&opts.ref_fasta, opts.alphabet)
+        .map_err(|e| format!("reference alignment: {e}"))?;
+    let msa = Msa::new(ref_rows).map_err(|e| format!("reference alignment: {e}"))?;
+    let queries = fasta::parse(&opts.query_fasta, opts.alphabet)
+        .map_err(|e| format!("queries: {e}"))?;
+    let patterns = compress(&msa).map_err(|e| format!("compression: {e}"))?;
+
+    // Model: +F empirical frequencies over the reference, Γ4 if requested.
+    let gamma = match opts.gamma_alpha {
+        Some(alpha) => DiscreteGamma::new(alpha, 4, GammaMode::Mean)
+            .map_err(|e| format!("gamma: {e}"))?,
+        None => DiscreteGamma::none(),
+    };
+    let alphabet = opts.alphabet.alphabet();
+    let model = match opts.alphabet {
+        AlphabetKind::Dna => {
+            let f = dna::empirical_freqs(
+                alphabet,
+                msa.rows().iter().map(|r| r.codes()),
+            );
+            let freqs: [f64; 4] = [f[0], f[1], f[2], f[3]];
+            SubstModel::new(
+                &dna::gtr(&[1.0; 6], &freqs).map_err(|e| format!("model: {e}"))?,
+                gamma,
+            )
+            .map_err(|e| format!("model: {e}"))?
+        }
+        AlphabetKind::Protein => SubstModel::new(
+            &aa::synthetic_aa(0).map_err(|e| format!("model: {e}"))?,
+            gamma,
+        )
+        .map_err(|e| format!("model: {e}"))?,
+    };
+
+    let ctx = ReferenceContext::new(tree.clone(), model, alphabet, &patterns)
+        .map_err(|e| format!("engine: {e}"))?;
+    let max_memory = match opts.maxmem_mib {
+        None => None,
+        Some(mib) if mib <= 0.0 => memplan::detect_available_memory(),
+        Some(mib) => Some(phylo_amc::budget::mib_to_bytes(mib)),
+    };
+    let cfg = EpaConfig {
+        max_memory,
+        chunk_size: opts.chunk_size,
+        threads: opts.threads,
+        ..Default::default()
+    };
+    let placer = Placer::new(ctx, patterns.site_to_pattern().to_vec(), cfg)
+        .map_err(|e| format!("config: {e}"))?;
+    let batch = QueryBatch::new(&queries, msa.n_sites()).map_err(|e| format!("queries: {e}"))?;
+    let (results, report) = placer.place(&batch).map_err(|e| format!("placement: {e}"))?;
+    let summary = format!(
+        "placed {} queries on {} branches in {:.2}s (peak {:.1} MiB, {} CLV slots, lookup {}, {} CLV computations)",
+        report.n_queries,
+        tree.n_edges(),
+        report.total_time.as_secs_f64(),
+        report.peak_memory as f64 / (1024.0 * 1024.0),
+        report.slots,
+        if report.used_lookup { "on" } else { "off" },
+        report.slot_stats.misses,
+    );
+    Ok((to_jplace(&tree, &results), summary))
+}
+
+/// Parses `phyloplace place` arguments. Returns `Err(usage)` on any
+/// problem.
+pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String> {
+    const USAGE: &str = "usage: phyloplace place --tree REF.nwk --ref-msa REF.fasta --queries Q.fasta \
+  [--aa] [--maxmem MIB | --maxmem auto] [--gamma ALPHA | --no-gamma] \
+  [--chunk N] [--threads N] [--out OUT.jplace]";
+    let mut opts = CliOptions::default();
+    let mut out: Option<String> = None;
+    let mut tree_path = None;
+    let mut ref_path = None;
+    let mut query_path = None;
+    let mut it = args.iter();
+    match it.next().map(|s| s.as_str()) {
+        Some("place") => {}
+        _ => return Err(USAGE.to_string()),
+    }
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"));
+        match flag.as_str() {
+            "--tree" => tree_path = Some(value()?),
+            "--ref-msa" => ref_path = Some(value()?),
+            "--queries" => query_path = Some(value()?),
+            "--out" => out = Some(value()?),
+            "--aa" => opts.alphabet = AlphabetKind::Protein,
+            "--maxmem" => {
+                let v = value()?;
+                opts.maxmem_mib = if v == "auto" {
+                    Some(0.0)
+                } else {
+                    Some(v.parse::<f64>().map_err(|_| format!("bad --maxmem {v:?}\n{USAGE}"))?)
+                };
+            }
+            "--gamma" => {
+                let v = value()?;
+                opts.gamma_alpha =
+                    Some(v.parse::<f64>().map_err(|_| format!("bad --gamma {v:?}\n{USAGE}"))?);
+            }
+            "--no-gamma" => opts.gamma_alpha = None,
+            "--chunk" => {
+                let v = value()?;
+                opts.chunk_size =
+                    v.parse().map_err(|_| format!("bad --chunk {v:?}\n{USAGE}"))?;
+            }
+            "--threads" => {
+                let v = value()?;
+                opts.threads = v.parse().map_err(|_| format!("bad --threads {v:?}\n{USAGE}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let tree_path = tree_path.ok_or_else(|| format!("--tree is required\n{USAGE}"))?;
+    let ref_path = ref_path.ok_or_else(|| format!("--ref-msa is required\n{USAGE}"))?;
+    let query_path = query_path.ok_or_else(|| format!("--queries is required\n{USAGE}"))?;
+    opts.tree_text =
+        std::fs::read_to_string(&tree_path).map_err(|e| format!("{tree_path}: {e}"))?;
+    opts.ref_fasta =
+        std::fs::read_to_string(&ref_path).map_err(|e| format!("{ref_path}: {e}"))?;
+    opts.query_fasta =
+        std::fs::read_to_string(&query_path).map_err(|e| format!("{query_path}: {e}"))?;
+    Ok((opts, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_opts() -> CliOptions {
+        CliOptions {
+            tree_text: "((A:0.1,B:0.2):0.05,(C:0.15,D:0.1):0.05,E:0.3);".into(),
+            ref_fasta: ">A\nACGTACGTAC\n>B\nACGTACGTCC\n>C\nACTTACGAAC\n>D\nACTTACGTAC\n>E\nGCTTACGTAA\n".into(),
+            query_fasta: ">q1\nACGTACGTAC\n>q2\nACTTACG-AC\n".into(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_pipeline_from_text() {
+        let (jplace, summary) = run_placement(&demo_opts()).unwrap();
+        assert!(jplace.contains("\"version\": 3"));
+        assert!(jplace.contains("q1"));
+        assert!(jplace.contains("q2"));
+        assert!(summary.contains("placed 2 queries"));
+    }
+
+    #[test]
+    fn identical_query_places_on_own_pendant() {
+        let (jplace, _) = run_placement(&demo_opts()).unwrap();
+        // q1 == A's sequence; its best placement must be A's pendant edge.
+        // Find A's edge number from the tree string: "A:0.1{N}".
+        let tree_line = jplace.lines().find(|l| l.contains("\"tree\"")).unwrap();
+        let a_pos = tree_line.find("A:").unwrap();
+        let edge_num: u32 = tree_line[a_pos..]
+            .split('{')
+            .nth(1)
+            .unwrap()
+            .split('}')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        // q1's first (best) placement entry starts with that edge number.
+        let q1_line = jplace.lines().find(|l| l.contains("q1")).unwrap();
+        let first_field: u32 = q1_line
+            .split("[[")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(first_field, edge_num, "q1 should sit on A's pendant branch");
+    }
+
+    #[test]
+    fn budgeted_run_matches_unlimited() {
+        let unlimited = run_placement(&demo_opts()).unwrap().0;
+        let mut opts = demo_opts();
+        opts.maxmem_mib = Some(1.0);
+        opts.chunk_size = 1;
+        let budgeted = run_placement(&opts).unwrap().0;
+        // Same best edges for both runs (compare the placement arrays).
+        let pick = |s: &str| -> Vec<String> {
+            s.lines().filter(|l| l.contains("\"p\"")).map(|l| l.to_string()).collect()
+        };
+        assert_eq!(pick(&unlimited).len(), pick(&budgeted).len());
+    }
+
+    #[test]
+    fn aa_pipeline_works() {
+        let opts = CliOptions {
+            tree_text: "(P1:0.1,P2:0.2,(P3:0.1,P4:0.2):0.1);".into(),
+            ref_fasta: ">P1\nMKVLAARNDC\n>P2\nMKVLAARNDW\n>P3\nMRVLAGRNDC\n>P4\nMRVLAGRNEC\n".into(),
+            query_fasta: ">qa\nMKVLAARNDC\n".into(),
+            alphabet: AlphabetKind::Protein,
+            ..Default::default()
+        };
+        let (jplace, _) = run_placement(&opts).unwrap();
+        assert!(jplace.contains("qa"));
+    }
+
+    #[test]
+    fn parse_cli_rejects_garbage() {
+        let args: Vec<String> = vec!["place".into(), "--bogus".into()];
+        assert!(parse_cli(&args).is_err());
+        let args: Vec<String> = vec!["place".into()];
+        assert!(parse_cli(&args).unwrap_err().contains("--tree is required"));
+        let args: Vec<String> = vec!["somethingelse".into()];
+        assert!(parse_cli(&args).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        let mut opts = demo_opts();
+        opts.tree_text = "not a tree".into();
+        assert!(run_placement(&opts).unwrap_err().contains("reference tree"));
+        let mut opts = demo_opts();
+        opts.query_fasta = ">q\nACGT\n".into(); // wrong length
+        assert!(run_placement(&opts).unwrap_err().contains("queries"));
+        let mut opts = demo_opts();
+        opts.ref_fasta = ">A\nACGT\n".into(); // missing taxa
+        assert!(run_placement(&opts).is_err());
+    }
+}

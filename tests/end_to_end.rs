@@ -1,0 +1,136 @@
+//! End-to-end integration: datasets → engine → placement → jplace, across
+//! all three synthetic datasets and every major configuration axis.
+
+use phyloplace::place::result::to_jplace;
+use phyloplace::place::{memplan, EpaConfig, Placer, PreplacementMode, QueryBatch};
+use phyloplace::prelude::*;
+
+fn setup(spec: &phyloplace::datasets::DatasetSpec) -> (phyloplace::datasets::Dataset, Vec<u32>, QueryBatch) {
+    let ds = phyloplace::datasets::generate(spec);
+    let patterns = phyloplace::seq::compress(&ds.reference).unwrap();
+    let s2p = patterns.site_to_pattern().to_vec();
+    let batch = QueryBatch::new(&ds.queries, ds.reference.n_sites()).unwrap();
+    (ds, s2p, batch)
+}
+
+fn ctx_of(ds: &phyloplace::datasets::Dataset) -> ReferenceContext {
+    let patterns = phyloplace::seq::compress(&ds.reference).unwrap();
+    ReferenceContext::new(
+        ds.tree.clone(),
+        ds.model.clone(),
+        ds.spec.alphabet.alphabet(),
+        &patterns,
+    )
+    .unwrap()
+}
+
+#[test]
+fn all_datasets_place_end_to_end() {
+    for spec in phyloplace::datasets::spec::all(Scale::Ci) {
+        let (ds, s2p, batch) = setup(&spec);
+        let placer = Placer::new(ctx_of(&ds), s2p, EpaConfig::default()).unwrap();
+        let (results, report) = placer.place(&batch).unwrap();
+        assert_eq!(results.len(), batch.len(), "{}", spec.name);
+        assert_eq!(report.n_queries, batch.len());
+        for r in &results {
+            assert!(!r.placements.is_empty(), "{}: {} has no placements", spec.name, r.name);
+            assert!(r.best().unwrap().log_likelihood.is_finite());
+            let lwr: f64 = r.placements.iter().map(|p| p.like_weight_ratio).sum();
+            assert!((lwr - 1.0).abs() < 1e-9);
+            // Entries must be sorted by likelihood, best first.
+            for w in r.placements.windows(2) {
+                assert!(w[0].log_likelihood >= w[1].log_likelihood);
+            }
+        }
+        // jplace output parses as structurally sound (spot checks).
+        let j = to_jplace(&ds.tree, &results);
+        assert!(j.contains("\"version\": 3"));
+        assert!(j.contains(&format!("{{{}}}", ds.tree.n_edges() - 1)));
+    }
+}
+
+#[test]
+fn results_invariant_across_memory_configs() {
+    let spec = phyloplace::datasets::neotrop(Scale::Ci);
+    let (ds, s2p, batch) = setup(&spec);
+    let base = EpaConfig { chunk_size: 7, ..Default::default() };
+    let reference = {
+        let placer = Placer::new(ctx_of(&ds), s2p.clone(), base.clone()).unwrap();
+        placer.place(&batch).unwrap().0
+    };
+    let probe = ctx_of(&ds);
+    let floor = memplan::floor_budget(&probe, &base, batch.len(), batch.n_sites());
+    let lookup_floor = memplan::lookup_floor_budget(&probe, &base, batch.len(), batch.n_sites());
+    drop(probe);
+    for (label, cfg) in [
+        ("floor", EpaConfig { max_memory: Some(floor), ..base.clone() }),
+        ("lookup-floor", EpaConfig { max_memory: Some(lookup_floor), ..base.clone() }),
+        ("no-lookup", EpaConfig { preplacement: PreplacementMode::Off, ..base.clone() }),
+        ("threads-4", EpaConfig { threads: 4, ..base.clone() }),
+        ("sitepar", EpaConfig { sitepar_threads: 3, ..base.clone() }),
+        ("lru", EpaConfig { max_memory: Some(floor), strategy: StrategyKind::Lru, ..base.clone() }),
+        ("tiny-chunks", EpaConfig { chunk_size: 2, ..base.clone() }),
+    ] {
+        let placer = Placer::new(ctx_of(&ds), s2p.clone(), cfg).unwrap();
+        let (results, _) = placer.place(&batch).unwrap();
+        for (a, b) in reference.iter().zip(&results) {
+            assert_eq!(
+                a.best().unwrap().edge,
+                b.best().unwrap().edge,
+                "config {label} changed best placement of {}",
+                a.name
+            );
+        }
+    }
+}
+
+#[test]
+fn protein_dataset_places() {
+    let spec = phyloplace::datasets::serratus(Scale::Ci);
+    let (ds, s2p, batch) = setup(&spec);
+    assert_eq!(ds.model.n_states(), 20);
+    let placer = Placer::new(ctx_of(&ds), s2p, EpaConfig::default()).unwrap();
+    let (results, report) = placer.place(&batch).unwrap();
+    assert!(report.used_lookup);
+    assert!(results.iter().all(|r| r.best().unwrap().log_likelihood.is_finite()));
+}
+
+#[test]
+fn budget_too_small_is_reported_not_panicked() {
+    let spec = phyloplace::datasets::neotrop(Scale::Ci);
+    let (ds, s2p, batch) = setup(&spec);
+    let cfg = EpaConfig { max_memory: Some(1), ..Default::default() };
+    let placer = Placer::new(ctx_of(&ds), s2p, cfg).unwrap();
+    let err = placer.place(&batch).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("maxmem"), "unhelpful message: {msg}");
+    assert!(msg.contains("chunk"), "should suggest lowering the chunk size: {msg}");
+}
+
+#[test]
+fn fragments_place_like_their_full_queries() {
+    // A fragment (50% masked) of a sequence identical to a taxon should
+    // still place on that taxon's pendant branch.
+    let spec = phyloplace::datasets::neotrop(Scale::Ci);
+    let (ds, s2p, _) = setup(&spec);
+    let ctx = ctx_of(&ds);
+    let sites = ds.reference.n_sites();
+    let unknown = spec.alphabet.alphabet().unknown_code();
+    let taxon = phyloplace::tree::NodeId(3);
+    let per_pattern = ctx.tip_codes(taxon).to_vec();
+    let full: Vec<u8> = s2p.iter().map(|&p| per_pattern[p as usize]).collect();
+    let mut fragment = full.clone();
+    for c in fragment.iter_mut().take(sites / 2) {
+        *c = unknown;
+    }
+    let queries = vec![
+        Sequence::from_codes("full", spec.alphabet, full).unwrap(),
+        Sequence::from_codes("frag", spec.alphabet, fragment).unwrap(),
+    ];
+    let batch = QueryBatch::new(&queries, sites).unwrap();
+    let placer = Placer::new(ctx, s2p, EpaConfig::default()).unwrap();
+    let (results, _) = placer.place(&batch).unwrap();
+    let pendant_edge = ds.tree.neighbors(taxon)[0].1;
+    assert_eq!(results[0].best().unwrap().edge, pendant_edge);
+    assert_eq!(results[1].best().unwrap().edge, pendant_edge);
+}

@@ -1,0 +1,165 @@
+//! Property-based tests over the core invariants.
+
+use phyloplace::amc::{ClvKey, SlotManager, StrategyKind};
+use phyloplace::tree::stats::{min_slots_bound, register_need};
+use phyloplace::tree::{generate, newick, DirEdgeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Newick round-trips preserve topology statistics for arbitrary
+    /// random trees from every generator.
+    #[test]
+    fn newick_round_trip(n in 3usize..60, seed in 0u64..1000, gen_idx in 0usize..3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generators = [generate::yule, generate::caterpillar, generate::uniform_topology];
+        let tree = generators[gen_idx](n, 0.1, &mut rng).unwrap();
+        let text = newick::write(&tree);
+        let parsed = newick::parse(&text).unwrap();
+        prop_assert_eq!(parsed.n_leaves(), tree.n_leaves());
+        prop_assert!((parsed.total_length() - tree.total_length()).abs() < 1e-9);
+        // Taxon sets agree.
+        let mut a: Vec<_> = tree.taxa().to_vec();
+        let mut b: Vec<_> = parsed.taxa().to_vec();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        // Second round trip is a fixed point.
+        prop_assert_eq!(newick::write(&parsed), text);
+    }
+
+    /// Subtree leaf counts always partition `n` across each edge, for all
+    /// generators.
+    #[test]
+    fn leaf_counts_partition(n in 3usize..80, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = generate::uniform_topology(n, 0.1, &mut rng).unwrap();
+        let counts = phyloplace::tree::stats::subtree_leaf_counts(&tree);
+        for d in tree.all_dir_edges() {
+            prop_assert_eq!(counts[d.idx()] + counts[d.reversed().idx()], n as u32);
+        }
+    }
+
+    /// The slot-constrained FPA planner always succeeds at the paper's
+    /// `⌈log₂ n⌉ + 2` bound, on any topology, and never leaves pins
+    /// behind.
+    #[test]
+    fn log_bound_suffices(n in 4usize..64, seed in 0u64..500, gen_idx in 0usize..3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generators = [generate::yule, generate::caterpillar, generate::uniform_topology];
+        let tree = generators[gen_idx](n, 0.1, &mut rng).unwrap();
+        let need = register_need(&tree);
+        let costs: Vec<f64> = phyloplace::tree::stats::subtree_leaf_counts(&tree)
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
+        let mut mgr = SlotManager::new(
+            tree.n_dir_edges(),
+            min_slots_bound(n),
+            StrategyKind::CostBased.build(Some(costs)),
+        );
+        for e in tree.all_edges() {
+            let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
+            let rs = phyloplace::amc::ensure_resident(&tree, &targets, &mut mgr, &need)
+                .expect("log bound must suffice");
+            rs.release(&mut mgr);
+            mgr.check_invariants().unwrap();
+        }
+        prop_assert_eq!(mgr.n_pinned(), 0);
+    }
+
+    /// Slot-manager maps stay bijective under arbitrary operation
+    /// sequences (acquire / pin / unpin / invalidate).
+    #[test]
+    fn slot_manager_invariants(
+        ops in proptest::collection::vec((0u8..4, 0u32..24), 1..200),
+        n_slots in 2usize..10,
+    ) {
+        let mut mgr = SlotManager::new(24, n_slots, StrategyKind::Fifo.build(None));
+        let mut pinned: Vec<phyloplace::amc::SlotId> = Vec::new();
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    // Acquire (may legitimately fail if everything is
+                    // pinned).
+                    let _ = mgr.acquire(ClvKey(key));
+                }
+                1 => {
+                    // Pin a resident CLV.
+                    if let Some(slot) = mgr.lookup(ClvKey(key)) {
+                        mgr.pin(slot);
+                        pinned.push(slot);
+                    }
+                }
+                2 => {
+                    // Unpin something we pinned.
+                    if let Some(slot) = pinned.pop() {
+                        mgr.unpin(slot).unwrap();
+                    }
+                }
+                _ => {
+                    // Invalidate an unpinned resident CLV.
+                    if let Some(slot) = mgr.lookup(ClvKey(key)) {
+                        if mgr.pin_count(slot) == 0 {
+                            mgr.invalidate(ClvKey(key));
+                        }
+                    }
+                }
+            }
+            mgr.check_invariants().unwrap();
+        }
+    }
+
+    /// FASTA round trip for arbitrary DNA content and line widths.
+    #[test]
+    fn fasta_round_trip(
+        seqs in proptest::collection::vec("[ACGTRYN]{1,80}", 1..8),
+        width in 0usize..30,
+    ) {
+        use phyloplace::seq::alphabet::AlphabetKind;
+        let sequences: Vec<phyloplace::seq::Sequence> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                phyloplace::seq::Sequence::from_text(format!("s{i}"), AlphabetKind::Dna, text)
+                    .unwrap()
+            })
+            .collect();
+        let text = phyloplace::seq::fasta::to_string(&sequences, width);
+        let parsed = phyloplace::seq::fasta::parse(&text, AlphabetKind::Dna).unwrap();
+        prop_assert_eq!(parsed, sequences);
+    }
+
+    /// Pattern compression is lossless: expanding patterns through
+    /// `site_to_pattern` reproduces every original column.
+    #[test]
+    fn pattern_compression_lossless(
+        n_rows in 2usize..6,
+        n_sites in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        use phyloplace::seq::alphabet::AlphabetKind;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let rows: Vec<phyloplace::seq::Sequence> = (0..n_rows)
+            .map(|i| {
+                let codes: Vec<u8> = (0..n_sites).map(|_| rng.gen_range(0..5)).collect();
+                phyloplace::seq::Sequence::from_codes(format!("r{i}"), AlphabetKind::Dna, codes)
+                    .unwrap()
+            })
+            .collect();
+        let msa = phyloplace::seq::Msa::new(rows).unwrap();
+        let patterns = phyloplace::seq::compress(&msa).unwrap();
+        for site in 0..n_sites {
+            let p = patterns.site_to_pattern()[site] as usize;
+            for row in 0..n_rows {
+                prop_assert_eq!(patterns.row(row)[p], msa.row(row).codes()[site]);
+            }
+        }
+        let total: u32 = patterns.weights().iter().sum();
+        prop_assert_eq!(total as usize, n_sites);
+    }
+}
