@@ -2,13 +2,21 @@
 
 use crate::ctx::ReferenceContext;
 use phylo_amc::{DepSource, FpaOp, SlotArena, SlotId};
-use phylo_kernel::kernels::{update_partials, Side};
+use phylo_kernel::kernels::{update_partials_scratch, Side};
 use phylo_kernel::sitepar::update_partials_par;
+use phylo_kernel::KernelScratch;
 
 /// Executes one Felsenstein step: reads the dependency slots / tip
-/// encodings named by `op` and writes the target slot.
-pub fn execute_op(ctx: &ReferenceContext, arena: &mut SlotArena, op: &FpaOp) {
-    execute_op_inner(ctx, arena, op, 1);
+/// encodings named by `op` and writes the target slot. `scratch` is only
+/// touched by the generic kernel fallback; the store owns one so repeated
+/// recomputation allocates nothing.
+pub fn execute_op(
+    ctx: &ReferenceContext,
+    arena: &mut SlotArena,
+    op: &FpaOp,
+    scratch: &mut KernelScratch,
+) {
+    execute_op_inner(ctx, arena, op, 1, scratch);
 }
 
 /// As [`execute_op`], splitting the pattern range over `n_threads`
@@ -18,11 +26,18 @@ pub fn execute_op_par(
     arena: &mut SlotArena,
     op: &FpaOp,
     n_threads: usize,
+    scratch: &mut KernelScratch,
 ) {
-    execute_op_inner(ctx, arena, op, n_threads);
+    execute_op_inner(ctx, arena, op, n_threads, scratch);
 }
 
-fn execute_op_inner(ctx: &ReferenceContext, arena: &mut SlotArena, op: &FpaOp, n_threads: usize) {
+fn execute_op_inner(
+    ctx: &ReferenceContext,
+    arena: &mut SlotArena,
+    op: &FpaOp,
+    n_threads: usize,
+    scratch: &mut KernelScratch,
+) {
     let layout = *ctx.layout();
     let child_slots: Vec<SlotId> = op
         .deps
@@ -53,16 +68,29 @@ fn execute_op_inner(ctx: &ReferenceContext, arena: &mut SlotArena, op: &FpaOp, n
     }
     let (left, right) = (sides[0].take().unwrap(), sides[1].take().unwrap());
     if n_threads <= 1 {
-        update_partials(&layout, left, right, view.target_clv, view.target_scale, 0..layout.patterns);
+        update_partials_scratch(
+            &layout,
+            left,
+            right,
+            view.target_clv,
+            view.target_scale,
+            0..layout.patterns,
+            scratch,
+        );
     } else {
         update_partials_par(&layout, left, right, view.target_clv, view.target_scale, n_threads);
     }
 }
 
 /// Executes a whole schedule in order.
-pub fn execute_ops(ctx: &ReferenceContext, arena: &mut SlotArena, ops: &[FpaOp]) {
+pub fn execute_ops(
+    ctx: &ReferenceContext,
+    arena: &mut SlotArena,
+    ops: &[FpaOp],
+    scratch: &mut KernelScratch,
+) {
     for op in ops {
-        execute_op(ctx, arena, op);
+        execute_op(ctx, arena, op, scratch);
     }
 }
 
@@ -72,8 +100,9 @@ pub fn execute_ops_par(
     arena: &mut SlotArena,
     ops: &[FpaOp],
     n_threads: usize,
+    scratch: &mut KernelScratch,
 ) {
     for op in ops {
-        execute_op_par(ctx, arena, op, n_threads);
+        execute_op_par(ctx, arena, op, n_threads, scratch);
     }
 }

@@ -167,7 +167,7 @@ mod tests {
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
                 let text: String =
-                    (0..40).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                    (0..40).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();
@@ -206,7 +206,7 @@ mod tests {
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
                 let text: String =
-                    (0..8).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                    (0..8).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();

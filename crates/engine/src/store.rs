@@ -19,6 +19,7 @@ use crate::error::EngineError;
 use crate::exec;
 use phylo_amc::{ensure_resident, ClvKey, ResidentSet, SlotArena, SlotId, SlotStats, StrategyKind};
 use phylo_kernel::kernels::Side;
+use phylo_kernel::KernelScratch;
 use phylo_tree::{DirEdgeId, NodeId};
 
 /// One side of a branch, as stored: either a leaf (tips are not slotted)
@@ -36,6 +37,9 @@ pub struct ManagedStore {
     arena: SlotArena,
     /// Across-site threads used when recomputing CLVs (1 = serial).
     compute_threads: usize,
+    /// Kernel working buffers, reused across every recomputation this
+    /// store performs (only the generic kernel fallback touches them).
+    scratch: KernelScratch,
 }
 
 /// A pinned, resident set of directed edges returned by
@@ -114,7 +118,7 @@ impl ManagedStore {
             ctx.layout().patterns,
             strategy.build(costs),
         );
-        Ok(ManagedStore { arena, compute_threads: 1 })
+        Ok(ManagedStore { arena, compute_threads: 1, scratch: KernelScratch::new() })
     }
 
     /// A store with a caller-supplied replacement strategy — the paper's
@@ -140,7 +144,7 @@ impl ManagedStore {
             ctx.layout().patterns,
             strategy,
         );
-        Ok(ManagedStore { arena, compute_threads: 1 })
+        Ok(ManagedStore { arena, compute_threads: 1, scratch: KernelScratch::new() })
     }
 
     /// The full-memory store (`3(n−2)` slots, EPA-NG default mode).
@@ -187,9 +191,9 @@ impl ManagedStore {
     ) -> Result<PreparedBlock, EngineError> {
         let rs = ensure_resident(ctx.tree(), dirs, self.arena.manager_mut(), ctx.register_need())?;
         if self.compute_threads <= 1 {
-            exec::execute_ops(ctx, &mut self.arena, &rs.ops);
+            exec::execute_ops(ctx, &mut self.arena, &rs.ops, &mut self.scratch);
         } else {
-            exec::execute_ops_par(ctx, &mut self.arena, &rs.ops, self.compute_threads);
+            exec::execute_ops_par(ctx, &mut self.arena, &rs.ops, self.compute_threads, &mut self.scratch);
         }
         Ok(PreparedBlock { rs })
     }
@@ -222,9 +226,9 @@ impl ManagedStore {
     pub fn execute_one(&mut self, ctx: &ReferenceContext, pending: &mut PendingBlock) -> bool {
         let Some(op) = pending.rs.ops.get(pending.next_op).copied() else { return false };
         if self.compute_threads <= 1 {
-            exec::execute_op(ctx, &mut self.arena, &op);
+            exec::execute_op(ctx, &mut self.arena, &op, &mut self.scratch);
         } else {
-            exec::execute_op_par(ctx, &mut self.arena, &op, self.compute_threads);
+            exec::execute_op_par(ctx, &mut self.arena, &op, self.compute_threads, &mut self.scratch);
         }
         pending.next_op += 1;
         pending.next_op < pending.rs.ops.len()
@@ -329,7 +333,7 @@ mod tests {
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
                 let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
                 Sequence::from_text(tree.taxon(phylo_tree::NodeId(i as u32)), AlphabetKind::Dna, &text)
                     .unwrap()
             })

@@ -1,8 +1,23 @@
 //! CLV update kernels (the Felsenstein pruning step).
+//!
+//! The public functions here are thin **dispatchers**: each branches once
+//! per call on [`Layout::kind`] (selected at layout construction) to one
+//! of the implementations —
+//!
+//! * [`crate::fixed`] for DNA (`states == 4`) and protein
+//!   (`states == 20`): fused, pattern-blocked kernels with compile-time
+//!   state counts and no heap scratch;
+//! * [`crate::reference`] for everything else: the generic scalar
+//!   kernels, which double as the differential-test oracle.
+//!
+//! Every entry point has a `_scratch` variant taking a caller-owned
+//! [`KernelScratch`]; the plain variants construct a transient empty
+//! scratch, which allocates only when the generic path actually runs.
 
-use crate::layout::Layout;
-use crate::scaling::{SCALE_FACTOR, SCALE_THRESHOLD};
+use crate::layout::{KernelKind, Layout};
+use crate::scratch::KernelScratch;
 use crate::tips::TipTable;
+use crate::{fixed, reference};
 
 /// One side of a likelihood combination: the data flowing toward a node
 /// across one of its edges.
@@ -40,9 +55,16 @@ impl<'a> Side<'a> {
     }
 
     /// Writes this side's propagated likelihood for (`pattern`, `rate`)
-    /// into `out` (`states` entries).
+    /// into `out` (`states` entries). The dynamic-dispatch primitive the
+    /// generic kernels are built from.
     #[inline]
-    fn propagate_pattern_rate(&self, layout: &Layout, pattern: usize, rate: usize, out: &mut [f64]) {
+    pub(crate) fn propagate_pattern_rate(
+        &self,
+        layout: &Layout,
+        pattern: usize,
+        rate: usize,
+        out: &mut [f64],
+    ) {
         let states = layout.states;
         match *self {
             Side::Clv { clv, pmatrix, .. } => {
@@ -72,6 +94,7 @@ impl<'a> Side<'a> {
 /// `out`/`out_scale` are full-length buffers; only the entries covered by
 /// `range` are written, so disjoint ranges may be filled concurrently (see
 /// [`crate::sitepar`]).
+#[inline]
 pub fn update_partials(
     layout: &Layout,
     left: Side<'_>,
@@ -80,36 +103,28 @@ pub fn update_partials(
     out_scale: &mut [u32],
     range: std::ops::Range<usize>,
 ) {
-    debug_assert_eq!(out.len(), layout.clv_len());
-    debug_assert_eq!(out_scale.len(), layout.patterns);
-    debug_assert!(range.end <= layout.patterns);
-    let states = layout.states;
-    let stride = layout.pattern_stride();
-    let mut lbuf = vec![0.0f64; states];
-    let mut rbuf = vec![0.0f64; states];
-    for p in range {
-        let mut max = 0.0f64;
-        for r in 0..layout.rates {
-            left.propagate_pattern_rate(layout, p, r, &mut lbuf);
-            right.propagate_pattern_rate(layout, p, r, &mut rbuf);
-            let dst = &mut out[p * stride + r * states..p * stride + (r + 1) * states];
-            for ((d, &l), &rv) in dst.iter_mut().zip(&lbuf).zip(&rbuf) {
-                let v = l * rv;
-                *d = v;
-                max = max.max(v);
-            }
+    update_partials_scratch(layout, left, right, out, out_scale, range, &mut KernelScratch::new())
+}
+
+/// [`update_partials`] with a caller-owned scratch, guaranteeing zero heap
+/// allocation per call on every dispatch path once the scratch is warm.
+pub fn update_partials_scratch(
+    layout: &Layout,
+    left: Side<'_>,
+    right: Side<'_>,
+    out: &mut [f64],
+    out_scale: &mut [u32],
+    range: std::ops::Range<usize>,
+    scratch: &mut KernelScratch,
+) {
+    match layout.kind() {
+        KernelKind::Dna4 => fixed::update_partials::<4>(layout, left, right, out, out_scale, range),
+        KernelKind::Protein20 => {
+            fixed::update_partials::<20>(layout, left, right, out, out_scale, range)
         }
-        let mut scale = left.scale_at(p) + right.scale_at(p);
-        // Rescale the whole pattern while it is representable but tiny.
-        while max > 0.0 && max < SCALE_THRESHOLD {
-            let dst = &mut out[p * stride..(p + 1) * stride];
-            for v in dst.iter_mut() {
-                *v *= SCALE_FACTOR;
-            }
-            max *= SCALE_FACTOR;
-            scale += 1;
+        KernelKind::Generic => {
+            reference::update_partials(layout, left, right, out, out_scale, range, scratch)
         }
-        out_scale[p] = scale;
     }
 }
 
@@ -117,6 +132,7 @@ pub fn update_partials(
 /// (`[pattern][rate][state]` over `range`), accumulating that side's scaler
 /// counts into `out_scale`. Used to build placement lookup tables and the
 /// attachment-point partials.
+#[inline]
 pub fn propagate(
     layout: &Layout,
     side: Side<'_>,
@@ -124,23 +140,29 @@ pub fn propagate(
     out_scale: &mut [u32],
     range: std::ops::Range<usize>,
 ) {
-    debug_assert_eq!(out.len(), layout.clv_len());
-    debug_assert_eq!(out_scale.len(), layout.patterns);
-    let states = layout.states;
-    let stride = layout.pattern_stride();
-    let mut buf = vec![0.0f64; states];
-    for p in range {
-        for r in 0..layout.rates {
-            side.propagate_pattern_rate(layout, p, r, &mut buf);
-            out[p * stride + r * states..p * stride + (r + 1) * states].copy_from_slice(&buf);
-        }
-        out_scale[p] = side.scale_at(p);
+    propagate_scratch(layout, side, out, out_scale, range, &mut KernelScratch::new())
+}
+
+/// [`propagate`] with a caller-owned scratch.
+pub fn propagate_scratch(
+    layout: &Layout,
+    side: Side<'_>,
+    out: &mut [f64],
+    out_scale: &mut [u32],
+    range: std::ops::Range<usize>,
+    scratch: &mut KernelScratch,
+) {
+    match layout.kind() {
+        KernelKind::Dna4 => fixed::propagate::<4>(layout, side, out, out_scale, range),
+        KernelKind::Protein20 => fixed::propagate::<20>(layout, side, out, out_scale, range),
+        KernelKind::Generic => reference::propagate(layout, side, out, out_scale, range, scratch),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scaling::{SCALE_FACTOR, SCALE_THRESHOLD};
 
     fn identity_pmatrix(states: usize, rates: usize) -> Vec<f64> {
         let mut p = vec![0.0; rates * states * states];
@@ -314,5 +336,28 @@ mod tests {
         assert_eq!(&out[0..4], &[0.7, 0.1, 0.1, 0.1]);
         // Pattern 1 (T): column T of P.
         assert_eq!(&out[4..8], &[0.1, 0.1, 0.1, 0.7]);
+    }
+
+    #[test]
+    fn generic_state_count_dispatches_to_reference() {
+        // A binary alphabet exercises the Generic arm through the public
+        // entry point; results must match a hand-computed product.
+        let layout = Layout::new(2, 1, 2);
+        assert_eq!(layout.kind(), KernelKind::Generic);
+        let pm = identity_pmatrix(2, 1);
+        let a = vec![0.5, 0.25, 1.0, 0.0];
+        let b = vec![0.5, 2.0, 0.5, 1.0];
+        let mut out = vec![0.0; layout.clv_len()];
+        let mut scale = vec![0u32; 2];
+        update_partials(
+            &layout,
+            Side::Clv { clv: &a, scale: None, pmatrix: &pm },
+            Side::Clv { clv: &b, scale: None, pmatrix: &pm },
+            &mut out,
+            &mut scale,
+            0..2,
+        );
+        assert_eq!(out, vec![0.25, 0.5, 0.5, 0.0]);
+        assert_eq!(scale, vec![0, 0]);
     }
 }

@@ -1,5 +1,30 @@
 //! CLV memory layout.
 
+/// Which kernel implementation a [`Layout`] dispatches to. Selected once
+/// at layout construction from the state count; every kernel entry point
+/// branches on it exactly once per call, outside the pattern loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// `states == 4`: fused DNA kernels with fixed-size inner loops.
+    Dna4,
+    /// `states == 20`: fused protein kernels with pattern-blocked
+    /// (cache-friendly) transition-matrix access.
+    Protein20,
+    /// Any other state count: the generic scalar kernels.
+    Generic,
+}
+
+impl KernelKind {
+    /// The kind serving a given state count.
+    pub fn for_states(states: usize) -> KernelKind {
+        match states {
+            4 => KernelKind::Dna4,
+            20 => KernelKind::Protein20,
+            _ => KernelKind::Generic,
+        }
+    }
+}
+
 /// Describes the shape of every CLV in a partitioned analysis:
 /// `[pattern][rate][state]`, patterns outermost so that site ranges are
 /// contiguous (which is what makes across-site parallelism a simple slice
@@ -12,13 +37,21 @@ pub struct Layout {
     pub rates: usize,
     /// Number of character states (4 for DNA, 20 for protein).
     pub states: usize,
+    /// Kernel implementation selected for this layout.
+    kind: KernelKind,
 }
 
 impl Layout {
     /// Creates a layout; all dimensions must be non-zero.
     pub fn new(patterns: usize, rates: usize, states: usize) -> Self {
         assert!(patterns > 0 && rates > 0 && states > 0, "layout dimensions must be non-zero");
-        Layout { patterns, rates, states }
+        Layout { patterns, rates, states, kind: KernelKind::for_states(states) }
+    }
+
+    /// The kernel implementation this layout dispatches to.
+    #[inline]
+    pub fn kind(&self) -> KernelKind {
+        self.kind
     }
 
     /// Number of `f64` entries in one CLV.
@@ -63,7 +96,7 @@ impl Layout {
     #[inline]
     pub fn slice(&self, range: std::ops::Range<usize>) -> Layout {
         debug_assert!(range.end <= self.patterns);
-        Layout { patterns: range.len(), rates: self.rates, states: self.states }
+        Layout { patterns: range.len(), rates: self.rates, states: self.states, kind: self.kind }
     }
 
     /// The f64 index range covering the given pattern range of a CLV.
@@ -101,6 +134,15 @@ mod tests {
         let sub = l.slice(10..30);
         assert_eq!(sub.patterns, 20);
         assert_eq!(l.clv_range(&(10..30)), 80..240);
+        assert_eq!(sub.kind(), l.kind());
+    }
+
+    #[test]
+    fn kind_follows_state_count() {
+        assert_eq!(Layout::new(1, 1, 4).kind(), KernelKind::Dna4);
+        assert_eq!(Layout::new(1, 1, 20).kind(), KernelKind::Protein20);
+        assert_eq!(Layout::new(1, 1, 2).kind(), KernelKind::Generic);
+        assert_eq!(Layout::new(1, 1, 61).kind(), KernelKind::Generic);
     }
 
     #[test]

@@ -21,14 +21,27 @@
 //! CLV memory itself is owned by callers (the engine's stores or the AMC
 //! slot arena); kernels only ever see slices, which is what lets one kernel
 //! implementation serve full-memory, slot-managed, and file-backed modes.
+//!
+//! # Kernel dispatch
+//!
+//! Every public entry point is a dispatcher selected once per call from
+//! [`layout::KernelKind`] (itself fixed at [`Layout`] construction from
+//! the state count): DNA (`states == 4`) and protein (`states == 20`) run
+//! the fused, fixed-state kernels in [`fixed`]; everything else runs the
+//! generic scalar kernels in [`reference`], which double as the
+//! bit-for-bit differential-test oracle for the fast paths.
 
+pub mod fixed;
 pub mod kernels;
 pub mod layout;
 pub mod likelihood;
+pub mod reference;
 pub mod scaling;
+pub mod scratch;
 pub mod sitepar;
 pub mod tips;
 
-pub use layout::Layout;
+pub use layout::{KernelKind, Layout};
 pub use scaling::{LN_SCALE, SCALE_FACTOR, SCALE_THRESHOLD};
+pub use scratch::KernelScratch;
 pub use tips::TipTable;

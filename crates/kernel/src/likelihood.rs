@@ -1,8 +1,15 @@
 //! Log-likelihood evaluation from CLVs.
+//!
+//! Like [`crate::kernels`], the functions here dispatch once per call on
+//! [`Layout::kind`] to the fixed-state implementations in [`crate::fixed`]
+//! (DNA/protein) or the generic oracle in [`crate::reference`]. Both
+//! likelihood evaluations keep the pattern-outer / rate-inner accumulation
+//! order on every path, so totals are bit-identical across dispatch arms.
 
 use crate::kernels::Side;
-use crate::layout::Layout;
-use crate::scaling::LN_SCALE;
+use crate::layout::{KernelKind, Layout};
+use crate::scratch::KernelScratch;
+use crate::{fixed, reference};
 
 /// Evaluates the tree log-likelihood at a branch: one side is the CLV
 /// *at* node `u` (unpropagated), the other is everything beyond the branch,
@@ -11,6 +18,7 @@ use crate::scaling::LN_SCALE;
 /// `L_p = Σ_r w_r Σ_i π_i · u[p,r,i] · v_prop[p,r,i]`, summed over patterns
 /// with their multiplicities and corrected for scaler counts.
 #[allow(clippy::too_many_arguments)]
+#[inline]
 pub fn edge_log_likelihood(
     layout: &Layout,
     u_clv: &[f64],
@@ -21,29 +29,66 @@ pub fn edge_log_likelihood(
     pattern_weights: &[u32],
     range: std::ops::Range<usize>,
 ) -> f64 {
-    debug_assert_eq!(u_clv.len(), layout.clv_len());
-    debug_assert_eq!(freqs.len(), layout.states);
-    debug_assert_eq!(rate_weights.len(), layout.rates);
-    debug_assert_eq!(pattern_weights.len(), layout.patterns);
-    let states = layout.states;
-    let stride = layout.pattern_stride();
-    let mut buf = vec![0.0f64; states];
-    let mut total = 0.0f64;
-    for p in range {
-        let mut site = 0.0f64;
-        for r in 0..layout.rates {
-            propagate_into(&v, layout, p, r, &mut buf);
-            let u = &u_clv[p * stride + r * states..p * stride + (r + 1) * states];
-            let mut cat = 0.0;
-            for i in 0..states {
-                cat += freqs[i] * u[i] * buf[i];
-            }
-            site += rate_weights[r] * cat;
-        }
-        let scale = u_scale.map_or(0, |s| s[p]) + v.scale_at(p);
-        total += pattern_weights[p] as f64 * (site.ln() - scale as f64 * LN_SCALE);
+    edge_log_likelihood_scratch(
+        layout,
+        u_clv,
+        u_scale,
+        v,
+        freqs,
+        rate_weights,
+        pattern_weights,
+        range,
+        &mut KernelScratch::new(),
+    )
+}
+
+/// [`edge_log_likelihood`] with a caller-owned scratch (zero allocation
+/// per call on every dispatch path once the scratch is warm).
+#[allow(clippy::too_many_arguments)]
+pub fn edge_log_likelihood_scratch(
+    layout: &Layout,
+    u_clv: &[f64],
+    u_scale: Option<&[u32]>,
+    v: Side<'_>,
+    freqs: &[f64],
+    rate_weights: &[f64],
+    pattern_weights: &[u32],
+    range: std::ops::Range<usize>,
+    scratch: &mut KernelScratch,
+) -> f64 {
+    match layout.kind() {
+        KernelKind::Dna4 => fixed::edge_log_likelihood::<4>(
+            layout,
+            u_clv,
+            u_scale,
+            v,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+        ),
+        KernelKind::Protein20 => fixed::edge_log_likelihood::<20>(
+            layout,
+            u_clv,
+            u_scale,
+            v,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+        ),
+        KernelKind::Generic => reference::edge_log_likelihood(
+            layout,
+            u_clv,
+            u_scale,
+            v,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+            scratch,
+        ),
     }
-    total
 }
 
 /// Evaluates the log-likelihood at a *point* where several sides meet —
@@ -51,6 +96,7 @@ pub fn edge_log_likelihood(
 /// query tip all propagated to the attachment node.
 ///
 /// `L_p = Σ_r w_r Σ_i π_i · Π_s side_s_prop[p,r,i]`.
+#[inline]
 pub fn point_log_likelihood(
     layout: &Layout,
     sides: &[Side<'_>],
@@ -59,59 +105,60 @@ pub fn point_log_likelihood(
     pattern_weights: &[u32],
     range: std::ops::Range<usize>,
 ) -> f64 {
-    debug_assert!(!sides.is_empty());
-    let states = layout.states;
-    let mut acc = vec![0.0f64; states];
-    let mut buf = vec![0.0f64; states];
-    let mut total = 0.0f64;
-    for p in range {
-        let mut site = 0.0f64;
-        for r in 0..layout.rates {
-            propagate_into(&sides[0], layout, p, r, &mut acc);
-            for side in &sides[1..] {
-                propagate_into(side, layout, p, r, &mut buf);
-                for (a, &b) in acc.iter_mut().zip(&buf) {
-                    *a *= b;
-                }
-            }
-            let mut cat = 0.0;
-            for i in 0..states {
-                cat += freqs[i] * acc[i];
-            }
-            site += rate_weights[r] * cat;
-        }
-        let scale: u32 = sides.iter().map(|s| s.scale_at(p)).sum();
-        total += pattern_weights[p] as f64 * (site.ln() - scale as f64 * LN_SCALE);
-    }
-    total
+    point_log_likelihood_scratch(
+        layout,
+        sides,
+        freqs,
+        rate_weights,
+        pattern_weights,
+        range,
+        &mut KernelScratch::new(),
+    )
 }
 
-#[inline]
-fn propagate_into(side: &Side<'_>, layout: &Layout, pattern: usize, rate: usize, out: &mut [f64]) {
-    let states = layout.states;
-    match *side {
-        Side::Clv { clv, pmatrix, .. } => {
-            let base = pattern * layout.pattern_stride() + rate * states;
-            let child = &clv[base..base + states];
-            let pm = &pmatrix[rate * states * states..(rate + 1) * states * states];
-            for (i, o) in out.iter_mut().enumerate() {
-                let row = &pm[i * states..(i + 1) * states];
-                let mut sum = 0.0;
-                for (p, c) in row.iter().zip(child) {
-                    sum += p * c;
-                }
-                *o = sum;
-            }
-        }
-        Side::Tip { table, codes } => {
-            out.copy_from_slice(table.code_rate(codes[pattern], rate));
-        }
+/// [`point_log_likelihood`] with a caller-owned scratch.
+pub fn point_log_likelihood_scratch(
+    layout: &Layout,
+    sides: &[Side<'_>],
+    freqs: &[f64],
+    rate_weights: &[f64],
+    pattern_weights: &[u32],
+    range: std::ops::Range<usize>,
+    scratch: &mut KernelScratch,
+) -> f64 {
+    match layout.kind() {
+        KernelKind::Dna4 => fixed::point_log_likelihood::<4>(
+            layout,
+            sides,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+        ),
+        KernelKind::Protein20 => fixed::point_log_likelihood::<20>(
+            layout,
+            sides,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+        ),
+        KernelKind::Generic => reference::point_log_likelihood(
+            layout,
+            sides,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+            scratch,
+        ),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scaling::LN_SCALE;
     use crate::tips::TipTable;
 
     const DNA_MASKS: [u32; 5] = [0b0001, 0b0010, 0b0100, 0b1000, 0b1111];

@@ -1,0 +1,170 @@
+//! Reference kernels: the fully generic scalar implementations.
+//!
+//! These are the original, dimension-agnostic kernels (dynamic `states`
+//! and `rates`, per-pattern dispatch through [`Side`]). They serve two
+//! roles:
+//!
+//! 1. **Differential-test oracle.** The specialized DNA/protein kernels in
+//!    [`crate::fixed`] must reproduce these bit-for-bit (see
+//!    `tests/differential.rs`); any divergence is a bug in the fast path.
+//! 2. **Generic fallback.** State counts with no specialized path (binary,
+//!    codon, …) dispatch here from the public entry points in
+//!    [`crate::kernels`] / [`crate::likelihood`].
+//!
+//! Working buffers come from a caller-owned [`KernelScratch`] so even the
+//! fallback performs no per-call heap allocation on steady-state paths.
+//! Scaling uses the original per-pattern iterative rescale loop — kept
+//! deliberately independent from the fast path's one-shot cold rescale so
+//! the differential suite exercises both derivations of the scaler count.
+
+use crate::kernels::Side;
+use crate::layout::Layout;
+use crate::scaling::{LN_SCALE, SCALE_FACTOR, SCALE_THRESHOLD};
+use crate::scratch::KernelScratch;
+
+/// Generic [`crate::kernels::update_partials`]: computes a parent CLV over
+/// `range` of the patterns with per-pattern scaler propagation.
+pub fn update_partials(
+    layout: &Layout,
+    left: Side<'_>,
+    right: Side<'_>,
+    out: &mut [f64],
+    out_scale: &mut [u32],
+    range: std::ops::Range<usize>,
+    scratch: &mut KernelScratch,
+) {
+    debug_assert_eq!(out.len(), layout.clv_len());
+    debug_assert_eq!(out_scale.len(), layout.patterns);
+    debug_assert!(range.end <= layout.patterns);
+    let states = layout.states;
+    let stride = layout.pattern_stride();
+    scratch.ensure(states);
+    let lbuf = &mut scratch.lbuf[..states];
+    let rbuf = &mut scratch.rbuf[..states];
+    for p in range {
+        let mut max = 0.0f64;
+        for r in 0..layout.rates {
+            left.propagate_pattern_rate(layout, p, r, lbuf);
+            right.propagate_pattern_rate(layout, p, r, rbuf);
+            let dst = &mut out[p * stride + r * states..p * stride + (r + 1) * states];
+            for ((d, &l), &rv) in dst.iter_mut().zip(lbuf.iter()).zip(rbuf.iter()) {
+                let v = l * rv;
+                *d = v;
+                max = max.max(v);
+            }
+        }
+        let mut scale = left.scale_at(p) + right.scale_at(p);
+        // Rescale the whole pattern while it is representable but tiny.
+        while max > 0.0 && max < SCALE_THRESHOLD {
+            let dst = &mut out[p * stride..(p + 1) * stride];
+            for v in dst.iter_mut() {
+                *v *= SCALE_FACTOR;
+            }
+            max *= SCALE_FACTOR;
+            scale += 1;
+        }
+        out_scale[p] = scale;
+    }
+}
+
+/// Generic [`crate::kernels::propagate`]: one side's propagated
+/// likelihoods over `range`, with that side's scaler counts.
+pub fn propagate(
+    layout: &Layout,
+    side: Side<'_>,
+    out: &mut [f64],
+    out_scale: &mut [u32],
+    range: std::ops::Range<usize>,
+    scratch: &mut KernelScratch,
+) {
+    debug_assert_eq!(out.len(), layout.clv_len());
+    debug_assert_eq!(out_scale.len(), layout.patterns);
+    let states = layout.states;
+    let stride = layout.pattern_stride();
+    scratch.ensure(states);
+    let buf = &mut scratch.lbuf[..states];
+    for p in range {
+        for r in 0..layout.rates {
+            side.propagate_pattern_rate(layout, p, r, buf);
+            out[p * stride + r * states..p * stride + (r + 1) * states].copy_from_slice(buf);
+        }
+        out_scale[p] = side.scale_at(p);
+    }
+}
+
+/// Generic [`crate::likelihood::edge_log_likelihood`].
+#[allow(clippy::too_many_arguments)]
+pub fn edge_log_likelihood(
+    layout: &Layout,
+    u_clv: &[f64],
+    u_scale: Option<&[u32]>,
+    v: Side<'_>,
+    freqs: &[f64],
+    rate_weights: &[f64],
+    pattern_weights: &[u32],
+    range: std::ops::Range<usize>,
+    scratch: &mut KernelScratch,
+) -> f64 {
+    debug_assert_eq!(u_clv.len(), layout.clv_len());
+    debug_assert_eq!(freqs.len(), layout.states);
+    debug_assert_eq!(rate_weights.len(), layout.rates);
+    debug_assert_eq!(pattern_weights.len(), layout.patterns);
+    let states = layout.states;
+    let stride = layout.pattern_stride();
+    scratch.ensure(states);
+    let buf = &mut scratch.lbuf[..states];
+    let mut total = 0.0f64;
+    for p in range {
+        let mut site = 0.0f64;
+        for r in 0..layout.rates {
+            v.propagate_pattern_rate(layout, p, r, buf);
+            let u = &u_clv[p * stride + r * states..p * stride + (r + 1) * states];
+            let mut cat = 0.0;
+            for i in 0..states {
+                cat += freqs[i] * u[i] * buf[i];
+            }
+            site += rate_weights[r] * cat;
+        }
+        let scale = u_scale.map_or(0, |s| s[p]) + v.scale_at(p);
+        total += pattern_weights[p] as f64 * (site.ln() - scale as f64 * LN_SCALE);
+    }
+    total
+}
+
+/// Generic [`crate::likelihood::point_log_likelihood`].
+pub fn point_log_likelihood(
+    layout: &Layout,
+    sides: &[Side<'_>],
+    freqs: &[f64],
+    rate_weights: &[f64],
+    pattern_weights: &[u32],
+    range: std::ops::Range<usize>,
+    scratch: &mut KernelScratch,
+) -> f64 {
+    debug_assert!(!sides.is_empty());
+    let states = layout.states;
+    scratch.ensure(states);
+    let acc = &mut scratch.acc[..states];
+    let buf = &mut scratch.lbuf[..states];
+    let mut total = 0.0f64;
+    for p in range {
+        let mut site = 0.0f64;
+        for r in 0..layout.rates {
+            sides[0].propagate_pattern_rate(layout, p, r, acc);
+            for side in &sides[1..] {
+                side.propagate_pattern_rate(layout, p, r, buf);
+                for (a, &b) in acc.iter_mut().zip(buf.iter()) {
+                    *a *= b;
+                }
+            }
+            let mut cat = 0.0;
+            for i in 0..states {
+                cat += freqs[i] * acc[i];
+            }
+            site += rate_weights[r] * cat;
+        }
+        let scale: u32 = sides.iter().map(|s| s.scale_at(p)).sum();
+        total += pattern_weights[p] as f64 * (site.ln() - scale as f64 * LN_SCALE);
+    }
+    total
+}

@@ -9,6 +9,12 @@
 //! As the paper observes (§V-C), this only pays off for wide alignments:
 //! each thread must amortize its spawn/join over `patterns / threads`
 //! sites.
+//!
+//! Each worker calls the dispatching serial kernels on its sub-range, so
+//! the range split composes with kernel specialization: DNA/protein
+//! chunks run the fused fixed-state kernels allocation-free, and only the
+//! generic fallback touches a (per-spawn, transient) scratch — negligible
+//! next to the thread spawn these wrappers already pay for.
 
 use crate::kernels::{update_partials, Side};
 use crate::layout::Layout;
@@ -62,7 +68,7 @@ pub fn update_partials_par(
     }
     let ranges = split_ranges(layout.patterns, n_threads);
     let stride = layout.pattern_stride();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut out_rest = out;
         let mut scale_rest = out_scale;
         for range in &ranges {
@@ -73,12 +79,11 @@ pub fn update_partials_par(
             let sub = layout.slice(range.clone());
             let l = slice_side(&left, layout, range);
             let r = slice_side(&right, layout, range);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 update_partials(&sub, l, r, out_chunk, scale_chunk, 0..sub.patterns);
             });
         }
-    })
-    .expect("site-parallel worker panicked");
+    });
 }
 
 /// Parallel [`edge_log_likelihood`]: each thread sums its pattern range;
@@ -109,19 +114,18 @@ pub fn edge_log_likelihood_par(
     }
     let ranges = split_ranges(layout.patterns, n_threads);
     let mut partials = vec![0.0f64; ranges.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (range, slot) in ranges.iter().zip(partials.iter_mut()) {
             let sub = layout.slice(range.clone());
             let u = &u_clv[layout.clv_range(range)];
             let us = u_scale.map(|x| &x[range.clone()]);
             let vv = slice_side(&v, layout, range);
             let pw = &pattern_weights[range.clone()];
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = edge_log_likelihood(&sub, u, us, vv, freqs, rate_weights, pw, 0..sub.patterns);
             });
         }
-    })
-    .expect("site-parallel worker panicked");
+    });
     partials.iter().sum()
 }
 

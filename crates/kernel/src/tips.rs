@@ -19,19 +19,48 @@ pub struct TipTable {
     data: Vec<f64>,
 }
 
+impl Default for TipTable {
+    fn default() -> Self {
+        TipTable::empty()
+    }
+}
+
 impl TipTable {
+    /// An empty table holding no codes; a reusable seed for
+    /// [`TipTable::rebuild`] on hot per-edge paths.
+    pub const fn empty() -> TipTable {
+        TipTable { n_codes: 0, rates: 0, states: 0, data: Vec::new() }
+    }
+
     /// Builds the table from a per-rate transition matrix set
     /// (`pmatrix[rate · states² + i · states + j]`) and the alphabet's
     /// per-code state masks.
     pub fn build(layout: &Layout, pmatrix: &[f64], masks: &[u32]) -> TipTable {
+        let mut t = TipTable::empty();
+        t.rebuild(layout, pmatrix, masks);
+        t
+    }
+
+    /// Rebuilds the table in place for a new edge (new transition
+    /// matrices), reusing the existing allocation whenever the dimensions
+    /// allow. Callers that sweep many edges keep one table and rebuild it
+    /// per edge instead of allocating per edge.
+    pub fn rebuild(&mut self, layout: &Layout, pmatrix: &[f64], masks: &[u32]) {
         let (rates, states) = (layout.rates, layout.states);
         debug_assert_eq!(pmatrix.len(), layout.pmatrix_len());
         let n_codes = masks.len();
-        let mut data = vec![0.0; n_codes * rates * states];
+        self.n_codes = n_codes;
+        self.rates = rates;
+        self.states = states;
+        let len = n_codes * rates * states;
+        // Shrink-or-grow without reallocating when capacity suffices; all
+        // entries are overwritten below.
+        self.data.clear();
+        self.data.resize(len, 0.0);
         for (code, &mask) in masks.iter().enumerate() {
             for r in 0..rates {
                 let pm = &pmatrix[r * states * states..(r + 1) * states * states];
-                let out = &mut data
+                let out = &mut self.data
                     [code * rates * states + r * states..code * rates * states + (r + 1) * states];
                 for (i, o) in out.iter_mut().enumerate() {
                     let mut sum = 0.0;
@@ -45,7 +74,6 @@ impl TipTable {
                 }
             }
         }
-        TipTable { n_codes, rates, states, data }
     }
 
     /// The `[rate][state]` block for one character code.
@@ -132,5 +160,25 @@ mod tests {
         assert_eq!(t.code_rate(0, 0), &[1.0, 0.0, 0.0, 0.0]);
         assert_eq!(t.code_rate(0, 1), &[0.25; 4]);
         assert_eq!(t.code_block(0).len(), 8);
+    }
+
+    #[test]
+    fn rebuild_reuses_allocation_and_matches_build() {
+        let layout = Layout::new(1, 2, 4);
+        let mut p1 = identity_pmatrix();
+        p1.extend(std::iter::repeat_n(0.25, 16));
+        let mut p2 = vec![0.1; 32];
+        for i in 0..4 {
+            p2[i * 4 + i] = 0.7;
+            p2[16 + i * 4 + i] = 0.4;
+        }
+        let masks = [0b0001, 0b0010, 0b0100, 0b1000, 0b1111];
+        let mut t = TipTable::build(&layout, &p1, &masks);
+        let ptr = t.data.as_ptr();
+        t.rebuild(&layout, &p2, &masks);
+        assert_eq!(t.data.as_ptr(), ptr, "same-shape rebuild must not reallocate");
+        let fresh = TipTable::build(&layout, &p2, &masks);
+        assert_eq!(t.data, fresh.data);
+        assert_eq!(t.n_codes(), 5);
     }
 }

@@ -1,0 +1,350 @@
+//! Differential tests: the specialized fixed-state kernels (dispatched
+//! through the public entry points for DNA and protein layouts) must
+//! reproduce the generic reference kernels **bit for bit** — same CLV
+//! bits, same scaler counts, same log-likelihood bits — across random
+//! dimensions, side combinations, partial pattern ranges, and
+//! scaling-heavy tiny-likelihood inputs.
+
+use phylo_kernel::kernels::{self, Side};
+use phylo_kernel::{likelihood, reference};
+use phylo_kernel::{KernelKind, KernelScratch, Layout, TipTable, SCALE_THRESHOLD};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Deterministic input builder driven by the proptest shim's RNG.
+struct Gen {
+    rng: TestRng,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { rng: TestRng::from_seed(seed) }
+    }
+
+    /// A value in `(lo, hi)`; never exactly zero so products stay nonzero.
+    fn val(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.unit_f64() * (hi - lo) + 1e-12
+    }
+
+    /// A roughly stochastic per-rate transition matrix set.
+    fn pmatrix(&mut self, layout: &Layout) -> Vec<f64> {
+        let s = layout.states;
+        let mut pm = vec![0.0; layout.pmatrix_len()];
+        for r in 0..layout.rates {
+            for i in 0..s {
+                let row = &mut pm[r * s * s + i * s..r * s * s + (i + 1) * s];
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = self.val(0.0, 1.0);
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        pm
+    }
+
+    /// A CLV; `tiny` scales whole patterns down near/below the scaling
+    /// threshold so rescaling triggers.
+    fn clv(&mut self, layout: &Layout, tiny: bool) -> Vec<f64> {
+        let stride = layout.pattern_stride();
+        let mut out = vec![0.0; layout.clv_len()];
+        for p in 0..layout.patterns {
+            let mag = if tiny && self.rng.below(2) == 0 {
+                // Anywhere from "just above threshold" to "two rescales".
+                SCALE_THRESHOLD.powf(self.val(0.5, 2.2))
+            } else {
+                1.0
+            };
+            for v in &mut out[p * stride..(p + 1) * stride] {
+                *v = self.val(0.0, 1.0) * mag;
+            }
+        }
+        out
+    }
+
+    /// Per-pattern inherited scaler counts.
+    fn scales(&mut self, patterns: usize) -> Vec<u32> {
+        (0..patterns).map(|_| self.rng.below(4) as u32).collect()
+    }
+
+    /// Per-pattern tip character codes over `n_codes` codes.
+    fn codes(&mut self, patterns: usize, n_codes: usize) -> Vec<u8> {
+        (0..patterns).map(|_| self.rng.below(n_codes as u64) as u8).collect()
+    }
+
+    /// A sub-range of the pattern space (sometimes partial, sometimes
+    /// full).
+    fn range(&mut self, patterns: usize) -> std::ops::Range<usize> {
+        if self.rng.below(3) == 0 {
+            0..patterns
+        } else {
+            let a = self.rng.below(patterns as u64) as usize;
+            let b = self.rng.below(patterns as u64) as usize;
+            a.min(b)..a.max(b) + 1
+        }
+    }
+}
+
+/// Concrete one-state masks plus a fully ambiguous code.
+fn masks(states: usize) -> Vec<u32> {
+    let mut m: Vec<u32> = (0..states).map(|j| 1u32 << j).collect();
+    m.push((1u64 << states) as u32 - 1);
+    m
+}
+
+/// Builds one side (tip or CLV) from the generator. Returned as owned
+/// parts; `as_side` borrows them.
+struct OwnedSide {
+    tip: Option<(TipTable, Vec<u8>)>,
+    clv: Option<(Vec<f64>, Vec<u32>, Vec<f64>)>,
+}
+
+impl OwnedSide {
+    fn generate(g: &mut Gen, layout: &Layout, force_clv: bool, tiny: bool) -> OwnedSide {
+        let pm = g.pmatrix(layout);
+        if !force_clv && g.rng.below(2) == 0 {
+            let m = masks(layout.states);
+            let table = TipTable::build(layout, &pm, &m);
+            let codes = g.codes(layout.patterns, m.len());
+            OwnedSide { tip: Some((table, codes)), clv: None }
+        } else {
+            let clv = g.clv(layout, tiny);
+            let scale = g.scales(layout.patterns);
+            OwnedSide { tip: None, clv: Some((clv, scale, pm)) }
+        }
+    }
+
+    fn as_side(&self) -> Side<'_> {
+        match (&self.tip, &self.clv) {
+            (Some((table, codes)), None) => Side::Tip { table, codes },
+            (None, Some((clv, scale, pm))) => {
+                Side::Clv { clv, scale: Some(scale), pmatrix: pm }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Runs dispatched-vs-reference `update_partials` and asserts bit
+/// equality.
+fn check_update(layout: &Layout, left: Side<'_>, right: Side<'_>, range: std::ops::Range<usize>) {
+    let mut fast = vec![0.0; layout.clv_len()];
+    let mut fast_scale = vec![0u32; layout.patterns];
+    kernels::update_partials(layout, left, right, &mut fast, &mut fast_scale, range.clone());
+
+    let mut oracle = vec![0.0; layout.clv_len()];
+    let mut oracle_scale = vec![0u32; layout.patterns];
+    let mut scratch = KernelScratch::new();
+    reference::update_partials(
+        layout,
+        left,
+        right,
+        &mut oracle,
+        &mut oracle_scale,
+        range.clone(),
+        &mut scratch,
+    );
+
+    for (i, (a, b)) in fast.iter().zip(&oracle).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "CLV bit mismatch at f64 index {i} (range {range:?})");
+    }
+    assert_eq!(fast_scale, oracle_scale, "scaler mismatch (range {range:?})");
+}
+
+fn dims_to_layout(patterns: usize, rates: usize, states: usize) -> Layout {
+    let layout = Layout::new(patterns, rates, states);
+    assert_ne!(layout.kind(), KernelKind::Generic, "test must exercise a specialized path");
+    layout
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DNA update_partials over random side combinations and ranges.
+    #[test]
+    fn dna_update_partials_matches_reference(
+        seed in 0u64..u64::MAX,
+        patterns in 1usize..40,
+        rates in 1usize..5,
+    ) {
+        let layout = dims_to_layout(patterns, rates, 4);
+        let mut g = Gen::new(seed);
+        let left = OwnedSide::generate(&mut g, &layout, false, false);
+        let right = OwnedSide::generate(&mut g, &layout, false, false);
+        let range = g.range(patterns);
+        check_update(&layout, left.as_side(), right.as_side(), range);
+    }
+
+    /// Protein (states = 20) update_partials, multi-rate.
+    #[test]
+    fn protein_update_partials_matches_reference(
+        seed in 0u64..u64::MAX,
+        patterns in 1usize..24,
+        rates in 1usize..5,
+    ) {
+        let layout = dims_to_layout(patterns, rates, 20);
+        let mut g = Gen::new(seed);
+        let left = OwnedSide::generate(&mut g, &layout, false, false);
+        let right = OwnedSide::generate(&mut g, &layout, false, false);
+        let range = g.range(patterns);
+        check_update(&layout, left.as_side(), right.as_side(), range);
+    }
+
+    /// Scaling-heavy inputs: tiny CLVs on both sides force the rescale
+    /// paths (one-shot cold rescale vs iterative loop) to agree bit for
+    /// bit, including multi-level rescales.
+    #[test]
+    fn scaling_heavy_update_matches_reference(
+        seed in 0u64..u64::MAX,
+        patterns in 1usize..32,
+        rates in 1usize..4,
+        protein in 0usize..2,
+    ) {
+        let states = if protein == 1 { 20 } else { 4 };
+        let layout = dims_to_layout(patterns, rates, states);
+        let mut g = Gen::new(seed);
+        let left = OwnedSide::generate(&mut g, &layout, true, true);
+        let right = OwnedSide::generate(&mut g, &layout, true, true);
+        let range = g.range(patterns);
+        check_update(&layout, left.as_side(), right.as_side(), range);
+    }
+
+    /// One-side propagation (lookup-table construction path).
+    #[test]
+    fn propagate_matches_reference(
+        seed in 0u64..u64::MAX,
+        patterns in 1usize..40,
+        rates in 1usize..5,
+        protein in 0usize..2,
+    ) {
+        let states = if protein == 1 { 20 } else { 4 };
+        let layout = dims_to_layout(patterns, rates, states);
+        let mut g = Gen::new(seed);
+        let side = OwnedSide::generate(&mut g, &layout, false, false);
+        let range = g.range(patterns);
+
+        let mut fast = vec![0.0; layout.clv_len()];
+        let mut fast_scale = vec![0u32; layout.patterns];
+        kernels::propagate(&layout, side.as_side(), &mut fast, &mut fast_scale, range.clone());
+
+        let mut oracle = vec![0.0; layout.clv_len()];
+        let mut oracle_scale = vec![0u32; layout.patterns];
+        let mut scratch = KernelScratch::new();
+        reference::propagate(
+            &layout,
+            side.as_side(),
+            &mut oracle,
+            &mut oracle_scale,
+            range,
+            &mut scratch,
+        );
+        for (a, b) in fast.iter().zip(&oracle) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(fast_scale, oracle_scale);
+    }
+
+    /// Edge log-likelihood totals must match bit for bit (same
+    /// accumulation order on both paths).
+    #[test]
+    fn edge_log_likelihood_matches_reference(
+        seed in 0u64..u64::MAX,
+        patterns in 1usize..40,
+        rates in 1usize..5,
+        protein in 0usize..2,
+    ) {
+        let states = if protein == 1 { 20 } else { 4 };
+        let layout = dims_to_layout(patterns, rates, states);
+        let mut g = Gen::new(seed);
+        let u_tiny = g.rng.below(2) == 0;
+        let u_clv = g.clv(&layout, u_tiny);
+        let u_scale = g.scales(patterns);
+        let v = OwnedSide::generate(&mut g, &layout, false, false);
+        let mut freqs: Vec<f64> = (0..states).map(|_| g.val(0.0, 1.0)).collect();
+        let fsum: f64 = freqs.iter().sum();
+        freqs.iter_mut().for_each(|f| *f /= fsum);
+        let rw: Vec<f64> = (0..rates).map(|_| 1.0 / rates as f64).collect();
+        let pw: Vec<u32> = (0..patterns).map(|_| 1 + g.rng.below(4) as u32).collect();
+        let range = g.range(patterns);
+
+        let fast = likelihood::edge_log_likelihood(
+            &layout, &u_clv, Some(&u_scale), v.as_side(), &freqs, &rw, &pw, range.clone(),
+        );
+        let mut scratch = KernelScratch::new();
+        let oracle = reference::edge_log_likelihood(
+            &layout, &u_clv, Some(&u_scale), v.as_side(), &freqs, &rw, &pw, range, &mut scratch,
+        );
+        prop_assert_eq!(fast.to_bits(), oracle.to_bits(), "{} vs {}", fast, oracle);
+    }
+
+    /// Three-way point log-likelihood (the placement evaluation).
+    #[test]
+    fn point_log_likelihood_matches_reference(
+        seed in 0u64..u64::MAX,
+        patterns in 1usize..32,
+        rates in 1usize..4,
+        protein in 0usize..2,
+    ) {
+        let states = if protein == 1 { 20 } else { 4 };
+        let layout = dims_to_layout(patterns, rates, states);
+        let mut g = Gen::new(seed);
+        let owned: Vec<OwnedSide> = (0..3)
+            .map(|_| OwnedSide::generate(&mut g, &layout, false, false))
+            .collect();
+        let sides: Vec<Side<'_>> = owned.iter().map(|o| o.as_side()).collect();
+        let mut freqs: Vec<f64> = (0..states).map(|_| g.val(0.0, 1.0)).collect();
+        let fsum: f64 = freqs.iter().sum();
+        freqs.iter_mut().for_each(|f| *f /= fsum);
+        let rw: Vec<f64> = (0..rates).map(|_| 1.0 / rates as f64).collect();
+        let pw: Vec<u32> = (0..patterns).map(|_| 1 + g.rng.below(4) as u32).collect();
+        let range = g.range(patterns);
+
+        let fast = likelihood::point_log_likelihood(&layout, &sides, &freqs, &rw, &pw, range.clone());
+        let mut scratch = KernelScratch::new();
+        let oracle = reference::point_log_likelihood(
+            &layout, &sides, &freqs, &rw, &pw, range, &mut scratch,
+        );
+        prop_assert_eq!(fast.to_bits(), oracle.to_bits(), "{} vs {}", fast, oracle);
+    }
+}
+
+/// A deterministic worst case: every pattern underflows several scaling
+/// levels at once, on both the DNA and the protein path.
+#[test]
+fn deep_rescale_bit_exact() {
+    for states in [4usize, 20] {
+        let layout = Layout::new(8, 3, states);
+        let mut g = Gen::new(0xDEADBEEF);
+        let pm_l = g.pmatrix(&layout);
+        let pm_r = g.pmatrix(&layout);
+        let stride = layout.pattern_stride();
+        let mut clv_l = vec![0.0; layout.clv_len()];
+        let mut clv_r = vec![0.0; layout.clv_len()];
+        for p in 0..layout.patterns {
+            // Left ~ 2^-300·u, right ~ 2^-280·u: the product sits around
+            // 2^-580, needing two+ rescale levels.
+            for v in &mut clv_l[p * stride..(p + 1) * stride] {
+                *v = g.val(0.0, 1.0) * 2.0f64.powi(-300);
+            }
+            for v in &mut clv_r[p * stride..(p + 1) * stride] {
+                *v = g.val(0.0, 1.0) * 2.0f64.powi(-280);
+            }
+        }
+        let ls = g.scales(layout.patterns);
+        let rs = g.scales(layout.patterns);
+        let left = Side::Clv { clv: &clv_l, scale: Some(&ls), pmatrix: &pm_l };
+        let right = Side::Clv { clv: &clv_r, scale: Some(&rs), pmatrix: &pm_r };
+        let mut fast = vec![0.0; layout.clv_len()];
+        let mut fast_scale = vec![0u32; layout.patterns];
+        kernels::update_partials(&layout, left, right, &mut fast, &mut fast_scale, 0..8);
+        // Every pattern must actually have rescaled ≥ 2 levels beyond the
+        // inherited counts, or the test is vacuous.
+        for p in 0..8 {
+            assert!(fast_scale[p] >= ls[p] + rs[p] + 2, "pattern {p} did not deep-rescale");
+        }
+        check_update(&layout, left, right, 0..8);
+    }
+}

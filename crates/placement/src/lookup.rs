@@ -14,7 +14,7 @@
 
 use crate::config::EpaConfig;
 use crate::error::PlaceError;
-use crate::score::{attachment_partials, BranchScoreTable, ScoreScratch};
+use crate::score::{attachment_partials_into, AttachmentPartials, BranchScoreTable, ScoreScratch};
 use phylo_engine::{ManagedStore, ReferenceContext};
 use phylo_tree::{DirEdgeId, EdgeId};
 
@@ -44,11 +44,14 @@ impl LookupTable {
         let edges = phylo_tree::traversal::edge_dfs_order(ctx.tree());
         let mut slots: Vec<Option<BranchScoreTable>> = Vec::new();
         slots.resize_with(ctx.tree().n_edges(), || None);
+        // One partials buffer serves the whole sweep; only the stored
+        // tables themselves are allocated per branch.
+        let mut partials = AttachmentPartials::empty();
         for block in edges.chunks(cfg.block_size.max(1)) {
             for &e in block {
                 let prepared =
                     store.prepare(ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)])?;
-                let partials = attachment_partials(ctx, store, e, 0.5, &mut scratch);
+                attachment_partials_into(ctx, store, e, 0.5, &mut scratch, &mut partials);
                 slots[e.idx()] =
                     Some(BranchScoreTable::build(ctx, &partials, pendant, &mut scratch));
                 store.release(prepared);
@@ -116,7 +119,7 @@ mod tests {
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
                 let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();

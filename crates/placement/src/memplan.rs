@@ -212,7 +212,7 @@ mod tests {
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
                 let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
                 Sequence::from_text(
                     tree.taxon(phylo_tree::NodeId(i as u32)),
                     AlphabetKind::Dna,

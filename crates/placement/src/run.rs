@@ -8,9 +8,9 @@ use crate::memplan::{self, MemoryPlan};
 use crate::queries::{EncodedQuery, QueryBatch};
 use crate::result::{PlacementEntry, PlacementResult, RunReport};
 use crate::score::{attachment_partials, score_thorough, BranchScoreTable, ScoreScratch};
-use parking_lot::RwLock;
 use phylo_engine::{ManagedStore, PreparedBlock, ReferenceContext};
 use phylo_tree::{DirEdgeId, EdgeId};
+use std::sync::RwLock;
 use std::time::Instant;
 
 /// A configured placement engine over one reference.
@@ -143,7 +143,7 @@ impl Placer {
         for r in &mut results {
             r.finalize();
         }
-        report.slot_stats = store.into_inner().stats();
+        report.slot_stats = store.into_inner().unwrap().stats();
         report.total_time = t_total.elapsed();
         Ok((results, report))
     }
@@ -161,7 +161,7 @@ impl Placer {
         branches: usize,
     ) -> Result<(), PlaceError> {
         let cfg = &self.cfg;
-        let block_size = self.effective_block_size(store.read().n_slots());
+        let block_size = self.effective_block_size(store.read().unwrap().n_slots());
         // DFS order keeps consecutive blocks topologically adjacent, so
         // AMC reuses most subtree CLVs between blocks.
         let all_edges: Vec<EdgeId> = phylo_tree::traversal::edge_dfs_order(ctx.tree());
@@ -173,7 +173,7 @@ impl Placer {
         run_blocks(ctx, store, &blocks, cfg.async_prefetch, |block| {
             // Build the block's transient tables under a read lock.
             let tables: Vec<BranchScoreTable> = {
-                let st = store.read();
+                let st = store.read().unwrap();
                 let mut scratch = ScoreScratch::new(ctx);
                 block
                     .iter()
@@ -209,7 +209,7 @@ impl Placer {
     ) -> Result<(), PlaceError> {
         let cfg = &self.cfg;
         let s2p = &self.site_to_pattern;
-        let block_size = self.effective_block_size(store.read().n_slots());
+        let block_size = self.effective_block_size(store.read().unwrap().n_slots());
         let blocks: Vec<Vec<EdgeId>>  = grouped
             .chunks(block_size)
             .map(|g| g.iter().map(|&(e, _)| e).collect())
@@ -228,18 +228,18 @@ impl Placer {
                 .collect();
             let n_threads = cfg.threads.min(items.len().max(1));
             let mut outputs: Vec<Vec<(usize, PlacementEntry)>> = Vec::new();
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for t in 0..n_threads {
                     let items = &items;
                     let store = &store;
-                    handles.push(s.spawn(move |_| {
+                    handles.push(s.spawn(move || {
                         let mut out = Vec::new();
                         let mut scratch = ScoreScratch::new(ctx);
                         let mut k = t;
                         while k < items.len() {
                             let (e, q) = items[k];
-                            let st = store.read();
+                            let st = store.read().unwrap();
                             let sp = score_thorough(
                                 ctx,
                                 &st,
@@ -270,8 +270,7 @@ impl Placer {
                 for h in handles {
                     outputs.push(h.join().expect("thorough worker panicked"));
                 }
-            })
-            .expect("thorough scope");
+            });
             for out in outputs {
                 for (q, entry) in out {
                     results[qoff + q].placements.push(entry);
@@ -299,7 +298,7 @@ impl<'a> RowMatrix<'a> {
         let width = self.width;
         let n_threads = n_threads.max(1).min(n_rows.max(1));
         let rows_per = n_rows.div_ceil(n_threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut rest: &mut [f64] = self.data;
             let mut start = 0usize;
             while start < n_rows {
@@ -308,11 +307,10 @@ impl<'a> RowMatrix<'a> {
                 rest = tail;
                 let range = start..start + take;
                 let work = &work;
-                s.spawn(move |_| work(range, head));
+                s.spawn(move || work(range, head));
                 start += take;
             }
-        })
-        .expect("prescore scope");
+        });
     }
 }
 
@@ -373,20 +371,20 @@ fn run_blocks(
                     let next_dirs = dirs_of(&blocks[k + 1]);
                     let pref_slot = &mut prefetched;
                     let pref_err = &mut prefetch_result;
-                    crossbeam::thread::scope(|s| {
+                    std::thread::scope(|s| {
                         let handle =
-                            s.spawn(|_| -> Result<Option<PreparedBlock>, PlaceError> {
+                            s.spawn(|| -> Result<Option<PreparedBlock>, PlaceError> {
                                 // Plan quickly, then execute one compute
                                 // step per lock acquisition so scoring
                                 // readers interleave.
                                 let plan_attempt =
-                                    store.write().plan_prepare(ctx, &next_dirs);
+                                    store.write().unwrap().plan_prepare(ctx, &next_dirs);
                                 let mut pending = match plan_attempt {
                                     Ok(p) => p,
                                     Err(e) if is_pin_exhaustion(&e) => return Ok(None),
                                     Err(e) => return Err(e.into()),
                                 };
-                                while store.write().execute_one(ctx, &mut pending) {}
+                                while store.write().unwrap().execute_one(ctx, &mut pending) {}
                                 Ok(Some(pending.into_prepared()))
                             });
                         scorer_result = scorer(&blocks[k]);
@@ -394,12 +392,11 @@ fn run_blocks(
                             Ok(opt) => *pref_slot = opt,
                             Err(e) => *pref_err = Err(e),
                         }
-                    })
-                    .expect("prefetch scope");
+                    });
                 } else {
                     scorer_result = scorer(&blocks[k]);
                 }
-                store.write().release(prepared);
+                store.write().unwrap().release(prepared);
                 scorer_result?;
                 prefetch_result?;
                 next = prefetched;
@@ -444,11 +441,11 @@ fn prepare_split(
     // Bind the prepare result first: a `match` on the expression would
     // keep the write guard (a scrutinee temporary) alive across the
     // scorer's read locks and self-deadlock.
-    let attempt = store.write().prepare(ctx, &dirs_of(block));
+    let attempt = store.write().unwrap().prepare(ctx, &dirs_of(block));
     match attempt {
         Ok(prepared) => {
             let r = scorer(block);
-            store.write().release(prepared);
+            store.write().unwrap().release(prepared);
             r
         }
         Err(e) if is_pin_exhaustion(&e) && block.len() > 1 => {
@@ -462,14 +459,14 @@ fn prepare_split(
             // the pass). Flush the cache and retry over a clean slate,
             // where the pin demand is bounded by the traversal floor.
             {
-                let mut st = store.write();
+                let mut st = store.write().unwrap();
                 st.flush_cache();
             }
-            let attempt = store.write().prepare(ctx, &dirs_of(block));
+            let attempt = store.write().unwrap().prepare(ctx, &dirs_of(block));
             match attempt {
                 Ok(prepared) => {
                     let r = scorer(block);
-                    store.write().release(prepared);
+                    store.write().unwrap().release(prepared);
                     r
                 }
                 Err(e) => Err(e.into()),
@@ -486,7 +483,7 @@ fn try_prepare(
     store: &RwLock<ManagedStore>,
     block: &[EdgeId],
 ) -> Result<Option<PreparedBlock>, PlaceError> {
-    let attempt = store.write().prepare(ctx, &dirs_of(block));
+    let attempt = store.write().unwrap().prepare(ctx, &dirs_of(block));
     match attempt {
         Ok(p) => Ok(Some(p)),
         Err(e) if is_pin_exhaustion(&e) => Ok(None),
@@ -516,7 +513,7 @@ mod tests {
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
                 let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();

@@ -16,12 +16,12 @@
 
 use crate::error::PlaceError;
 use phylo_engine::{ManagedStore, ReferenceContext};
-use phylo_kernel::kernels::{propagate, Side};
-use phylo_kernel::{TipTable, LN_SCALE};
+use phylo_kernel::kernels::{propagate_scratch, Side};
+use phylo_kernel::{KernelScratch, TipTable, LN_SCALE};
 
 /// The `A·B` product at an attachment point, over patterns × rates ×
 /// states, with combined scaler counts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AttachmentPartials {
     /// `[pattern][rate][state]` product of the two propagated sides.
     pub ab: Vec<f64>,
@@ -29,8 +29,16 @@ pub struct AttachmentPartials {
     pub scale: Vec<u32>,
 }
 
+impl AttachmentPartials {
+    /// An empty buffer for reuse through [`attachment_partials_into`].
+    pub const fn empty() -> Self {
+        AttachmentPartials { ab: Vec::new(), scale: Vec::new() }
+    }
+}
+
 /// Scratch buffers reused across scoring calls to keep the hot path
-/// allocation-free.
+/// allocation-free: once warm, a `(query × branch)` thorough scoring pass
+/// performs zero heap allocations.
 #[derive(Debug, Default)]
 pub struct ScoreScratch {
     prox: Vec<f64>,
@@ -38,35 +46,54 @@ pub struct ScoreScratch {
     dist: Vec<f64>,
     dist_scale: Vec<u32>,
     pmatrix: Vec<f64>,
+    /// Kernel working buffers (only touched by the generic fallback).
+    kernel: KernelScratch,
+    /// Per-code state masks of the context's alphabet, computed once.
+    masks: Vec<u32>,
+    /// Reusable per-edge tip lookup (rebuilt, never reallocated).
+    tip_table: TipTable,
+    /// Reusable attachment-partials buffer for the fixed-`x` partials.
+    partials_a: AttachmentPartials,
+    /// Second partials buffer for attachment-position refinement evals.
+    partials_b: AttachmentPartials,
+    /// Reusable branch score table for pendant-length refinement evals.
+    table: BranchScoreTable,
 }
 
 impl ScoreScratch {
     /// Scratch sized for a context.
     pub fn new(ctx: &ReferenceContext) -> Self {
         let layout = ctx.layout();
+        let a = ctx.alphabet();
         ScoreScratch {
             prox: vec![0.0; layout.clv_len()],
             prox_scale: vec![0; layout.patterns],
             dist: vec![0.0; layout.clv_len()],
             dist_scale: vec![0; layout.patterns],
             pmatrix: vec![0.0; layout.pmatrix_len()],
+            kernel: KernelScratch::for_layout(layout),
+            masks: (0..a.n_codes()).map(|c| a.state_mask(c as u8)).collect(),
+            tip_table: TipTable::empty(),
+            partials_a: AttachmentPartials::empty(),
+            partials_b: AttachmentPartials::empty(),
+            table: BranchScoreTable::empty(),
         }
     }
 }
 
-fn alphabet_masks(ctx: &ReferenceContext) -> Vec<u32> {
-    let a = ctx.alphabet();
-    (0..a.n_codes()).map(|c| a.state_mask(c as u8)).collect()
-}
-
 /// Propagates one side of `edge` (the orientation `d`) through a branch
-/// segment of length `t` into `out`.
+/// segment of length `t` into `out`. All working storage (`pm`,
+/// `tip_table`, `kernel`) is caller-owned and reused.
+#[allow(clippy::too_many_arguments)]
 fn propagate_partial(
     ctx: &ReferenceContext,
     store: &ManagedStore,
     d: phylo_tree::DirEdgeId,
     t: f64,
     pm: &mut Vec<f64>,
+    tip_table: &mut TipTable,
+    masks: &[u32],
+    kernel: &mut KernelScratch,
     out: &mut [f64],
     out_scale: &mut [u32],
 ) {
@@ -75,21 +102,60 @@ fn propagate_partial(
     ctx.model().transition_matrices(t, pm);
     match store.side(ctx, d) {
         phylo_engine::EdgeSide::Tip(node) => {
-            let table = TipTable::build(layout, pm, &alphabet_masks(ctx));
-            let side = Side::Tip { table: &table, codes: ctx.tip_codes(node) };
-            propagate(layout, side, out, out_scale, 0..layout.patterns);
+            tip_table.rebuild(layout, pm, masks);
+            let side = Side::Tip { table: tip_table, codes: ctx.tip_codes(node) };
+            propagate_scratch(layout, side, out, out_scale, 0..layout.patterns, kernel);
         }
         phylo_engine::EdgeSide::Resident(_) => {
             let (clv, scale) = store.clv_of(ctx, d).expect("resident side");
             let side = Side::Clv { clv, scale: Some(scale), pmatrix: pm };
-            propagate(layout, side, out, out_scale, 0..layout.patterns);
+            propagate_scratch(layout, side, out, out_scale, 0..layout.patterns, kernel);
         }
     }
 }
 
 /// Computes the `A·B` product for `edge` at proximal fraction `x`
-/// (`0 < x < 1`). Both orientations of the edge must be prepared in the
-/// store.
+/// (`0 < x < 1`) into a caller-owned buffer, reusing its allocation. Both
+/// orientations of the edge must be prepared in the store.
+pub fn attachment_partials_into(
+    ctx: &ReferenceContext,
+    store: &ManagedStore,
+    edge: phylo_tree::EdgeId,
+    x: f64,
+    scratch: &mut ScoreScratch,
+    out: &mut AttachmentPartials,
+) {
+    let layout = ctx.layout();
+    let t = ctx.tree().edge_length(edge);
+    let d_prox = phylo_tree::DirEdgeId::new(edge, 0);
+    let d_dist = phylo_tree::DirEdgeId::new(edge, 1);
+    // Disjoint field borrows: the propagation reads/writes different
+    // scratch buffers at once.
+    let ScoreScratch { prox, prox_scale, dist, dist_scale, pmatrix, kernel, masks, tip_table, .. } =
+        scratch;
+    propagate_partial(ctx, store, d_prox, x * t, pmatrix, tip_table, masks, kernel, prox, prox_scale);
+    propagate_partial(
+        ctx,
+        store,
+        d_dist,
+        (1.0 - x) * t,
+        pmatrix,
+        tip_table,
+        masks,
+        kernel,
+        dist,
+        dist_scale,
+    );
+    out.ab.clear();
+    out.ab.resize(layout.clv_len(), 0.0);
+    for ((o, &p), &d) in out.ab.iter_mut().zip(&*prox).zip(&*dist) {
+        *o = p * d;
+    }
+    out.scale.clear();
+    out.scale.extend(prox_scale.iter().zip(&*dist_scale).map(|(&a, &b)| a + b));
+}
+
+/// As [`attachment_partials_into`], returning a freshly allocated buffer.
 pub fn attachment_partials(
     ctx: &ReferenceContext,
     store: &ManagedStore,
@@ -97,39 +163,9 @@ pub fn attachment_partials(
     x: f64,
     scratch: &mut ScoreScratch,
 ) -> AttachmentPartials {
-    let layout = ctx.layout();
-    let t = ctx.tree().edge_length(edge);
-    let d_prox = phylo_tree::DirEdgeId::new(edge, 0);
-    let d_dist = phylo_tree::DirEdgeId::new(edge, 1);
-    propagate_partial(
-        ctx,
-        store,
-        d_prox,
-        x * t,
-        &mut scratch.pmatrix,
-        &mut scratch.prox,
-        &mut scratch.prox_scale,
-    );
-    propagate_partial(
-        ctx,
-        store,
-        d_dist,
-        (1.0 - x) * t,
-        &mut scratch.pmatrix,
-        &mut scratch.dist,
-        &mut scratch.dist_scale,
-    );
-    let mut ab = vec![0.0; layout.clv_len()];
-    for ((o, &p), &d) in ab.iter_mut().zip(&scratch.prox).zip(&scratch.dist) {
-        *o = p * d;
-    }
-    let scale = scratch
-        .prox_scale
-        .iter()
-        .zip(&scratch.dist_scale)
-        .map(|(&a, &b)| a + b)
-        .collect();
-    AttachmentPartials { ab, scale }
+    let mut out = AttachmentPartials::empty();
+    attachment_partials_into(ctx, store, edge, x, scratch, &mut out);
+    out
 }
 
 /// A per-branch prescore table: for each pattern, the linear likelihood of
@@ -145,7 +181,18 @@ pub struct BranchScoreTable {
     states: usize,
 }
 
+impl Default for BranchScoreTable {
+    fn default() -> Self {
+        BranchScoreTable::empty()
+    }
+}
+
 impl BranchScoreTable {
+    /// An empty table for reuse through [`BranchScoreTable::rebuild`].
+    pub const fn empty() -> BranchScoreTable {
+        BranchScoreTable { table: Vec::new(), scale: Vec::new(), states: 0 }
+    }
+
     /// Builds the table from attachment partials and a pendant branch
     /// length.
     pub fn build(
@@ -154,15 +201,33 @@ impl BranchScoreTable {
         pendant: f64,
         scratch: &mut ScoreScratch,
     ) -> BranchScoreTable {
+        let mut t = BranchScoreTable::empty();
+        t.rebuild(ctx, partials, pendant, scratch);
+        t
+    }
+
+    /// Rebuilds the table in place for new partials / pendant length,
+    /// reusing the existing allocations. The pendant-length refinement
+    /// loop calls this once per golden-section evaluation, so it must not
+    /// allocate once warm.
+    pub fn rebuild(
+        &mut self,
+        ctx: &ReferenceContext,
+        partials: &AttachmentPartials,
+        pendant: f64,
+        scratch: &mut ScoreScratch,
+    ) {
         let layout = ctx.layout();
         let states = layout.states;
         let (freqs, rw) = (ctx.model().freqs(), ctx.model().gamma().weights());
         scratch.pmatrix.resize(layout.pmatrix_len(), 0.0);
         ctx.model().transition_matrices(pendant, &mut scratch.pmatrix);
         let pm = &scratch.pmatrix;
-        let mut table = vec![0.0; layout.patterns * (states + 1)];
+        self.states = states;
+        self.table.clear();
+        self.table.resize(layout.patterns * (states + 1), 0.0);
         for p in 0..layout.patterns {
-            let row = &mut table[p * (states + 1)..(p + 1) * (states + 1)];
+            let row = &mut self.table[p * (states + 1)..(p + 1) * (states + 1)];
             for r in 0..layout.rates {
                 let base = p * layout.pattern_stride() + r * states;
                 let ab = &partials.ab[base..base + states];
@@ -180,7 +245,8 @@ impl BranchScoreTable {
             }
             row[states] = row[..states].iter().sum();
         }
-        BranchScoreTable { table, scale: partials.scale.clone(), states }
+        self.scale.clear();
+        self.scale.extend_from_slice(&partials.scale);
     }
 
     /// Bytes this table occupies.
@@ -253,16 +319,24 @@ pub fn score_thorough(
         ctx.tree().total_length() / ctx.tree().n_edges() as f64;
     let mut x = 0.5f64;
     let mut pendant = mean_len.max(1e-6);
-    let mut partials = attachment_partials(ctx, store, edge, x, scratch);
-    let eval_pendant = |partials: &AttachmentPartials, pend: f64, scratch: &mut ScoreScratch| {
-        let t = BranchScoreTable::build(ctx, partials, pend, scratch);
-        t.prescore(ctx, site_to_pattern, codes)
+    // Detach the reusable buffers from the scratch so the scratch can be
+    // borrowed mutably alongside them; restored before returning.
+    let mut partials = std::mem::take(&mut scratch.partials_a);
+    let mut partials_b = std::mem::take(&mut scratch.partials_b);
+    let mut table = std::mem::take(&mut scratch.table);
+    attachment_partials_into(ctx, store, edge, x, scratch, &mut partials);
+    let eval_pendant = |partials: &AttachmentPartials,
+                        pend: f64,
+                        table: &mut BranchScoreTable,
+                        scratch: &mut ScoreScratch| {
+        table.rebuild(ctx, partials, pend, scratch);
+        table.prescore(ctx, site_to_pattern, codes)
     };
-    let mut best = eval_pendant(&partials, pendant, scratch);
+    let mut best = eval_pendant(&partials, pendant, &mut table, scratch);
     for _ in 0..blo_iterations.max(1) {
         // Refine the pendant length with the attachment fixed.
         let (p_opt, p_ll) = golden_section(1e-6, (4.0 * mean_len).max(0.5), 8, |pend| {
-            eval_pendant(&partials, pend, scratch)
+            eval_pendant(&partials, pend, &mut table, scratch)
         });
         if p_ll > best {
             best = p_ll;
@@ -270,15 +344,18 @@ pub fn score_thorough(
         }
         // Refine the attachment position with the pendant fixed.
         let (x_opt, x_ll) = golden_section(0.01, 0.99, 8, |xx| {
-            let partials = attachment_partials(ctx, store, edge, xx, scratch);
-            eval_pendant(&partials, pendant, scratch)
+            attachment_partials_into(ctx, store, edge, xx, scratch, &mut partials_b);
+            eval_pendant(&partials_b, pendant, &mut table, scratch)
         });
         if x_ll > best {
             best = x_ll;
             x = x_opt;
-            partials = attachment_partials(ctx, store, edge, x, scratch);
+            attachment_partials_into(ctx, store, edge, x, scratch, &mut partials);
         }
     }
+    scratch.partials_a = partials;
+    scratch.partials_b = partials_b;
+    scratch.table = table;
     Ok(ScoredPlacement { log_likelihood: best, pendant, proximal_fraction: x })
 }
 
@@ -330,7 +407,7 @@ mod tests {
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
                 let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();

@@ -1,0 +1,103 @@
+//! Steady-state scoring must not touch the heap. A counting global
+//! allocator wraps the system allocator; after one warm-up pass fills the
+//! reusable scratch buffers, further prescore / thorough-score / partials
+//! evaluations must perform **zero** allocations.
+//!
+//! This binary holds exactly one test so no concurrent test thread can
+//! pollute the counters.
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        // A realloc may move: count it as an allocation event too.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use epa_place::score::{attachment_partials_into, score_thorough, AttachmentPartials, ScoreScratch};
+use phylo_engine::{ManagedStore, ReferenceContext};
+use phylo_models::gamma::GammaMode;
+use phylo_models::{dna, DiscreteGamma, SubstModel};
+use phylo_seq::alphabet::AlphabetKind;
+use phylo_seq::{compress, Msa, Sequence};
+use phylo_tree::{generate, DirEdgeId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(n: usize, sites: usize, seed: u64) -> (ReferenceContext, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = generate::yule(n, 0.1, &mut rng).unwrap();
+    let rows: Vec<Sequence> = (0..n)
+        .map(|i| {
+            let text: String =
+                (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
+            Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
+        })
+        .collect();
+    let patterns = compress(&Msa::new(rows).unwrap()).unwrap();
+    let s2p = patterns.site_to_pattern().to_vec();
+    let model = SubstModel::new(&dna::jc69(), DiscreteGamma::new(0.7, 4, GammaMode::Mean).unwrap()).unwrap();
+    let ctx = ReferenceContext::new(tree, model, AlphabetKind::Dna.alphabet(), &patterns).unwrap();
+    (ctx, s2p)
+}
+
+#[test]
+fn steady_state_scoring_is_allocation_free() {
+    let (ctx, s2p) = setup(12, 60, 7);
+    let mut store = ManagedStore::full(&ctx);
+    let mut scratch = ScoreScratch::new(&ctx);
+    let mut partials = AttachmentPartials::empty();
+    let n_sites = s2p.len();
+    let codes: Vec<u8> = (0..n_sites).map(|i| ((i * 5 + 1) % 4) as u8).collect();
+    let edges: Vec<_> = ctx.tree().all_edges().take(4).collect();
+
+    // Pin every tested orientation once, then warm up all code paths so
+    // the reusable buffers reach their steady-state capacity.
+    let dirs: Vec<DirEdgeId> = edges
+        .iter()
+        .flat_map(|&e| [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)])
+        .collect();
+    let prepared = store.prepare(&ctx, &dirs).unwrap();
+    for &e in &edges {
+        attachment_partials_into(&ctx, &store, e, 0.37, &mut scratch, &mut partials);
+        score_thorough(&ctx, &store, e, &s2p, &codes, 2, &mut scratch).unwrap();
+    }
+
+    // Steady state: the same evaluations must not allocate at all.
+    let mut lls = Vec::with_capacity(edges.len());
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for &e in &edges {
+        attachment_partials_into(&ctx, &store, e, 0.62, &mut scratch, &mut partials);
+        let sp = score_thorough(&ctx, &store, e, &s2p, &codes, 2, &mut scratch).unwrap();
+        lls.push(sp.log_likelihood);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state scoring allocated {} times",
+        after - before
+    );
+    // Sanity: the scores are real likelihoods, not garbage.
+    for ll in lls {
+        assert!(ll.is_finite() && ll < 0.0, "implausible log-likelihood {ll}");
+    }
+    store.release(prepared);
+}

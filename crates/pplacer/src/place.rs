@@ -6,8 +6,8 @@ use epa_place::score::{AttachmentPartials, BranchScoreTable, ScoreScratch};
 use epa_place::{PlaceError, QueryBatch};
 use phylo_amc::StrategyKind;
 use phylo_engine::{ManagedStore, ReferenceContext};
-use phylo_kernel::kernels::{propagate, Side};
-use phylo_kernel::TipTable;
+use phylo_kernel::kernels::{propagate_scratch, Side};
+use phylo_kernel::{KernelScratch, TipTable};
 use phylo_tree::{DirEdgeId, EdgeId};
 use std::time::{Duration, Instant};
 
@@ -154,6 +154,10 @@ impl PplacerLike {
         let mut dist_scale = vec![0u32; layout.patterns];
         let mut pm = vec![0.0; layout.pmatrix_len()];
         let mut scratch = ScoreScratch::new(&self.ctx);
+        let mut kernel = KernelScratch::for_layout(&layout);
+        let mut tip_table = TipTable::empty();
+        let mut partials = AttachmentPartials::empty();
+        let mut table = BranchScoreTable::empty();
         let masks: Vec<u32> = (0..self.ctx.alphabet().n_codes())
             .map(|c| self.ctx.alphabet().state_mask(c as u8))
             .collect();
@@ -208,9 +212,9 @@ impl PplacerLike {
                     self.ctx.model().transition_matrices(0.5 * t, &mut pm);
                     let node = self.ctx.tree().src(d);
                     if self.ctx.tree().is_leaf(node) {
-                        let table = TipTable::build(&layout, &pm, &masks);
-                        let side = Side::Tip { table: &table, codes: self.ctx.tip_codes(node) };
-                        propagate(&layout, side, out, out_scale, 0..layout.patterns);
+                        tip_table.rebuild(&layout, &pm, &masks);
+                        let side = Side::Tip { table: &tip_table, codes: self.ctx.tip_codes(node) };
+                        propagate_scratch(&layout, side, out, out_scale, 0..layout.patterns, &mut kernel);
                     } else {
                         let (clv, scale) = if side_idx == 0 {
                             (&clv_u, &scale_u)
@@ -219,14 +223,13 @@ impl PplacerLike {
                         };
                         let side =
                             Side::Clv { clv, scale: Some(scale), pmatrix: &pm };
-                        propagate(&layout, side, out, out_scale, 0..layout.patterns);
+                        propagate_scratch(&layout, side, out, out_scale, 0..layout.patterns, &mut kernel);
                     }
                 }
-                let ab: Vec<f64> =
-                    prox.iter().zip(&dist).map(|(&a, &b)| a * b).collect();
-                let ab_scale: Vec<u32> =
-                    prox_scale.iter().zip(&dist_scale).map(|(&a, &b)| a + b).collect();
-                let partials = AttachmentPartials { ab, scale: ab_scale };
+                partials.ab.clear();
+                partials.ab.extend(prox.iter().zip(&dist).map(|(&a, &b)| a * b));
+                partials.scale.clear();
+                partials.scale.extend(prox_scale.iter().zip(&dist_scale).map(|(&a, &b)| a + b));
                 // Score every query of the chunk at this branch, with a
                 // short pendant-length refinement.
                 for (local, q) in chunk.iter().enumerate() {
@@ -235,8 +238,8 @@ impl PplacerLike {
                         (4.0 * mean_len).max(0.5),
                         self.cfg.pendant_iterations,
                         |pend| {
-                            BranchScoreTable::build(&self.ctx, &partials, pend, &mut scratch)
-                                .prescore(&self.ctx, &self.site_to_pattern, &q.codes)
+                            table.rebuild(&self.ctx, &partials, pend, &mut scratch);
+                            table.prescore(&self.ctx, &self.site_to_pattern, &q.codes)
                         },
                     );
                     report.n_scored += 1;
@@ -307,7 +310,7 @@ mod tests {
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
                 let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4)] as char).collect();
+                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Bench smoke: compile every benchmark, then run the kernel suite in
+# quick mode and record the JSON baseline next to this script's repo
+# root. Intended for CI and for refreshing BENCH_kernels.json after
+# kernel changes.
+#
+# Usage: scripts/bench_smoke.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+# Absolute path: cargo runs the bench binary with the package dir as
+# cwd, so a relative path would land in crates/bench/.
+out="$(pwd)/${1:-BENCH_kernels.json}"
+
+# All benchmarks must at least compile.
+cargo bench --no-run
+
+# Short measurement pass over the kernel suite; writes $out.
+CRITERION_QUICK=1 CRITERION_JSON="$out" cargo bench -p bench --bench kernels
+
+echo "wrote $out"

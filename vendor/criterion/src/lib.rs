@@ -1,0 +1,441 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The workspace builds in environments with no registry access, so the
+//! benchmarking API surface the `bench` crate uses is vendored here:
+//! benchmark groups with `sample_size` / `measurement_time` /
+//! `warm_up_time` / `throughput`, `Bencher::iter` and `iter_batched`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: after a wall-clock warm-up that also estimates the
+//! per-iteration cost, each of `sample_size` samples times a fixed batch
+//! of iterations; the reported figure is the median ns/iteration across
+//! samples. No statistical analysis, plots, or saved baselines — but two
+//! environment variables integrate with CI tooling:
+//!
+//! - `CRITERION_QUICK=1` shrinks warm-up/measurement times for smoke runs.
+//! - `CRITERION_JSON=<path>` writes all results of the process as a JSON
+//!   array to `<path>` when the run finishes.
+//!
+//! The first non-flag CLI argument is a substring filter on
+//! `group/benchmark` ids, matching `cargo bench -- <filter>` usage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (sites, slots, branches, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Hint for `iter_batched` input cost. The shim always re-runs setup per
+/// iteration outside the timed section, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier, `function_name/parameter` or bare parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an id.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    group: String,
+    bench: String,
+    median_ns: f64,
+    iterations: u64,
+    throughput: Option<Throughput>,
+}
+
+/// The benchmark driver. Holds the CLI filter and the results collected
+/// by every group in this process.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            quick: std::env::var("CRITERION_QUICK").map_or(false, |v| v == "1"),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the benchmark filter from the command line (first non-flag
+    /// argument; flags like `--bench` from cargo are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Prints a closing line and, when `CRITERION_JSON` is set, writes all
+    /// collected results as a JSON array to that path.
+    pub fn final_summary(&mut self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                match std::fs::write(&path, self.results_json()) {
+                    Ok(()) => eprintln!("criterion(shim): wrote {} results to {path}", self.results.len()),
+                    Err(e) => eprintln!("criterion(shim): failed to write {path}: {e}"),
+                }
+            }
+        }
+    }
+
+    fn results_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let (tp_kind, tp_amount) = match r.throughput {
+                Some(Throughput::Elements(n)) => ("\"elements\"", n),
+                Some(Throughput::Bytes(n)) => ("\"bytes\"", n),
+                None => ("null", 0),
+            };
+            let per_sec = match r.throughput {
+                Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if r.median_ns > 0.0 => {
+                    n as f64 * 1e9 / r.median_ns
+                }
+                _ => 0.0,
+            };
+            out.push_str(&format!(
+                "  {{\"group\": {:?}, \"bench\": {:?}, \"median_ns\": {:.3}, \"iterations\": {}, \"throughput_kind\": {}, \"throughput_per_iter\": {}, \"throughput_per_sec\": {:.1}}}{}\n",
+                r.group,
+                r.bench,
+                r.median_ns,
+                r.iterations,
+                tp_kind,
+                tp_amount,
+                per_sec,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let bench = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, bench);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let (warm_up, measurement, samples) = if self.criterion.quick {
+            (
+                Duration::from_millis(50),
+                Duration::from_millis(200),
+                self.sample_size.min(5).max(2),
+            )
+        } else {
+            (self.warm_up_time, self.measurement_time, self.sample_size)
+        };
+        let mut bencher = Bencher {
+            warm_up,
+            measurement,
+            samples,
+            median_ns: None,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let median_ns = bencher.median_ns.unwrap_or(f64::NAN);
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / median_ns)
+            }
+            Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+                format!("  thrpt: {:.3} MiB/s", n as f64 * 1e9 / median_ns / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{full:<50} time: {median_ns:>12.1} ns/iter{tp}");
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            bench,
+            median_ns,
+            iterations: bencher.iterations,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the timing loops for one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    median_ns: Option<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` in place: warm-up, then `samples` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles as the per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let target_sample_ns = self.measurement.as_nanos() as f64 / self.samples as f64;
+        let iters_per_sample = ((target_sample_ns / est_ns) as u64).max(1);
+
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        self.record(per_iter_ns, warm_iters + iters_per_sample * self.samples as u64);
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup runs outside
+    /// the timed section.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut warm_iters: u64 = 0;
+        let mut warm_busy = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            warm_busy += start.elapsed();
+            warm_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let est_ns = (warm_busy.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let target_sample_ns = self.measurement.as_nanos() as f64 / self.samples as f64;
+        let iters_per_sample = ((target_sample_ns / est_ns) as u64).max(1);
+
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut busy = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                busy += start.elapsed();
+            }
+            per_iter_ns.push(busy.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        self.record(per_iter_ns, warm_iters + iters_per_sample * self.samples as u64);
+    }
+
+    fn record(&mut self, mut per_iter_ns: Vec<f64>, total_iters: u64) {
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = per_iter_ns.len() / 2;
+        let median = if per_iter_ns.len() % 2 == 0 {
+            (per_iter_ns[mid - 1] + per_iter_ns[mid]) / 2.0
+        } else {
+            per_iter_ns[mid]
+        };
+        self.median_ns = Some(median);
+        self.iterations = total_iters;
+    }
+}
+
+/// Defines a group runner callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups and writing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_records() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+            samples: 5,
+            median_ns: None,
+            iterations: 0,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        assert!(b.median_ns.unwrap() > 0.0);
+        assert!(b.iterations > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+            samples: 3,
+            median_ns: None,
+            iterations: 0,
+        };
+        b.iter_batched(
+            || vec![1u64; 16],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.median_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut c = Criterion::default();
+        c.results.push(BenchResult {
+            group: "g".into(),
+            bench: "b/4".into(),
+            median_ns: 123.456,
+            iterations: 1000,
+            throughput: Some(Throughput::Elements(4096)),
+        });
+        let json = c.results_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"group\": \"g\""));
+        assert!(json.contains("\"throughput_kind\": \"elements\""));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 42).into_benchmark_id(), "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_id(), "x");
+    }
+}
