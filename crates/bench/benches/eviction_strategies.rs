@@ -24,9 +24,7 @@ fn bench_strategies(c: &mut Criterion) {
                 let mut store = ManagedStore::with_strategy(
                     &f.ctx,
                     slots,
-                    kind.build(
-                        kind.needs_costs().then(|| f.ctx.cost_table()),
-                    ),
+                    kind.build(kind.needs_costs().then(|| f.ctx.cost_table())),
                 )
                 .unwrap();
                 let mut acc = 0.0;

@@ -18,11 +18,9 @@ fn bench_memory_tradeoff(c: &mut Criterion) {
         let lookup_floor =
             memplan::lookup_floor_budget(&f.ctx, &base, f.batch.len(), f.batch.n_sites());
         drop(f);
-        for (label, maxmem) in [
-            ("off", None),
-            ("intermediate", Some(lookup_floor)),
-            ("full-saving", Some(floor)),
-        ] {
+        for (label, maxmem) in
+            [("off", None), ("intermediate", Some(lookup_floor)), ("full-saving", Some(floor))]
+        {
             let cfg = EpaConfig { max_memory: maxmem, ..base.clone() };
             group.bench_function(BenchmarkId::new(spec.name, label), |b| {
                 b.iter_batched(

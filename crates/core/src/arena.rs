@@ -6,18 +6,68 @@
 //! (mutable) target slot and the (shared) child slots; [`SlotArena::
 //! compute_view`] hands these out as disjoint slices with a runtime
 //! distinctness check.
+//!
+//! # Shared-access protocol
+//!
+//! The buffers live in `UnsafeCell`s so the arena can be shared across
+//! threads (`&SlotArena` is `Sync`); slot disjointness plus the manager's
+//! pin/publish discipline replace the borrow checker:
+//!
+//! * a slot's data may be **read** ([`SlotArena::clv`]/[`SlotArena::
+//!   scale`]) only while the reader holds a pin on the slot *and* the
+//!   slot is published ([`SlotManager::is_ready`]) — exactly what a
+//!   [`ReadLease`] certifies;
+//! * a slot's data may be **written** ([`SlotArena::compute_view`]) only
+//!   by the single thread that installed the mapping and has not yet
+//!   published it — exactly what a [`ComputeLease`] (or an executing FPA
+//!   plan) certifies.
+//!
+//! Because an unpublished slot cannot be leased for reading and a
+//! published, pinned slot cannot be remapped, writers are exclusive and
+//! readers race only with other readers. The lease API below packages
+//! this protocol; `phylo_engine` composes the same primitives for
+//! whole-traversal plans.
+
+use std::cell::UnsafeCell;
 
 use crate::error::AmcError;
 use crate::slots::{Acquire, ClvKey, SlotId, SlotManager, SlotStats};
 use crate::strategy::ReplacementStrategy;
+
+/// Interior-mutable storage shared across threads; all access goes
+/// through raw pointers under the protocol above.
+struct SyncBuf<T>(UnsafeCell<Vec<T>>);
+
+// SAFETY: `SyncBuf` is a plain buffer; synchronization of access is the
+// arena protocol's responsibility (pins + publish latches), not the
+// type's. `T` is `Send + Sync` plain-old-data here (f64/u32).
+unsafe impl<T: Send + Sync> Sync for SyncBuf<T> {}
+
+impl<T> SyncBuf<T> {
+    fn new(v: Vec<T>) -> Self {
+        SyncBuf(UnsafeCell::new(v))
+    }
+
+    #[inline]
+    fn ptr(&self) -> *mut T {
+        // SAFETY: only derives a pointer; no reference to the Vec escapes.
+        unsafe { (*self.0.get()).as_mut_ptr() }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        // SAFETY: the Vec is never resized after construction.
+        unsafe { (*self.0.get()).len() }
+    }
+}
 
 /// Slot storage + slot manager for one CLV shape.
 pub struct SlotArena {
     mgr: SlotManager,
     clv_len: usize,
     patterns: usize,
-    data: Vec<f64>,
-    scales: Vec<u32>,
+    data: SyncBuf<f64>,
+    scales: SyncBuf<u32>,
 }
 
 /// Disjoint access to a compute target and its resident children.
@@ -44,8 +94,8 @@ impl SlotArena {
             mgr: SlotManager::new(n_clvs, n_slots, strategy),
             clv_len,
             patterns,
-            data: vec![0.0; n_slots * clv_len],
-            scales: vec![0; n_slots * patterns],
+            data: SyncBuf::new(vec![0.0; n_slots * clv_len]),
+            scales: SyncBuf::new(vec![0; n_slots * patterns]),
         }
     }
 
@@ -55,10 +105,11 @@ impl SlotArena {
         &self.mgr
     }
 
-    /// Mutable access to the slot manager.
+    /// The slot manager, from exclusive arena access (kept for API
+    /// symmetry; the manager's whole API takes `&self`).
     #[inline]
-    pub fn manager_mut(&mut self) -> &mut SlotManager {
-        &mut self.mgr
+    pub fn manager_mut(&mut self) -> &SlotManager {
+        &self.mgr
     }
 
     /// Number of physical slots.
@@ -80,66 +131,122 @@ impl SlotArena {
     }
 
     /// Shorthand for [`SlotManager::acquire`].
-    pub fn acquire(&mut self, clv: ClvKey) -> Result<Acquire, AmcError> {
+    pub fn acquire(&self, clv: ClvKey) -> Result<Acquire, AmcError> {
         self.mgr.acquire(clv)
     }
 
     /// The CLV data of a slot.
+    ///
+    /// Protocol: the caller must hold a pin on `slot` and the slot must
+    /// be published (a [`ReadLease`] certifies both), or the caller must
+    /// otherwise be the slot's exclusive owner.
     #[inline]
     pub fn clv(&self, slot: SlotId) -> &[f64] {
-        &self.data[slot.idx() * self.clv_len..(slot.idx() + 1) * self.clv_len]
+        debug_assert!(slot.idx() * self.clv_len < self.data.len());
+        // SAFETY: in-bounds fixed-size range; the protocol above rules
+        // out a concurrent writer to this slot.
+        unsafe {
+            std::slice::from_raw_parts(self.data.ptr().add(slot.idx() * self.clv_len), self.clv_len)
+        }
     }
 
-    /// The scaler counts of a slot.
+    /// The scaler counts of a slot (same protocol as [`SlotArena::clv`]).
     #[inline]
     pub fn scale(&self, slot: SlotId) -> &[u32] {
-        &self.scales[slot.idx() * self.patterns..(slot.idx() + 1) * self.patterns]
+        debug_assert!(slot.idx() * self.patterns < self.scales.len());
+        // SAFETY: as in `clv`.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.scales.ptr().add(slot.idx() * self.patterns),
+                self.patterns,
+            )
+        }
     }
 
     /// Mutable CLV data of a slot (single-slot writes, e.g. copying in a
-    /// precomputed vector).
+    /// precomputed vector). Exclusive arena access makes this safe
+    /// unconditionally.
     #[inline]
     pub fn clv_mut(&mut self, slot: SlotId) -> (&mut [f64], &mut [u32]) {
-        let clv = &mut self.data[slot.idx() * self.clv_len..(slot.idx() + 1) * self.clv_len];
-        let scale = &mut self.scales[slot.idx() * self.patterns..(slot.idx() + 1) * self.patterns];
+        // SAFETY: `&mut self` rules out any other access.
+        unsafe { self.slot_raw_mut(slot) }
+    }
+
+    /// Raw mutable slices for one slot.
+    ///
+    /// SAFETY: the caller must be the slot's exclusive writer (own its
+    /// unpublished Computing phase, or hold `&mut` arena access).
+    #[inline]
+    unsafe fn slot_raw_mut(&self, slot: SlotId) -> (&mut [f64], &mut [u32]) {
+        let clv = std::slice::from_raw_parts_mut(
+            self.data.ptr().add(slot.idx() * self.clv_len),
+            self.clv_len,
+        );
+        let scale = std::slice::from_raw_parts_mut(
+            self.scales.ptr().add(slot.idx() * self.patterns),
+            self.patterns,
+        );
         (clv, scale)
     }
 
     /// Simultaneous mutable access to `target` and shared access to
     /// `children`. Panics if `target` appears among `children` (a compute
     /// step never reads its own output).
-    pub fn compute_view(&mut self, target: SlotId, children: &[SlotId]) -> ComputeView<'_> {
+    ///
+    /// Protocol: the caller must be `target`'s exclusive writer (its
+    /// unpublished Computing phase) and must hold pins on every child,
+    /// each published — the shape an executing FPA plan guarantees.
+    pub fn compute_view(&self, target: SlotId, children: &[SlotId]) -> ComputeView<'_> {
         assert!(
             children.iter().all(|&c| c != target),
             "compute target {target:?} aliases a child slot"
         );
-        let clv_len = self.clv_len;
-        let patterns = self.patterns;
         // SAFETY: slots are disjoint, fixed-size ranges of `data` and
         // `scales`; `target` is distinct from every child (asserted above),
-        // so one mutable and many shared borrows never alias.
+        // so one mutable and many shared borrows never alias; the protocol
+        // above rules out concurrent writers to any of them.
         unsafe {
-            let data_ptr = self.data.as_mut_ptr();
-            let scale_ptr = self.scales.as_mut_ptr();
-            let target_clv =
-                std::slice::from_raw_parts_mut(data_ptr.add(target.idx() * clv_len), clv_len);
-            let target_scale =
-                std::slice::from_raw_parts_mut(scale_ptr.add(target.idx() * patterns), patterns);
-            let children = children
-                .iter()
-                .map(|&c| {
-                    let clv = std::slice::from_raw_parts(
-                        data_ptr.add(c.idx() * clv_len) as *const f64,
-                        clv_len,
-                    );
-                    let scale = std::slice::from_raw_parts(
-                        scale_ptr.add(c.idx() * patterns) as *const u32,
-                        patterns,
-                    );
-                    (clv, scale)
-                })
-                .collect();
+            let (target_clv, target_scale) = self.slot_raw_mut(target);
+            let children = children.iter().map(|&c| (self.clv(c), self.scale(c))).collect();
             ComputeView { target_clv, target_scale, children }
+        }
+    }
+
+    // ---- lease API ---------------------------------------------------
+
+    /// Non-blocking read lease on a resident, published CLV. Pins the
+    /// slot for the lease's lifetime; `None` if the CLV is absent or
+    /// still being computed (use [`SlotArena::acquire_compute`]).
+    pub fn acquire_read(&self, clv: ClvKey) -> Option<ReadLease<'_>> {
+        let slot = self.mgr.pin_if_ready(clv)?;
+        Some(ReadLease { arena: self, clv, slot })
+    }
+
+    /// Lease for a CLV that may need computing. Takes the plan lock for
+    /// the table operation only, then either:
+    ///
+    /// * the CLV is resident → pins it, waits (off-lock) for its data to
+    ///   be published, returns [`Lease::Ready`];
+    /// * the CLV misses → assigns a slot (evicting per strategy), pins
+    ///   it, returns [`Lease::Compute`] — the caller fills the buffers
+    ///   and calls [`ComputeLease::finish`].
+    ///
+    /// A thread must not re-acquire a CLV whose unfinished
+    /// [`ComputeLease`] it already holds (it would wait on itself).
+    pub fn acquire_compute(&self, clv: ClvKey) -> Result<Lease<'_>, AmcError> {
+        let guard = self.mgr.plan_guard();
+        let acq = self.mgr.acquire(clv)?;
+        let slot = acq.slot();
+        self.mgr.pin(slot);
+        drop(guard);
+        if acq.is_hit() {
+            // Resident but possibly still computing in another thread —
+            // the pin forbids remapping, so the wait is on this CLV's
+            // own data and terminates when its planner publishes.
+            self.mgr.wait_ready(slot);
+            Ok(Lease::Ready(ReadLease { arena: self, clv, slot }))
+        } else {
+            Ok(Lease::Compute(ComputeLease { arena: self, clv, slot }))
         }
     }
 
@@ -153,6 +260,109 @@ impl SlotArena {
     /// Bytes one slot costs, for budget planning.
     pub fn bytes_per_slot(clv_len: usize, patterns: usize) -> usize {
         clv_len * std::mem::size_of::<f64>() + patterns * std::mem::size_of::<u32>()
+    }
+}
+
+/// Outcome of [`SlotArena::acquire_compute`].
+pub enum Lease<'a> {
+    /// The CLV was resident and published; read away.
+    Ready(ReadLease<'a>),
+    /// The CLV needs computing; the holder owns the slot's write phase.
+    Compute(ComputeLease<'a>),
+}
+
+impl<'a> Lease<'a> {
+    /// The leased slot.
+    pub fn slot(&self) -> SlotId {
+        match self {
+            Lease::Ready(l) => l.slot(),
+            Lease::Compute(l) => l.slot(),
+        }
+    }
+}
+
+/// Shared lease on one published CLV: holds a pin, so the slot can be
+/// neither evicted nor rewritten while the lease lives. Many read leases
+/// on the same slot coexist.
+pub struct ReadLease<'a> {
+    arena: &'a SlotArena,
+    clv: ClvKey,
+    slot: SlotId,
+}
+
+impl<'a> ReadLease<'a> {
+    /// The leased logical CLV.
+    pub fn key(&self) -> ClvKey {
+        self.clv
+    }
+
+    /// The physical slot holding it.
+    pub fn slot(&self) -> SlotId {
+        self.slot
+    }
+
+    /// The CLV data.
+    pub fn clv(&self) -> &[f64] {
+        self.arena.clv(self.slot)
+    }
+
+    /// The scaler counts.
+    pub fn scale(&self) -> &[u32] {
+        self.arena.scale(self.slot)
+    }
+}
+
+impl Drop for ReadLease<'_> {
+    fn drop(&mut self) {
+        let _ = self.arena.mgr.unpin(self.slot);
+    }
+}
+
+/// Exclusive write lease on one slot whose CLV is being (re)computed.
+/// The holder fills the buffers via [`ComputeLease::target`], then
+/// publishes with [`ComputeLease::finish`]. Dropping without finishing
+/// publishes anyway (waiters must not wedge) — the data is then
+/// whatever the buffer holds, so abandon a lease only on paths that
+/// also invalidate the key or abort the run.
+pub struct ComputeLease<'a> {
+    arena: &'a SlotArena,
+    clv: ClvKey,
+    slot: SlotId,
+}
+
+impl<'a> ComputeLease<'a> {
+    /// The leased logical CLV.
+    pub fn key(&self) -> ClvKey {
+        self.clv
+    }
+
+    /// The physical slot assigned to it.
+    pub fn slot(&self) -> SlotId {
+        self.slot
+    }
+
+    /// The buffers to fill.
+    pub fn target(&mut self) -> (&mut [f64], &mut [u32]) {
+        // SAFETY: the lease owns the slot's unpublished Computing phase:
+        // no reader can lease it (pin_if_ready refuses) and no other
+        // writer can claim it (it is mapped and pinned).
+        unsafe { self.arena.slot_raw_mut(self.slot) }
+    }
+
+    /// Publishes the computed data, downgrading to a read lease (the pin
+    /// carries over).
+    pub fn finish(self) -> ReadLease<'a> {
+        let lease = ReadLease { arena: self.arena, clv: self.clv, slot: self.slot };
+        self.arena.mgr.mark_ready(self.slot);
+        std::mem::forget(self); // pin ownership moved into `lease`
+        lease
+    }
+}
+
+impl Drop for ComputeLease<'_> {
+    fn drop(&mut self) {
+        self.arena.mgr.mark_ready(self.slot);
+        let _ = self.arena.mgr.unpin(self.slot);
     }
 }
 
@@ -212,7 +422,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "aliases")]
     fn compute_view_rejects_aliasing() {
-        let mut a = arena(4, 2);
+        let a = arena(4, 2);
         let s = a.acquire(ClvKey(0)).unwrap().slot();
         let _ = a.compute_view(s, &[s]);
     }
@@ -222,5 +432,73 @@ mod tests {
         let a = SlotArena::new(10, 5, 100, 25, Box::new(Fifo::new()));
         assert_eq!(a.bytes(), 5 * 100 * 8 + 5 * 25 * 4);
         assert_eq!(SlotArena::bytes_per_slot(100, 25), 900);
+    }
+
+    #[test]
+    fn lease_roundtrip() {
+        let a = arena(6, 2);
+        // Miss → compute lease; fill and publish.
+        let lease = a.acquire_compute(ClvKey(2)).unwrap();
+        let Lease::Compute(mut c) = lease else { panic!("expected compute lease") };
+        assert!(a.acquire_read(ClvKey(2)).is_none(), "unpublished CLV must not read-lease");
+        let (clv, scale) = c.target();
+        clv.fill(7.0);
+        scale.fill(1);
+        let r = c.finish();
+        assert!(r.clv().iter().all(|&v| v == 7.0));
+        drop(r);
+        // Now resident + published → read lease; pin blocks eviction.
+        let r = a.acquire_read(ClvKey(2)).expect("published CLV read-leases");
+        assert_eq!(a.manager().pin_count(r.slot()), 1);
+        assert!(r.scale().iter().all(|&v| v == 1));
+        drop(r);
+        assert_eq!(a.manager().n_pinned(), 0);
+        a.manager().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn acquire_compute_hit_returns_ready() {
+        let a = arena(6, 2);
+        let Lease::Compute(c) = a.acquire_compute(ClvKey(1)).unwrap() else {
+            panic!("first acquire must miss")
+        };
+        drop(c.finish());
+        let lease = a.acquire_compute(ClvKey(1)).unwrap();
+        match &lease {
+            Lease::Ready(r) => assert_eq!(r.key(), ClvKey(1)),
+            Lease::Compute(_) => panic!("resident CLV must not re-compute"),
+        }
+        drop(lease);
+    }
+
+    #[test]
+    fn dropped_compute_lease_unwedges_waiters() {
+        let a = arena(6, 2);
+        let Lease::Compute(c) = a.acquire_compute(ClvKey(3)).unwrap() else { panic!() };
+        let slot = c.slot();
+        drop(c); // abandoned: publishes (garbage) and unpins
+        assert!(a.manager().is_ready(slot));
+        assert_eq!(a.manager().pin_count(slot), 0);
+    }
+
+    #[test]
+    fn concurrent_compute_and_read_distinct_slots() {
+        use std::sync::Arc;
+        let a = Arc::new(arena(8, 3));
+        let Lease::Compute(mut c) = a.acquire_compute(ClvKey(0)).unwrap() else { panic!() };
+        c.target().0.fill(4.0);
+        drop(c.finish());
+        // Hold an unfinished compute lease on CLV 1...
+        let Lease::Compute(c1) = a.acquire_compute(ClvKey(1)).unwrap() else { panic!() };
+        // ...while another thread freely read-leases CLV 0.
+        let a2 = Arc::clone(&a);
+        std::thread::spawn(move || {
+            let r = a2.acquire_read(ClvKey(0)).expect("reader of another slot never blocks");
+            assert!(r.clv().iter().all(|&v| v == 4.0));
+        })
+        .join()
+        .unwrap();
+        drop(c1);
+        a.manager().check_invariants().unwrap();
     }
 }

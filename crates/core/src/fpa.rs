@@ -15,6 +15,18 @@
 //! Because planning and execution process ops in the same order, the slot
 //! assignments recorded in the ops are exactly the slots that hold the
 //! right data at execution time.
+//!
+//! Under concurrency (DESIGN.md §6) the whole planning pass runs inside
+//! the manager's plan lock, so planners are serialized and each one sees
+//! the sequential algorithm's exact pin dance — the `⌈log₂ n⌉ + 2`
+//! unpinned-slot guarantee holds per planning thread. Before the lock is
+//! released, every slot the schedule will read or write gains one
+//! **execution pin** (recorded in [`ResidentSet::release_exec`]'s list),
+//! so a later planner cannot evict the working set out from under the
+//! still-running execution; the executor drops these pins once the ops
+//! have run. A concurrent planner that finds too few unpinned slots gets
+//! [`AmcError::AllSlotsPinned`] and can simply retry — the earlier plan's
+//! execution never blocks on a lock, so it always completes and releases.
 
 use crate::error::AmcError;
 use crate::slots::{ClvKey, SlotId, SlotManager};
@@ -43,6 +55,18 @@ pub struct FpaOp {
     /// The directed edges corresponding to `deps` (the engine needs them to
     /// select branch lengths / transition matrices).
     pub dep_edges: [DirEdgeId; 2],
+    /// Slot version snapshot per dependency, taken when the dep was
+    /// recorded ([`DepSource::Tip`] entries hold 0). The executor waits on
+    /// a dep's publish latch only while the slot still carries this
+    /// version ([`SlotManager::wait_ready_at`]): a bumped version means a
+    /// *later* op of this very schedule remapped the slot, whose data
+    /// stays valid until that op — which runs after the reader — executes.
+    pub dep_versions: [u64; 2],
+    /// Version `slot` carried when this op's install claimed it. The
+    /// executor publishes through [`SlotManager::mark_ready_at`], so an
+    /// op whose slot was remapped by a later op of the same schedule does
+    /// not falsely publish the new mapping over its own old bytes.
+    pub slot_version: u64,
 }
 
 /// Result of [`ensure_resident`]: the schedule plus where each requested
@@ -54,6 +78,9 @@ pub struct ResidentSet {
     /// Slot of every *inner-origin* requested target (tip-origin targets
     /// need no slot and are omitted), in request order.
     pub targets: Vec<(DirEdgeId, SlotId)>,
+    /// One pin per slot reference the schedule reads or writes, held from
+    /// planning until the executor calls [`ResidentSet::release_exec`].
+    exec_pins: Vec<SlotId>,
 }
 
 impl ResidentSet {
@@ -62,9 +89,20 @@ impl ResidentSet {
         self.targets.iter().find(|&&(t, _)| t == d).map(|&(_, s)| s)
     }
 
-    /// Releases the per-target pins taken by `ensure_resident` (call when
-    /// done reading the targets).
-    pub fn release(&self, mgr: &mut SlotManager) {
+    /// Releases the execution pins (call once the ops have been executed;
+    /// idempotent). Until then, no concurrent planner can evict any slot
+    /// this schedule reads or writes.
+    pub fn release_exec(&mut self, mgr: &SlotManager) {
+        for slot in self.exec_pins.drain(..) {
+            let _ = mgr.unpin(slot);
+        }
+    }
+
+    /// Releases the per-target pins taken by `ensure_resident`, plus any
+    /// execution pins not yet dropped (call when done reading the
+    /// targets).
+    pub fn release(&mut self, mgr: &SlotManager) {
+        self.release_exec(mgr);
         for &(_, slot) in &self.targets {
             // A slot may appear for several targets; each got its own pin.
             let _ = mgr.unpin(slot);
@@ -85,9 +123,19 @@ impl ResidentSet {
 pub fn ensure_resident(
     tree: &Tree,
     targets: &[DirEdgeId],
-    mgr: &mut SlotManager,
+    mgr: &SlotManager,
     register_need: &[u32],
 ) -> Result<ResidentSet, AmcError> {
+    // Planning is serialized: residency and pin counts cannot change
+    // under our feet (execution pins are the one exception — they only
+    // ever *decrease* foreign pin counts, which cannot invalidate a
+    // plan). The guard drops before this function returns, so execution
+    // of the returned schedule runs lock-free.
+    let _plan = mgr.plan_guard();
+    // Net pins this call has added per slot, for precise rollback on
+    // error: under concurrency a blanket `unpin_all` would destroy other
+    // threads' pins.
+    let mut pin_delta = vec![0i64; mgr.n_slots()];
     // ---- Phase 1: static plan against the current residency. ----
     let mut planned = vec![false; tree.n_dir_edges()];
     let mut plan: Vec<DirEdgeId> = Vec::new();
@@ -141,6 +189,7 @@ pub fn ensure_resident(
                 .lookup(ClvKey(d.0))
                 .expect("un-planned CLV required by the plan must be resident");
             mgr.pin_n(slot, pins);
+            pin_delta[slot.idx()] += pins as i64;
             mgr.touch(ClvKey(d.0));
         }
     }
@@ -154,8 +203,10 @@ pub fn ensure_resident(
             let acq = mgr.acquire(ClvKey(d.0))?;
             debug_assert!(!acq.is_hit(), "plan entries are not resident");
             let slot = acq.slot();
+            let slot_version = mgr.version(slot);
             installed.push(ClvKey(d.0));
             let mut sources = [DepSource::Tip(NodeId(0)); 2];
+            let mut versions = [0u64; 2];
             for (k, &dep) in deps.iter().enumerate() {
                 let src_node = tree.src(dep);
                 sources[k] = if tree.is_leaf(src_node) {
@@ -164,17 +215,27 @@ pub fn ensure_resident(
                     let dep_slot = mgr
                         .lookup(ClvKey(dep.0))
                         .expect("dependency must be resident when scheduled");
+                    versions[k] = mgr.version(dep_slot);
                     DepSource::Slot(dep_slot)
                 };
             }
-            ops.push(FpaOp { target: d, slot, deps: sources, dep_edges: deps });
+            ops.push(FpaOp {
+                target: d,
+                slot,
+                deps: sources,
+                dep_edges: deps,
+                dep_versions: versions,
+                slot_version,
+            });
             // Pin the fresh CLV for its future reads and target pins.
             mgr.pin_n(slot, needed[d.idx()] + target_pins[d.idx()]);
+            pin_delta[slot.idx()] += (needed[d.idx()] + target_pins[d.idx()]) as i64;
             // Consume one read-pin from each inner dependency.
             for &dep in &deps {
                 if !tree.is_leaf(tree.src(dep)) {
                     let dep_slot = mgr.lookup(ClvKey(dep.0)).expect("still resident");
                     mgr.unpin(dep_slot)?;
+                    pin_delta[dep_slot.idx()] -= 1;
                 }
             }
         }
@@ -183,18 +244,41 @@ pub fn ensure_resident(
 
     if let Err(e) = result {
         // The schedule will never execute, so the CLVs installed during
-        // this call hold uncomputed garbage: drop them from the maps, and
-        // clear all pins so the manager stays usable. (Callers treat this
-        // error as a configuration failure and must re-establish any
-        // cross-call pins they held.)
-        mgr.unpin_all();
+        // this call hold uncomputed garbage. Roll back exactly the pins
+        // this call added (other threads' pins stay intact), then drop
+        // the installed mappings. No foreign pins can exist on those
+        // slots: planners are serialized by the plan lock and read
+        // leases refuse still-unpublished slots, so the invalidate's
+        // pin-free precondition holds.
+        for (s, &d) in pin_delta.iter().enumerate() {
+            debug_assert!(d >= 0, "rollback found pins this call never took");
+            for _ in 0..d.max(0) {
+                let _ = mgr.unpin(SlotId(s as u32));
+            }
+        }
         for k in installed {
             mgr.invalidate(k);
         }
         return Err(e);
     }
 
-    // ---- Phase 4: collect target slots. ----
+    // ---- Phase 4: execution pins + collect target slots. ----
+    // Every slot the schedule writes (op slots) or reads (resident dep
+    // slots) stays pinned until the executor finishes; without this, a
+    // concurrent planner could evict an intermediate CLV between our
+    // planning and its read, since the sequential pin dance above has
+    // already consumed those read pins.
+    let mut exec_pins = Vec::with_capacity(ops.len() * 3);
+    for op in &ops {
+        mgr.pin(op.slot);
+        exec_pins.push(op.slot);
+        for dep in op.deps {
+            if let DepSource::Slot(s) = dep {
+                mgr.pin(s);
+                exec_pins.push(s);
+            }
+        }
+    }
     let mut out_targets = Vec::with_capacity(targets.len());
     for &t in targets {
         if tree.is_leaf(tree.src(t)) {
@@ -203,7 +287,7 @@ pub fn ensure_resident(
         let slot = mgr.lookup(ClvKey(t.0)).expect("target resident after planning");
         out_targets.push((t, slot));
     }
-    Ok(ResidentSet { ops, targets: out_targets })
+    Ok(ResidentSet { ops, targets: out_targets, exec_pins })
 }
 
 /// Pins the resident CLVs with the highest recomputation cost, keeping at
@@ -211,17 +295,22 @@ pub fn ensure_resident(
 /// §IV). Returns the pinned slots; the caller unpins them when the block
 /// advances.
 pub fn pin_high_cost_resident(
-    mgr: &mut SlotManager,
+    mgr: &SlotManager,
     costs: &[f64],
     min_unpinned: usize,
 ) -> Vec<SlotId> {
+    // Planning operation: pins it takes must not race a planner's
+    // eviction decisions, and it must not grab a slot a planner has
+    // installed but not yet published.
+    let _plan = mgr.plan_guard();
     let budget = mgr.n_unpinned().saturating_sub(min_unpinned);
     if budget == 0 {
         return Vec::new();
     }
     let mut resident: Vec<(SlotId, f64)> = mgr
         .resident()
-        .filter(|&(_, slot)| mgr.pin_count(slot) == 0)
+        .into_iter()
+        .filter(|&(_, slot)| mgr.pin_count(slot) == 0 && mgr.is_ready(slot))
         .map(|(clv, slot)| (slot, costs.get(clv.idx()).copied().unwrap_or(0.0)))
         .collect();
     resident.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
@@ -300,8 +389,7 @@ mod tests {
     }
 
     fn mgr_for(tree: &Tree, n_slots: usize) -> SlotManager {
-        let costs: Vec<f64> =
-            subtree_leaf_counts(tree).iter().map(|&c| c as f64).collect();
+        let costs: Vec<f64> = subtree_leaf_counts(tree).iter().map(|&c| c as f64).collect();
         SlotManager::new(tree.n_dir_edges(), n_slots, Box::new(CostBased::new(costs)))
     }
 
@@ -318,14 +406,10 @@ mod tests {
             // Sweep every edge: both orientations resident, verify values.
             for e in tree.all_edges() {
                 let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
-                let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+                let mut rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
                 execute(&rs.ops, &tree, &mut slots);
                 for &(d, slot) in &rs.targets {
-                    assert_eq!(
-                        slots[slot.idx()],
-                        reference[d.idx()],
-                        "n={n} edge={e:?} dir={d:?}"
-                    );
+                    assert_eq!(slots[slot.idx()], reference[d.idx()], "n={n} edge={e:?} dir={d:?}");
                 }
                 rs.release(&mut mgr);
                 mgr.check_invariants().unwrap();
@@ -347,7 +431,7 @@ mod tests {
                 let mut slots = vec![0u64; n_slots];
                 for e in tree.all_edges() {
                     let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
-                    let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+                    let mut rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
                     execute(&rs.ops, &tree, &mut slots);
                     for &(d, slot) in &rs.targets {
                         assert_eq!(slots[slot.idx()], reference[d.idx()]);
@@ -367,7 +451,7 @@ mod tests {
         let mut mgr = mgr_for(&tree, tree.n_inner_dir_edges());
         for e in tree.all_edges() {
             let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
-            let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+            let mut rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
             rs.release(&mut mgr);
         }
         assert_eq!(mgr.stats().evictions, 0);
@@ -375,7 +459,7 @@ mod tests {
         let mut total_ops = 0;
         for e in tree.all_edges() {
             let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
-            let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+            let mut rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
             total_ops += rs.ops.len();
             rs.release(&mut mgr);
         }
@@ -393,7 +477,7 @@ mod tests {
             let mut total = 0usize;
             for e in tree.all_edges() {
                 let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
-                let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+                let mut rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
                 total += rs.ops.len();
                 rs.release(&mut mgr);
             }
@@ -449,7 +533,7 @@ mod tests {
         let mut mgr = mgr_for(&tree, n_slots);
         // Warm the cache.
         let e = EdgeId(0);
-        let rs =
+        let mut rs =
             ensure_resident(&tree, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)], &mut mgr, &need)
                 .unwrap();
         rs.release(&mut mgr);
@@ -480,7 +564,7 @@ mod tests {
             let mut slots = vec![0u64; n_slots];
             for e in tree.all_edges() {
                 let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
-                let rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
+                let mut rs = ensure_resident(&tree, &targets, &mut mgr, &need).unwrap();
                 execute(&rs.ops, &tree, &mut slots);
                 for &(d, slot) in &rs.targets {
                     assert_eq!(slots[slot.idx()], reference[d.idx()], "strategy {kind}");

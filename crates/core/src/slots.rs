@@ -4,6 +4,46 @@
 //! map a CLV's *global index* to the *slot* currently holding it and vice
 //! versa, with dedicated sentinel values for "not slotted" and "free".
 //! Pinning is a per-slot counter so nested traversal phases compose.
+//!
+//! # Concurrency model
+//!
+//! Since the fine-grained leasing rework the manager is internally
+//! synchronized and its whole API takes `&self`. Three layers of state,
+//! with a strict lock order (DESIGN.md §6):
+//!
+//! 1. **`plan_lock`** — serializes *planning*: every code path that may
+//!    remap slots (FPA planning, [`SlotManager::acquire`] via the lease
+//!    API, cache flushes) runs under this mutex. Planning is short —
+//!    table surgery only, never kernel work — so planners queue briefly
+//!    while *execution* (CLV recomputation) proceeds concurrently.
+//! 2. **the eviction table** (`inner`) — one mutex over the
+//!    `slot↔clv` maps, pin counts, free list and replacement strategy.
+//!    Held for O(1)/O(slots) table operations only.
+//! 3. **per-slot publish latches** (`phases`) — a tiny mutex + condvar
+//!    per slot flagging whether the slot's *data* is ready to read.
+//!    A freshly (re)assigned slot is `Computing` until the thread that
+//!    planned it publishes with [`SlotManager::mark_ready`]; readers of
+//!    *other* slots never touch this latch and never block.
+//!
+//! Locks are always taken in that order (`plan_lock` → table → latch)
+//! and a thread never *blocks* on a latch while holding the table lock,
+//! which makes the design deadlock-free; the full argument lives in
+//! DESIGN.md §6.
+//!
+//! `clv → slot` lookups are lock-free (`AtomicU32` loads): the
+//! steady-state scoring path resolves residency and reads CLV data
+//! without acquiring any lock. Traffic counters are atomics, so stats
+//! from concurrent planners aggregate without lost updates.
+//!
+//! The classic `&self`-everywhere API (`acquire`, `pin`, …) remains the
+//! low-level building block and is what single-owner users (benches,
+//! the FPA planner, the model-based test harness) drive directly;
+//! concurrent users go through [`crate::SlotArena`]'s lease API or
+//! `phylo_engine`'s `ManagedStore`, which compose these primitives under
+//! `plan_lock`.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::error::AmcError;
 use crate::strategy::{ReplacementStrategy, VictimView};
@@ -82,15 +122,39 @@ pub struct SlotStats {
     pub evictions: u64,
 }
 
-/// Maps a large logical CLV index space onto a small set of physical slots.
-pub struct SlotManager {
-    clv_to_slot: Vec<u32>,
+/// The eviction table: everything the replacement decision reads or
+/// writes, under one mutex (lock level 2).
+struct TableInner {
     slot_to_clv: Vec<u32>,
     pin_counts: Vec<u32>,
     free: Vec<u32>,
     n_pinned_slots: usize,
-    stats: SlotStats,
     strategy: Box<dyn ReplacementStrategy>,
+}
+
+/// Per-slot publish latch (lock level 3): `ready == false` while the
+/// planning thread that (re)assigned the slot is still computing its
+/// CLV. Version counts reassignments, for lease revalidation in tests.
+struct SlotPhase {
+    ready: Mutex<bool>,
+    cv: Condvar,
+    version: AtomicU64,
+}
+
+/// Maps a large logical CLV index space onto a small set of physical slots.
+///
+/// Internally synchronized; see the module docs for the lock order.
+pub struct SlotManager {
+    /// Lock-free residency index. Written only under `inner`; readers may
+    /// race with remapping and must revalidate under `inner` before
+    /// trusting the mapping for anything but a hint.
+    clv_to_slot: Vec<AtomicU32>,
+    inner: Mutex<TableInner>,
+    phases: Vec<SlotPhase>,
+    plan_lock: Mutex<()>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl SlotManager {
@@ -99,20 +163,36 @@ impl SlotManager {
     pub fn new(n_clvs: usize, n_slots: usize, strategy: Box<dyn ReplacementStrategy>) -> Self {
         assert!(n_slots > 0, "at least one slot required");
         SlotManager {
-            clv_to_slot: vec![UNSLOTTED; n_clvs],
-            slot_to_clv: vec![FREE; n_slots],
-            pin_counts: vec![0; n_slots],
-            free: (0..n_slots as u32).rev().collect(),
-            n_pinned_slots: 0,
-            stats: SlotStats::default(),
-            strategy,
+            clv_to_slot: (0..n_clvs).map(|_| AtomicU32::new(UNSLOTTED)).collect(),
+            inner: Mutex::new(TableInner {
+                slot_to_clv: vec![FREE; n_slots],
+                pin_counts: vec![0; n_slots],
+                free: (0..n_slots as u32).rev().collect(),
+                n_pinned_slots: 0,
+                strategy,
+            }),
+            phases: (0..n_slots)
+                .map(|_| SlotPhase {
+                    ready: Mutex::new(false),
+                    cv: Condvar::new(),
+                    version: AtomicU64::new(0),
+                })
+                .collect(),
+            plan_lock: Mutex::new(()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    fn table(&self) -> MutexGuard<'_, TableInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Number of physical slots.
     #[inline]
     pub fn n_slots(&self) -> usize {
-        self.slot_to_clv.len()
+        self.phases.len()
     }
 
     /// Number of logical CLVs.
@@ -124,110 +204,368 @@ impl SlotManager {
     /// Number of slots with a non-zero pin count.
     #[inline]
     pub fn n_pinned(&self) -> usize {
-        self.n_pinned_slots
+        self.table().n_pinned_slots
     }
 
     /// Number of slots currently unpinned (free or evictable).
     #[inline]
     pub fn n_unpinned(&self) -> usize {
-        self.n_slots() - self.n_pinned_slots
+        self.n_slots() - self.n_pinned()
     }
 
-    /// Traffic counters so far.
+    /// Traffic counters so far. Each counter is read atomically; a
+    /// snapshot racing a concurrent `acquire` may be mid-operation
+    /// (e.g. miss counted, eviction not yet), which quiescent callers
+    /// (end of phase, end of run) never observe.
     #[inline]
     pub fn stats(&self) -> SlotStats {
-        self.stats
+        SlotStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets the traffic counters (e.g. between measured phases).
-    pub fn reset_stats(&mut self) {
-        self.stats = SlotStats::default();
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
-    /// The slot currently holding `clv`, if resident.
+    /// The slot currently holding `clv`, if resident. Lock-free.
+    ///
+    /// The answer is a consistent snapshot: residency can only change
+    /// under `plan_lock`, so callers that hold the plan guard — or that
+    /// hold a pin on the slot (pinned slots are never remapped) — may
+    /// rely on it; anyone else should treat it as a hint.
     #[inline]
     pub fn lookup(&self, clv: ClvKey) -> Option<SlotId> {
-        let s = self.clv_to_slot[clv.idx()];
+        let s = self.clv_to_slot[clv.idx()].load(Ordering::Acquire);
         (s != UNSLOTTED).then_some(SlotId(s))
     }
 
     /// The CLV currently held by `slot`, if any.
     #[inline]
     pub fn occupant(&self, slot: SlotId) -> Option<ClvKey> {
-        let c = self.slot_to_clv[slot.idx()];
+        let c = self.table().slot_to_clv[slot.idx()];
         (c != FREE).then_some(ClvKey(c))
     }
 
     /// Current pin count of a slot.
     #[inline]
     pub fn pin_count(&self, slot: SlotId) -> u32 {
-        self.pin_counts[slot.idx()]
+        self.table().pin_counts[slot.idx()]
     }
 
     /// Notifies the strategy of a read access (LRU bookkeeping et al.)
     /// without going through `acquire`.
-    pub fn touch(&mut self, clv: ClvKey) {
-        if let Some(slot) = self.lookup(clv) {
-            self.strategy.on_access(clv, slot);
+    pub fn touch(&self, clv: ClvKey) {
+        let mut t = self.table();
+        let s = self.clv_to_slot[clv.idx()].load(Ordering::Acquire);
+        if s != UNSLOTTED {
+            t.strategy.on_access(clv, SlotId(s));
         }
     }
 
     /// Assigns a slot to `clv`: a hit if resident, otherwise a free slot,
     /// otherwise the strategy's victim among unpinned slots. On a miss the
-    /// slot's previous contents are forgotten and the caller must recompute
-    /// the CLV into it.
-    pub fn acquire(&mut self, clv: ClvKey) -> Result<Acquire, AmcError> {
+    /// slot's previous contents are forgotten, the slot's publish latch
+    /// drops to *Computing*, and the caller must recompute the CLV into it
+    /// and [`SlotManager::mark_ready`] it.
+    ///
+    /// This is a *planning* operation: concurrent callers must hold
+    /// [`SlotManager::plan_guard`] (single-owner callers may skip it).
+    pub fn acquire(&self, clv: ClvKey) -> Result<Acquire, AmcError> {
         if clv.idx() >= self.clv_to_slot.len() {
             return Err(AmcError::UnknownClv(clv.0));
         }
-        if let Some(slot) = self.lookup(clv) {
-            self.stats.hits += 1;
-            self.strategy.on_access(clv, slot);
+        let mut t = self.table();
+        let s = self.clv_to_slot[clv.idx()].load(Ordering::Acquire);
+        if s != UNSLOTTED {
+            let slot = SlotId(s);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            t.strategy.on_access(clv, slot);
             return Ok(Acquire::Hit(slot));
         }
-        self.stats.misses += 1;
-        if let Some(raw) = self.free.pop() {
+        let mut t = &mut *t; // plain &mut TableInner, so field borrows split
+        if let Some(raw) = t.free.pop() {
             let slot = SlotId(raw);
-            self.install(clv, slot);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.install(&mut t, clv, slot);
             return Ok(Acquire::Fresh(slot));
         }
-        let view = VictimView {
-            slot_to_clv: &self.slot_to_clv,
-            pin_counts: &self.pin_counts,
-        };
-        let Some(victim_slot) = self.strategy.choose_victim(&view) else {
+        let view = VictimView { slot_to_clv: &t.slot_to_clv, pin_counts: &t.pin_counts };
+        let Some(victim_slot) = t.strategy.choose_victim(&view) else {
+            // A failed acquire is not a miss: `misses` counts installs
+            // (i.e. recomputations), and nothing was installed.
             return Err(AmcError::AllSlotsPinned {
                 slots: self.n_slots(),
-                pinned: self.n_pinned_slots,
+                pinned: t.n_pinned_slots,
             });
         };
-        debug_assert_eq!(self.pin_counts[victim_slot.idx()], 0, "strategy evicted a pinned slot");
-        let victim = ClvKey(self.slot_to_clv[victim_slot.idx()]);
-        self.stats.evictions += 1;
-        self.strategy.on_evict(victim, victim_slot);
-        self.clv_to_slot[victim.idx()] = UNSLOTTED;
-        self.install(clv, victim_slot);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        debug_assert_eq!(t.pin_counts[victim_slot.idx()], 0, "strategy evicted a pinned slot");
+        let victim = ClvKey(t.slot_to_clv[victim_slot.idx()]);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        t.strategy.on_evict(victim, victim_slot);
+        self.clv_to_slot[victim.idx()].store(UNSLOTTED, Ordering::Release);
+        self.install(&mut t, clv, victim_slot);
         Ok(Acquire::Evicted { slot: victim_slot, victim })
     }
 
-    fn install(&mut self, clv: ClvKey, slot: SlotId) {
-        self.clv_to_slot[clv.idx()] = slot.0;
-        self.slot_to_clv[slot.idx()] = clv.0;
-        self.strategy.on_insert(clv, slot);
+    /// Installs a mapping; the table lock is held by the caller. The
+    /// latch drops to Computing *before* the new mapping is published so
+    /// no reader can pin the slot and read stale data.
+    fn install(&self, t: &mut TableInner, clv: ClvKey, slot: SlotId) {
+        let ph = &self.phases[slot.idx()];
+        {
+            let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
+            *r = false;
+            ph.version.fetch_add(1, Ordering::AcqRel);
+        }
+        // Wake version-snapshot waiters (`wait_ready_at`): a bumped
+        // version releases them even though the latch stays down.
+        ph.cv.notify_all();
+        self.clv_to_slot[clv.idx()].store(slot.0, Ordering::Release);
+        t.slot_to_clv[slot.idx()] = clv.0;
+        t.strategy.on_insert(clv, slot);
     }
 
     /// Increments a slot's pin count; pinned slots are never chosen as
     /// eviction victims.
-    pub fn pin(&mut self, slot: SlotId) {
-        let c = &mut self.pin_counts[slot.idx()];
-        if *c == 0 {
-            self.n_pinned_slots += 1;
-        }
-        *c += 1;
+    pub fn pin(&self, slot: SlotId) {
+        self.table().pin_n(slot, 1);
     }
 
     /// Adds `count` pins at once (refcounted use across a plan).
-    pub fn pin_n(&mut self, slot: SlotId, count: u32) {
+    pub fn pin_n(&self, slot: SlotId, count: u32) {
+        self.table().pin_n(slot, count);
+    }
+
+    /// Decrements a slot's pin count.
+    pub fn unpin(&self, slot: SlotId) -> Result<(), AmcError> {
+        let mut t = self.table();
+        let c = &mut t.pin_counts[slot.idx()];
+        if *c == 0 {
+            return Err(AmcError::NotPinned(slot.0));
+        }
+        *c -= 1;
+        if *c == 0 {
+            t.n_pinned_slots -= 1;
+        }
+        Ok(())
+    }
+
+    /// Forcibly clears all pins. Single-owner teardown only: under
+    /// concurrency this would destroy other threads' pins, so concurrent
+    /// code paths roll back their own pins precisely instead (see
+    /// `fpa::ensure_resident`).
+    pub fn unpin_all(&self) {
+        let mut t = self.table();
+        for c in &mut t.pin_counts {
+            *c = 0;
+        }
+        t.n_pinned_slots = 0;
+    }
+
+    /// Drops `clv` from its slot, returning the slot to the free list.
+    /// No-op if not resident. The slot must not be pinned. Planning
+    /// operation: concurrent callers hold [`SlotManager::plan_guard`].
+    pub fn invalidate(&self, clv: ClvKey) {
+        let mut t = self.table();
+        let s = self.clv_to_slot[clv.idx()].load(Ordering::Acquire);
+        if s != UNSLOTTED {
+            let slot = SlotId(s);
+            assert_eq!(t.pin_counts[slot.idx()], 0, "cannot invalidate a pinned slot");
+            t.strategy.on_evict(clv, slot);
+            let ph = &self.phases[slot.idx()];
+            {
+                let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
+                *r = false;
+                ph.version.fetch_add(1, Ordering::AcqRel);
+            }
+            ph.cv.notify_all();
+            self.clv_to_slot[clv.idx()].store(UNSLOTTED, Ordering::Release);
+            t.slot_to_clv[slot.idx()] = FREE;
+            t.free.push(slot.0);
+        }
+    }
+
+    /// Snapshot of the `(clv, slot)` pairs currently resident.
+    pub fn resident(&self) -> Vec<(ClvKey, SlotId)> {
+        self.table()
+            .slot_to_clv
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != FREE)
+            .map(|(s, &c)| (ClvKey(c), SlotId(s as u32)))
+            .collect()
+    }
+
+    // ---- concurrency primitives -------------------------------------
+
+    /// Serializes planning phases. Everything that may remap a slot runs
+    /// under this guard; execution (kernel work, CLV reads) does not.
+    /// Lock level 1 — acquired before the table lock, never after.
+    pub fn plan_guard(&self) -> MutexGuard<'_, ()> {
+        self.plan_lock.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publishes a slot's data: wakes every thread blocked in
+    /// [`SlotManager::wait_ready`] on it.
+    pub fn mark_ready(&self, slot: SlotId) {
+        let ph = &self.phases[slot.idx()];
+        *ph.ready.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        ph.cv.notify_all();
+    }
+
+    /// Publishes a slot's data **only if** the slot still carries
+    /// `version` — i.e. the caller's install is the slot's latest
+    /// generation. The schedule executor must use this rather than
+    /// [`SlotManager::mark_ready`]: when a later op of the same schedule
+    /// has already remapped the slot (see [`SlotManager::wait_ready_at`]),
+    /// an unconditional publish would announce the *new* mapping as ready
+    /// while the slot still holds the old generation's bytes, and a
+    /// concurrent plan would read the wrong CLV. The superseded op stays
+    /// silent; the final-generation op (whose version matches) publishes.
+    pub fn mark_ready_at(&self, slot: SlotId, version: u64) {
+        let ph = &self.phases[slot.idx()];
+        let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
+        if ph.version.load(Ordering::Acquire) == version {
+            *r = true;
+            drop(r);
+            ph.cv.notify_all();
+        }
+    }
+
+    /// Blocks until `slot`'s data is published. Callers must hold a pin
+    /// on the slot (so it cannot be remapped underneath the wait) and
+    /// must not hold the table lock (lock order: latches are innermost).
+    pub fn wait_ready(&self, slot: SlotId) {
+        let ph = &self.phases[slot.idx()];
+        let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
+        while !*r {
+            r = ph.cv.wait(r).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks until `slot`'s data is published **or** the slot has been
+    /// reassigned since `version` was snapshotted (its version counter no
+    /// longer matches).
+    ///
+    /// This is the dependency wait for schedule execution. A schedule may
+    /// reuse a slot: a later op can evict a CLV that an earlier op reads
+    /// as a dependency, and the eviction's `install` drops the latch at
+    /// *planning* time. The earlier op must not wait for that latch — it
+    /// would be published only by the later op — and does not need to:
+    /// installs never touch slot data, so the dependency bytes remain
+    /// valid until the remapping op (which executes after the reader)
+    /// overwrites them. A version mismatch is therefore proof that the
+    /// recorded dependency is readable right now. While the version still
+    /// matches, an unpublished slot means the CLV is being computed by
+    /// the plan that installed it, whose lock-free execution always
+    /// publishes — so the wait terminates.
+    pub fn wait_ready_at(&self, slot: SlotId, version: u64) {
+        let ph = &self.phases[slot.idx()];
+        let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
+        while !*r && ph.version.load(Ordering::Acquire) == version {
+            r = ph.cv.wait(r).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Whether `slot`'s data is published (non-blocking).
+    pub fn is_ready(&self, slot: SlotId) -> bool {
+        *self.phases[slot.idx()].ready.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Reassignment counter for `slot` (bumps on every install and
+    /// invalidate). Lets tests assert a slot was not remapped across an
+    /// operation.
+    pub fn version(&self, slot: SlotId) -> u64 {
+        self.phases[slot.idx()].version.load(Ordering::Acquire)
+    }
+
+    /// If `clv` is resident *and published*, pins its slot and returns
+    /// it; otherwise `None`. This is the read-lease fast path: it never
+    /// blocks, and by refusing still-Computing slots it guarantees that
+    /// no foreign pins exist on slots a planner installed but has not
+    /// yet published — which is what makes the planner's error rollback
+    /// (unpin + invalidate its own installs) safe.
+    pub fn pin_if_ready(&self, clv: ClvKey) -> Option<SlotId> {
+        let mut t = self.table();
+        let s = self.clv_to_slot[clv.idx()].load(Ordering::Acquire);
+        if s == UNSLOTTED {
+            return None;
+        }
+        let slot = SlotId(s);
+        // Latch probe under the table lock (level 2 → 3 is the legal
+        // order); try_lock never blocks, and the latch mutex is only
+        // ever held for an assignment, so contention means "in flux" —
+        // treat it as not ready.
+        let ready = match self.phases[slot.idx()].ready.try_lock() {
+            Ok(r) => *r,
+            Err(_) => false,
+        };
+        if !ready {
+            return None;
+        }
+        t.pin_n(slot, 1);
+        t.strategy.on_access(clv, slot);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(slot)
+    }
+
+    /// Checks the bijection invariant between the two maps (tests/debug).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let t = self.table();
+        for (c, s) in self.clv_to_slot.iter().enumerate() {
+            let s = s.load(Ordering::Acquire);
+            if s != UNSLOTTED {
+                if s as usize >= t.slot_to_clv.len() {
+                    return Err(format!("clv {c} maps to out-of-range slot {s}"));
+                }
+                if t.slot_to_clv[s as usize] != c as u32 {
+                    return Err(format!(
+                        "clv {c} -> slot {s}, but slot {s} -> clv {}",
+                        t.slot_to_clv[s as usize]
+                    ));
+                }
+            }
+        }
+        let mut seen = vec![false; self.clv_to_slot.len()];
+        for (s, &c) in t.slot_to_clv.iter().enumerate() {
+            if c != FREE {
+                if c as usize >= seen.len() {
+                    return Err(format!("slot {s} holds out-of-range clv {c}"));
+                }
+                if seen[c as usize] {
+                    return Err(format!("clv {c} resident in two slots"));
+                }
+                seen[c as usize] = true;
+                if self.clv_to_slot[c as usize].load(Ordering::Acquire) != s as u32 {
+                    return Err(format!(
+                        "slot {s} -> clv {c}, but clv {c} -> {}",
+                        self.clv_to_slot[c as usize].load(Ordering::Acquire)
+                    ));
+                }
+            }
+        }
+        let pinned = t.pin_counts.iter().filter(|&&p| p > 0).count();
+        if pinned != t.n_pinned_slots {
+            return Err(format!("pin cache {} != actual {}", t.n_pinned_slots, pinned));
+        }
+        for &raw in &t.free {
+            if t.slot_to_clv[raw as usize] != FREE {
+                return Err(format!("slot {raw} is on the free list but occupied"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TableInner {
+    fn pin_n(&mut self, slot: SlotId, count: u32) {
         if count == 0 {
             return;
         }
@@ -237,95 +575,20 @@ impl SlotManager {
         }
         *c += count;
     }
-
-    /// Decrements a slot's pin count.
-    pub fn unpin(&mut self, slot: SlotId) -> Result<(), AmcError> {
-        let c = &mut self.pin_counts[slot.idx()];
-        if *c == 0 {
-            return Err(AmcError::NotPinned(slot.0));
-        }
-        *c -= 1;
-        if *c == 0 {
-            self.n_pinned_slots -= 1;
-        }
-        Ok(())
-    }
-
-    /// Forcibly clears all pins (end of a placement phase).
-    pub fn unpin_all(&mut self) {
-        for c in &mut self.pin_counts {
-            *c = 0;
-        }
-        self.n_pinned_slots = 0;
-    }
-
-    /// Drops `clv` from its slot, returning the slot to the free list.
-    /// No-op if not resident. The slot must not be pinned.
-    pub fn invalidate(&mut self, clv: ClvKey) {
-        if let Some(slot) = self.lookup(clv) {
-            assert_eq!(self.pin_counts[slot.idx()], 0, "cannot invalidate a pinned slot");
-            self.strategy.on_evict(clv, slot);
-            self.clv_to_slot[clv.idx()] = UNSLOTTED;
-            self.slot_to_clv[slot.idx()] = FREE;
-            self.free.push(slot.0);
-        }
-    }
-
-    /// Iterates `(clv, slot)` pairs currently resident.
-    pub fn resident(&self) -> impl Iterator<Item = (ClvKey, SlotId)> + '_ {
-        self.slot_to_clv
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c != FREE)
-            .map(|(s, &c)| (ClvKey(c), SlotId(s as u32)))
-    }
-
-    /// Checks the bijection invariant between the two maps (tests/debug).
-    pub fn check_invariants(&self) -> Result<(), String> {
-        for (c, &s) in self.clv_to_slot.iter().enumerate() {
-            if s != UNSLOTTED {
-                if s as usize >= self.slot_to_clv.len() {
-                    return Err(format!("clv {c} maps to out-of-range slot {s}"));
-                }
-                if self.slot_to_clv[s as usize] != c as u32 {
-                    return Err(format!(
-                        "clv {c} -> slot {s}, but slot {s} -> clv {}",
-                        self.slot_to_clv[s as usize]
-                    ));
-                }
-            }
-        }
-        let mut seen = vec![false; self.clv_to_slot.len()];
-        for (s, &c) in self.slot_to_clv.iter().enumerate() {
-            if c != FREE {
-                if c as usize >= seen.len() {
-                    return Err(format!("slot {s} holds out-of-range clv {c}"));
-                }
-                if seen[c as usize] {
-                    return Err(format!("clv {c} resident in two slots"));
-                }
-                seen[c as usize] = true;
-                if self.clv_to_slot[c as usize] != s as u32 {
-                    return Err(format!("slot {s} -> clv {c}, but clv {c} -> {}", self.clv_to_slot[c as usize]));
-                }
-            }
-        }
-        let pinned = self.pin_counts.iter().filter(|&&p| p > 0).count();
-        if pinned != self.n_pinned_slots {
-            return Err(format!("pin cache {} != actual {}", self.n_pinned_slots, pinned));
-        }
-        Ok(())
-    }
 }
 
 impl std::fmt::Debug for SlotManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (n_pinned, strategy) = {
+            let t = self.table();
+            (t.n_pinned_slots, t.strategy.name())
+        };
         f.debug_struct("SlotManager")
             .field("n_clvs", &self.n_clvs())
             .field("n_slots", &self.n_slots())
-            .field("n_pinned", &self.n_pinned_slots)
-            .field("stats", &self.stats)
-            .field("strategy", &self.strategy.name())
+            .field("n_pinned", &n_pinned)
+            .field("stats", &self.stats())
+            .field("strategy", &strategy)
             .finish()
     }
 }
@@ -341,7 +604,7 @@ mod tests {
 
     #[test]
     fn fresh_then_hit() {
-        let mut m = mgr(10, 4);
+        let m = mgr(10, 4);
         let a = m.acquire(ClvKey(3)).unwrap();
         assert!(matches!(a, Acquire::Fresh(_)));
         let b = m.acquire(ClvKey(3)).unwrap();
@@ -353,7 +616,7 @@ mod tests {
 
     #[test]
     fn eviction_when_full() {
-        let mut m = mgr(10, 2);
+        let m = mgr(10, 2);
         m.acquire(ClvKey(0)).unwrap();
         m.acquire(ClvKey(1)).unwrap();
         let a = m.acquire(ClvKey(2)).unwrap();
@@ -369,7 +632,7 @@ mod tests {
 
     #[test]
     fn pinned_slots_survive() {
-        let mut m = mgr(10, 2);
+        let m = mgr(10, 2);
         let s0 = m.acquire(ClvKey(0)).unwrap().slot();
         m.acquire(ClvKey(1)).unwrap();
         m.pin(s0);
@@ -382,7 +645,7 @@ mod tests {
 
     #[test]
     fn all_pinned_errors() {
-        let mut m = mgr(10, 2);
+        let m = mgr(10, 2);
         let s0 = m.acquire(ClvKey(0)).unwrap().slot();
         let s1 = m.acquire(ClvKey(1)).unwrap().slot();
         m.pin(s0);
@@ -393,7 +656,7 @@ mod tests {
 
     #[test]
     fn pin_counts_nest() {
-        let mut m = mgr(4, 2);
+        let m = mgr(4, 2);
         let s = m.acquire(ClvKey(0)).unwrap().slot();
         m.pin(s);
         m.pin(s);
@@ -408,7 +671,7 @@ mod tests {
 
     #[test]
     fn pin_n_counts() {
-        let mut m = mgr(4, 2);
+        let m = mgr(4, 2);
         let s = m.acquire(ClvKey(0)).unwrap().slot();
         m.pin_n(s, 3);
         assert_eq!(m.pin_count(s), 3);
@@ -422,7 +685,7 @@ mod tests {
 
     #[test]
     fn invalidate_releases() {
-        let mut m = mgr(4, 1);
+        let m = mgr(4, 1);
         m.acquire(ClvKey(0)).unwrap();
         m.invalidate(ClvKey(0));
         assert_eq!(m.lookup(ClvKey(0)), None);
@@ -433,17 +696,17 @@ mod tests {
 
     #[test]
     fn unknown_clv_rejected() {
-        let mut m = mgr(3, 2);
+        let m = mgr(3, 2);
         assert!(matches!(m.acquire(ClvKey(7)), Err(AmcError::UnknownClv(7))));
     }
 
     #[test]
     fn cost_based_evicts_cheapest() {
         let costs = vec![5.0, 1.0, 3.0, 4.0];
-        let mut m = SlotManager::new(4, 2, Box::new(CostBased::new(costs)));
+        let m = SlotManager::new(4, 2, Box::new(CostBased::new(costs)));
         m.acquire(ClvKey(0)).unwrap(); // cost 5
         m.acquire(ClvKey(1)).unwrap(); // cost 1
-        // clv 2 arrives: evict the cheapest-to-recompute resident (clv 1).
+                                       // clv 2 arrives: evict the cheapest-to-recompute resident (clv 1).
         let a = m.acquire(ClvKey(2)).unwrap();
         assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }), "{a:?}");
         // clv 3 (cost 4) arrives: residents are 0 (5) and 2 (3) -> evict 2.
@@ -454,17 +717,17 @@ mod tests {
 
     #[test]
     fn resident_iterates_current() {
-        let mut m = mgr(5, 3);
+        let m = mgr(5, 3);
         m.acquire(ClvKey(1)).unwrap();
         m.acquire(ClvKey(4)).unwrap();
-        let mut r: Vec<u32> = m.resident().map(|(c, _)| c.0).collect();
+        let mut r: Vec<u32> = m.resident().into_iter().map(|(c, _)| c.0).collect();
         r.sort_unstable();
         assert_eq!(r, vec![1, 4]);
     }
 
     #[test]
     fn unpin_all_clears() {
-        let mut m = mgr(4, 3);
+        let m = mgr(4, 3);
         let s0 = m.acquire(ClvKey(0)).unwrap().slot();
         let s1 = m.acquire(ClvKey(1)).unwrap().slot();
         m.pin_n(s0, 2);
@@ -472,5 +735,56 @@ mod tests {
         m.unpin_all();
         assert_eq!(m.n_pinned(), 0);
         m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn install_drops_publish_latch() {
+        let m = mgr(8, 2);
+        let s = m.acquire(ClvKey(0)).unwrap().slot();
+        assert!(!m.is_ready(s), "fresh slot must be Computing");
+        let v0 = m.version(s);
+        m.mark_ready(s);
+        assert!(m.is_ready(s));
+        // Re-acquiring the same CLV is a hit: no latch drop, no version bump.
+        m.acquire(ClvKey(0)).unwrap();
+        assert!(m.is_ready(s));
+        assert_eq!(m.version(s), v0);
+        // Evicting it for another CLV drops the latch and bumps the version.
+        m.acquire(ClvKey(1)).unwrap();
+        let a = m.acquire(ClvKey(2)).unwrap();
+        assert_eq!(a.slot(), s, "FIFO evicts the oldest");
+        assert!(!m.is_ready(s));
+        assert!(m.version(s) > v0);
+    }
+
+    #[test]
+    fn pin_if_ready_refuses_computing_slots() {
+        let m = mgr(8, 2);
+        let s = m.acquire(ClvKey(3)).unwrap().slot();
+        assert_eq!(m.pin_if_ready(ClvKey(3)), None, "unpublished slot must not lease");
+        assert_eq!(m.pin_count(s), 0);
+        m.mark_ready(s);
+        assert_eq!(m.pin_if_ready(ClvKey(3)), Some(s));
+        assert_eq!(m.pin_count(s), 1);
+        assert_eq!(m.pin_if_ready(ClvKey(4)), None, "absent CLV must not lease");
+        m.unpin(s).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn wait_ready_blocks_until_publish() {
+        use std::sync::Arc;
+        let m = Arc::new(mgr(4, 2));
+        let s = m.acquire(ClvKey(0)).unwrap().slot();
+        m.pin(s);
+        let m2 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || {
+            m2.wait_ready(s);
+            m2.version(s)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let v = m.version(s);
+        m.mark_ready(s);
+        assert_eq!(waiter.join().unwrap(), v);
     }
 }

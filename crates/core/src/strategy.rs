@@ -377,7 +377,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut m = SlotManager::new(10, 2, Box::new(Lru::new()));
+        let m = SlotManager::new(10, 2, Box::new(Lru::new()));
         m.acquire(ClvKey(0)).unwrap();
         m.acquire(ClvKey(1)).unwrap();
         m.acquire(ClvKey(0)).unwrap(); // touch 0
@@ -387,7 +387,7 @@ mod tests {
 
     #[test]
     fn mru_evicts_most_recent() {
-        let mut m = SlotManager::new(10, 2, Box::new(Mru::new()));
+        let m = SlotManager::new(10, 2, Box::new(Mru::new()));
         m.acquire(ClvKey(0)).unwrap();
         m.acquire(ClvKey(1)).unwrap();
         let a = m.acquire(ClvKey(2)).unwrap();
@@ -397,7 +397,7 @@ mod tests {
     #[test]
     fn random_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut m = SlotManager::new(20, 3, Box::new(RandomEvict::new(seed)));
+            let m = SlotManager::new(20, 3, Box::new(RandomEvict::new(seed)));
             let mut victims = Vec::new();
             for k in 0..12 {
                 if let Acquire::Evicted { victim, .. } = m.acquire(ClvKey(k)).unwrap() {
@@ -421,7 +421,7 @@ mod tests {
 
     #[test]
     fn cost_based_ignores_pinned() {
-        let mut m = SlotManager::new(10, 2, Box::new(CostBased::new(vec![1.0, 2.0, 3.0, 4.0])));
+        let m = SlotManager::new(10, 2, Box::new(CostBased::new(vec![1.0, 2.0, 3.0, 4.0])));
         let s0 = m.acquire(ClvKey(0)).unwrap().slot(); // cheapest
         m.acquire(ClvKey(1)).unwrap();
         m.pin(s0);

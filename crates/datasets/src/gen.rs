@@ -130,10 +130,7 @@ mod tests {
         let spec = neotrop(Scale::Ci);
         let a = generate(&spec);
         let b = generate(&spec);
-        assert_eq!(
-            phylo_tree::newick::write(&a.tree),
-            phylo_tree::newick::write(&b.tree)
-        );
+        assert_eq!(phylo_tree::newick::write(&a.tree), phylo_tree::newick::write(&b.tree));
         assert_eq!(a.reference.row(0).codes(), b.reference.row(0).codes());
         assert_eq!(a.queries[0].codes(), b.queries[0].codes());
     }

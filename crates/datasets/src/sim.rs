@@ -35,7 +35,12 @@ fn sample_row(row: &[f64], rng: &mut impl Rng) -> u8 {
 }
 
 /// Simulates states for every node of `tree` under `model`.
-pub fn simulate(tree: &Tree, model: &SubstModel, sites: usize, rng: &mut impl Rng) -> SimulatedStates {
+pub fn simulate(
+    tree: &Tree,
+    model: &SubstModel,
+    sites: usize,
+    rng: &mut impl Rng,
+) -> SimulatedStates {
     let states = model.n_states();
     let rates = model.gamma().rates();
     let n_nodes = tree.n_nodes();

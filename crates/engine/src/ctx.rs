@@ -189,9 +189,8 @@ impl ReferenceContext {
         self.model.transition_matrices(new_length, &mut block);
         self.pmatrices[e.idx() * pm_len..(e.idx() + 1) * pm_len].copy_from_slice(&block);
         if self.tip_tables[e.idx()].is_some() {
-            let masks: Vec<u32> = (0..self.alphabet.n_codes())
-                .map(|c| self.alphabet.state_mask(c as u8))
-                .collect();
+            let masks: Vec<u32> =
+                (0..self.alphabet.n_codes()).map(|c| self.alphabet.state_mask(c as u8)).collect();
             self.tip_tables[e.idx()] = Some(TipTable::build(&self.layout, &block, &masks));
         }
     }
@@ -276,9 +275,8 @@ mod tests {
         .unwrap();
         let patterns = compress(&msa).unwrap();
         let model = SubstModel::new(&dna::jc69(), DiscreteGamma::none()).unwrap();
-        let err =
-            ReferenceContext::new(tree, model, AlphabetKind::Protein.alphabet(), &patterns)
-                .unwrap_err();
+        let err = ReferenceContext::new(tree, model, AlphabetKind::Protein.alphabet(), &patterns)
+            .unwrap_err();
         assert!(matches!(err, EngineError::AlphabetMismatch { .. }));
     }
 

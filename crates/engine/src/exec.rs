@@ -1,4 +1,12 @@
 //! Executing AMC compute schedules with the likelihood kernels.
+//!
+//! Execution is lock-free with respect to the slot tables: the plan that
+//! produced the ops holds execution pins on every slot touched, so the
+//! mappings cannot change. The only synchronization is the per-slot
+//! publish latch — each step waits until its dependency slots' data is
+//! published (instant unless a concurrent plan is still computing that
+//! very CLV) and publishes its own target when done, which is what lets
+//! distinct CLVs be recomputed concurrently by different threads.
 
 use crate::ctx::ReferenceContext;
 use phylo_amc::{DepSource, FpaOp, SlotArena, SlotId};
@@ -8,11 +16,15 @@ use phylo_kernel::KernelScratch;
 
 /// Executes one Felsenstein step: reads the dependency slots / tip
 /// encodings named by `op` and writes the target slot. `scratch` is only
-/// touched by the generic kernel fallback; the store owns one so repeated
-/// recomputation allocates nothing.
+/// touched by the generic kernel fallback; the store owns a pool of them
+/// so repeated recomputation allocates nothing.
+///
+/// The caller must hold the plan's execution pins (see
+/// `phylo_amc::ensure_resident`), which make the op's slot assignments
+/// stable; the target slot is published when the step completes.
 pub fn execute_op(
     ctx: &ReferenceContext,
-    arena: &mut SlotArena,
+    arena: &SlotArena,
     op: &FpaOp,
     scratch: &mut KernelScratch,
 ) {
@@ -23,7 +35,7 @@ pub fn execute_op(
 /// (the paper's across-site experimental parallelization, Fig. 7).
 pub fn execute_op_par(
     ctx: &ReferenceContext,
-    arena: &mut SlotArena,
+    arena: &SlotArena,
     op: &FpaOp,
     n_threads: usize,
     scratch: &mut KernelScratch,
@@ -33,7 +45,7 @@ pub fn execute_op_par(
 
 fn execute_op_inner(
     ctx: &ReferenceContext,
-    arena: &mut SlotArena,
+    arena: &SlotArena,
     op: &FpaOp,
     n_threads: usize,
     scratch: &mut KernelScratch,
@@ -47,6 +59,20 @@ fn execute_op_inner(
             DepSource::Tip(_) => None,
         })
         .collect();
+    // Dependencies computed earlier in this schedule are already
+    // published by their own step; a wait only ever blocks on a CLV a
+    // *concurrent* plan is still computing, and that plan's execution is
+    // lock-free and infallible, so the wait terminates. The wait is
+    // version-snapshotted: if a *later* op of this same schedule remapped
+    // the dep's slot (dropping its latch at planning time), the recorded
+    // bytes are still valid until that op executes, so the reader must
+    // not — and does not — block on a latch only the later op would
+    // publish.
+    for (k, d) in op.deps.iter().enumerate() {
+        if let DepSource::Slot(s) = d {
+            arena.manager().wait_ready_at(*s, op.dep_versions[k]);
+        }
+    }
     let view = arena.compute_view(op.slot, &child_slots);
     let mut next_child = 0usize;
     let mut sides: [Option<Side<'_>>; 2] = [None, None];
@@ -54,9 +80,7 @@ fn execute_op_inner(
         let edge = op.dep_edges[k].edge();
         sides[k] = Some(match op.deps[k] {
             DepSource::Tip(node) => Side::Tip {
-                table: ctx
-                    .tip_table(edge)
-                    .expect("tip dependency edge must have a tip table"),
+                table: ctx.tip_table(edge).expect("tip dependency edge must have a tip table"),
                 codes: ctx.tip_codes(node),
             },
             DepSource::Slot(_) => {
@@ -80,12 +104,17 @@ fn execute_op_inner(
     } else {
         update_partials_par(&layout, left, right, view.target_clv, view.target_scale, n_threads);
     }
+    // Generation-aware publish: if a later op of this same schedule
+    // already remapped the target slot, this op's bytes are a superseded
+    // generation — announcing them as the new mapping's data would hand
+    // concurrent plans the wrong CLV. The final-generation op publishes.
+    arena.manager().mark_ready_at(op.slot, op.slot_version);
 }
 
 /// Executes a whole schedule in order.
 pub fn execute_ops(
     ctx: &ReferenceContext,
-    arena: &mut SlotArena,
+    arena: &SlotArena,
     ops: &[FpaOp],
     scratch: &mut KernelScratch,
 ) {
@@ -97,7 +126,7 @@ pub fn execute_ops(
 /// Executes a whole schedule with across-site parallelism per step.
 pub fn execute_ops_par(
     ctx: &ReferenceContext,
-    arena: &mut SlotArena,
+    arena: &SlotArena,
     ops: &[FpaOp],
     n_threads: usize,
     scratch: &mut KernelScratch,

@@ -31,11 +31,7 @@ pub fn tree_log_likelihood(
 
 /// Evaluates the likelihood at `edge` assuming both orientations are
 /// already prepared (inside a `prepare`/`release` window).
-pub fn evaluate_prepared_edge(
-    ctx: &ReferenceContext,
-    store: &ManagedStore,
-    edge: EdgeId,
-) -> f64 {
+pub fn evaluate_prepared_edge(ctx: &ReferenceContext, store: &ManagedStore, edge: EdgeId) -> f64 {
     let mut d_u = DirEdgeId::new(edge, 0);
     let mut d_v = DirEdgeId::new(edge, 1);
     // The unpropagated `u` term must be an inner CLV; at least one side of
@@ -151,8 +147,8 @@ mod tests {
             DiscreteGamma::none(),
         );
         let mut store = ManagedStore::full(&ctx);
-        let expect = quartet_reference(lengths, [0, 1, 2, 2])
-            + quartet_reference(lengths, [3, 3, 0, 1]);
+        let expect =
+            quartet_reference(lengths, [0, 1, 2, 2]) + quartet_reference(lengths, [3, 3, 0, 1]);
         for e in ctx.tree().all_edges() {
             let ll = tree_log_likelihood(&ctx, &mut store, e).unwrap();
             assert!((ll - expect).abs() < 1e-11, "edge {e:?}: {ll} vs {expect}");
@@ -226,14 +222,10 @@ mod tests {
                 !ctx.tree().is_leaf(rec.a) && !ctx.tree().is_leaf(rec.b)
             })
             .unwrap();
-        let block = store
-            .prepare(&ctx, &[DirEdgeId::new(central, 0), DirEdgeId::new(central, 1)])
-            .unwrap();
+        let block =
+            store.prepare(&ctx, &[DirEdgeId::new(central, 0), DirEdgeId::new(central, 1)]).unwrap();
         let any_scaled = ctx.tree().all_dir_edges().any(|d| {
-            store
-                .clv_of(&ctx, d)
-                .map(|(_, scale)| scale.iter().any(|&s| s > 0))
-                .unwrap_or(false)
+            store.clv_of(&ctx, d).map(|(_, scale)| scale.iter().any(|&s| s > 0)).unwrap_or(false)
         });
         store.release(block);
         assert!(any_scaled, "expected scaler activity on a 300-leaf caterpillar");

@@ -13,6 +13,16 @@
 //! The protocol is *prepare → read → release*: `prepare` makes a set of
 //! directed edges resident and pins them, `side` hands out kernel-ready
 //! views, `release` unpins.
+//!
+//! The store is internally synchronized (`&self` API, `Sync`): planning
+//! is serialized by the slot manager's plan lock, execution runs
+//! lock-free under execution pins, and readers of a prepared block's
+//! pinned CLVs touch no lock at all (residency lookups are atomic
+//! loads). Distinct blocks can therefore be prepared and read by
+//! different threads concurrently; kernel scratch buffers come from an
+//! internal pool so concurrent recomputations do not contend on them.
+
+use std::sync::Mutex;
 
 use crate::ctx::ReferenceContext;
 use crate::error::EngineError;
@@ -32,6 +42,28 @@ pub enum EdgeSide {
     Resident(SlotId),
 }
 
+/// Reusable kernel working buffers, checked out per preparation so
+/// concurrent recomputations each get their own set. Steady state
+/// allocates nothing: buffers return to the pool and their capacity is
+/// retained.
+struct ScratchPool {
+    pool: Mutex<Vec<KernelScratch>>,
+}
+
+impl ScratchPool {
+    fn new() -> Self {
+        ScratchPool { pool: Mutex::new(vec![KernelScratch::new()]) }
+    }
+
+    fn checkout(&self) -> KernelScratch {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_else(KernelScratch::new)
+    }
+
+    fn checkin(&self, scratch: KernelScratch) {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).push(scratch);
+    }
+}
+
 /// Slot-managed directional CLV store for a reference tree.
 pub struct ManagedStore {
     arena: SlotArena,
@@ -39,7 +71,7 @@ pub struct ManagedStore {
     compute_threads: usize,
     /// Kernel working buffers, reused across every recomputation this
     /// store performs (only the generic kernel fallback touches them).
-    scratch: KernelScratch,
+    scratch: ScratchPool,
 }
 
 /// A pinned, resident set of directed edges returned by
@@ -73,7 +105,9 @@ impl PendingBlock {
         self.rs.ops.len() - self.next_op
     }
 
-    /// Converts into a readable block once every step has executed.
+    /// Converts into a readable block once every step has executed (the
+    /// final [`ManagedStore::execute_one`] call has already released the
+    /// execution pins and synchronized the targets).
     pub fn into_prepared(self) -> PreparedBlock {
         assert_eq!(self.next_op, self.rs.ops.len(), "pending block has unexecuted steps");
         PreparedBlock { rs: self.rs }
@@ -118,7 +152,7 @@ impl ManagedStore {
             ctx.layout().patterns,
             strategy.build(costs),
         );
-        Ok(ManagedStore { arena, compute_threads: 1, scratch: KernelScratch::new() })
+        Ok(ManagedStore { arena, compute_threads: 1, scratch: ScratchPool::new() })
     }
 
     /// A store with a caller-supplied replacement strategy — the paper's
@@ -144,7 +178,7 @@ impl ManagedStore {
             ctx.layout().patterns,
             strategy,
         );
-        Ok(ManagedStore { arena, compute_threads: 1, scratch: KernelScratch::new() })
+        Ok(ManagedStore { arena, compute_threads: 1, scratch: ScratchPool::new() })
     }
 
     /// The full-memory store (`3(n−2)` slots, EPA-NG default mode).
@@ -170,8 +204,8 @@ impl ManagedStore {
     }
 
     /// Resets the traffic counters.
-    pub fn reset_stats(&mut self) {
-        self.arena.manager_mut().reset_stats();
+    pub fn reset_stats(&self) {
+        self.arena.manager().reset_stats();
     }
 
     /// Bytes held by the slot storage (the `--maxmem`-controlled term).
@@ -184,23 +218,43 @@ impl ManagedStore {
     /// pinned; hand it back to [`Self::release`] when done reading.
     /// Multiple blocks may be outstanding (e.g. current + prefetched),
     /// provided enough slots stay unpinned for further traversals.
+    ///
+    /// Safe to call from several threads at once: planners serialize on
+    /// the slot manager's plan lock, executions overlap. Under a tight
+    /// slot budget a concurrent caller may get `AllSlotsPinned` while
+    /// another plan's working set is pinned — that is a retryable
+    /// condition, not a deadlock (the other plan always completes).
     pub fn prepare(
-        &mut self,
+        &self,
         ctx: &ReferenceContext,
         dirs: &[DirEdgeId],
     ) -> Result<PreparedBlock, EngineError> {
-        let rs = ensure_resident(ctx.tree(), dirs, self.arena.manager_mut(), ctx.register_need())?;
+        let mut rs = ensure_resident(ctx.tree(), dirs, self.arena.manager(), ctx.register_need())?;
+        let mut scratch = self.scratch.checkout();
         if self.compute_threads <= 1 {
-            exec::execute_ops(ctx, &mut self.arena, &rs.ops, &mut self.scratch);
+            exec::execute_ops(ctx, &self.arena, &rs.ops, &mut scratch);
         } else {
-            exec::execute_ops_par(ctx, &mut self.arena, &rs.ops, self.compute_threads, &mut self.scratch);
+            exec::execute_ops_par(ctx, &self.arena, &rs.ops, self.compute_threads, &mut scratch);
         }
+        self.scratch.checkin(scratch);
+        rs.release_exec(self.arena.manager());
+        self.sync_targets(&rs);
         Ok(PreparedBlock { rs })
     }
 
+    /// Blocks until every target of `rs` is published. Targets this plan
+    /// computed itself already are; a hit target still being computed by
+    /// an earlier, concurrent plan is pinned (so it cannot be remapped)
+    /// and that plan's lock-free execution always publishes it.
+    fn sync_targets(&self, rs: &ResidentSet) {
+        for &(_, slot) in &rs.targets {
+            self.arena.manager().wait_ready(slot);
+        }
+    }
+
     /// Releases the pins held by a prepared block.
-    pub fn release(&mut self, block: PreparedBlock) {
-        block.rs.release(self.arena.manager_mut());
+    pub fn release(&self, mut block: PreparedBlock) {
+        block.rs.release(self.arena.manager());
     }
 
     /// First half of an incremental prepare: plans the schedule and takes
@@ -209,34 +263,47 @@ impl ManagedStore {
     /// with [`PendingBlock::into_prepared`].
     ///
     /// This split exists for the asynchronous branch-block prefetch: the
-    /// prefetch thread holds the store's write lock only for one compute
-    /// step at a time, so placement workers reading the *current* block
-    /// interleave freely.
+    /// prefetch thread computes one step at a time with no lock held, so
+    /// placement workers reading the *current* block interleave freely.
     pub fn plan_prepare(
-        &mut self,
+        &self,
         ctx: &ReferenceContext,
         dirs: &[DirEdgeId],
     ) -> Result<PendingBlock, EngineError> {
-        let rs = ensure_resident(ctx.tree(), dirs, self.arena.manager_mut(), ctx.register_need())?;
+        let rs = ensure_resident(ctx.tree(), dirs, self.arena.manager(), ctx.register_need())?;
         Ok(PendingBlock { rs, next_op: 0 })
     }
 
     /// Executes the next compute step of a pending block. Returns `false`
-    /// when every step has run.
-    pub fn execute_one(&mut self, ctx: &ReferenceContext, pending: &mut PendingBlock) -> bool {
-        let Some(op) = pending.rs.ops.get(pending.next_op).copied() else { return false };
+    /// when every step has run; the completing call also drops the plan's
+    /// execution pins and synchronizes the block's targets, making it
+    /// ready for [`PendingBlock::into_prepared`].
+    pub fn execute_one(&self, ctx: &ReferenceContext, pending: &mut PendingBlock) -> bool {
+        let Some(op) = pending.rs.ops.get(pending.next_op).copied() else {
+            pending.rs.release_exec(self.arena.manager());
+            self.sync_targets(&pending.rs);
+            return false;
+        };
+        let mut scratch = self.scratch.checkout();
         if self.compute_threads <= 1 {
-            exec::execute_op(ctx, &mut self.arena, &op, &mut self.scratch);
+            exec::execute_op(ctx, &self.arena, &op, &mut scratch);
         } else {
-            exec::execute_op_par(ctx, &mut self.arena, &op, self.compute_threads, &mut self.scratch);
+            exec::execute_op_par(ctx, &self.arena, &op, self.compute_threads, &mut scratch);
         }
+        self.scratch.checkin(scratch);
         pending.next_op += 1;
-        pending.next_op < pending.rs.ops.len()
+        if pending.next_op < pending.rs.ops.len() {
+            true
+        } else {
+            pending.rs.release_exec(self.arena.manager());
+            self.sync_targets(&pending.rs);
+            false
+        }
     }
 
     /// The stored side for a directed edge. The CLV variant requires the
     /// edge to be resident — i.e. inside a `prepare`/`release` window that
-    /// included it.
+    /// included it. Lock-free.
     pub fn side(&self, ctx: &ReferenceContext, d: DirEdgeId) -> EdgeSide {
         let node = ctx.tree().src(d);
         if ctx.tree().is_leaf(node) {
@@ -253,7 +320,8 @@ impl ManagedStore {
     /// A kernel-ready [`Side`] view of a directed edge `d = x → y`,
     /// propagated across its own branch (transition matrices / tip table
     /// of `d.edge()`). This is the "everything beyond the branch" term of
-    /// an edge likelihood.
+    /// an edge likelihood. Lock-free: the caller must hold the edge in a
+    /// prepared (hence pinned and published) block.
     pub fn kernel_side<'a>(&'a self, ctx: &'a ReferenceContext, d: DirEdgeId) -> Side<'a> {
         match self.side(ctx, d) {
             EdgeSide::Tip(node) => Side::Tip {
@@ -281,15 +349,15 @@ impl ManagedStore {
     /// `min_unpinned` slots free for traversals — the paper's cross-block
     /// retention. Returns the pinned slots; pass them to
     /// [`Self::unpin_slots`] when the block advances.
-    pub fn pin_high_cost(&mut self, ctx: &ReferenceContext, min_unpinned: usize) -> Vec<SlotId> {
+    pub fn pin_high_cost(&self, ctx: &ReferenceContext, min_unpinned: usize) -> Vec<SlotId> {
         let costs = ctx.cost_table();
-        phylo_amc::fpa::pin_high_cost_resident(self.arena.manager_mut(), &costs, min_unpinned)
+        phylo_amc::fpa::pin_high_cost_resident(self.arena.manager(), &costs, min_unpinned)
     }
 
     /// Releases pins taken by [`Self::pin_high_cost`].
-    pub fn unpin_slots(&mut self, slots: &[SlotId]) {
+    pub fn unpin_slots(&self, slots: &[SlotId]) {
         for &s in slots {
-            let _ = self.arena.manager_mut().unpin(s);
+            let _ = self.arena.manager().unpin(s);
         }
     }
 
@@ -298,16 +366,20 @@ impl ManagedStore {
     /// dependencies would need pinning at once: a fresh plan over an empty
     /// cache pins at most the Sethi–Ullman need plus the targets, which the
     /// `⌈log₂ n⌉ + 2` floor covers.
-    pub fn flush_cache(&mut self) {
-        let keys: Vec<ClvKey> = self
-            .arena
-            .manager()
+    pub fn flush_cache(&self) {
+        let mgr = self.arena.manager();
+        // A planning operation: the flush must not race another planner's
+        // table surgery. In-flight plans' slots are execution-pinned, so
+        // they survive the flush.
+        let _plan = mgr.plan_guard();
+        let keys: Vec<ClvKey> = mgr
             .resident()
-            .filter(|&(_, slot)| self.arena.manager().pin_count(slot) == 0)
+            .into_iter()
+            .filter(|&(_, slot)| mgr.pin_count(slot) == 0)
             .map(|(clv, _)| clv)
             .collect();
         for k in keys {
-            self.arena.manager_mut().invalidate(k);
+            mgr.invalidate(k);
         }
     }
 
@@ -332,10 +404,15 @@ mod tests {
         let tree = generate::yule(n, 0.1, &mut rng).unwrap();
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
-                let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
-                Sequence::from_text(tree.taxon(phylo_tree::NodeId(i as u32)), AlphabetKind::Dna, &text)
-                    .unwrap()
+                let text: String = (0..sites)
+                    .map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char)
+                    .collect();
+                Sequence::from_text(
+                    tree.taxon(phylo_tree::NodeId(i as u32)),
+                    AlphabetKind::Dna,
+                    &text,
+                )
+                .unwrap()
             })
             .collect();
         let patterns = compress(&Msa::new(rows).unwrap()).unwrap();
@@ -346,7 +423,7 @@ mod tests {
     #[test]
     fn prepare_and_read() {
         let ctx = random_ctx(12, 30, 1);
-        let mut store = ManagedStore::full(&ctx);
+        let store = ManagedStore::full(&ctx);
         let e = phylo_tree::EdgeId(3);
         let dirs = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
         let block = store.prepare(&ctx, &dirs).unwrap();
@@ -362,8 +439,8 @@ mod tests {
     #[test]
     fn min_slots_equals_full_values() {
         let ctx = random_ctx(16, 25, 2);
-        let mut full = ManagedStore::full(&ctx);
-        let mut tight =
+        let full = ManagedStore::full(&ctx);
+        let tight =
             ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased).unwrap();
         for e in ctx.tree().all_edges() {
             let dirs = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
@@ -396,7 +473,7 @@ mod tests {
     #[test]
     fn full_store_caches_across_prepares() {
         let ctx = random_ctx(10, 20, 4);
-        let mut store = ManagedStore::full(&ctx);
+        let store = ManagedStore::full(&ctx);
         let mut total_ops = 0;
         for e in ctx.tree().all_edges() {
             let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
@@ -415,8 +492,8 @@ mod tests {
     #[test]
     fn sitepar_compute_matches_serial() {
         let ctx = random_ctx(14, 64, 5);
-        let mut serial = ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased)
-            .unwrap();
+        let serial =
+            ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased).unwrap();
         let mut par =
             ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased).unwrap();
         par.set_compute_threads(4);
@@ -438,7 +515,7 @@ mod tests {
     #[test]
     fn pin_high_cost_protects_and_releases() {
         let ctx = random_ctx(20, 15, 6);
-        let mut store = ManagedStore::with_slots(&ctx, 12, StrategyKind::CostBased).unwrap();
+        let store = ManagedStore::with_slots(&ctx, 12, StrategyKind::CostBased).unwrap();
         let e = phylo_tree::EdgeId(0);
         let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
         store.release(block);
@@ -446,5 +523,51 @@ mod tests {
         assert!(store.arena().manager().n_unpinned() >= ctx.min_slots());
         store.unpin_slots(&pins);
         assert_eq!(store.arena().manager().n_pinned(), 0);
+    }
+
+    #[test]
+    fn concurrent_prepares_agree_with_serial() {
+        let ctx = random_ctx(18, 24, 7);
+        let reference = ManagedStore::full(&ctx);
+        let shared =
+            ManagedStore::with_slots(&ctx, ctx.min_slots() + 4, StrategyKind::CostBased).unwrap();
+        let edges: Vec<phylo_tree::EdgeId> = ctx.tree().all_edges().collect();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let shared = &shared;
+                let reference = &reference;
+                let ctx = &ctx;
+                let edges = &edges;
+                scope.spawn(move || {
+                    for e in edges.iter().skip(t).step_by(4) {
+                        let dirs = [DirEdgeId::new(*e, 0), DirEdgeId::new(*e, 1)];
+                        let block = loop {
+                            match shared.prepare(ctx, &dirs) {
+                                Ok(b) => break b,
+                                Err(EngineError::Amc(phylo_amc::AmcError::AllSlotsPinned {
+                                    ..
+                                })) => std::thread::yield_now(),
+                                Err(e) => panic!("unexpected prepare error: {e}"),
+                            }
+                        };
+                        let expected = reference.prepare(ctx, &dirs).unwrap();
+                        for d in dirs {
+                            if ctx.tree().is_leaf(ctx.tree().src(d)) {
+                                continue;
+                            }
+                            assert_eq!(
+                                shared.clv_of(ctx, d).unwrap().0,
+                                reference.clv_of(ctx, d).unwrap().0,
+                                "CLV mismatch at {d:?}"
+                            );
+                        }
+                        reference.release(expected);
+                        shared.release(block);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.arena().manager().n_pinned(), 0);
+        shared.arena().manager().check_invariants().unwrap();
     }
 }

@@ -131,53 +131,58 @@ pub fn update_partials<const S: usize>(
     // tip-inner / inner-inner split) so the pattern loop carries no
     // per-pattern dispatch.
     match (left, right) {
-        (Side::Tip { table: lt, codes: lc }, Side::Tip { table: rt, codes: rc }) => update_fused::<S, _, _>(
-            rates,
-            stride,
-            TipProp { table: lt, codes: lc },
-            TipProp { table: rt, codes: rc },
-            lscale,
-            rscale,
-            out,
-            out_scale,
-            range,
-        ),
-        (Side::Tip { table: lt, codes: lc }, Side::Clv { clv, pmatrix, .. }) => update_fused::<S, _, _>(
-            rates,
-            stride,
-            TipProp { table: lt, codes: lc },
-            ClvProp { clv, pmatrix, stride },
-            lscale,
-            rscale,
-            out,
-            out_scale,
-            range,
-        ),
-        (Side::Clv { clv, pmatrix, .. }, Side::Tip { table: rt, codes: rc }) => update_fused::<S, _, _>(
-            rates,
-            stride,
-            ClvProp { clv, pmatrix, stride },
-            TipProp { table: rt, codes: rc },
-            lscale,
-            rscale,
-            out,
-            out_scale,
-            range,
-        ),
-        (
-            Side::Clv { clv: lclv, pmatrix: lpm, .. },
-            Side::Clv { clv: rclv, pmatrix: rpm, .. },
-        ) => update_fused::<S, _, _>(
-            rates,
-            stride,
-            ClvProp { clv: lclv, pmatrix: lpm, stride },
-            ClvProp { clv: rclv, pmatrix: rpm, stride },
-            lscale,
-            rscale,
-            out,
-            out_scale,
-            range,
-        ),
+        (Side::Tip { table: lt, codes: lc }, Side::Tip { table: rt, codes: rc }) => {
+            update_fused::<S, _, _>(
+                rates,
+                stride,
+                TipProp { table: lt, codes: lc },
+                TipProp { table: rt, codes: rc },
+                lscale,
+                rscale,
+                out,
+                out_scale,
+                range,
+            )
+        }
+        (Side::Tip { table: lt, codes: lc }, Side::Clv { clv, pmatrix, .. }) => {
+            update_fused::<S, _, _>(
+                rates,
+                stride,
+                TipProp { table: lt, codes: lc },
+                ClvProp { clv, pmatrix, stride },
+                lscale,
+                rscale,
+                out,
+                out_scale,
+                range,
+            )
+        }
+        (Side::Clv { clv, pmatrix, .. }, Side::Tip { table: rt, codes: rc }) => {
+            update_fused::<S, _, _>(
+                rates,
+                stride,
+                ClvProp { clv, pmatrix, stride },
+                TipProp { table: rt, codes: rc },
+                lscale,
+                rscale,
+                out,
+                out_scale,
+                range,
+            )
+        }
+        (Side::Clv { clv: lclv, pmatrix: lpm, .. }, Side::Clv { clv: rclv, pmatrix: rpm, .. }) => {
+            update_fused::<S, _, _>(
+                rates,
+                stride,
+                ClvProp { clv: lclv, pmatrix: lpm, stride },
+                ClvProp { clv: rclv, pmatrix: rpm, stride },
+                lscale,
+                rscale,
+                out,
+                out_scale,
+                range,
+            )
+        }
     }
 }
 
@@ -222,8 +227,7 @@ fn update_fused<const S: usize, L: SideProp<S>, R: SideProp<S>>(
         // Block-level scaling check: one rarely-taken branch per pattern,
         // after all rates are written; the rescale itself is cold.
         for (k, pp) in (p..block_end).enumerate() {
-            let mut scale =
-                lscale.map_or(0, |s| s[pp]) + rscale.map_or(0, |s| s[pp]);
+            let mut scale = lscale.map_or(0, |s| s[pp]) + rscale.map_or(0, |s| s[pp]);
             let max = maxs[k];
             if max > 0.0 && max < SCALE_THRESHOLD {
                 scale += rescale_pattern(&mut out[pp * stride..(pp + 1) * stride], max);
@@ -263,8 +267,10 @@ pub fn propagate<const S: usize>(
             let prop = ClvProp { clv, pmatrix, stride };
             for p in range {
                 for r in 0..rates {
-                    let dst: &mut [f64; S] =
-                        (&mut out[p * stride + r * S..p * stride + (r + 1) * S]).try_into().unwrap();
+                    let dst: &mut [f64; S] = (&mut out
+                        [p * stride + r * S..p * stride + (r + 1) * S])
+                        .try_into()
+                        .unwrap();
                     SideProp::<S>::prop(&prop, p, r, dst);
                 }
                 out_scale[p] = scale.map_or(0, |s| s[p]);
@@ -341,7 +347,8 @@ fn edge_fused<const S: usize, V: SideProp<S>>(
         for r in 0..rates {
             let mut buf = [0.0f64; S];
             v.prop(p, r, &mut buf);
-            let u: &[f64; S] = u_clv[p * stride + r * S..p * stride + (r + 1) * S].try_into().unwrap();
+            let u: &[f64; S] =
+                u_clv[p * stride + r * S..p * stride + (r + 1) * S].try_into().unwrap();
             let mut cat = 0.0;
             for i in 0..S {
                 cat += freqs[i] * u[i] * buf[i];
@@ -396,11 +403,15 @@ pub fn point_log_likelihood<const S: usize>(
 }
 
 #[inline(always)]
-fn prop_side<const S: usize>(side: &Side<'_>, stride: usize, p: usize, r: usize, out: &mut [f64; S]) {
+fn prop_side<const S: usize>(
+    side: &Side<'_>,
+    stride: usize,
+    p: usize,
+    r: usize,
+    out: &mut [f64; S],
+) {
     match *side {
-        Side::Tip { table, codes } => {
-            SideProp::<S>::prop(&TipProp { table, codes }, p, r, out)
-        }
+        Side::Tip { table, codes } => SideProp::<S>::prop(&TipProp { table, codes }, p, r, out),
         Side::Clv { clv, pmatrix, .. } => {
             SideProp::<S>::prop(&ClvProp { clv, pmatrix, stride }, p, r, out)
         }

@@ -325,13 +325,7 @@ mod tests {
         let codes = [0u8, 3];
         let mut out = vec![0.0; layout.clv_len()];
         let mut scale = vec![0u32; 2];
-        propagate(
-            &layout,
-            Side::Tip { table: &table, codes: &codes },
-            &mut out,
-            &mut scale,
-            0..2,
-        );
+        propagate(&layout, Side::Tip { table: &table, codes: &codes }, &mut out, &mut scale, 0..2);
         // Pattern 0 (A): column A of P.
         assert_eq!(&out[0..4], &[0.7, 0.1, 0.1, 0.1]);
         // Pattern 1 (T): column T of P.

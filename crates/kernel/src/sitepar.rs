@@ -122,7 +122,8 @@ pub fn edge_log_likelihood_par(
             let vv = slice_side(&v, layout, range);
             let pw = &pattern_weights[range.clone()];
             s.spawn(move || {
-                *slot = edge_log_likelihood(&sub, u, us, vv, freqs, rate_weights, pw, 0..sub.patterns);
+                *slot =
+                    edge_log_likelihood(&sub, u, us, vv, freqs, rate_weights, pw, 0..sub.patterns);
             });
         }
     });

@@ -120,9 +120,7 @@ impl OwnedSide {
     fn as_side(&self) -> Side<'_> {
         match (&self.tip, &self.clv) {
             (Some((table, codes)), None) => Side::Tip { table, codes },
-            (None, Some((clv, scale, pm))) => {
-                Side::Clv { clv, scale: Some(scale), pmatrix: pm }
-            }
+            (None, Some((clv, scale, pm))) => Side::Clv { clv, scale: Some(scale), pmatrix: pm },
             _ => unreachable!(),
         }
     }

@@ -33,7 +33,9 @@ impl DiscreteGamma {
     /// Discretizes Gamma(α, α) into `categories` equal-probability bins.
     pub fn new(alpha: f64, categories: usize, mode: GammaMode) -> Result<Self, ModelError> {
         if !(alpha.is_finite() && alpha > 0.0) {
-            return Err(ModelError::BadParameter(format!("gamma shape alpha must be positive, got {alpha}")));
+            return Err(ModelError::BadParameter(format!(
+                "gamma shape alpha must be positive, got {alpha}"
+            )));
         }
         if categories == 0 {
             return Err(ModelError::BadParameter("at least one rate category required".into()));
@@ -128,8 +130,7 @@ mod tests {
         for &alpha in &[0.1, 0.5, 1.0, 2.0, 10.0] {
             for &k in &[2usize, 4, 8] {
                 let g = DiscreteGamma::new(alpha, k, GammaMode::Mean).unwrap();
-                let mean: f64 =
-                    g.rates().iter().zip(g.weights()).map(|(r, w)| r * w).sum();
+                let mean: f64 = g.rates().iter().zip(g.weights()).map(|(r, w)| r * w).sum();
                 assert!((mean - 1.0).abs() < 1e-9, "alpha={alpha} k={k} mean={mean}");
             }
         }

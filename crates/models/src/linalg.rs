@@ -269,11 +269,8 @@ mod tests {
 
     #[test]
     fn eigenvectors_orthonormal() {
-        let m = SquareMatrix::from_vec(
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0],
-        )
-        .unwrap();
+        let m =
+            SquareMatrix::from_vec(3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0]).unwrap();
         let e = symmetric_eigen(&m).unwrap();
         let vtv = e.vectors.transpose().mul(&e.vectors);
         for i in 0..3 {

@@ -208,11 +208,7 @@ pub fn gamma_quantile(a: f64, p: f64) -> f64 {
         // d/dt P(a, e^t) = pdf(e^t) · e^t  =  exp(a·t − e^t − lnΓ(a)).
         let ln_deriv = a * t - x - ln_norm;
         let next = if ln_deriv > -745.0 { t - f / ln_deriv.exp() } else { f64::NAN };
-        t = if next.is_finite() && next > lo && next < hi {
-            next
-        } else {
-            0.5 * (lo + hi)
-        };
+        t = if next.is_finite() && next > lo && next < hi { next } else { 0.5 * (lo + hi) };
         if hi - lo < 1e-15 {
             break;
         }

@@ -25,11 +25,7 @@ pub struct RateMatrix {
 impl RateMatrix {
     /// Builds a rate matrix from the upper-triangle exchangeabilities
     /// (`n(n−1)/2` values, row by row) and the stationary frequencies.
-    pub fn new(
-        n: usize,
-        upper_exch: &[f64],
-        freqs: &[f64],
-    ) -> Result<Self, ModelError> {
+    pub fn new(n: usize, upper_exch: &[f64], freqs: &[f64]) -> Result<Self, ModelError> {
         let expected = n * (n - 1) / 2;
         if upper_exch.len() != expected {
             return Err(ModelError::Dimension { expected, found: upper_exch.len() });

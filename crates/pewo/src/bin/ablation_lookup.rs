@@ -36,11 +36,7 @@ fn main() {
         for (i, preplacement) in
             [PreplacementMode::Auto, PreplacementMode::Off].into_iter().enumerate()
         {
-            let cfg = EpaConfig {
-                max_memory: Some(budget),
-                preplacement,
-                ..base.clone()
-            };
+            let cfg = EpaConfig { max_memory: Some(budget), preplacement, ..base.clone() };
             let run = repeat_mean(args.repeats, || {
                 let (ctx, s2p) = build_reference(&ds);
                 let placer = Placer::new(ctx, s2p, cfg.clone()).expect("valid cfg");

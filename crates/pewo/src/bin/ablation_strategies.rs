@@ -41,8 +41,7 @@ fn main() {
         let floor = memplan::floor_budget(&probe, &base, batch.len(), batch.n_sites());
         drop(probe);
         for strategy in StrategyKind::all() {
-            let cfg =
-                EpaConfig { max_memory: Some(floor), strategy, ..base.clone() };
+            let cfg = EpaConfig { max_memory: Some(floor), strategy, ..base.clone() };
             let run = repeat_mean(args.repeats, || {
                 let (ctx, s2p) = build_reference(&ds);
                 let placer = Placer::new(ctx, s2p, cfg.clone()).expect("valid cfg");

@@ -55,8 +55,8 @@ fn main() {
         // pplacer, RAM.
         let run = repeat_mean(args.repeats, || {
             let (ctx, s2p) = build_reference(&ds);
-            let mut pp = PplacerLike::build(ctx, s2p, PplacerConfig::default())
-                .expect("pplacer build");
+            let mut pp =
+                PplacerLike::build(ctx, s2p, PplacerConfig::default()).expect("pplacer build");
             let (_, report) = pp.place(&batch).expect("pplacer RAM run");
             Timed { time: report.build_time + report.place_time, payload: report.peak_memory }
         });
@@ -66,8 +66,7 @@ fn main() {
         let cfg_file = PplacerConfig { backing: Backing::File, ..Default::default() };
         let run = repeat_mean(args.repeats, || {
             let (ctx, s2p) = build_reference(&ds);
-            let mut pp =
-                PplacerLike::build(ctx, s2p, cfg_file.clone()).expect("pplacer build");
+            let mut pp = PplacerLike::build(ctx, s2p, cfg_file.clone()).expect("pplacer build");
             let (_, report) = pp.place(&batch).expect("pplacer file run");
             Timed { time: report.build_time + report.place_time, payload: report.peak_memory }
         });
@@ -78,7 +77,13 @@ fn main() {
     eprintln!("csv: {}", path.display());
 }
 
-fn push(table: &mut Table, dataset: &str, tool: &str, memsave: &str, run: &pewo_bench::Timed<usize>) {
+fn push(
+    table: &mut Table,
+    dataset: &str,
+    tool: &str,
+    memsave: &str,
+    run: &pewo_bench::Timed<usize>,
+) {
     table.row(&[
         dataset.to_string(),
         tool.to_string(),

@@ -45,17 +45,11 @@ fn main() {
                 );
         drop(probe);
 
-        for (mode, maxmem) in
-            [("off", None), ("full", Some(floor)), ("maxmem", Some(plenty))]
-        {
+        for (mode, maxmem) in [("off", None), ("full", Some(floor)), ("maxmem", Some(plenty))] {
             // Serial baseline for this mode (async prefetch disabled to
             // mirror the paper's dedicated serial build).
-            let serial_cfg = EpaConfig {
-                max_memory: maxmem,
-                threads: 1,
-                async_prefetch: false,
-                ..base.clone()
-            };
+            let serial_cfg =
+                EpaConfig { max_memory: maxmem, threads: 1, async_prefetch: false, ..base.clone() };
             let serial = repeat_fastest(args.repeats, || {
                 let (ctx, s2p) = build_reference(&ds);
                 let placer = Placer::new(ctx, s2p, serial_cfg.clone()).expect("valid cfg");

@@ -13,8 +13,16 @@ fn main() {
     let mut table = Table::new(
         format!("Table I — dataset characteristics (scale: {})", args.scale),
         &[
-            "dataset", "leaves", "sites", "#QS", "type", "patterns", "clv KiB",
-            "full-layout MiB", "lookup MiB", "min slots",
+            "dataset",
+            "leaves",
+            "sites",
+            "#QS",
+            "type",
+            "patterns",
+            "clv KiB",
+            "full-layout MiB",
+            "lookup MiB",
+            "min slots",
         ],
     );
     for spec in datasets::spec::all(args.scale) {

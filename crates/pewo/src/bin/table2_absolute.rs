@@ -21,7 +21,10 @@ use phylo_datasets as datasets;
 fn main() {
     let args = parse_args();
     let mut table = Table::new(
-        format!("Table II — absolute time/memory, O/I/F (scale: {}, repeats: {})", args.scale, args.repeats),
+        format!(
+            "Table II — absolute time/memory, O/I/F (scale: {}, repeats: {})",
+            args.scale, args.repeats
+        ),
         &["dataset", "setting", "time (s)", "memory (MiB)", "lookup", "slots", "recomputes"],
     );
     for spec in datasets::spec::all(args.scale) {

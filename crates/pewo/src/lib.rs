@@ -24,8 +24,8 @@
 //! `target/experiments/`.
 
 pub mod measure;
-pub mod sweeps;
 pub mod setup;
+pub mod sweeps;
 pub mod table;
 
 pub use measure::{mean_duration, repeat_fastest, repeat_mean, Timed};

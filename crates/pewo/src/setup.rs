@@ -66,24 +66,22 @@ pub fn parse_args() -> HarnessArgs {
                 });
             }
             "--repeats" => {
-                args.repeats = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&r| r >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("--repeats needs a positive integer");
-                        std::process::exit(2);
-                    });
+                args.repeats =
+                    it.next().and_then(|v| v.parse().ok()).filter(|&r| r >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("--repeats needs a positive integer");
+                            std::process::exit(2);
+                        },
+                    );
             }
             "--max-threads" => {
-                args.max_threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&r| r >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("--max-threads needs a positive integer");
-                        std::process::exit(2);
-                    });
+                args.max_threads =
+                    it.next().and_then(|v| v.parse().ok()).filter(|&r| r >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("--max-threads needs a positive integer");
+                            std::process::exit(2);
+                        },
+                    );
             }
             other => {
                 eprintln!(

@@ -81,11 +81,8 @@ pub fn run_sweep(paper_chunk: usize, figure: &str, args: &crate::HarnessArgs) {
 /// near the floor where the cliff lives.
 fn sweep_budgets(ref_mem: usize, floor: usize) -> Vec<usize> {
     let fractions = [0.85, 0.6, 0.4, 0.25, 0.12, 0.05];
-    let mut out: Vec<usize> = fractions
-        .iter()
-        .map(|f| (ref_mem as f64 * f) as usize)
-        .filter(|&b| b > floor)
-        .collect();
+    let mut out: Vec<usize> =
+        fractions.iter().map(|f| (ref_mem as f64 * f) as usize).filter(|&b| b > floor).collect();
     out.push(floor + floor / 50); // just above the floor
     out.push(floor); // the floor itself
     out.dedup();

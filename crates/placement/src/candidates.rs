@@ -6,11 +6,7 @@ use phylo_tree::EdgeId;
 /// `max(min_candidates, ceil(fraction · branches))` by prescore.
 ///
 /// `prescores` is the per-branch prescore row of one query.
-pub fn select_candidates(
-    prescores: &[f64],
-    fraction: f64,
-    min_candidates: usize,
-) -> Vec<EdgeId> {
+pub fn select_candidates(prescores: &[f64], fraction: f64, min_candidates: usize) -> Vec<EdgeId> {
     let n = prescores.len();
     let k = ((n as f64 * fraction).ceil() as usize).max(min_candidates).min(n);
     let mut order: Vec<u32> = (0..n as u32).collect();
@@ -96,15 +92,11 @@ mod tests {
     fn partial_selection_matches_full_sort() {
         // The select-then-sort fast path must agree with a plain full sort
         // for every k, including heavy ties.
-        let scores: Vec<f64> =
-            (0..97).map(|i| -(((i * 31 + 7) % 13) as f64)).collect();
+        let scores: Vec<f64> = (0..97).map(|i| -(((i * 31 + 7) % 13) as f64)).collect();
         let full = |k: usize| -> Vec<EdgeId> {
             let mut order: Vec<u32> = (0..scores.len() as u32).collect();
             order.sort_by(|&a, &b| {
-                scores[b as usize]
-                    .partial_cmp(&scores[a as usize])
-                    .unwrap()
-                    .then(a.cmp(&b))
+                scores[b as usize].partial_cmp(&scores[a as usize]).unwrap().then(a.cmp(&b))
             });
             order.truncate(k);
             order.into_iter().map(EdgeId).collect()
@@ -117,19 +109,12 @@ mod tests {
 
     #[test]
     fn grouping_inverts_candidates() {
-        let per_query = vec![
-            vec![EdgeId(3), EdgeId(1)],
-            vec![EdgeId(1)],
-            vec![EdgeId(2), EdgeId(3)],
-        ];
+        let per_query =
+            vec![vec![EdgeId(3), EdgeId(1)], vec![EdgeId(1)], vec![EdgeId(2), EdgeId(3)]];
         let grouped = group_by_branch(&per_query);
         assert_eq!(
             grouped,
-            vec![
-                (EdgeId(1), vec![0, 1]),
-                (EdgeId(2), vec![2]),
-                (EdgeId(3), vec![0, 2]),
-            ]
+            vec![(EdgeId(1), vec![0, 1]), (EdgeId(2), vec![2]), (EdgeId(3), vec![0, 2]),]
         );
     }
 }

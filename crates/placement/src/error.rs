@@ -26,6 +26,17 @@ pub enum PlaceError {
     },
     /// No queries were supplied.
     NoQueries,
+    /// The slot count leaves too little headroom above the traversal
+    /// floor to pin even a one-branch block. The memory planner always
+    /// reserves this headroom; the error guards hand-built slot counts.
+    SlotHeadroomTooSmall {
+        /// The slot count actually configured.
+        slots: usize,
+        /// The `⌈log₂ n⌉ + 2` traversal floor that must stay unpinned.
+        min_slots: usize,
+        /// Slots a single block needs on top of the floor.
+        needed: usize,
+    },
     /// A configuration field is out of range.
     BadConfig(String),
     /// Propagated engine/AMC failure.
@@ -46,6 +57,11 @@ impl fmt::Display for PlaceError {
                 "query {name:?} has aligned length {found}, reference alignment has {expected} sites"
             ),
             PlaceError::NoQueries => write!(f, "no query sequences supplied"),
+            PlaceError::SlotHeadroomTooSmall { slots, min_slots, needed } => write!(
+                f,
+                "{slots} slots leave no headroom for branch blocks: the traversal floor is \
+                 {min_slots} slots and each block pins {needed} more; raise the budget"
+            ),
             PlaceError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             PlaceError::Engine(e) => write!(f, "engine error: {e}"),
         }

@@ -32,11 +32,10 @@ impl LookupTable {
     /// length (EPA-NG's default heuristic).
     pub fn build(
         ctx: &ReferenceContext,
-        store: &mut ManagedStore,
+        store: &ManagedStore,
         cfg: &EpaConfig,
     ) -> Result<LookupTable, PlaceError> {
-        let pendant =
-            (ctx.tree().total_length() / ctx.tree().n_edges() as f64).max(1e-6);
+        let pendant = (ctx.tree().total_length() / ctx.tree().n_edges() as f64).max(1e-6);
         let mut tables = Vec::with_capacity(ctx.tree().n_edges());
         let mut scratch = ScoreScratch::new(ctx);
         // DFS order: consecutive branches share subtree CLVs, so the slot
@@ -49,8 +48,7 @@ impl LookupTable {
         let mut partials = AttachmentPartials::empty();
         for block in edges.chunks(cfg.block_size.max(1)) {
             for &e in block {
-                let prepared =
-                    store.prepare(ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)])?;
+                let prepared = store.prepare(ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)])?;
                 attachment_partials_into(ctx, store, e, 0.5, &mut scratch, &mut partials);
                 slots[e.idx()] =
                     Some(BranchScoreTable::build(ctx, &partials, pendant, &mut scratch));
@@ -118,8 +116,9 @@ mod tests {
         let tree = generate::yule(n, 0.1, &mut rng).unwrap();
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
-                let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
+                let text: String = (0..sites)
+                    .map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char)
+                    .collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();
@@ -134,8 +133,8 @@ mod tests {
     #[test]
     fn builds_one_table_per_branch() {
         let (ctx, _) = setup(10, 25, 1);
-        let mut store = ManagedStore::full(&ctx);
-        let table = LookupTable::build(&ctx, &mut store, &EpaConfig::default()).unwrap();
+        let store = ManagedStore::full(&ctx);
+        let table = LookupTable::build(&ctx, &store, &EpaConfig::default()).unwrap();
         assert_eq!(table.n_branches(), ctx.tree().n_edges());
         assert!(table.bytes() > 0);
     }
@@ -143,12 +142,12 @@ mod tests {
     #[test]
     fn full_and_tight_stores_build_identical_tables() {
         let (ctx, s2p) = setup(14, 30, 2);
-        let mut full = ManagedStore::full(&ctx);
-        let mut tight =
+        let full = ManagedStore::full(&ctx);
+        let tight =
             ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased).unwrap();
         let cfg = EpaConfig::default();
-        let t_full = LookupTable::build(&ctx, &mut full, &cfg).unwrap();
-        let t_tight = LookupTable::build(&ctx, &mut tight, &cfg).unwrap();
+        let t_full = LookupTable::build(&ctx, &full, &cfg).unwrap();
+        let t_tight = LookupTable::build(&ctx, &tight, &cfg).unwrap();
         let codes: Vec<u8> = (0..30).map(|i| ((i * 3) % 4) as u8).collect();
         for e in ctx.tree().all_edges() {
             let a = t_full.prescore(&ctx, e, &s2p, &codes);
@@ -160,23 +159,20 @@ mod tests {
     #[test]
     fn bytes_match_plan_estimate() {
         let (ctx, _) = setup(12, 40, 3);
-        let mut store = ManagedStore::full(&ctx);
-        let table = LookupTable::build(&ctx, &mut store, &EpaConfig::default()).unwrap();
+        let store = ManagedStore::full(&ctx);
+        let table = LookupTable::build(&ctx, &store, &EpaConfig::default()).unwrap();
         assert_eq!(table.bytes(), memplan::lookup_bytes(&ctx));
     }
 
     #[test]
     fn prescore_ranks_identical_query_highest() {
         let (ctx, s2p) = setup(12, 50, 4);
-        let mut store = ManagedStore::full(&ctx);
-        let table = LookupTable::build(&ctx, &mut store, &EpaConfig::default()).unwrap();
+        let store = ManagedStore::full(&ctx);
+        let table = LookupTable::build(&ctx, &store, &EpaConfig::default()).unwrap();
         let per_pattern = ctx.tip_codes(NodeId(0)).to_vec();
         let codes: Vec<u8> = s2p.iter().map(|&p| per_pattern[p as usize]).collect();
-        let mut scored: Vec<(EdgeId, f64)> = ctx
-            .tree()
-            .all_edges()
-            .map(|e| (e, table.prescore(&ctx, e, &s2p, &codes)))
-            .collect();
+        let mut scored: Vec<(EdgeId, f64)> =
+            ctx.tree().all_edges().map(|e| (e, table.prescore(&ctx, e, &s2p, &codes))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let pendant_edge = ctx.tree().neighbors(NodeId(0))[0].1;
         // The true branch must be among the top 2 prescored candidates.

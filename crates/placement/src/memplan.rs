@@ -119,9 +119,7 @@ pub fn plan(
         });
     }
     let remaining = budget - fixed;
-    let (use_lookup, slots) = if want_lookup
-        && remaining >= lookup + min_slots * slot_bytes
-    {
+    let (use_lookup, slots) = if want_lookup && remaining >= lookup + min_slots * slot_bytes {
         let slots = slots_for_budget(remaining - lookup, slot_bytes, min_slots, max_slots)
             .expect("budget checked above");
         (true, slots)
@@ -168,7 +166,12 @@ pub fn detect_available_memory() -> Option<usize> {
 /// The smallest feasible `--maxmem` for this configuration: mandatory
 /// structures plus the minimum slot count, **without** the lookup table —
 /// the paper's "fullest memory saving" (F) operating point.
-pub fn floor_budget(ctx: &ReferenceContext, cfg: &EpaConfig, n_queries: usize, n_sites: usize) -> usize {
+pub fn floor_budget(
+    ctx: &ReferenceContext,
+    cfg: &EpaConfig,
+    n_queries: usize,
+    n_sites: usize,
+) -> usize {
     let layout = ctx.layout();
     let slot_bytes = SlotArena::bytes_per_slot(layout.clv_len(), layout.patterns);
     let chunk_size = cfg.chunk_size.min(n_queries.max(1));
@@ -211,8 +214,9 @@ mod tests {
         let tree = generate::yule(n, 0.1, &mut rng).unwrap();
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
-                let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
+                let text: String = (0..sites)
+                    .map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char)
+                    .collect();
                 Sequence::from_text(
                     tree.taxon(phylo_tree::NodeId(i as u32)),
                     AlphabetKind::Dna,
@@ -248,8 +252,7 @@ mod tests {
     #[test]
     fn tight_budget_drops_lookup_then_slots() {
         let c = ctx(64, 200);
-        let slot_bytes =
-            SlotArena::bytes_per_slot(c.layout().clv_len(), c.layout().patterns);
+        let slot_bytes = SlotArena::bytes_per_slot(c.layout().clv_len(), c.layout().patterns);
         let fixed = c.approx_bytes() + chunk_bytes(&c, 10, 200);
         // Budget: fixed + min slots + lookup - 1 → lookup cannot fit.
         let min_slots = c.min_slots() + 4;
@@ -279,25 +282,15 @@ mod tests {
         let c = ctx(64, 200);
         // Find the minimal feasible budget for two chunk sizes.
         let floor = |chunk: usize| {
-            let slot_bytes =
-                SlotArena::bytes_per_slot(c.layout().clv_len(), c.layout().patterns);
-            c.approx_bytes()
-                + chunk_bytes(&c, chunk, 200)
-                + (c.min_slots() + 4) * slot_bytes
+            let slot_bytes = SlotArena::bytes_per_slot(c.layout().clv_len(), c.layout().patterns);
+            c.approx_bytes() + chunk_bytes(&c, chunk, 200) + (c.min_slots() + 4) * slot_bytes
         };
         assert!(floor(500) < floor(5000), "chunk 500 must allow a lower floor");
         // And the planner agrees: the chunk-500 floor budget fails at 5000.
-        let cfg = EpaConfig {
-            max_memory: Some(floor(500)),
-            chunk_size: 5000,
-            ..Default::default()
-        };
+        let cfg =
+            EpaConfig { max_memory: Some(floor(500)), chunk_size: 5000, ..Default::default() };
         assert!(plan(&c, &cfg, 10_000, 200).is_err());
-        let cfg = EpaConfig {
-            max_memory: Some(floor(500)),
-            chunk_size: 500,
-            ..Default::default()
-        };
+        let cfg = EpaConfig { max_memory: Some(floor(500)), chunk_size: 500, ..Default::default() };
         assert!(plan(&c, &cfg, 10_000, 200).is_ok());
     }
 

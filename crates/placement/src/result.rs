@@ -113,7 +113,12 @@ pub fn to_jplace(tree: &Tree, results: &[PlacementResult]) -> String {
 /// Newick with `{edge_id}` annotations after each branch length (the
 /// jplace convention).
 fn newick_with_edge_numbers(tree: &Tree) -> String {
-    fn write_subtree(tree: &Tree, node: phylo_tree::NodeId, from: phylo_tree::NodeId, out: &mut String) {
+    fn write_subtree(
+        tree: &Tree,
+        node: phylo_tree::NodeId,
+        from: phylo_tree::NodeId,
+        out: &mut String,
+    ) {
         if tree.is_leaf(node) {
             out.push_str(tree.taxon(node));
             return;

@@ -10,7 +10,6 @@ use crate::result::{PlacementEntry, PlacementResult, RunReport};
 use crate::score::{attachment_partials, score_thorough, BranchScoreTable, ScoreScratch};
 use phylo_engine::{ManagedStore, PreparedBlock, ReferenceContext};
 use phylo_tree::{DirEdgeId, EdgeId};
-use std::sync::RwLock;
 use std::time::Instant;
 
 /// A configured placement engine over one reference.
@@ -52,10 +51,30 @@ impl Placer {
     /// pins two CLVs per branch (both orientations), async prefetch keeps
     /// two blocks pinned at once, and `⌈log₂ n⌉ + 2` slots must stay
     /// unpinned for the traversal itself.
-    fn effective_block_size(&self, slots: usize) -> usize {
+    ///
+    /// A slot count without enough headroom for even a one-branch block is
+    /// a planning error, not something to paper over with a degenerate
+    /// block size: blocks of one branch would still exhaust the pins at
+    /// prepare time, only later and less explicably. The memory planner
+    /// ([`memplan::plan`]) always reserves this headroom, so the error only
+    /// fires for hand-built slot counts.
+    fn effective_block_size(&self, slots: usize) -> Result<usize, PlaceError> {
+        // A full store holds every CLV: nothing is ever evicted, block
+        // pins cost no headroom, and blocks can be as large as requested.
+        // (Tiny trees can have fewer total slots than floor + headroom.)
+        if slots >= self.ctx.max_slots() {
+            return Ok(self.cfg.block_size);
+        }
         let spare = slots.saturating_sub(self.ctx.min_slots());
         let per_block = if self.cfg.async_prefetch { 4 } else { 2 };
-        (spare / per_block).clamp(1, self.cfg.block_size)
+        if spare < per_block {
+            return Err(PlaceError::SlotHeadroomTooSmall {
+                slots,
+                min_slots: self.ctx.min_slots(),
+                needed: per_block,
+            });
+        }
+        Ok((spare / per_block).min(self.cfg.block_size))
     }
 
     /// Places every query of the batch; returns per-query results (in
@@ -78,9 +97,10 @@ impl Placer {
         let mut store = ManagedStore::with_slots(ctx, plan.slots, cfg.strategy)?;
         store.set_compute_threads(cfg.sitepar_threads.max(1));
 
+        let store = store; // sharing starts here; the store is internally synchronized
         let lookup = if plan.use_lookup {
             let t = Instant::now();
-            let table = LookupTable::build(ctx, &mut store, cfg)?;
+            let table = LookupTable::build(ctx, &store, cfg)?;
             report.lookup_time = t.elapsed();
             Some(table)
         } else {
@@ -99,7 +119,6 @@ impl Placer {
             .map(|q| PlacementResult { name: q.name.clone(), placements: Vec::new() })
             .collect();
         let mut prescores = vec![0.0f64; plan.chunk_size * branches];
-        let store = RwLock::new(store);
 
         for (chunk_idx, chunk) in batch.chunks(plan.chunk_size).enumerate() {
             let qoff = chunk_idx * plan.chunk_size;
@@ -143,7 +162,7 @@ impl Placer {
         for r in &mut results {
             r.finalize();
         }
-        report.slot_stats = store.into_inner().unwrap().stats();
+        report.slot_stats = store.stats();
         report.total_time = t_total.elapsed();
         Ok((results, report))
     }
@@ -155,30 +174,29 @@ impl Placer {
     fn prescore_blocked(
         &self,
         ctx: &ReferenceContext,
-        store: &RwLock<ManagedStore>,
+        store: &ManagedStore,
         chunk: &[EncodedQuery],
         mat: &mut [f64],
         branches: usize,
     ) -> Result<(), PlaceError> {
         let cfg = &self.cfg;
-        let block_size = self.effective_block_size(store.read().unwrap().n_slots());
+        let block_size = self.effective_block_size(store.n_slots())?;
         // DFS order keeps consecutive blocks topologically adjacent, so
         // AMC reuses most subtree CLVs between blocks.
         let all_edges: Vec<EdgeId> = phylo_tree::traversal::edge_dfs_order(ctx.tree());
-        let blocks: Vec<Vec<EdgeId>> =
-            all_edges.chunks(block_size).map(|b| b.to_vec()).collect();
+        let blocks: Vec<Vec<EdgeId>> = all_edges.chunks(block_size).map(|b| b.to_vec()).collect();
         let s2p = &self.site_to_pattern;
         let pendant = (ctx.tree().total_length() / branches as f64).max(1e-6);
         let mut mat_cell = RowMatrix { data: mat, width: branches };
         run_blocks(ctx, store, &blocks, cfg.async_prefetch, |block| {
-            // Build the block's transient tables under a read lock.
+            // Build the block's transient tables; the block's CLVs are
+            // pinned and published, so reads need no lock.
             let tables: Vec<BranchScoreTable> = {
-                let st = store.read().unwrap();
                 let mut scratch = ScoreScratch::new(ctx);
                 block
                     .iter()
                     .map(|&e| {
-                        let partials = attachment_partials(ctx, &st, e, 0.5, &mut scratch);
+                        let partials = attachment_partials(ctx, store, e, 0.5, &mut scratch);
                         BranchScoreTable::build(ctx, &partials, pendant, &mut scratch)
                     })
                     .collect()
@@ -201,7 +219,7 @@ impl Placer {
     fn thorough_blocked(
         &self,
         ctx: &ReferenceContext,
-        store: &RwLock<ManagedStore>,
+        store: &ManagedStore,
         chunk: &[EncodedQuery],
         grouped: &[(EdgeId, Vec<usize>)],
         qoff: usize,
@@ -209,40 +227,32 @@ impl Placer {
     ) -> Result<(), PlaceError> {
         let cfg = &self.cfg;
         let s2p = &self.site_to_pattern;
-        let block_size = self.effective_block_size(store.read().unwrap().n_slots());
-        let blocks: Vec<Vec<EdgeId>>  = grouped
-            .chunks(block_size)
-            .map(|g| g.iter().map(|&(e, _)| e).collect())
-            .collect();
+        let block_size = self.effective_block_size(store.n_slots())?;
+        let blocks: Vec<Vec<EdgeId>> =
+            grouped.chunks(block_size).map(|g| g.iter().map(|&(e, _)| e).collect()).collect();
         // Blocks may be re-split under slot pressure, so group membership
         // is looked up per edge rather than tracked by a cursor.
         let group_of: std::collections::HashMap<u32, &Vec<usize>> =
             grouped.iter().map(|(e, qs)| (e.0, qs)).collect();
         run_blocks(ctx, store, &blocks, cfg.async_prefetch, |block| {
             // Flatten to (edge, query) work items and strip across threads.
-            let items: Vec<(EdgeId, usize)> = block
-                .iter()
-                .flat_map(|e| {
-                    group_of[&e.0].iter().map(move |&q| (*e, q))
-                })
-                .collect();
+            let items: Vec<(EdgeId, usize)> =
+                block.iter().flat_map(|e| group_of[&e.0].iter().map(move |&q| (*e, q))).collect();
             let n_threads = cfg.threads.min(items.len().max(1));
             let mut outputs: Vec<Vec<(usize, PlacementEntry)>> = Vec::new();
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for t in 0..n_threads {
                     let items = &items;
-                    let store = &store;
                     handles.push(s.spawn(move || {
                         let mut out = Vec::new();
                         let mut scratch = ScoreScratch::new(ctx);
                         let mut k = t;
                         while k < items.len() {
                             let (e, q) = items[k];
-                            let st = store.read().unwrap();
                             let sp = score_thorough(
                                 ctx,
-                                &st,
+                                store,
                                 e,
                                 s2p,
                                 &chunk[q].codes,
@@ -250,7 +260,6 @@ impl Placer {
                                 &mut scratch,
                             )
                             .expect("thorough scoring on a prepared branch");
-                            drop(st);
                             let t_len = ctx.tree().edge_length(e);
                             out.push((
                                 q,
@@ -337,8 +346,12 @@ fn prescore_with_lookup(
 
 /// Runs `scorer` over branch blocks whose CLVs are prepared under the slot
 /// budget. With `async_prefetch`, the next block's CLVs are computed on a
-/// dedicated thread (one compute step per write-lock acquisition) while
-/// the current block is scored — the paper's adapted parallelization.
+/// dedicated thread while the current block is scored — the paper's
+/// adapted parallelization. There is no store-wide lock: the prefetch
+/// thread plans under the store's internal plan lock (held only during
+/// planning) and then executes lock-free under its execution pins, so
+/// scoring readers of the current block's pinned, published slots never
+/// block on it (see DESIGN.md §6).
 ///
 /// Degrades gracefully under slot pressure: if a block's targets cannot
 /// all be pinned at once ([`phylo_amc::AmcError::AllSlotsPinned`]), the
@@ -346,7 +359,7 @@ fn prescore_with_lookup(
 /// resumes at the next block.
 fn run_blocks(
     ctx: &ReferenceContext,
-    store: &RwLock<ManagedStore>,
+    store: &ManagedStore,
     blocks: &[Vec<EdgeId>],
     async_prefetch: bool,
     mut scorer: impl FnMut(&[EdgeId]) -> Result<(), PlaceError>,
@@ -372,21 +385,15 @@ fn run_blocks(
                     let pref_slot = &mut prefetched;
                     let pref_err = &mut prefetch_result;
                     std::thread::scope(|s| {
-                        let handle =
-                            s.spawn(|| -> Result<Option<PreparedBlock>, PlaceError> {
-                                // Plan quickly, then execute one compute
-                                // step per lock acquisition so scoring
-                                // readers interleave.
-                                let plan_attempt =
-                                    store.write().unwrap().plan_prepare(ctx, &next_dirs);
-                                let mut pending = match plan_attempt {
-                                    Ok(p) => p,
-                                    Err(e) if is_pin_exhaustion(&e) => return Ok(None),
-                                    Err(e) => return Err(e.into()),
-                                };
-                                while store.write().unwrap().execute_one(ctx, &mut pending) {}
-                                Ok(Some(pending.into_prepared()))
-                            });
+                        let handle = s.spawn(|| -> Result<Option<PreparedBlock>, PlaceError> {
+                            let mut pending = match store.plan_prepare(ctx, &next_dirs) {
+                                Ok(p) => p,
+                                Err(e) if is_pin_exhaustion(&e) => return Ok(None),
+                                Err(e) => return Err(e.into()),
+                            };
+                            while store.execute_one(ctx, &mut pending) {}
+                            Ok(Some(pending.into_prepared()))
+                        });
                         scorer_result = scorer(&blocks[k]);
                         match handle.join().expect("prefetch thread panicked") {
                             Ok(opt) => *pref_slot = opt,
@@ -396,7 +403,7 @@ fn run_blocks(
                 } else {
                     scorer_result = scorer(&blocks[k]);
                 }
-                store.write().unwrap().release(prepared);
+                store.release(prepared);
                 scorer_result?;
                 prefetch_result?;
                 next = prefetched;
@@ -416,17 +423,11 @@ fn run_blocks(
 }
 
 fn dirs_of(block: &[EdgeId]) -> Vec<DirEdgeId> {
-    block
-        .iter()
-        .flat_map(|&e| [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)])
-        .collect()
+    block.iter().flat_map(|&e| [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).collect()
 }
 
 fn is_pin_exhaustion(e: &phylo_engine::EngineError) -> bool {
-    matches!(
-        e,
-        phylo_engine::EngineError::Amc(phylo_amc::AmcError::AllSlotsPinned { .. })
-    )
+    matches!(e, phylo_engine::EngineError::Amc(phylo_amc::AmcError::AllSlotsPinned { .. }))
 }
 
 /// Prepares a block, scoring and releasing it; on pin exhaustion the block
@@ -434,18 +435,14 @@ fn is_pin_exhaustion(e: &phylo_engine::EngineError) -> bool {
 /// pins plus the `⌈log₂ n⌉ + 2` traversal floor).
 fn prepare_split(
     ctx: &ReferenceContext,
-    store: &RwLock<ManagedStore>,
+    store: &ManagedStore,
     block: &[EdgeId],
     scorer: &mut impl FnMut(&[EdgeId]) -> Result<(), PlaceError>,
 ) -> Result<(), PlaceError> {
-    // Bind the prepare result first: a `match` on the expression would
-    // keep the write guard (a scrutinee temporary) alive across the
-    // scorer's read locks and self-deadlock.
-    let attempt = store.write().unwrap().prepare(ctx, &dirs_of(block));
-    match attempt {
+    match store.prepare(ctx, &dirs_of(block)) {
         Ok(prepared) => {
             let r = scorer(block);
-            store.write().unwrap().release(prepared);
+            store.release(prepared);
             r
         }
         Err(e) if is_pin_exhaustion(&e) && block.len() > 1 => {
@@ -458,15 +455,11 @@ fn prepare_split(
             // references many *cached* dependencies (each gets pinned for
             // the pass). Flush the cache and retry over a clean slate,
             // where the pin demand is bounded by the traversal floor.
-            {
-                let mut st = store.write().unwrap();
-                st.flush_cache();
-            }
-            let attempt = store.write().unwrap().prepare(ctx, &dirs_of(block));
-            match attempt {
+            store.flush_cache();
+            match store.prepare(ctx, &dirs_of(block)) {
                 Ok(prepared) => {
                     let r = scorer(block);
-                    store.write().unwrap().release(prepared);
+                    store.release(prepared);
                     r
                 }
                 Err(e) => Err(e.into()),
@@ -480,11 +473,10 @@ fn prepare_split(
 /// rather than an error.
 fn try_prepare(
     ctx: &ReferenceContext,
-    store: &RwLock<ManagedStore>,
+    store: &ManagedStore,
     block: &[EdgeId],
 ) -> Result<Option<PreparedBlock>, PlaceError> {
-    let attempt = store.write().unwrap().prepare(ctx, &dirs_of(block));
-    match attempt {
+    match store.prepare(ctx, &dirs_of(block)) {
         Ok(p) => Ok(Some(p)),
         Err(e) if is_pin_exhaustion(&e) => Ok(None),
         Err(e) => Err(e.into()),
@@ -512,8 +504,9 @@ mod tests {
         let tree = generate::yule(n, 0.1, &mut rng).unwrap();
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
-                let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
+                let text: String = (0..sites)
+                    .map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char)
+                    .collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();
@@ -573,8 +566,9 @@ mod tests {
         let (r_tight, _) = tight.place(&batch).unwrap();
         assert_eq!(best_edges(&r_full), best_edges(&r_tight));
         for (a, b) in r_full.iter().zip(&r_tight) {
-            assert!((a.best().unwrap().log_likelihood - b.best().unwrap().log_likelihood).abs()
-                < 1e-9);
+            assert!(
+                (a.best().unwrap().log_likelihood - b.best().unwrap().log_likelihood).abs() < 1e-9
+            );
         }
     }
 
@@ -596,16 +590,11 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let (ctx, s2p, batch) = setup(14, 60, 9, 4);
-        let serial = Placer::new(ctx, s2p.clone(), EpaConfig { threads: 1, ..Default::default() })
-            .unwrap();
+        let serial =
+            Placer::new(ctx, s2p.clone(), EpaConfig { threads: 1, ..Default::default() }).unwrap();
         let (r1, _) = serial.place(&batch).unwrap();
         let (ctx2, _, _) = setup(14, 60, 9, 4);
-        let par = Placer::new(
-            ctx2,
-            s2p,
-            EpaConfig { threads: 4, ..Default::default() },
-        )
-        .unwrap();
+        let par = Placer::new(ctx2, s2p, EpaConfig { threads: 4, ..Default::default() }).unwrap();
         let (r2, _) = par.place(&batch).unwrap();
         assert_eq!(best_edges(&r1), best_edges(&r2));
         for (a, b) in r1.iter().zip(&r2) {
@@ -661,10 +650,8 @@ mod tests {
         let (_, rep_off) = off.place(&batch).unwrap();
         // Tight: minimum feasible slots (floor budget), no lookup.
         let (ctx2, _, _) = setup(24, 60, 6, 7);
-        let slot_bytes = phylo_amc::SlotArena::bytes_per_slot(
-            ctx2.layout().clv_len(),
-            ctx2.layout().patterns,
-        );
+        let slot_bytes =
+            phylo_amc::SlotArena::bytes_per_slot(ctx2.layout().clv_len(), ctx2.layout().patterns);
         let floor = ctx2.approx_bytes()
             + memplan::chunk_bytes(&ctx2, 2, batch.n_sites())
             + (ctx2.min_slots() + 4) * slot_bytes;
@@ -687,14 +674,38 @@ mod tests {
     }
 
     #[test]
+    fn zero_slot_headroom_is_a_planning_error() {
+        let (ctx, s2p, _) = setup(12, 40, 1, 9);
+        let floor = ctx.min_slots();
+        let sync_cfg = EpaConfig { async_prefetch: false, ..Default::default() };
+        let placer = Placer::new(ctx, s2p.clone(), sync_cfg).unwrap();
+        // Sync blocks pin 2 slots, async prefetch keeps 4 pinned; anything
+        // short of that above the traversal floor must be rejected, not
+        // silently clamped to a block size of 1.
+        assert!(matches!(
+            placer.effective_block_size(floor + 1),
+            Err(PlaceError::SlotHeadroomTooSmall { needed: 2, .. })
+        ));
+        assert_eq!(placer.effective_block_size(floor + 2).unwrap(), 1);
+
+        let (ctx2, _, _) = setup(12, 40, 1, 9);
+        let async_cfg = EpaConfig { async_prefetch: true, ..Default::default() };
+        let async_placer = Placer::new(ctx2, s2p, async_cfg).unwrap();
+        assert!(matches!(
+            async_placer.effective_block_size(floor + 3),
+            Err(PlaceError::SlotHeadroomTooSmall { needed: 4, .. })
+        ));
+        assert_eq!(async_placer.effective_block_size(floor + 4).unwrap(), 1);
+    }
+
+    #[test]
     fn identical_queries_place_at_their_taxon() {
         let (ctx, s2p, _) = setup(10, 100, 1, 8);
         // Build queries identical to the first three taxa.
         let queries: Vec<Sequence> = (0..3)
             .map(|i| {
                 let per_pattern = ctx.tip_codes(NodeId(i as u32)).to_vec();
-                let codes: Vec<u8> =
-                    s2p.iter().map(|&p| per_pattern[p as usize]).collect();
+                let codes: Vec<u8> = s2p.iter().map(|&p| per_pattern[p as usize]).collect();
                 Sequence::from_codes(format!("taxon-copy-{i}"), AlphabetKind::Dna, codes).unwrap()
             })
             .collect();

@@ -131,9 +131,21 @@ pub fn attachment_partials_into(
     let d_dist = phylo_tree::DirEdgeId::new(edge, 1);
     // Disjoint field borrows: the propagation reads/writes different
     // scratch buffers at once.
-    let ScoreScratch { prox, prox_scale, dist, dist_scale, pmatrix, kernel, masks, tip_table, .. } =
-        scratch;
-    propagate_partial(ctx, store, d_prox, x * t, pmatrix, tip_table, masks, kernel, prox, prox_scale);
+    let ScoreScratch {
+        prox, prox_scale, dist, dist_scale, pmatrix, kernel, masks, tip_table, ..
+    } = scratch;
+    propagate_partial(
+        ctx,
+        store,
+        d_prox,
+        x * t,
+        pmatrix,
+        tip_table,
+        masks,
+        kernel,
+        prox,
+        prox_scale,
+    );
     propagate_partial(
         ctx,
         store,
@@ -258,12 +270,7 @@ impl BranchScoreTable {
     /// the per-site table. Ambiguity codes sum the matching concrete
     /// columns; the fully-ambiguous (gap/unknown) code uses the
     /// precomputed sum column.
-    pub fn prescore(
-        &self,
-        ctx: &ReferenceContext,
-        site_to_pattern: &[u32],
-        codes: &[u8],
-    ) -> f64 {
+    pub fn prescore(&self, ctx: &ReferenceContext, site_to_pattern: &[u32], codes: &[u8]) -> f64 {
         let states = self.states;
         let alphabet = ctx.alphabet();
         let unknown = alphabet.unknown_code();
@@ -315,8 +322,7 @@ pub fn score_thorough(
     blo_iterations: usize,
     scratch: &mut ScoreScratch,
 ) -> Result<ScoredPlacement, PlaceError> {
-    let mean_len =
-        ctx.tree().total_length() / ctx.tree().n_edges() as f64;
+    let mean_len = ctx.tree().total_length() / ctx.tree().n_edges() as f64;
     let mut x = 0.5f64;
     let mut pendant = mean_len.max(1e-6);
     // Detach the reusable buffers from the scratch so the scratch can be
@@ -362,7 +368,12 @@ pub fn score_thorough(
 /// Golden-section search for the maximum of a unimodal-ish function.
 /// Returns `(argmax, max)`. Few iterations suffice: placement surfaces are
 /// smooth and we only need ranking-stable optima.
-fn golden_section(lo: f64, hi: f64, iterations: usize, mut f: impl FnMut(f64) -> f64) -> (f64, f64) {
+fn golden_section(
+    lo: f64,
+    hi: f64,
+    iterations: usize,
+    mut f: impl FnMut(f64) -> f64,
+) -> (f64, f64) {
     const INV_PHI: f64 = 0.618_033_988_749_894_8;
     let (mut a, mut b) = (lo, hi);
     let mut c = b - (b - a) * INV_PHI;
@@ -406,8 +417,9 @@ mod tests {
         let tree = generate::yule(n, 0.1, &mut rng).unwrap();
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
-                let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
+                let text: String = (0..sites)
+                    .map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char)
+                    .collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();
@@ -431,7 +443,7 @@ mod tests {
         // The lookup-table prescore and a direct three-way evaluation at
         // identical (x=0.5, pendant) must agree exactly.
         let (ctx, s2p) = setup(10, 30, 1);
-        let mut store = ManagedStore::full(&ctx);
+        let store = ManagedStore::full(&ctx);
         let e = EdgeId(2);
         let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
         let mut scratch = ScoreScratch::new(&ctx);
@@ -453,20 +465,17 @@ mod tests {
         use phylo_kernel::likelihood::point_log_likelihood;
         use phylo_kernel::TipTable;
         let (ctx, s2p) = setup(11, 40, 7);
-        let mut store = ManagedStore::full(&ctx);
+        let store = ManagedStore::full(&ctx);
         let layout = *ctx.layout();
         let pendant = 0.17;
-        let masks: Vec<u32> = (0..ctx.alphabet().n_codes())
-            .map(|c| ctx.alphabet().state_mask(c as u8))
-            .collect();
+        let masks: Vec<u32> =
+            (0..ctx.alphabet().n_codes()).map(|c| ctx.alphabet().state_mask(c as u8)).collect();
         // Per-pattern query codes; expand to per-site for the prescore.
-        let per_pattern: Vec<u8> =
-            (0..layout.patterns).map(|p| ((p * 5 + 1) % 4) as u8).collect();
+        let per_pattern: Vec<u8> = (0..layout.patterns).map(|p| ((p * 5 + 1) % 4) as u8).collect();
         let per_site: Vec<u8> = s2p.iter().map(|&p| per_pattern[p as usize]).collect();
         let mut scratch = ScoreScratch::new(&ctx);
         for e in ctx.tree().all_edges().take(8) {
-            let block =
-                store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
+            let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
             let partials = attachment_partials(&ctx, &store, e, 0.5, &mut scratch);
             let table = BranchScoreTable::build(&ctx, &partials, pendant, &mut scratch);
             let pre = table.prescore(&ctx, &s2p, &per_site);
@@ -503,10 +512,7 @@ mod tests {
             // Pattern weights multiply repeated sites; since the query is
             // pattern-constant, the weighted point likelihood equals the
             // per-site prescore sum.
-            assert!(
-                (pre - direct).abs() < 1e-9,
-                "edge {e:?}: prescore {pre} vs point {direct}"
-            );
+            assert!((pre - direct).abs() < 1e-9, "edge {e:?}: prescore {pre} vs point {direct}");
             store.release(block);
         }
     }
@@ -514,7 +520,7 @@ mod tests {
     #[test]
     fn prescore_handles_gaps_and_ambiguity() {
         let (ctx, s2p) = setup(8, 20, 2);
-        let mut store = ManagedStore::full(&ctx);
+        let store = ManagedStore::full(&ctx);
         let e = EdgeId(0);
         let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
         let mut scratch = ScoreScratch::new(&ctx);
@@ -540,7 +546,7 @@ mod tests {
         // A query identical to taxon T00000 must score best on (or next
         // to) that taxon's pendant branch.
         let (ctx, s2p) = setup(12, 60, 3);
-        let mut store = ManagedStore::full(&ctx);
+        let store = ManagedStore::full(&ctx);
         let query: Vec<u8> = ctx.tip_codes(NodeId(0)).to_vec();
         // tip_codes are per-pattern; expand to per-site.
         let codes: Vec<u8> = s2p.iter().map(|&p| query[p as usize]).collect();
@@ -548,10 +554,8 @@ mod tests {
         let mut best_edge = EdgeId(0);
         let mut best_ll = f64::NEG_INFINITY;
         for e in ctx.tree().all_edges() {
-            let block =
-                store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
-            let sp =
-                score_thorough(&ctx, &store, e, &s2p, &codes, 1, &mut scratch).unwrap();
+            let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
+            let sp = score_thorough(&ctx, &store, e, &s2p, &codes, 1, &mut scratch).unwrap();
             if sp.log_likelihood > best_ll {
                 best_ll = sp.log_likelihood;
                 best_edge = e;
@@ -566,7 +570,7 @@ mod tests {
     #[test]
     fn thorough_beats_or_matches_fixed_parameters() {
         let (ctx, s2p) = setup(10, 40, 4);
-        let mut store = ManagedStore::full(&ctx);
+        let store = ManagedStore::full(&ctx);
         let e = EdgeId(1);
         let block = store.prepare(&ctx, &[DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).unwrap();
         let codes: Vec<u8> = (0..40).map(|i| ((i * 7) % 4) as u8).collect();

@@ -31,7 +31,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-use epa_place::score::{attachment_partials_into, score_thorough, AttachmentPartials, ScoreScratch};
+use epa_place::score::{
+    attachment_partials_into, score_thorough, AttachmentPartials, ScoreScratch,
+};
 use phylo_engine::{ManagedStore, ReferenceContext};
 use phylo_models::gamma::GammaMode;
 use phylo_models::{dna, DiscreteGamma, SubstModel};
@@ -53,7 +55,8 @@ fn setup(n: usize, sites: usize, seed: u64) -> (ReferenceContext, Vec<u32>) {
         .collect();
     let patterns = compress(&Msa::new(rows).unwrap()).unwrap();
     let s2p = patterns.site_to_pattern().to_vec();
-    let model = SubstModel::new(&dna::jc69(), DiscreteGamma::new(0.7, 4, GammaMode::Mean).unwrap()).unwrap();
+    let model = SubstModel::new(&dna::jc69(), DiscreteGamma::new(0.7, 4, GammaMode::Mean).unwrap())
+        .unwrap();
     let ctx = ReferenceContext::new(tree, model, AlphabetKind::Dna.alphabet(), &patterns).unwrap();
     (ctx, s2p)
 }
@@ -61,7 +64,7 @@ fn setup(n: usize, sites: usize, seed: u64) -> (ReferenceContext, Vec<u32>) {
 #[test]
 fn steady_state_scoring_is_allocation_free() {
     let (ctx, s2p) = setup(12, 60, 7);
-    let mut store = ManagedStore::full(&ctx);
+    let store = ManagedStore::full(&ctx);
     let mut scratch = ScoreScratch::new(&ctx);
     let mut partials = AttachmentPartials::empty();
     let n_sites = s2p.len();
@@ -70,10 +73,8 @@ fn steady_state_scoring_is_allocation_free() {
 
     // Pin every tested orientation once, then warm up all code paths so
     // the reusable buffers reach their steady-state capacity.
-    let dirs: Vec<DirEdgeId> = edges
-        .iter()
-        .flat_map(|&e| [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)])
-        .collect();
+    let dirs: Vec<DirEdgeId> =
+        edges.iter().flat_map(|&e| [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)]).collect();
     let prepared = store.prepare(&ctx, &dirs).unwrap();
     for &e in &edges {
         attachment_partials_into(&ctx, &store, e, 0.37, &mut scratch, &mut partials);
@@ -89,12 +90,7 @@ fn steady_state_scoring_is_allocation_free() {
         lls.push(sp.log_likelihood);
     }
     let after = ALLOCS.load(Ordering::SeqCst);
-    assert_eq!(
-        after - before,
-        0,
-        "steady-state scoring allocated {} times",
-        after - before
-    );
+    assert_eq!(after - before, 0, "steady-state scoring allocated {} times", after - before);
     // Sanity: the scores are real likelihoods, not garbage.
     for ll in lls {
         assert!(ll.is_finite() && ll < 0.0, "implausible log-likelihood {ll}");

@@ -82,12 +82,7 @@ impl ClvStoreBacking {
     }
 
     /// Writes record `idx`.
-    pub fn write_record(
-        &mut self,
-        idx: usize,
-        clv: &[f64],
-        scale: &[u32],
-    ) -> std::io::Result<()> {
+    pub fn write_record(&mut self, idx: usize, clv: &[f64], scale: &[u32]) -> std::io::Result<()> {
         match self {
             ClvStoreBacking::Ram { data, scales, clv_len, patterns } => {
                 data[idx * *clv_len..(idx + 1) * *clv_len].copy_from_slice(clv);

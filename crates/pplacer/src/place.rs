@@ -95,7 +95,7 @@ impl PplacerLike {
         .map_err(|e| PlaceError::BadConfig(format!("CLV backing: {e}")))?;
         // Compute with a modest slot budget and stream records out.
         let work_slots = (ctx.min_slots() + 32).min(ctx.max_slots().max(ctx.min_slots()));
-        let mut engine = ManagedStore::with_slots(&ctx, work_slots, StrategyKind::CostBased)?;
+        let engine = ManagedStore::with_slots(&ctx, work_slots, StrategyKind::CostBased)?;
         for e in phylo_tree::traversal::edge_dfs_order(ctx.tree()) {
             let dirs = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
             let block = engine.prepare(&ctx, &dirs)?;
@@ -132,17 +132,13 @@ impl PplacerLike {
     ) -> Result<(Vec<PlacementResult>, PplacerReport), PlaceError> {
         let t0 = Instant::now();
         let layout = *self.ctx.layout();
-        let mut report = PplacerReport {
-            build_time: self.build_time,
-            ..Default::default()
-        };
+        let mut report = PplacerReport { build_time: self.build_time, ..Default::default() };
         let mut results: Vec<PlacementResult> = batch
             .queries()
             .iter()
             .map(|q| PlacementResult { name: q.name.clone(), placements: Vec::new() })
             .collect();
-        let mean_len =
-            self.ctx.tree().total_length() / self.ctx.tree().n_edges() as f64;
+        let mean_len = self.ctx.tree().total_length() / self.ctx.tree().n_edges() as f64;
         // Scratch: two record buffers plus kernel scratch.
         let mut clv_u = vec![0.0; layout.clv_len()];
         let mut scale_u = vec![0u32; layout.patterns];
@@ -162,9 +158,8 @@ impl PplacerLike {
             .map(|c| self.ctx.alphabet().state_mask(c as u8))
             .collect();
 
-        let scratch_bytes = 4 * layout.clv_len() * 8
-            + 4 * layout.patterns * 4
-            + layout.pmatrix_len() * 8;
+        let scratch_bytes =
+            4 * layout.clv_len() * 8 + 4 * layout.patterns * 4 + layout.pmatrix_len() * 8;
         let clv_resident = match self.cfg.backing {
             crate::backing::Backing::Ram => {
                 (self.store.ram_bytes() as f64 * self.cfg.overhead_factor) as usize
@@ -184,12 +179,8 @@ impl PplacerLike {
             for &e in &edges {
                 // Fetch both sides of the branch from the backing.
                 let t = self.ctx.tree().edge_length(e);
-                for (side_idx, (clv, scale)) in [
-                    (&mut clv_u, &mut scale_u),
-                    (&mut clv_v, &mut scale_v),
-                ]
-                .into_iter()
-                .enumerate()
+                for (side_idx, (clv, scale)) in
+                    [(&mut clv_u, &mut scale_u), (&mut clv_v, &mut scale_v)].into_iter().enumerate()
                 {
                     let d = DirEdgeId::new(e, side_idx as u8);
                     let rec = self.record_of[d.idx()];
@@ -201,12 +192,10 @@ impl PplacerLike {
                 }
                 // Propagate both halves to the midpoint.
                 pm.resize(layout.pmatrix_len(), 0.0);
-                for (side_idx, (out, out_scale)) in [
-                    (&mut prox, &mut prox_scale),
-                    (&mut dist, &mut dist_scale),
-                ]
-                .into_iter()
-                .enumerate()
+                for (side_idx, (out, out_scale)) in
+                    [(&mut prox, &mut prox_scale), (&mut dist, &mut dist_scale)]
+                        .into_iter()
+                        .enumerate()
                 {
                     let d = DirEdgeId::new(e, side_idx as u8);
                     self.ctx.model().transition_matrices(0.5 * t, &mut pm);
@@ -214,16 +203,26 @@ impl PplacerLike {
                     if self.ctx.tree().is_leaf(node) {
                         tip_table.rebuild(&layout, &pm, &masks);
                         let side = Side::Tip { table: &tip_table, codes: self.ctx.tip_codes(node) };
-                        propagate_scratch(&layout, side, out, out_scale, 0..layout.patterns, &mut kernel);
+                        propagate_scratch(
+                            &layout,
+                            side,
+                            out,
+                            out_scale,
+                            0..layout.patterns,
+                            &mut kernel,
+                        );
                     } else {
-                        let (clv, scale) = if side_idx == 0 {
-                            (&clv_u, &scale_u)
-                        } else {
-                            (&clv_v, &scale_v)
-                        };
-                        let side =
-                            Side::Clv { clv, scale: Some(scale), pmatrix: &pm };
-                        propagate_scratch(&layout, side, out, out_scale, 0..layout.patterns, &mut kernel);
+                        let (clv, scale) =
+                            if side_idx == 0 { (&clv_u, &scale_u) } else { (&clv_v, &scale_v) };
+                        let side = Side::Clv { clv, scale: Some(scale), pmatrix: &pm };
+                        propagate_scratch(
+                            &layout,
+                            side,
+                            out,
+                            out_scale,
+                            0..layout.patterns,
+                            &mut kernel,
+                        );
                     }
                 }
                 partials.ab.clear();
@@ -265,7 +264,12 @@ impl PplacerLike {
 }
 
 /// Golden-section maximization used for the pendant refinement.
-fn golden_pendant(lo: f64, hi: f64, iterations: usize, mut f: impl FnMut(f64) -> f64) -> (f64, f64) {
+fn golden_pendant(
+    lo: f64,
+    hi: f64,
+    iterations: usize,
+    mut f: impl FnMut(f64) -> f64,
+) -> (f64, f64) {
     const INV_PHI: f64 = 0.618_033_988_749_894_8;
     let (mut a, mut b) = (lo, hi);
     let mut c = b - (b - a) * INV_PHI;
@@ -309,8 +313,9 @@ mod tests {
         let tree = generate::yule(n, 0.1, &mut rng).unwrap();
         let rows: Vec<Sequence> = (0..n)
             .map(|i| {
-                let text: String =
-                    (0..sites).map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char).collect();
+                let text: String = (0..sites)
+                    .map(|_| "ACGT".as_bytes()[rng.gen_range(0..4usize)] as char)
+                    .collect();
                 Sequence::from_text(tree.taxon(NodeId(i as u32)), AlphabetKind::Dna, &text).unwrap()
             })
             .collect();
@@ -366,8 +371,8 @@ mod tests {
     #[test]
     fn agrees_with_epa_best_edges() {
         let (ctx, s2p, batch) = setup(12, 60, 3);
-        let epa = epa_place::Placer::new(ctx, s2p.clone(), epa_place::EpaConfig::default())
-            .unwrap();
+        let epa =
+            epa_place::Placer::new(ctx, s2p.clone(), epa_place::EpaConfig::default()).unwrap();
         let (r_epa, _) = epa.place(&batch).unwrap();
         let (ctx2, _, _) = setup(12, 60, 3);
         let mut pp = PplacerLike::build(ctx2, s2p, PplacerConfig::default()).unwrap();

@@ -120,9 +120,7 @@ impl Alphabet {
             }
             match self.encode(b) {
                 Some(code) => out.push(code),
-                None => {
-                    return Err(SeqError::BadCharacter { position: i, character: b as char })
-                }
+                None => return Err(SeqError::BadCharacter { position: i, character: b as char }),
             }
         }
         Ok(out)
@@ -193,11 +191,8 @@ fn protein_table() -> Vec<(u8, u32)> {
     // Canonical residue order used throughout this workspace:
     // A R N D C Q E G H I L K M F P S T W Y V
     let order = b"ARNDCQEGHILKMFPSTWYV";
-    let mut table: Vec<(u8, u32)> = order
-        .iter()
-        .enumerate()
-        .map(|(i, &ch)| (ch, 1u32 << i))
-        .collect();
+    let mut table: Vec<(u8, u32)> =
+        order.iter().enumerate().map(|(i, &ch)| (ch, 1u32 << i)).collect();
     let idx = |ch: u8| order.iter().position(|&c| c == ch).unwrap();
     let all: u32 = (1 << 20) - 1;
     table.push((b'X', all)); // unknown_code == 20

@@ -22,13 +22,16 @@ pub fn read(reader: impl std::io::Read, kind: AlphabetKind) -> Result<Vec<Sequen
     let mut line_no = 0usize;
 
     let flush = |name: &mut Option<String>,
-                     body: &mut String,
-                     line_no: usize,
-                     out: &mut Vec<Sequence>|
+                 body: &mut String,
+                 line_no: usize,
+                 out: &mut Vec<Sequence>|
      -> Result<(), SeqError> {
         if let Some(n) = name.take() {
             if body.is_empty() {
-                return Err(SeqError::Fasta { line: line_no, msg: format!("record {n:?} has no sequence data") });
+                return Err(SeqError::Fasta {
+                    line: line_no,
+                    msg: format!("record {n:?} has no sequence data"),
+                });
             }
             out.push(Sequence::from_text(n, kind, body)?);
             body.clear();

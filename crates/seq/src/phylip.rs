@@ -63,11 +63,7 @@ pub fn parse(text: &str, kind: AlphabetKind) -> Result<Msa, SeqError> {
     for (name, body) in names.into_iter().zip(bodies) {
         let seq = Sequence::from_text(&name, kind, &body)?;
         if seq.len() != n_sites {
-            return Err(SeqError::RaggedAlignment {
-                name,
-                expected: n_sites,
-                found: seq.len(),
-            });
+            return Err(SeqError::RaggedAlignment { name, expected: n_sites, found: seq.len() });
         }
         rows.push(seq);
     }

@@ -202,11 +202,8 @@ mod tests {
         let counts = stats::subtree_leaf_counts(&t);
         // A caterpillar has inner orientations summarizing every size
         // 2..n-1.
-        let mut sizes: Vec<u32> = t
-            .inner_dir_edges()
-            .map(|d| counts[d.idx()])
-            .filter(|&c| c >= 2)
-            .collect();
+        let mut sizes: Vec<u32> =
+            t.inner_dir_edges().map(|d| counts[d.idx()]).filter(|&c| c >= 2).collect();
         sizes.sort_unstable();
         sizes.dedup();
         assert!(sizes.len() >= n - 2, "sizes {sizes:?}");

@@ -167,10 +167,7 @@ mod tests {
             let t = generate::balanced(n, 0.05, &mut rng).unwrap();
             let max_need = max_register_need(&t) as usize;
             let bound = min_slots_bound(n);
-            assert!(
-                max_need < bound,
-                "balanced n={n}: need {max_need} + root > bound {bound}"
-            );
+            assert!(max_need < bound, "balanced n={n}: need {max_need} + root > bound {bound}");
         }
     }
 

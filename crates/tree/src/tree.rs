@@ -199,10 +199,7 @@ impl Tree {
     /// The directed edge between adjacent nodes `x → y`, if they share an
     /// edge.
     pub fn dir_between(&self, x: NodeId, y: NodeId) -> Option<DirEdgeId> {
-        self.neighbors(x)
-            .iter()
-            .find(|&&(w, _)| w == y)
-            .map(|&(_, e)| self.dir_from(e, x))
+        self.neighbors(x).iter().find(|&&(w, _)| w == y).map(|&(_, e)| self.dir_from(e, x))
     }
 
     /// The two dependency directed edges of the CLV for `d = x → y`:
@@ -393,14 +390,8 @@ impl TreeBuilder {
             }
             let (a, b) = (NodeId(remap[u] as u32), NodeId(remap[v] as u32));
             let e = EdgeId(k as u32);
-            adj[a.idx()].push(b, e).map_err(|_| TreeError::NotBinary {
-                node: a.0,
-                degree: 4,
-            })?;
-            adj[b.idx()].push(a, e).map_err(|_| TreeError::NotBinary {
-                node: b.0,
-                degree: 4,
-            })?;
+            adj[a.idx()].push(b, e).map_err(|_| TreeError::NotBinary { node: a.0, degree: 4 })?;
+            adj[b.idx()].push(a, e).map_err(|_| TreeError::NotBinary { node: b.0, degree: 4 })?;
             edges.push(Edge { a, b, length });
         }
         let tree = Tree { n_leaves, taxa, adj, edges };
@@ -468,10 +459,8 @@ mod tests {
         assert_eq!(t.n_edges(), 5);
         assert_eq!(t.n_inner_dir_edges(), 6);
         // The internal edge connects the two inner nodes (ids 4 and 5).
-        let internal = t
-            .all_edges()
-            .find(|&e| !t.is_leaf(t.edge(e).a) && !t.is_leaf(t.edge(e).b))
-            .unwrap();
+        let internal =
+            t.all_edges().find(|&e| !t.is_leaf(t.edge(e).a) && !t.is_leaf(t.edge(e).b)).unwrap();
         let d = t.dir_from(internal, t.edge(internal).a);
         let deps = t.deps(d).unwrap();
         // Both dependencies are tip orientations pointing at the source.

@@ -90,5 +90,9 @@ fn main() {
 
     // 6. Export the standard jplace interchange format.
     let jplace = to_jplace(&ds.tree, &results);
-    println!("\njplace output: {} bytes (first line: {})", jplace.len(), jplace.lines().next().unwrap());
+    println!(
+        "\njplace output: {} bytes (first line: {})",
+        jplace.len(),
+        jplace.lines().next().unwrap()
+    );
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The full CI gate: release build, the test suite, formatting, and a
+# single-iteration bench smoke pass (compiles every benchmark and runs
+# the kernel suite in quick mode, writing the baseline to a throwaway
+# file so the committed BENCH_kernels.json is not churned).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> bench smoke (single quick pass)"
+scripts/bench_smoke.sh "$(mktemp -t bench_smoke.XXXXXX.json)"
+
+echo "==> CI OK"

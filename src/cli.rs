@@ -7,11 +7,11 @@
 
 use crate::place::result::to_jplace;
 use crate::place::{memplan, EpaConfig, Placer, QueryBatch};
+use phylo_engine::ReferenceContext;
 use phylo_models::gamma::GammaMode;
 use phylo_models::{aa, dna, DiscreteGamma, SubstModel};
 use phylo_seq::alphabet::AlphabetKind;
 use phylo_seq::{compress, fasta, Msa};
-use phylo_engine::ReferenceContext;
 
 /// Parsed command-line options for `phyloplace place`.
 #[derive(Debug, Clone)]
@@ -52,40 +52,34 @@ impl Default for CliOptions {
 /// Runs the full pipeline and returns the `jplace` document plus a short
 /// human-readable run summary.
 pub fn run_placement(opts: &CliOptions) -> Result<(String, String), String> {
-    let tree = phylo_tree::newick::parse(&opts.tree_text)
-        .map_err(|e| format!("reference tree: {e}"))?;
+    let tree =
+        phylo_tree::newick::parse(&opts.tree_text).map_err(|e| format!("reference tree: {e}"))?;
     let ref_rows = fasta::parse(&opts.ref_fasta, opts.alphabet)
         .map_err(|e| format!("reference alignment: {e}"))?;
     let msa = Msa::new(ref_rows).map_err(|e| format!("reference alignment: {e}"))?;
-    let queries = fasta::parse(&opts.query_fasta, opts.alphabet)
-        .map_err(|e| format!("queries: {e}"))?;
+    let queries =
+        fasta::parse(&opts.query_fasta, opts.alphabet).map_err(|e| format!("queries: {e}"))?;
     let patterns = compress(&msa).map_err(|e| format!("compression: {e}"))?;
 
     // Model: +F empirical frequencies over the reference, Γ4 if requested.
     let gamma = match opts.gamma_alpha {
-        Some(alpha) => DiscreteGamma::new(alpha, 4, GammaMode::Mean)
-            .map_err(|e| format!("gamma: {e}"))?,
+        Some(alpha) => {
+            DiscreteGamma::new(alpha, 4, GammaMode::Mean).map_err(|e| format!("gamma: {e}"))?
+        }
         None => DiscreteGamma::none(),
     };
     let alphabet = opts.alphabet.alphabet();
     let model = match opts.alphabet {
         AlphabetKind::Dna => {
-            let f = dna::empirical_freqs(
-                alphabet,
-                msa.rows().iter().map(|r| r.codes()),
-            );
+            let f = dna::empirical_freqs(alphabet, msa.rows().iter().map(|r| r.codes()));
             let freqs: [f64; 4] = [f[0], f[1], f[2], f[3]];
-            SubstModel::new(
-                &dna::gtr(&[1.0; 6], &freqs).map_err(|e| format!("model: {e}"))?,
-                gamma,
-            )
-            .map_err(|e| format!("model: {e}"))?
+            SubstModel::new(&dna::gtr(&[1.0; 6], &freqs).map_err(|e| format!("model: {e}"))?, gamma)
+                .map_err(|e| format!("model: {e}"))?
         }
-        AlphabetKind::Protein => SubstModel::new(
-            &aa::synthetic_aa(0).map_err(|e| format!("model: {e}"))?,
-            gamma,
-        )
-        .map_err(|e| format!("model: {e}"))?,
+        AlphabetKind::Protein => {
+            SubstModel::new(&aa::synthetic_aa(0).map_err(|e| format!("model: {e}"))?, gamma)
+                .map_err(|e| format!("model: {e}"))?
+        }
     };
 
     let ctx = ReferenceContext::new(tree.clone(), model, alphabet, &patterns)
@@ -121,7 +115,8 @@ pub fn run_placement(opts: &CliOptions) -> Result<(String, String), String> {
 /// Parses `phyloplace place` arguments. Returns `Err(usage)` on any
 /// problem.
 pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String> {
-    const USAGE: &str = "usage: phyloplace place --tree REF.nwk --ref-msa REF.fasta --queries Q.fasta \
+    const USAGE: &str =
+        "usage: phyloplace place --tree REF.nwk --ref-msa REF.fasta --queries Q.fasta \
   [--aa] [--maxmem MIB | --maxmem auto] [--gamma ALPHA | --no-gamma] \
   [--chunk N] [--threads N] [--out OUT.jplace]";
     let mut opts = CliOptions::default();
@@ -135,7 +130,8 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
         _ => return Err(USAGE.to_string()),
     }
     while let Some(flag) = it.next() {
-        let mut value = || it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"));
+        let mut value =
+            || it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"));
         match flag.as_str() {
             "--tree" => tree_path = Some(value()?),
             "--ref-msa" => ref_path = Some(value()?),
@@ -158,8 +154,7 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
             "--no-gamma" => opts.gamma_alpha = None,
             "--chunk" => {
                 let v = value()?;
-                opts.chunk_size =
-                    v.parse().map_err(|_| format!("bad --chunk {v:?}\n{USAGE}"))?;
+                opts.chunk_size = v.parse().map_err(|_| format!("bad --chunk {v:?}\n{USAGE}"))?;
             }
             "--threads" => {
                 let v = value()?;
@@ -173,8 +168,7 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
     let query_path = query_path.ok_or_else(|| format!("--queries is required\n{USAGE}"))?;
     opts.tree_text =
         std::fs::read_to_string(&tree_path).map_err(|e| format!("{tree_path}: {e}"))?;
-    opts.ref_fasta =
-        std::fs::read_to_string(&ref_path).map_err(|e| format!("{ref_path}: {e}"))?;
+    opts.ref_fasta = std::fs::read_to_string(&ref_path).map_err(|e| format!("{ref_path}: {e}"))?;
     opts.query_fasta =
         std::fs::read_to_string(&query_path).map_err(|e| format!("{query_path}: {e}"))?;
     Ok((opts, out))
@@ -187,7 +181,9 @@ mod tests {
     fn demo_opts() -> CliOptions {
         CliOptions {
             tree_text: "((A:0.1,B:0.2):0.05,(C:0.15,D:0.1):0.05,E:0.3);".into(),
-            ref_fasta: ">A\nACGTACGTAC\n>B\nACGTACGTCC\n>C\nACTTACGAAC\n>D\nACTTACGTAC\n>E\nGCTTACGTAA\n".into(),
+            ref_fasta:
+                ">A\nACGTACGTAC\n>B\nACGTACGTCC\n>C\nACTTACGAAC\n>D\nACTTACGTAC\n>E\nGCTTACGTAA\n"
+                    .into(),
             query_fasta: ">q1\nACGTACGTAC\n>q2\nACTTACG-AC\n".into(),
             ..Default::default()
         }
@@ -220,16 +216,8 @@ mod tests {
             .unwrap();
         // q1's first (best) placement entry starts with that edge number.
         let q1_line = jplace.lines().find(|l| l.contains("q1")).unwrap();
-        let first_field: u32 = q1_line
-            .split("[[")
-            .nth(1)
-            .unwrap()
-            .split(',')
-            .next()
-            .unwrap()
-            .trim()
-            .parse()
-            .unwrap();
+        let first_field: u32 =
+            q1_line.split("[[").nth(1).unwrap().split(',').next().unwrap().trim().parse().unwrap();
         assert_eq!(first_field, edge_num, "q1 should sit on A's pendant branch");
     }
 
@@ -251,7 +239,8 @@ mod tests {
     fn aa_pipeline_works() {
         let opts = CliOptions {
             tree_text: "(P1:0.1,P2:0.2,(P3:0.1,P4:0.2):0.1);".into(),
-            ref_fasta: ">P1\nMKVLAARNDC\n>P2\nMKVLAARNDW\n>P3\nMRVLAGRNDC\n>P4\nMRVLAGRNEC\n".into(),
+            ref_fasta: ">P1\nMKVLAARNDC\n>P2\nMKVLAARNDW\n>P3\nMRVLAGRNDC\n>P4\nMRVLAGRNEC\n"
+                .into(),
             query_fasta: ">qa\nMKVLAARNDC\n".into(),
             alphabet: AlphabetKind::Protein,
             ..Default::default()

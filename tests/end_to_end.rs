@@ -5,7 +5,9 @@ use phyloplace::place::result::to_jplace;
 use phyloplace::place::{memplan, EpaConfig, Placer, PreplacementMode, QueryBatch};
 use phyloplace::prelude::*;
 
-fn setup(spec: &phyloplace::datasets::DatasetSpec) -> (phyloplace::datasets::Dataset, Vec<u32>, QueryBatch) {
+fn setup(
+    spec: &phyloplace::datasets::DatasetSpec,
+) -> (phyloplace::datasets::Dataset, Vec<u32>, QueryBatch) {
     let ds = phyloplace::datasets::generate(spec);
     let patterns = phyloplace::seq::compress(&ds.reference).unwrap();
     let s2p = patterns.site_to_pattern().to_vec();
@@ -15,13 +17,8 @@ fn setup(spec: &phyloplace::datasets::DatasetSpec) -> (phyloplace::datasets::Dat
 
 fn ctx_of(ds: &phyloplace::datasets::Dataset) -> ReferenceContext {
     let patterns = phyloplace::seq::compress(&ds.reference).unwrap();
-    ReferenceContext::new(
-        ds.tree.clone(),
-        ds.model.clone(),
-        ds.spec.alphabet.alphabet(),
-        &patterns,
-    )
-    .unwrap()
+    ReferenceContext::new(ds.tree.clone(), ds.model.clone(), ds.spec.alphabet.alphabet(), &patterns)
+        .unwrap()
 }
 
 #[test]
@@ -80,6 +77,38 @@ fn results_invariant_across_memory_configs() {
                 "config {label} changed best placement of {}",
                 a.name
             );
+        }
+    }
+}
+
+#[test]
+fn jplace_byte_identical_across_thread_counts() {
+    // Determinism is part of the concurrency contract (DESIGN.md §6):
+    // worker count must never change the output, bit for bit — neither
+    // with the full CLV store nor under a floor AMC budget where worker
+    // threads contend for the same few slots.
+    let spec = phyloplace::datasets::neotrop(Scale::Ci);
+    let (ds, s2p, batch) = setup(&spec);
+    let base = EpaConfig { chunk_size: 7, ..Default::default() };
+    let probe = ctx_of(&ds);
+    let floor = memplan::floor_budget(&probe, &base, batch.len(), batch.n_sites());
+    drop(probe);
+    for (label, cfg) in [
+        ("unmanaged", base.clone()),
+        ("amc-floor", EpaConfig { max_memory: Some(floor), async_prefetch: true, ..base.clone() }),
+    ] {
+        let mut seen: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            let cfg = EpaConfig { threads, ..cfg.clone() };
+            let placer = Placer::new(ctx_of(&ds), s2p.clone(), cfg).unwrap();
+            let (results, _) = placer.place(&batch).unwrap();
+            let j = to_jplace(&ds.tree, &results);
+            match &seen {
+                None => seen = Some(j),
+                Some(reference) => {
+                    assert_eq!(reference, &j, "{label}: jplace differs at {threads} threads");
+                }
+            }
         }
     }
 }

@@ -17,13 +17,8 @@ fn setup() -> (phyloplace::datasets::Dataset, Vec<u32>, QueryBatch) {
 
 fn ctx_of(ds: &phyloplace::datasets::Dataset) -> ReferenceContext {
     let patterns = phyloplace::seq::compress(&ds.reference).unwrap();
-    ReferenceContext::new(
-        ds.tree.clone(),
-        ds.model.clone(),
-        ds.spec.alphabet.alphabet(),
-        &patterns,
-    )
-    .unwrap()
+    ReferenceContext::new(ds.tree.clone(), ds.model.clone(), ds.spec.alphabet.alphabet(), &patterns)
+        .unwrap()
 }
 
 #[test]
@@ -38,10 +33,7 @@ fn plans_improve_monotonically_with_budget() {
     // but capability must never regress as the budget grows.
     let mut last: (bool, usize) = (false, 0);
     for factor in [1.0, 1.5, 2.5, 5.0, 20.0] {
-        let cfg = EpaConfig {
-            max_memory: Some((floor as f64 * factor) as usize),
-            ..base.clone()
-        };
+        let cfg = EpaConfig { max_memory: Some((floor as f64 * factor) as usize), ..base.clone() };
         let plan = memplan::plan(&ctx, &cfg, batch.len(), batch.n_sites()).unwrap();
         assert_eq!(plan.mode, AmcMode::Amc);
         let cap = (plan.use_lookup, plan.slots);
@@ -67,10 +59,8 @@ fn lookup_cliff_exists_in_the_plan() {
     let ctx = ctx_of(&ds);
     let base = EpaConfig::default();
     let lookup_floor = memplan::lookup_floor_budget(&ctx, &base, batch.len(), batch.n_sites());
-    let just_above =
-        EpaConfig { max_memory: Some(lookup_floor), ..base.clone() };
-    let just_below =
-        EpaConfig { max_memory: Some(lookup_floor - 1), ..base.clone() };
+    let just_above = EpaConfig { max_memory: Some(lookup_floor), ..base.clone() };
+    let just_below = EpaConfig { max_memory: Some(lookup_floor - 1), ..base.clone() };
     let above = memplan::plan(&ctx, &just_above, batch.len(), batch.n_sites()).unwrap();
     let below = memplan::plan(&ctx, &just_below, batch.len(), batch.n_sites()).unwrap();
     assert!(above.use_lookup, "at the lookup floor the table must fit");
@@ -91,10 +81,7 @@ fn recomputation_decreases_with_budget() {
     drop(probe);
     let mut last_misses = u64::MAX;
     for factor in [1.0f64, 3.0, 10.0] {
-        let cfg = EpaConfig {
-            max_memory: Some((floor as f64 * factor) as usize),
-            ..base.clone()
-        };
+        let cfg = EpaConfig { max_memory: Some((floor as f64 * factor) as usize), ..base.clone() };
         let placer = Placer::new(ctx_of(&ds), s2p.clone(), cfg).unwrap();
         let (_, report) = placer.place(&batch).unwrap();
         assert!(
@@ -159,11 +146,10 @@ fn amc_store_stays_consistent_across_many_sweeps() {
     let spec = phyloplace::datasets::neotrop(Scale::Ci);
     let ds = phyloplace::datasets::generate(&spec);
     let ctx = ctx_of(&ds);
-    let mut store = ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased)
-        .unwrap();
+    let mut store =
+        ManagedStore::with_slots(&ctx, ctx.min_slots(), StrategyKind::CostBased).unwrap();
     let e0 = phyloplace::tree::EdgeId(0);
-    let reference =
-        phyloplace::engine::loglik::tree_log_likelihood(&ctx, &mut store, e0).unwrap();
+    let reference = phyloplace::engine::loglik::tree_log_likelihood(&ctx, &mut store, e0).unwrap();
     for round in 0..3 {
         let ll = phyloplace::engine::loglik::tree_log_likelihood(&ctx, &mut store, e0).unwrap();
         assert_eq!(ll.to_bits(), reference.to_bits(), "round {round}");

@@ -63,9 +63,9 @@ proptest! {
         );
         for e in tree.all_edges() {
             let targets = [DirEdgeId::new(e, 0), DirEdgeId::new(e, 1)];
-            let rs = phyloplace::amc::ensure_resident(&tree, &targets, &mut mgr, &need)
+            let mut rs = phyloplace::amc::ensure_resident(&tree, &targets, &mut mgr, &need)
                 .expect("log bound must suffice");
-            rs.release(&mut mgr);
+            rs.release(&mgr);
             mgr.check_invariants().unwrap();
         }
         prop_assert_eq!(mgr.n_pinned(), 0);
@@ -78,7 +78,7 @@ proptest! {
         ops in proptest::collection::vec((0u8..4, 0u32..24), 1..200),
         n_slots in 2usize..10,
     ) {
-        let mut mgr = SlotManager::new(24, n_slots, StrategyKind::Fifo.build(None));
+        let mgr = SlotManager::new(24, n_slots, StrategyKind::Fifo.build(None));
         let mut pinned: Vec<phyloplace::amc::SlotId> = Vec::new();
         for (op, key) in ops {
             match op {

@@ -57,15 +57,11 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId {
-            id: format!("{function_name}/{parameter}"),
-        }
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId {
-            id: parameter.to_string(),
-        }
+        BenchmarkId { id: parameter.to_string() }
     }
 }
 
@@ -123,9 +119,7 @@ impl Criterion {
     /// Reads the benchmark filter from the command line (first non-flag
     /// argument; flags like `--bench` from cargo are ignored).
     pub fn configure_from_args(mut self) -> Self {
-        self.filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         self
     }
 
@@ -146,7 +140,9 @@ impl Criterion {
         if let Ok(path) = std::env::var("CRITERION_JSON") {
             if !path.is_empty() {
                 match std::fs::write(&path, self.results_json()) {
-                    Ok(()) => eprintln!("criterion(shim): wrote {} results to {path}", self.results.len()),
+                    Ok(()) => {
+                        eprintln!("criterion(shim): wrote {} results to {path}", self.results.len())
+                    }
                     Err(e) => eprintln!("criterion(shim): failed to write {path}: {e}"),
                 }
             }
@@ -227,21 +223,11 @@ impl BenchmarkGroup<'_> {
             }
         }
         let (warm_up, measurement, samples) = if self.criterion.quick {
-            (
-                Duration::from_millis(50),
-                Duration::from_millis(200),
-                self.sample_size.min(5).max(2),
-            )
+            (Duration::from_millis(50), Duration::from_millis(200), self.sample_size.min(5).max(2))
         } else {
             (self.warm_up_time, self.measurement_time, self.sample_size)
         };
-        let mut bencher = Bencher {
-            warm_up,
-            measurement,
-            samples,
-            median_ns: None,
-            iterations: 0,
-        };
+        let mut bencher = Bencher { warm_up, measurement, samples, median_ns: None, iterations: 0 };
         f(&mut bencher);
         let median_ns = bencher.median_ns.unwrap_or(f64::NAN);
         let tp = match self.throughput {
@@ -408,11 +394,7 @@ mod tests {
             median_ns: None,
             iterations: 0,
         };
-        b.iter_batched(
-            || vec![1u64; 16],
-            |v| v.iter().sum::<u64>(),
-            BatchSize::SmallInput,
-        );
+        b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
         assert!(b.median_ns.unwrap() > 0.0);
     }
 

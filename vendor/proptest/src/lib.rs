@@ -152,12 +152,11 @@ pub mod strategy {
     impl Strategy for str {
         type Value = String;
         fn generate(&self, rng: &mut TestRng) -> String {
-            let (class, min, max) = parse_char_class(self)
-                .unwrap_or_else(|| panic!("unsupported regex strategy {self:?} (shim supports `[chars]{{m,n}}` only)"));
+            let (class, min, max) = parse_char_class(self).unwrap_or_else(|| {
+                panic!("unsupported regex strategy {self:?} (shim supports `[chars]{{m,n}}` only)")
+            });
             let len = min + rng.below((max - min + 1) as u64) as usize;
-            (0..len)
-                .map(|_| class[rng.below(class.len() as u64) as usize])
-                .collect()
+            (0..len).map(|_| class[rng.below(class.len() as u64) as usize]).collect()
         }
     }
 
