@@ -39,6 +39,13 @@ pub enum PlaceError {
     },
     /// A configuration field is out of range.
     BadConfig(String),
+    /// A worker or prefetch thread panicked. The panic was contained at
+    /// the thread boundary: in-flight leases are drained before this is
+    /// surfaced, so the store remains usable.
+    WorkerPanicked {
+        /// Which thread panicked and the panic payload, if printable.
+        context: String,
+    },
     /// Propagated engine/AMC failure.
     Engine(phylo_engine::EngineError),
 }
@@ -63,6 +70,9 @@ impl fmt::Display for PlaceError {
                  {min_slots} slots and each block pins {needed} more; raise the budget"
             ),
             PlaceError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            PlaceError::WorkerPanicked { context } => {
+                write!(f, "worker thread panicked: {context}")
+            }
             PlaceError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }

@@ -240,6 +240,7 @@ impl Placer {
                 block.iter().flat_map(|e| group_of[&e.0].iter().map(move |&q| (*e, q))).collect();
             let n_threads = cfg.threads.min(items.len().max(1));
             let mut outputs: Vec<Vec<(usize, PlacementEntry)>> = Vec::new();
+            let mut panicked: Option<PlaceError> = None;
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for t in 0..n_threads {
@@ -276,10 +277,26 @@ impl Placer {
                         out
                     }));
                 }
+                // Join every worker even after a panic: the scope must not
+                // re-raise, and the surviving workers' leases must drain
+                // before the error surfaces.
                 for h in handles {
-                    outputs.push(h.join().expect("thorough worker panicked"));
+                    match h.join() {
+                        Ok(out) => outputs.push(out),
+                        Err(payload) => {
+                            panicked = Some(PlaceError::WorkerPanicked {
+                                context: format!(
+                                    "thorough scoring worker: {}",
+                                    panic_message(payload.as_ref())
+                                ),
+                            });
+                        }
+                    }
                 }
             });
+            if let Some(e) = panicked {
+                return Err(e);
+            }
             for out in outputs {
                 for (q, entry) in out {
                     results[qoff + q].placements.push(entry);
@@ -395,9 +412,17 @@ fn run_blocks(
                             Ok(Some(pending.into_prepared()))
                         });
                         scorer_result = scorer(&blocks[k]);
-                        match handle.join().expect("prefetch thread panicked") {
-                            Ok(opt) => *pref_slot = opt,
-                            Err(e) => *pref_err = Err(e),
+                        match handle.join() {
+                            Ok(Ok(opt)) => *pref_slot = opt,
+                            Ok(Err(e)) => *pref_err = Err(e),
+                            Err(payload) => {
+                                *pref_err = Err(PlaceError::WorkerPanicked {
+                                    context: format!(
+                                        "prefetch thread: {}",
+                                        panic_message(payload.as_ref())
+                                    ),
+                                });
+                            }
                         }
                     });
                 } else {
@@ -420,6 +445,19 @@ fn run_blocks(
         }
     }
     Ok(())
+}
+
+/// Renders a caught panic payload for [`PlaceError::WorkerPanicked`].
+/// `panic!` payloads are `&str` or `String` in practice; anything else is
+/// reported opaquely rather than re-thrown.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn dirs_of(block: &[EdgeId]) -> Vec<DirEdgeId> {
