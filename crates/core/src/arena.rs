@@ -83,6 +83,8 @@ pub struct ComputeView<'a> {
 impl SlotArena {
     /// Allocates an arena of `n_slots` CLVs of `clv_len` entries
     /// (`patterns` scaler counts each) over `n_clvs` logical keys.
+    /// Panics if the buffers cannot be allocated; fallible callers use
+    /// [`SlotArena::try_new`].
     pub fn new(
         n_clvs: usize,
         n_slots: usize,
@@ -90,13 +92,42 @@ impl SlotArena {
         patterns: usize,
         strategy: Box<dyn ReplacementStrategy>,
     ) -> Self {
-        SlotArena {
+        Self::try_new(n_clvs, n_slots, clv_len, patterns, strategy)
+            .expect("CLV slot arena allocation failed")
+    }
+
+    /// As [`SlotArena::new`], but reports an allocation failure as
+    /// [`AmcError::AllocationFailed`] instead of aborting — slot storage
+    /// is by far the largest allocation in a placement run (the whole
+    /// point of the `--maxmem` budget), so it is the one worth failing
+    /// gracefully on.
+    pub fn try_new(
+        n_clvs: usize,
+        n_slots: usize,
+        clv_len: usize,
+        patterns: usize,
+        strategy: Box<dyn ReplacementStrategy>,
+    ) -> Result<Self, AmcError> {
+        let bytes = Self::bytes_per_slot(clv_len, patterns).saturating_mul(n_slots);
+        if phylo_faults::fire("amc::arena_alloc") {
+            return Err(AmcError::AllocationFailed { bytes });
+        }
+        let mut data: Vec<f64> = Vec::new();
+        data.try_reserve_exact(n_slots * clv_len)
+            .map_err(|_| AmcError::AllocationFailed { bytes })?;
+        data.resize(n_slots * clv_len, 0.0);
+        let mut scales: Vec<u32> = Vec::new();
+        scales
+            .try_reserve_exact(n_slots * patterns)
+            .map_err(|_| AmcError::AllocationFailed { bytes })?;
+        scales.resize(n_slots * patterns, 0);
+        Ok(SlotArena {
             mgr: SlotManager::new(n_clvs, n_slots, strategy),
             clv_len,
             patterns,
-            data: SyncBuf::new(vec![0.0; n_slots * clv_len]),
-            scales: SyncBuf::new(vec![0; n_slots * patterns]),
-        }
+            data: SyncBuf::new(data),
+            scales: SyncBuf::new(scales),
+        })
     }
 
     /// The slot manager (for pinning, stats, lookups).
@@ -233,20 +264,47 @@ impl SlotArena {
     ///
     /// A thread must not re-acquire a CLV whose unfinished
     /// [`ComputeLease`] it already holds (it would wait on itself).
+    ///
+    /// If the thread computing a hit's data dies before publishing (its
+    /// [`ComputeLease`] poisons the slot on drop), the waiter does not
+    /// hang: the poison's version bump wakes it, the acquire retries, and
+    /// the retry misses — this thread then recomputes the CLV itself.
     pub fn acquire_compute(&self, clv: ClvKey) -> Result<Lease<'_>, AmcError> {
-        let guard = self.mgr.plan_guard();
-        let acq = self.mgr.acquire(clv)?;
-        let slot = acq.slot();
-        self.mgr.pin(slot);
-        drop(guard);
-        if acq.is_hit() {
+        loop {
+            let guard = self.mgr.plan_guard();
+            let acq = self.mgr.acquire(clv)?;
+            let slot = acq.slot();
+            self.mgr.pin(slot);
+            // Snapshot under the plan guard: poisoning also takes the
+            // guard, so the version cannot move between the acquire and
+            // this read.
+            let version = self.mgr.version(slot);
+            drop(guard);
+            if !acq.is_hit() {
+                return Ok(Lease::Compute(ComputeLease { arena: self, clv, slot }));
+            }
             // Resident but possibly still computing in another thread —
-            // the pin forbids remapping, so the wait is on this CLV's
-            // own data and terminates when its planner publishes.
-            self.mgr.wait_ready(slot);
-            Ok(Lease::Ready(ReadLease { arena: self, clv, slot }))
-        } else {
-            Ok(Lease::Compute(ComputeLease { arena: self, clv, slot }))
+            // the pin forbids remapping, so the wait is on this CLV's own
+            // data. It returns when the planner publishes, when the slot
+            // is poisoned (version bump), or on watchdog timeout.
+            match self.mgr.wait_ready_at(slot, version) {
+                Ok(()) if self.mgr.is_ready(slot) => {
+                    // Published while we hold a pin: the mapping is
+                    // stable (only unpublished slots can be poisoned,
+                    // and pinned slots are never remapped).
+                    return Ok(Lease::Ready(ReadLease { arena: self, clv, slot }));
+                }
+                Ok(()) => {
+                    // Woken by a poison: the mapping is gone. Drop the
+                    // pin (freeing the slot once every waiter drains)
+                    // and retry from the top.
+                    let _ = self.mgr.unpin(slot);
+                }
+                Err(e) => {
+                    let _ = self.mgr.unpin(slot);
+                    return Err(e);
+                }
+            }
         }
     }
 
@@ -320,10 +378,12 @@ impl Drop for ReadLease<'_> {
 
 /// Exclusive write lease on one slot whose CLV is being (re)computed.
 /// The holder fills the buffers via [`ComputeLease::target`], then
-/// publishes with [`ComputeLease::finish`]. Dropping without finishing
-/// publishes anyway (waiters must not wedge) — the data is then
-/// whatever the buffer holds, so abandon a lease only on paths that
-/// also invalidate the key or abort the run.
+/// publishes with [`ComputeLease::finish`]. Dropping without finishing —
+/// which happens when the computing thread panics mid-closure — **poisons
+/// the slot** ([`SlotManager::poison`]): the mapping is torn down so the
+/// half-written data can never be read, waiters blocked on the publish
+/// latch wake and recompute the CLV themselves, and the slot returns to
+/// the free list once their pins drain.
 pub struct ComputeLease<'a> {
     arena: &'a SlotArena,
     clv: ClvKey,
@@ -361,8 +421,10 @@ impl<'a> ComputeLease<'a> {
 
 impl Drop for ComputeLease<'_> {
     fn drop(&mut self) {
-        self.arena.mgr.mark_ready(self.slot);
-        let _ = self.arena.mgr.unpin(self.slot);
+        // Abandoned mid-compute (typically a panic unwind): the buffers
+        // hold garbage, so the slot must NOT be published. Poisoning
+        // consumes this lease's pin.
+        self.arena.mgr.poison(self.slot);
     }
 }
 
@@ -472,13 +534,71 @@ mod tests {
     }
 
     #[test]
-    fn dropped_compute_lease_unwedges_waiters() {
+    fn dropped_compute_lease_poisons_the_slot() {
         let a = arena(6, 2);
         let Lease::Compute(c) = a.acquire_compute(ClvKey(3)).unwrap() else { panic!() };
         let slot = c.slot();
-        drop(c); // abandoned: publishes (garbage) and unpins
-        assert!(a.manager().is_ready(slot));
+        drop(c); // abandoned: mapping torn down, garbage never published
+        assert!(!a.manager().is_ready(slot), "garbage must not be published");
+        assert_eq!(a.manager().lookup(ClvKey(3)), None, "mapping must be gone");
         assert_eq!(a.manager().pin_count(slot), 0);
+        a.manager().check_invariants().unwrap();
+        // The slot is reclaimable: the same CLV can be acquired afresh.
+        let Lease::Compute(mut c) = a.acquire_compute(ClvKey(3)).unwrap() else {
+            panic!("poisoned CLV must miss, not hit")
+        };
+        c.target().0.fill(2.0);
+        let r = c.finish();
+        assert!(r.clv().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn panicking_compute_closure_leaves_arena_usable() {
+        // The lease-poisoning regression: a worker panics mid-compute; the
+        // slot must be reclaimed and a later acquire_compute on the SAME
+        // CLV must succeed with freshly computed data.
+        let a = arena(6, 2);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let Lease::Compute(mut c) = a.acquire_compute(ClvKey(1)).unwrap() else { panic!() };
+            c.target().0.fill(666.0); // half-written garbage
+            panic!("injected compute failure");
+        }));
+        assert!(panicked.is_err());
+        a.manager().check_invariants().unwrap();
+        assert_eq!(a.manager().n_pinned(), 0, "the panicked lease's pin must drain");
+        let Lease::Compute(mut c) = a.acquire_compute(ClvKey(1)).unwrap() else {
+            panic!("CLV 1 must need recomputing after the poison")
+        };
+        c.target().0.fill(9.0);
+        let r = c.finish();
+        assert!(r.clv().iter().all(|&v| v == 9.0), "reader must see the recomputed data");
+    }
+
+    #[test]
+    fn waiter_on_poisoned_slot_recomputes() {
+        // A concurrent acquire_compute blocked on a computing slot must
+        // wake on the poison and transparently recompute rather than hang
+        // or read garbage.
+        use std::sync::Arc;
+        let a = Arc::new(arena(6, 2));
+        let Lease::Compute(c) = a.acquire_compute(ClvKey(2)).unwrap() else { panic!() };
+        let a2 = Arc::clone(&a);
+        let waiter = std::thread::spawn(move || {
+            let lease = a2.acquire_compute(ClvKey(2)).unwrap();
+            match lease {
+                Lease::Ready(_) => panic!("waiter must not read the poisoned data"),
+                Lease::Compute(mut c2) => {
+                    c2.target().0.fill(5.0);
+                    let r = c2.finish();
+                    assert!(r.clv().iter().all(|&v| v == 5.0));
+                }
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(c); // poison while the waiter is blocked
+        waiter.join().unwrap();
+        a.manager().check_invariants().unwrap();
+        assert_eq!(a.manager().n_pinned(), 0);
     }
 
     #[test]

@@ -44,9 +44,16 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use crate::error::AmcError;
 use crate::strategy::{ReplacementStrategy, VictimView};
+
+/// Default publish-latch watchdog (see [`SlotManager::set_wait_timeout`]).
+/// Generous: legitimate waits are bounded by one CLV recomputation, which
+/// is milliseconds; the deadline only trips when the computing thread died
+/// or its publish was lost, turning a deadlock into a typed error.
+pub const DEFAULT_WAIT_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Index of a physical CLV slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -129,6 +136,12 @@ struct TableInner {
     pin_counts: Vec<u32>,
     free: Vec<u32>,
     n_pinned_slots: usize,
+    /// Slots whose computing thread died before publishing
+    /// ([`SlotManager::poison`]). A failed slot holds no mapping but still
+    /// carries foreign pins (waiters that raced the failure); it returns
+    /// to the free list only when the last pin drains, so the free list
+    /// never hands out a slot another thread still references.
+    failed: Vec<bool>,
     strategy: Box<dyn ReplacementStrategy>,
 }
 
@@ -155,6 +168,8 @@ pub struct SlotManager {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Publish-latch watchdog deadline in milliseconds.
+    wait_timeout_ms: AtomicU64,
 }
 
 impl SlotManager {
@@ -169,6 +184,7 @@ impl SlotManager {
                 pin_counts: vec![0; n_slots],
                 free: (0..n_slots as u32).rev().collect(),
                 n_pinned_slots: 0,
+                failed: vec![false; n_slots],
                 strategy,
             }),
             phases: (0..n_slots)
@@ -182,7 +198,21 @@ impl SlotManager {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            wait_timeout_ms: AtomicU64::new(DEFAULT_WAIT_TIMEOUT.as_millis() as u64),
         }
+    }
+
+    /// Sets the publish-latch watchdog: [`SlotManager::wait_ready`] and
+    /// [`SlotManager::wait_ready_at`] give up with
+    /// [`AmcError::SlotWaitTimeout`] after this long. Tests exercising
+    /// lost-publish faults lower it to keep the suite fast.
+    pub fn set_wait_timeout(&self, timeout: Duration) {
+        self.wait_timeout_ms.store(timeout.as_millis().max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// The current watchdog deadline.
+    pub fn wait_timeout(&self) -> Duration {
+        Duration::from_millis(self.wait_timeout_ms.load(Ordering::Relaxed))
     }
 
     fn table(&self) -> MutexGuard<'_, TableInner> {
@@ -280,6 +310,13 @@ impl SlotManager {
         if clv.idx() >= self.clv_to_slot.len() {
             return Err(AmcError::UnknownClv(clv.0));
         }
+        if phylo_faults::fire("amc::spurious_all_slots_pinned") {
+            let t = self.table();
+            return Err(AmcError::AllSlotsPinned {
+                slots: self.n_slots(),
+                pinned: t.n_pinned_slots,
+            });
+        }
         let mut t = self.table();
         let s = self.clv_to_slot[clv.idx()].load(Ordering::Acquire);
         if s != UNSLOTTED {
@@ -343,7 +380,10 @@ impl SlotManager {
         self.table().pin_n(slot, count);
     }
 
-    /// Decrements a slot's pin count.
+    /// Decrements a slot's pin count. The last unpin of a
+    /// [`SlotManager::poison`]ed slot also returns it to the free list —
+    /// deferred reclamation, so a failed slot is never handed out while
+    /// waiters that raced the failure still hold pins on it.
     pub fn unpin(&self, slot: SlotId) -> Result<(), AmcError> {
         let mut t = self.table();
         let c = &mut t.pin_counts[slot.idx()];
@@ -353,8 +393,50 @@ impl SlotManager {
         *c -= 1;
         if *c == 0 {
             t.n_pinned_slots -= 1;
+            if t.failed[slot.idx()] {
+                t.failed[slot.idx()] = false;
+                debug_assert_eq!(t.slot_to_clv[slot.idx()], FREE, "failed slot kept a mapping");
+                t.free.push(slot.0);
+            }
         }
         Ok(())
+    }
+
+    /// Marks a slot **failed and reclaimable**: the thread that was
+    /// computing its CLV died before publishing (a panicking
+    /// [`crate::ComputeLease`] holder). The mapping is torn down under the
+    /// plan guard — planning never runs concurrently with table surgery —
+    /// and the slot's version is bumped with a wake-up, so latch waiters
+    /// observe the mapping gone and retry instead of hanging on a publish
+    /// that will never come. The caller's own pin is consumed; the slot
+    /// rejoins the free list when the last foreign pin drains (see
+    /// [`SlotManager::unpin`]).
+    pub fn poison(&self, slot: SlotId) {
+        let _plan = self.plan_guard();
+        let mut t = self.table();
+        let c = t.slot_to_clv[slot.idx()];
+        if c != FREE {
+            t.strategy.on_evict(ClvKey(c), slot);
+            self.clv_to_slot[c as usize].store(UNSLOTTED, Ordering::Release);
+            t.slot_to_clv[slot.idx()] = FREE;
+        }
+        t.failed[slot.idx()] = true;
+        let pc = &mut t.pin_counts[slot.idx()];
+        debug_assert!(*pc > 0, "poison requires the caller's own pin");
+        *pc = pc.saturating_sub(1);
+        if *pc == 0 {
+            t.n_pinned_slots -= 1;
+            t.failed[slot.idx()] = false;
+            t.free.push(slot.0);
+        }
+        drop(t);
+        let ph = &self.phases[slot.idx()];
+        {
+            let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
+            *r = false;
+            ph.version.fetch_add(1, Ordering::AcqRel);
+        }
+        ph.cv.notify_all();
     }
 
     /// Forcibly clears all pins. Single-owner teardown only: under
@@ -415,6 +497,12 @@ impl SlotManager {
     /// Publishes a slot's data: wakes every thread blocked in
     /// [`SlotManager::wait_ready`] on it.
     pub fn mark_ready(&self, slot: SlotId) {
+        if phylo_faults::fire("amc::lost_publish") {
+            return; // the watchdog in the waiters turns this into an error
+        }
+        if phylo_faults::fire("amc::delayed_publish") {
+            std::thread::sleep(Duration::from_millis(20));
+        }
         let ph = &self.phases[slot.idx()];
         *ph.ready.lock().unwrap_or_else(|e| e.into_inner()) = true;
         ph.cv.notify_all();
@@ -430,6 +518,12 @@ impl SlotManager {
     /// concurrent plan would read the wrong CLV. The superseded op stays
     /// silent; the final-generation op (whose version matches) publishes.
     pub fn mark_ready_at(&self, slot: SlotId, version: u64) {
+        if phylo_faults::fire("amc::lost_publish") {
+            return;
+        }
+        if phylo_faults::fire("amc::delayed_publish") {
+            std::thread::sleep(Duration::from_millis(20));
+        }
         let ph = &self.phases[slot.idx()];
         let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
         if ph.version.load(Ordering::Acquire) == version {
@@ -439,15 +533,30 @@ impl SlotManager {
         }
     }
 
-    /// Blocks until `slot`'s data is published. Callers must hold a pin
-    /// on the slot (so it cannot be remapped underneath the wait) and
+    /// Blocks until `slot`'s data is published, up to the watchdog
+    /// deadline ([`SlotManager::set_wait_timeout`]). Callers must hold a
+    /// pin on the slot (so it cannot be remapped underneath the wait) and
     /// must not hold the table lock (lock order: latches are innermost).
-    pub fn wait_ready(&self, slot: SlotId) {
+    ///
+    /// `Err(SlotWaitTimeout)` means the publish never came — the
+    /// computing thread died or its publish was dropped. The slot's data
+    /// must then be treated as garbage.
+    pub fn wait_ready(&self, slot: SlotId) -> Result<(), AmcError> {
         let ph = &self.phases[slot.idx()];
+        let deadline = self.wait_timeout();
+        let start = Instant::now();
         let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
         while !*r {
-            r = ph.cv.wait(r).unwrap_or_else(|e| e.into_inner());
+            let waited = start.elapsed();
+            let Some(left) = deadline.checked_sub(waited) else {
+                return Err(AmcError::SlotWaitTimeout {
+                    slot: slot.0,
+                    waited_ms: waited.as_millis() as u64,
+                });
+            };
+            (r, _) = ph.cv.wait_timeout(r, left).unwrap_or_else(|e| e.into_inner());
         }
+        Ok(())
     }
 
     /// Blocks until `slot`'s data is published **or** the slot has been
@@ -465,13 +574,25 @@ impl SlotManager {
     /// recorded dependency is readable right now. While the version still
     /// matches, an unpublished slot means the CLV is being computed by
     /// the plan that installed it, whose lock-free execution always
-    /// publishes — so the wait terminates.
-    pub fn wait_ready_at(&self, slot: SlotId, version: u64) {
+    /// publishes — so the wait terminates, unless that plan's thread died
+    /// or its publish was lost, in which case the watchdog deadline trips
+    /// with [`AmcError::SlotWaitTimeout`].
+    pub fn wait_ready_at(&self, slot: SlotId, version: u64) -> Result<(), AmcError> {
         let ph = &self.phases[slot.idx()];
+        let deadline = self.wait_timeout();
+        let start = Instant::now();
         let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
         while !*r && ph.version.load(Ordering::Acquire) == version {
-            r = ph.cv.wait(r).unwrap_or_else(|e| e.into_inner());
+            let waited = start.elapsed();
+            let Some(left) = deadline.checked_sub(waited) else {
+                return Err(AmcError::SlotWaitTimeout {
+                    slot: slot.0,
+                    waited_ms: waited.as_millis() as u64,
+                });
+            };
+            (r, _) = ph.cv.wait_timeout(r, left).unwrap_or_else(|e| e.into_inner());
         }
+        Ok(())
     }
 
     /// Whether `slot`'s data is published (non-blocking).
@@ -558,6 +679,19 @@ impl SlotManager {
         for &raw in &t.free {
             if t.slot_to_clv[raw as usize] != FREE {
                 return Err(format!("slot {raw} is on the free list but occupied"));
+            }
+            if t.failed[raw as usize] {
+                return Err(format!("slot {raw} is on the free list but still marked failed"));
+            }
+        }
+        for (s, &failed) in t.failed.iter().enumerate() {
+            if failed {
+                if t.slot_to_clv[s] != FREE {
+                    return Err(format!("failed slot {s} still holds a mapping"));
+                }
+                if t.pin_counts[s] == 0 {
+                    return Err(format!("failed slot {s} has no pins; it should have been freed"));
+                }
             }
         }
         Ok(())
@@ -779,12 +913,69 @@ mod tests {
         m.pin(s);
         let m2 = Arc::clone(&m);
         let waiter = std::thread::spawn(move || {
-            m2.wait_ready(s);
+            m2.wait_ready(s).unwrap();
             m2.version(s)
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         let v = m.version(s);
         m.mark_ready(s);
         assert_eq!(waiter.join().unwrap(), v);
+    }
+
+    #[test]
+    fn wait_ready_times_out_on_lost_publish() {
+        let m = mgr(4, 2);
+        m.set_wait_timeout(Duration::from_millis(30));
+        let s = m.acquire(ClvKey(0)).unwrap().slot();
+        m.pin(s);
+        let err = m.wait_ready(s).unwrap_err();
+        assert!(matches!(err, AmcError::SlotWaitTimeout { .. }), "{err:?}");
+        // A snapshot wait on the live version also times out rather than
+        // spinning forever.
+        let err = m.wait_ready_at(s, m.version(s)).unwrap_err();
+        assert!(matches!(err, AmcError::SlotWaitTimeout { .. }), "{err:?}");
+        m.unpin(s).unwrap();
+    }
+
+    #[test]
+    fn poison_defers_reclamation_until_pins_drain() {
+        let m = mgr(8, 2);
+        let s = m.acquire(ClvKey(0)).unwrap().slot();
+        m.pin(s); // the computing thread's own pin
+        m.pin(s); // a foreign waiter's pin
+        let v0 = m.version(s);
+        m.poison(s);
+        // Mapping gone, version bumped, slot NOT yet free (foreign pin).
+        assert_eq!(m.lookup(ClvKey(0)), None);
+        assert!(m.version(s) > v0);
+        assert!(!m.is_ready(s));
+        m.check_invariants().unwrap();
+        // Two fresh acquires: only ONE free slot may be handed out while
+        // the failed slot still carries the foreign pin.
+        let a = m.acquire(ClvKey(1)).unwrap();
+        assert_ne!(a.slot(), s, "failed slot leaked into the free list early");
+        // The foreign waiter drains its pin: now the slot is reusable.
+        m.unpin(s).unwrap();
+        let b = m.acquire(ClvKey(2)).unwrap();
+        assert_eq!(b.slot(), s, "reclaimed slot must be reusable");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn poisoned_slot_wakes_snapshot_waiters() {
+        use std::sync::Arc;
+        let m = Arc::new(mgr(4, 2));
+        let s = m.acquire(ClvKey(0)).unwrap().slot();
+        m.pin(s); // computing thread's pin
+        m.pin(s); // waiter's pin
+        let v = m.version(s);
+        let m2 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || m2.wait_ready_at(s, v));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        m.poison(s);
+        // The version bump releases the waiter promptly (no timeout).
+        waiter.join().unwrap().unwrap();
+        m.unpin(s).unwrap();
+        m.check_invariants().unwrap();
     }
 }

@@ -9,6 +9,7 @@
 //! distinct CLVs be recomputed concurrently by different threads.
 
 use crate::ctx::ReferenceContext;
+use crate::error::EngineError;
 use phylo_amc::{DepSource, FpaOp, SlotArena, SlotId};
 use phylo_kernel::kernels::{update_partials_scratch, Side};
 use phylo_kernel::sitepar::update_partials_par;
@@ -27,8 +28,8 @@ pub fn execute_op(
     arena: &SlotArena,
     op: &FpaOp,
     scratch: &mut KernelScratch,
-) {
-    execute_op_inner(ctx, arena, op, 1, scratch);
+) -> Result<(), EngineError> {
+    execute_op_inner(ctx, arena, op, 1, scratch)
 }
 
 /// As [`execute_op`], splitting the pattern range over `n_threads`
@@ -39,8 +40,8 @@ pub fn execute_op_par(
     op: &FpaOp,
     n_threads: usize,
     scratch: &mut KernelScratch,
-) {
-    execute_op_inner(ctx, arena, op, n_threads, scratch);
+) -> Result<(), EngineError> {
+    execute_op_inner(ctx, arena, op, n_threads, scratch)
 }
 
 fn execute_op_inner(
@@ -49,7 +50,7 @@ fn execute_op_inner(
     op: &FpaOp,
     n_threads: usize,
     scratch: &mut KernelScratch,
-) {
+) -> Result<(), EngineError> {
     let layout = *ctx.layout();
     let child_slots: Vec<SlotId> = op
         .deps
@@ -70,7 +71,7 @@ fn execute_op_inner(
     // publish.
     for (k, d) in op.deps.iter().enumerate() {
         if let DepSource::Slot(s) = d {
-            arena.manager().wait_ready_at(*s, op.dep_versions[k]);
+            arena.manager().wait_ready_at(*s, op.dep_versions[k])?;
         }
     }
     let view = arena.compute_view(op.slot, &child_slots);
@@ -104,11 +105,18 @@ fn execute_op_inner(
     } else {
         update_partials_par(&layout, left, right, view.target_clv, view.target_scale, n_threads);
     }
+    if phylo_faults::fire("engine::kernel_nan") {
+        // Simulates a kernel numeric failure (underflow past the scaler
+        // thresholds). The op is still this slot's exclusive writer: the
+        // slot is unpublished, so a fresh single-slot view is safe.
+        arena.compute_view(op.slot, &[]).target_clv[0] = f64::NAN;
+    }
     // Generation-aware publish: if a later op of this same schedule
     // already remapped the target slot, this op's bytes are a superseded
     // generation — announcing them as the new mapping's data would hand
     // concurrent plans the wrong CLV. The final-generation op publishes.
     arena.manager().mark_ready_at(op.slot, op.slot_version);
+    Ok(())
 }
 
 /// Executes a whole schedule in order.
@@ -117,10 +125,11 @@ pub fn execute_ops(
     arena: &SlotArena,
     ops: &[FpaOp],
     scratch: &mut KernelScratch,
-) {
+) -> Result<(), EngineError> {
     for op in ops {
-        execute_op(ctx, arena, op, scratch);
+        execute_op(ctx, arena, op, scratch)?;
     }
+    Ok(())
 }
 
 /// Executes a whole schedule with across-site parallelism per step.
@@ -130,8 +139,9 @@ pub fn execute_ops_par(
     ops: &[FpaOp],
     n_threads: usize,
     scratch: &mut KernelScratch,
-) {
+) -> Result<(), EngineError> {
     for op in ops {
-        execute_op_par(ctx, arena, op, n_threads, scratch);
+        execute_op_par(ctx, arena, op, n_threads, scratch)?;
     }
+    Ok(())
 }

@@ -60,6 +60,13 @@ impl ScratchPool {
     }
 
     fn checkin(&self, scratch: KernelScratch) {
+        if phylo_faults::fire("engine::scratch_lost") {
+            // Simulates scratch-pool exhaustion: the buffer is dropped
+            // instead of returned. Recovery is built in — the next
+            // checkout simply allocates a fresh one.
+            drop(scratch);
+            return;
+        }
         self.pool.lock().unwrap_or_else(|e| e.into_inner()).push(scratch);
     }
 }
@@ -145,13 +152,13 @@ impl ManagedStore {
         }
         let n_slots = n_slots.min(ctx.max_slots().max(min));
         let costs = strategy.needs_costs().then(|| ctx.cost_table());
-        let arena = SlotArena::new(
+        let arena = SlotArena::try_new(
             ctx.tree().n_dir_edges(),
             n_slots,
             ctx.layout().clv_len(),
             ctx.layout().patterns,
             strategy.build(costs),
-        );
+        )?;
         Ok(ManagedStore { arena, compute_threads: 1, scratch: ScratchPool::new() })
     }
 
@@ -171,13 +178,13 @@ impl ManagedStore {
             }));
         }
         let n_slots = n_slots.min(ctx.max_slots().max(min));
-        let arena = SlotArena::new(
+        let arena = SlotArena::try_new(
             ctx.tree().n_dir_edges(),
             n_slots,
             ctx.layout().clv_len(),
             ctx.layout().patterns,
             strategy,
-        );
+        )?;
         Ok(ManagedStore { arena, compute_threads: 1, scratch: ScratchPool::new() })
     }
 
@@ -196,6 +203,12 @@ impl ManagedStore {
     /// Number of physical slots.
     pub fn n_slots(&self) -> usize {
         self.arena.n_slots()
+    }
+
+    /// Sets the watchdog deadline for publish-latch waits (see
+    /// [`phylo_amc::SlotManager::set_wait_timeout`]).
+    pub fn set_wait_timeout(&self, timeout: std::time::Duration) {
+        self.arena.manager().set_wait_timeout(timeout);
     }
 
     /// Slot traffic counters (hits/misses/evictions).
@@ -231,25 +244,51 @@ impl ManagedStore {
     ) -> Result<PreparedBlock, EngineError> {
         let mut rs = ensure_resident(ctx.tree(), dirs, self.arena.manager(), ctx.register_need())?;
         let mut scratch = self.scratch.checkout();
-        if self.compute_threads <= 1 {
-            exec::execute_ops(ctx, &self.arena, &rs.ops, &mut scratch);
+        let run = if self.compute_threads <= 1 {
+            exec::execute_ops(ctx, &self.arena, &rs.ops, &mut scratch)
         } else {
-            exec::execute_ops_par(ctx, &self.arena, &rs.ops, self.compute_threads, &mut scratch);
-        }
+            exec::execute_ops_par(ctx, &self.arena, &rs.ops, self.compute_threads, &mut scratch)
+        };
         self.scratch.checkin(scratch);
+        if let Err(e) = run {
+            self.abort_schedule(rs);
+            return Err(e);
+        }
         rs.release_exec(self.arena.manager());
-        self.sync_targets(&rs);
+        self.sync_targets(&rs)?;
         Ok(PreparedBlock { rs })
+    }
+
+    /// Tears down a schedule that will never finish executing: releases
+    /// every pin it holds and, under the plan guard, invalidates its
+    /// installed-but-unpublished targets so a later plan does not treat
+    /// them as resident and wait on a publish that will never come.
+    /// Slots another plan has meanwhile pinned are left alone — that
+    /// plan's own bounded wait surfaces the failure.
+    fn abort_schedule(&self, mut rs: phylo_amc::ResidentSet) {
+        let mgr = self.arena.manager();
+        rs.release(mgr);
+        let _plan = mgr.plan_guard();
+        for op in &rs.ops {
+            let clv = ClvKey(op.target.0);
+            if mgr.lookup(clv) == Some(op.slot)
+                && !mgr.is_ready(op.slot)
+                && mgr.pin_count(op.slot) == 0
+            {
+                mgr.invalidate(clv);
+            }
+        }
     }
 
     /// Blocks until every target of `rs` is published. Targets this plan
     /// computed itself already are; a hit target still being computed by
     /// an earlier, concurrent plan is pinned (so it cannot be remapped)
     /// and that plan's lock-free execution always publishes it.
-    fn sync_targets(&self, rs: &ResidentSet) {
+    fn sync_targets(&self, rs: &ResidentSet) -> Result<(), EngineError> {
         for &(_, slot) in &rs.targets {
-            self.arena.manager().wait_ready(slot);
+            self.arena.manager().wait_ready(slot)?;
         }
+        Ok(())
     }
 
     /// Releases the pins held by a prepared block.
@@ -278,27 +317,39 @@ impl ManagedStore {
     /// when every step has run; the completing call also drops the plan's
     /// execution pins and synchronizes the block's targets, making it
     /// ready for [`PendingBlock::into_prepared`].
-    pub fn execute_one(&self, ctx: &ReferenceContext, pending: &mut PendingBlock) -> bool {
+    pub fn execute_one(
+        &self,
+        ctx: &ReferenceContext,
+        pending: &mut PendingBlock,
+    ) -> Result<bool, EngineError> {
         let Some(op) = pending.rs.ops.get(pending.next_op).copied() else {
             pending.rs.release_exec(self.arena.manager());
-            self.sync_targets(&pending.rs);
-            return false;
+            self.sync_targets(&pending.rs)?;
+            return Ok(false);
         };
         let mut scratch = self.scratch.checkout();
-        if self.compute_threads <= 1 {
-            exec::execute_op(ctx, &self.arena, &op, &mut scratch);
+        let run = if self.compute_threads <= 1 {
+            exec::execute_op(ctx, &self.arena, &op, &mut scratch)
         } else {
-            exec::execute_op_par(ctx, &self.arena, &op, self.compute_threads, &mut scratch);
-        }
+            exec::execute_op_par(ctx, &self.arena, &op, self.compute_threads, &mut scratch)
+        };
         self.scratch.checkin(scratch);
+        run?;
         pending.next_op += 1;
         if pending.next_op < pending.rs.ops.len() {
-            true
+            Ok(true)
         } else {
             pending.rs.release_exec(self.arena.manager());
-            self.sync_targets(&pending.rs);
-            false
+            self.sync_targets(&pending.rs)?;
+            Ok(false)
         }
+    }
+
+    /// Abandons a pending block whose execution failed or will not
+    /// continue: releases its pins and drops its unpublished targets so
+    /// the store stays usable for subsequent prepares.
+    pub fn abandon(&self, pending: PendingBlock) {
+        self.abort_schedule(pending.rs);
     }
 
     /// The stored side for a directed edge. The CLV variant requires the

@@ -44,6 +44,10 @@ pub struct EpaConfig {
     pub sitepar_threads: usize,
     /// Iterations of pendant/position refinement in thorough scoring.
     pub blo_iterations: usize,
+    /// Watchdog deadline for publish-latch waits; `None` keeps the
+    /// manager's default (60 s). A lost or stalled publish then surfaces
+    /// as [`phylo_amc::AmcError::SlotWaitTimeout`] instead of hanging.
+    pub slot_wait_timeout: Option<std::time::Duration>,
 }
 
 impl Default for EpaConfig {
@@ -60,6 +64,7 @@ impl Default for EpaConfig {
             async_prefetch: true,
             sitepar_threads: 1,
             blo_iterations: 2,
+            slot_wait_timeout: None,
         }
     }
 }
@@ -85,6 +90,9 @@ impl EpaConfig {
         }
         if self.thorough_min == 0 {
             return Err(BadConfig("thorough_min must be at least 1".into()));
+        }
+        if self.slot_wait_timeout.is_some_and(|d| d.is_zero()) {
+            return Err(BadConfig("slot_wait_timeout must be non-zero".into()));
         }
         Ok(())
     }

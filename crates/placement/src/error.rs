@@ -46,6 +46,18 @@ pub enum PlaceError {
         /// Which thread panicked and the panic payload, if printable.
         context: String,
     },
+    /// A likelihood evaluated to NaN or ±∞. With the scaled kernels this
+    /// is a numeric failure (corrupted CLV data or scaler underflow),
+    /// never a property of the input, so it is surfaced instead of
+    /// silently mis-ranking placements.
+    NonFiniteLikelihood {
+        /// The query being scored.
+        query: String,
+        /// The branch it was scored on.
+        edge: u32,
+    },
+    /// Writing the jplace output failed.
+    OutputIo(std::io::Error),
     /// Propagated engine/AMC failure.
     Engine(phylo_engine::EngineError),
 }
@@ -73,6 +85,12 @@ impl fmt::Display for PlaceError {
             PlaceError::WorkerPanicked { context } => {
                 write!(f, "worker thread panicked: {context}")
             }
+            PlaceError::NonFiniteLikelihood { query, edge } => write!(
+                f,
+                "non-finite likelihood for query {query:?} on edge {edge}: numeric failure \
+                 in the kernel"
+            ),
+            PlaceError::OutputIo(e) => write!(f, "could not write placement output: {e}"),
             PlaceError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
@@ -82,6 +100,7 @@ impl std::error::Error for PlaceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PlaceError::Engine(e) => Some(e),
+            PlaceError::OutputIo(e) => Some(e),
             _ => None,
         }
     }

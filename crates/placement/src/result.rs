@@ -83,6 +83,24 @@ pub struct RunReport {
     pub used_lookup: bool,
     /// Slots allocated.
     pub slots: usize,
+    /// How often the run had to step down the degradation ladder.
+    pub degradation: DegradationStats,
+}
+
+/// Counters for the graceful-degradation ladder the orchestrator walks
+/// under slot pressure instead of aborting (see DESIGN.md §7): disable
+/// async prefetch, shrink the branch block, flush the CLV cache and
+/// retry with backoff. All zeros on an unpressured run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Times async prefetch was disabled because the spare slots could
+    /// only carry one pinned block.
+    pub prefetch_disabled: u64,
+    /// Times the branch block size was clamped below the configured one.
+    pub block_clamped: u64,
+    /// Cache flush-and-retry attempts after pin exhaustion on a
+    /// single-branch block.
+    pub flush_retries: u64,
 }
 
 /// Serializes results in the `jplace` (v3) format. The tree string carries
@@ -108,6 +126,32 @@ pub fn to_jplace(tree: &Tree, results: &[PlacementResult]) -> String {
     }
     out.push_str("  ],\n  \"metadata\": {\"software\": \"phyloplace\"}\n}\n");
     out
+}
+
+/// Writes jplace output crash-atomically: the contents go to
+/// `<path>.tmp` first and are renamed into place only once fully
+/// written, so an interrupted run leaves either the previous output or
+/// none — never a truncated file a downstream parser would choke on.
+pub fn write_jplace_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(match path.extension() {
+        Some(e) => format!("{}.tmp", e.to_string_lossy()),
+        None => "tmp".to_string(),
+    });
+    let write = || -> std::io::Result<()> {
+        std::fs::write(&tmp, contents)?;
+        if phylo_faults::fire("place::jplace_io") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "injected jplace write failure",
+            ));
+        }
+        std::fs::rename(&tmp, path)
+    };
+    let r = write();
+    if r.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    r
 }
 
 /// Newick with `{edge_id}` annotations after each branch length (the

@@ -6,11 +6,40 @@ use crate::error::PlaceError;
 use crate::lookup::LookupTable;
 use crate::memplan::{self, MemoryPlan};
 use crate::queries::{EncodedQuery, QueryBatch};
-use crate::result::{PlacementEntry, PlacementResult, RunReport};
+use crate::result::{DegradationStats, PlacementEntry, PlacementResult, RunReport};
 use crate::score::{attachment_partials, score_thorough, BranchScoreTable, ScoreScratch};
 use phylo_engine::{ManagedStore, PreparedBlock, ReferenceContext};
 use phylo_tree::{DirEdgeId, EdgeId};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Atomic tallies for the degradation ladder; workers and the prefetch
+/// thread bump them concurrently, [`Placer::place`] snapshots them into
+/// the run report.
+#[derive(Default)]
+struct DegradationCounters {
+    prefetch_disabled: AtomicU64,
+    block_clamped: AtomicU64,
+    flush_retries: AtomicU64,
+}
+
+impl DegradationCounters {
+    fn snapshot(&self) -> DegradationStats {
+        DegradationStats {
+            prefetch_disabled: self.prefetch_disabled.load(Ordering::Relaxed),
+            block_clamped: self.block_clamped.load(Ordering::Relaxed),
+            flush_retries: self.flush_retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How one scoring pass runs branch blocks after the degradation ladder
+/// has been applied to the configured block size and prefetch mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockPlan {
+    block_size: usize,
+    async_prefetch: bool,
+}
 
 /// A configured placement engine over one reference.
 pub struct Placer {
@@ -47,26 +76,37 @@ impl Placer {
         memplan::plan(&self.ctx, &self.cfg, batch.len(), batch.n_sites())
     }
 
-    /// The largest branch-block size the slot budget supports: each block
-    /// pins two CLVs per branch (both orientations), async prefetch keeps
-    /// two blocks pinned at once, and `⌈log₂ n⌉ + 2` slots must stay
-    /// unpinned for the traversal itself.
+    /// The degradation ladder: fits the configured block size and prefetch
+    /// mode to the slot budget instead of aborting. Each block pins two
+    /// CLVs per branch (both orientations), async prefetch keeps two
+    /// blocks pinned at once, and `⌈log₂ n⌉ + 2` slots must stay unpinned
+    /// for the traversal itself.
     ///
-    /// A slot count without enough headroom for even a one-branch block is
-    /// a planning error, not something to paper over with a degenerate
-    /// block size: blocks of one branch would still exhaust the pins at
-    /// prepare time, only later and less explicably. The memory planner
-    /// ([`memplan::plan`]) always reserves this headroom, so the error only
-    /// fires for hand-built slot counts.
-    fn effective_block_size(&self, slots: usize) -> Result<usize, PlaceError> {
+    /// Rungs, in order: (1) disable async prefetch when the spare slots
+    /// can only carry one pinned block; (2) clamp the block size to what
+    /// the remaining spare supports. Each step is tallied in `deg`. The
+    /// bottom rung — not even a one-branch synchronous block fits — stays
+    /// a hard planning error: blocks of one branch would still exhaust
+    /// the pins at prepare time, only later and less explicably. The
+    /// memory planner ([`memplan::plan`]) always reserves this headroom,
+    /// so the error only fires for hand-built slot counts.
+    fn plan_block(&self, slots: usize, deg: &DegradationCounters) -> Result<BlockPlan, PlaceError> {
         // A full store holds every CLV: nothing is ever evicted, block
         // pins cost no headroom, and blocks can be as large as requested.
         // (Tiny trees can have fewer total slots than floor + headroom.)
         if slots >= self.ctx.max_slots() {
-            return Ok(self.cfg.block_size);
+            return Ok(BlockPlan {
+                block_size: self.cfg.block_size,
+                async_prefetch: self.cfg.async_prefetch,
+            });
         }
         let spare = slots.saturating_sub(self.ctx.min_slots());
-        let per_block = if self.cfg.async_prefetch { 4 } else { 2 };
+        let mut async_prefetch = self.cfg.async_prefetch;
+        if async_prefetch && spare < 4 {
+            async_prefetch = false;
+            deg.prefetch_disabled.fetch_add(1, Ordering::Relaxed);
+        }
+        let per_block = if async_prefetch { 4 } else { 2 };
         if spare < per_block {
             return Err(PlaceError::SlotHeadroomTooSmall {
                 slots,
@@ -74,7 +114,11 @@ impl Placer {
                 needed: per_block,
             });
         }
-        Ok((spare / per_block).min(self.cfg.block_size))
+        let block_size = (spare / per_block).min(self.cfg.block_size);
+        if block_size < self.cfg.block_size {
+            deg.block_clamped.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(BlockPlan { block_size, async_prefetch })
     }
 
     /// Places every query of the batch; returns per-query results (in
@@ -94,8 +138,12 @@ impl Placer {
             peak_memory: plan.tracker.peak(),
             ..Default::default()
         };
+        let deg = DegradationCounters::default();
         let mut store = ManagedStore::with_slots(ctx, plan.slots, cfg.strategy)?;
         store.set_compute_threads(cfg.sitepar_threads.max(1));
+        if let Some(timeout) = cfg.slot_wait_timeout {
+            store.set_wait_timeout(timeout);
+        }
 
         let store = store; // sharing starts here; the store is internally synchronized
         let lookup = if plan.use_lookup {
@@ -139,11 +187,20 @@ impl Placer {
                     );
                 }
                 None => {
-                    self.prescore_blocked(ctx, &store, chunk, mat, branches)?;
+                    self.prescore_blocked(ctx, &store, chunk, mat, branches, &deg)?;
                 }
             }
             report.n_prescored += (chunk.len() * branches) as u64;
             report.prescore_time += t.elapsed();
+            // NaN never ranks correctly in candidate selection (every
+            // comparison is false), so a kernel numeric failure here would
+            // otherwise silently drop branches from consideration.
+            if let Some(bad) = mat.iter().position(|v| v.is_nan()) {
+                return Err(PlaceError::NonFiniteLikelihood {
+                    query: chunk[bad / branches].name.clone(),
+                    edge: (bad % branches) as u32,
+                });
+            }
 
             // ---- Candidate selection. ----
             let cand: Vec<Vec<EdgeId>> = mat
@@ -155,7 +212,7 @@ impl Placer {
             let t = Instant::now();
             let grouped = group_by_branch_ranked(&cand, &dfs_rank);
             report.n_thorough += grouped.iter().map(|(_, qs)| qs.len() as u64).sum::<u64>();
-            self.thorough_blocked(ctx, &store, chunk, &grouped, qoff, &mut results)?;
+            self.thorough_blocked(ctx, &store, chunk, &grouped, qoff, &mut results, &deg)?;
             report.thorough_time += t.elapsed();
         }
 
@@ -163,6 +220,7 @@ impl Placer {
             r.finalize();
         }
         report.slot_stats = store.stats();
+        report.degradation = deg.snapshot();
         report.total_time = t_total.elapsed();
         Ok((results, report))
     }
@@ -178,17 +236,19 @@ impl Placer {
         chunk: &[EncodedQuery],
         mat: &mut [f64],
         branches: usize,
+        deg: &DegradationCounters,
     ) -> Result<(), PlaceError> {
         let cfg = &self.cfg;
-        let block_size = self.effective_block_size(store.n_slots())?;
+        let plan = self.plan_block(store.n_slots(), deg)?;
         // DFS order keeps consecutive blocks topologically adjacent, so
         // AMC reuses most subtree CLVs between blocks.
         let all_edges: Vec<EdgeId> = phylo_tree::traversal::edge_dfs_order(ctx.tree());
-        let blocks: Vec<Vec<EdgeId>> = all_edges.chunks(block_size).map(|b| b.to_vec()).collect();
+        let blocks: Vec<Vec<EdgeId>> =
+            all_edges.chunks(plan.block_size).map(|b| b.to_vec()).collect();
         let s2p = &self.site_to_pattern;
         let pendant = (ctx.tree().total_length() / branches as f64).max(1e-6);
         let mut mat_cell = RowMatrix { data: mat, width: branches };
-        run_blocks(ctx, store, &blocks, cfg.async_prefetch, |block| {
+        run_blocks(ctx, store, &blocks, plan.async_prefetch, deg, |block| {
             // Build the block's transient tables; the block's CLVs are
             // pinned and published, so reads need no lock.
             let tables: Vec<BranchScoreTable> = {
@@ -224,67 +284,81 @@ impl Placer {
         grouped: &[(EdgeId, Vec<usize>)],
         qoff: usize,
         results: &mut Vec<PlacementResult>,
+        deg: &DegradationCounters,
     ) -> Result<(), PlaceError> {
         let cfg = &self.cfg;
         let s2p = &self.site_to_pattern;
-        let block_size = self.effective_block_size(store.n_slots())?;
+        let plan = self.plan_block(store.n_slots(), deg)?;
         let blocks: Vec<Vec<EdgeId>> =
-            grouped.chunks(block_size).map(|g| g.iter().map(|&(e, _)| e).collect()).collect();
+            grouped.chunks(plan.block_size).map(|g| g.iter().map(|&(e, _)| e).collect()).collect();
         // Blocks may be re-split under slot pressure, so group membership
         // is looked up per edge rather than tracked by a cursor.
         let group_of: std::collections::HashMap<u32, &Vec<usize>> =
             grouped.iter().map(|(e, qs)| (e.0, qs)).collect();
-        run_blocks(ctx, store, &blocks, cfg.async_prefetch, |block| {
+        run_blocks(ctx, store, &blocks, plan.async_prefetch, deg, |block| {
             // Flatten to (edge, query) work items and strip across threads.
             let items: Vec<(EdgeId, usize)> =
                 block.iter().flat_map(|e| group_of[&e.0].iter().map(move |&q| (*e, q))).collect();
             let n_threads = cfg.threads.min(items.len().max(1));
             let mut outputs: Vec<Vec<(usize, PlacementEntry)>> = Vec::new();
-            let mut panicked: Option<PlaceError> = None;
+            let mut failed: Option<PlaceError> = None;
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for t in 0..n_threads {
                     let items = &items;
-                    handles.push(s.spawn(move || {
-                        let mut out = Vec::new();
-                        let mut scratch = ScoreScratch::new(ctx);
-                        let mut k = t;
-                        while k < items.len() {
-                            let (e, q) = items[k];
-                            let sp = score_thorough(
-                                ctx,
-                                store,
-                                e,
-                                s2p,
-                                &chunk[q].codes,
-                                cfg.blo_iterations,
-                                &mut scratch,
-                            )
-                            .expect("thorough scoring on a prepared branch");
-                            let t_len = ctx.tree().edge_length(e);
-                            out.push((
-                                q,
-                                PlacementEntry {
-                                    edge: e,
-                                    log_likelihood: sp.log_likelihood,
-                                    like_weight_ratio: 0.0,
-                                    pendant_length: sp.pendant,
-                                    distal_length: sp.proximal_fraction * t_len,
-                                },
-                            ));
-                            k += n_threads;
-                        }
-                        out
-                    }));
+                    handles.push(s.spawn(
+                        move || -> Result<Vec<(usize, PlacementEntry)>, PlaceError> {
+                            if phylo_faults::fire("place::worker_panic") {
+                                panic!("injected thorough-worker panic");
+                            }
+                            let mut out = Vec::new();
+                            let mut scratch = ScoreScratch::new(ctx);
+                            let mut k = t;
+                            while k < items.len() {
+                                let (e, q) = items[k];
+                                let sp = score_thorough(
+                                    ctx,
+                                    store,
+                                    e,
+                                    s2p,
+                                    &chunk[q].codes,
+                                    cfg.blo_iterations,
+                                    &mut scratch,
+                                )?;
+                                if !sp.log_likelihood.is_finite() {
+                                    return Err(PlaceError::NonFiniteLikelihood {
+                                        query: chunk[q].name.clone(),
+                                        edge: e.0,
+                                    });
+                                }
+                                let t_len = ctx.tree().edge_length(e);
+                                out.push((
+                                    q,
+                                    PlacementEntry {
+                                        edge: e,
+                                        log_likelihood: sp.log_likelihood,
+                                        like_weight_ratio: 0.0,
+                                        pendant_length: sp.pendant,
+                                        distal_length: sp.proximal_fraction * t_len,
+                                    },
+                                ));
+                                k += n_threads;
+                            }
+                            Ok(out)
+                        },
+                    ));
                 }
-                // Join every worker even after a panic: the scope must not
-                // re-raise, and the surviving workers' leases must drain
-                // before the error surfaces.
+                // Join every worker even after a panic or error: the scope
+                // must not re-raise, and the surviving workers' leases must
+                // drain before the error surfaces.
                 for h in handles {
                     match h.join() {
-                        Ok(out) => outputs.push(out),
+                        Ok(Ok(out)) => outputs.push(out),
+                        Ok(Err(e)) => {
+                            failed.get_or_insert(e);
+                        }
                         Err(payload) => {
-                            panicked = Some(PlaceError::WorkerPanicked {
+                            failed = Some(PlaceError::WorkerPanicked {
                                 context: format!(
                                     "thorough scoring worker: {}",
                                     panic_message(payload.as_ref())
@@ -294,7 +368,7 @@ impl Placer {
                     }
                 }
             });
-            if let Some(e) = panicked {
+            if let Some(e) = failed {
                 return Err(e);
             }
             for out in outputs {
@@ -379,6 +453,7 @@ fn run_blocks(
     store: &ManagedStore,
     blocks: &[Vec<EdgeId>],
     async_prefetch: bool,
+    deg: &DegradationCounters,
     mut scorer: impl FnMut(&[EdgeId]) -> Result<(), PlaceError>,
 ) -> Result<(), PlaceError> {
     if blocks.is_empty() {
@@ -386,7 +461,7 @@ fn run_blocks(
     }
     if !async_prefetch {
         for block in blocks {
-            prepare_split(ctx, store, block, &mut scorer)?;
+            prepare_split(ctx, store, block, deg, &mut scorer)?;
         }
         return Ok(());
     }
@@ -403,12 +478,30 @@ fn run_blocks(
                     let pref_err = &mut prefetch_result;
                     std::thread::scope(|s| {
                         let handle = s.spawn(|| -> Result<Option<PreparedBlock>, PlaceError> {
+                            if phylo_faults::fire("place::prefetch_panic") {
+                                // Fires before any pins are taken, so the
+                                // contained panic leaves nothing to drain.
+                                panic!("injected prefetch panic");
+                            }
                             let mut pending = match store.plan_prepare(ctx, &next_dirs) {
                                 Ok(p) => p,
                                 Err(e) if is_pin_exhaustion(&e) => return Ok(None),
                                 Err(e) => return Err(e.into()),
                             };
-                            while store.execute_one(ctx, &mut pending) {}
+                            loop {
+                                match store.execute_one(ctx, &mut pending) {
+                                    Ok(true) => {}
+                                    Ok(false) => break,
+                                    Err(e) => {
+                                        // The failed step left unpublished
+                                        // targets; drop them so the store
+                                        // stays usable for whoever handles
+                                        // the error.
+                                        store.abandon(pending);
+                                        return Err(e.into());
+                                    }
+                                }
+                            }
                             Ok(Some(pending.into_prepared()))
                         });
                         scorer_result = scorer(&blocks[k]);
@@ -437,7 +530,7 @@ fn run_blocks(
                 // This block could not be prefetched whole: prepare it
                 // synchronously, splitting as needed, then resume
                 // prefetching from the next block.
-                prepare_split(ctx, store, &blocks[k], &mut scorer)?;
+                prepare_split(ctx, store, &blocks[k], deg, &mut scorer)?;
                 if k + 1 < blocks.len() {
                     next = try_prepare(ctx, store, &blocks[k + 1])?;
                 }
@@ -475,6 +568,7 @@ fn prepare_split(
     ctx: &ReferenceContext,
     store: &ManagedStore,
     block: &[EdgeId],
+    deg: &DegradationCounters,
     scorer: &mut impl FnMut(&[EdgeId]) -> Result<(), PlaceError>,
 ) -> Result<(), PlaceError> {
     match store.prepare(ctx, &dirs_of(block)) {
@@ -485,23 +579,37 @@ fn prepare_split(
         }
         Err(e) if is_pin_exhaustion(&e) && block.len() > 1 => {
             let mid = block.len() / 2;
-            prepare_split(ctx, store, &block[..mid], scorer)?;
-            prepare_split(ctx, store, &block[mid..], scorer)
+            prepare_split(ctx, store, &block[..mid], deg, scorer)?;
+            prepare_split(ctx, store, &block[mid..], deg, scorer)
         }
         Err(e) if is_pin_exhaustion(&e) => {
             // Even a single branch can exhaust the pins when the plan
             // references many *cached* dependencies (each gets pinned for
             // the pass). Flush the cache and retry over a clean slate,
             // where the pin demand is bounded by the traversal floor.
-            store.flush_cache();
-            match store.prepare(ctx, &dirs_of(block)) {
-                Ok(prepared) => {
-                    let r = scorer(block);
-                    store.release(prepared);
-                    r
+            // Concurrent planners can race us to the freed slots, so back
+            // off exponentially (capped) between a few attempts before
+            // giving up — the ladder's last rung.
+            let mut backoff = Duration::from_millis(1);
+            let mut last = e;
+            for attempt in 0..4 {
+                if attempt > 0 {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(8));
                 }
-                Err(e) => Err(e.into()),
+                deg.flush_retries.fetch_add(1, Ordering::Relaxed);
+                store.flush_cache();
+                match store.prepare(ctx, &dirs_of(block)) {
+                    Ok(prepared) => {
+                        let r = scorer(block);
+                        store.release(prepared);
+                        return r;
+                    }
+                    Err(e) if is_pin_exhaustion(&e) => last = e,
+                    Err(e) => return Err(e.into()),
+                }
             }
+            Err(last.into())
         }
         Err(e) => Err(e.into()),
     }
@@ -712,28 +820,40 @@ mod tests {
     }
 
     #[test]
-    fn zero_slot_headroom_is_a_planning_error() {
+    fn block_plan_walks_the_degradation_ladder() {
         let (ctx, s2p, _) = setup(12, 40, 1, 9);
         let floor = ctx.min_slots();
         let sync_cfg = EpaConfig { async_prefetch: false, ..Default::default() };
         let placer = Placer::new(ctx, s2p.clone(), sync_cfg).unwrap();
-        // Sync blocks pin 2 slots, async prefetch keeps 4 pinned; anything
-        // short of that above the traversal floor must be rejected, not
-        // silently clamped to a block size of 1.
+        let deg = DegradationCounters::default();
+        // Bottom rung: a sync block pins 2 slots; one spare slot cannot
+        // carry even a one-branch block and must be rejected, not silently
+        // deadlocked at prepare time.
         assert!(matches!(
-            placer.effective_block_size(floor + 1),
+            placer.plan_block(floor + 1, &deg),
             Err(PlaceError::SlotHeadroomTooSmall { needed: 2, .. })
         ));
-        assert_eq!(placer.effective_block_size(floor + 2).unwrap(), 1);
+        let plan = placer.plan_block(floor + 2, &deg).unwrap();
+        assert_eq!(plan, BlockPlan { block_size: 1, async_prefetch: false });
+        assert_eq!(deg.snapshot().block_clamped, 1);
 
+        // Async prefetch keeps two blocks pinned (4 slots per branch);
+        // with less spare than that the ladder falls back to synchronous
+        // preparation instead of erroring out.
         let (ctx2, _, _) = setup(12, 40, 1, 9);
         let async_cfg = EpaConfig { async_prefetch: true, ..Default::default() };
         let async_placer = Placer::new(ctx2, s2p, async_cfg).unwrap();
+        let deg = DegradationCounters::default();
+        let plan = async_placer.plan_block(floor + 3, &deg).unwrap();
+        assert_eq!(plan, BlockPlan { block_size: 1, async_prefetch: false });
+        assert_eq!(deg.snapshot().prefetch_disabled, 1);
+        let plan = async_placer.plan_block(floor + 4, &deg).unwrap();
+        assert_eq!(plan, BlockPlan { block_size: 1, async_prefetch: true });
+        // Only one spare slot is fatal even after dropping prefetch.
         assert!(matches!(
-            async_placer.effective_block_size(floor + 3),
-            Err(PlaceError::SlotHeadroomTooSmall { needed: 4, .. })
+            async_placer.plan_block(floor + 1, &deg),
+            Err(PlaceError::SlotHeadroomTooSmall { needed: 2, .. })
         ));
-        assert_eq!(async_placer.effective_block_size(floor + 4).unwrap(), 1);
     }
 
     #[test]

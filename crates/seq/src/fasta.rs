@@ -33,7 +33,19 @@ pub fn read(reader: impl std::io::Read, kind: AlphabetKind) -> Result<Vec<Sequen
                     msg: format!("record {n:?} has no sequence data"),
                 });
             }
-            out.push(Sequence::from_text(n, kind, body)?);
+            let seq = Sequence::from_text(n.clone(), kind, body).map_err(|e| match e {
+                // Re-anchor residue errors to the record so a user can
+                // find the offending line in a multi-record file.
+                SeqError::BadCharacter { position, character } => SeqError::Fasta {
+                    line: line_no,
+                    msg: format!(
+                        "record {n:?}: character {character:?} at sequence offset {position} \
+                         is not in the alphabet"
+                    ),
+                },
+                other => other,
+            })?;
+            out.push(seq);
             body.clear();
         }
         Ok(())
@@ -151,5 +163,42 @@ mod tests {
     fn protein_fasta() {
         let seqs = parse(">p\nMKVL\n", AlphabetKind::Protein).unwrap();
         assert_eq!(seqs[0].to_text(), "MKVL");
+    }
+
+    #[test]
+    fn non_alphabet_residue_names_record_and_offset() {
+        match parse(">ok\nACGT\n>bad\nACXT\n", AlphabetKind::Dna) {
+            Err(SeqError::Fasta { line, msg }) => {
+                assert_eq!(line, 4);
+                assert!(msg.contains("\"bad\""), "{msg}");
+                assert!(msg.contains("'X'"), "{msg}");
+                assert!(msg.contains("offset 2"), "{msg}");
+            }
+            other => panic!("expected Fasta error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_header_rejected_with_line() {
+        match parse(">a\nAC\n>\nGT\n", AlphabetKind::Dna) {
+            Err(SeqError::Fasta { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Fasta error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_trailing_record_rejected() {
+        // A file that ends right after a header (e.g. a cut-short
+        // download) must fail, not yield a zero-length sequence.
+        match parse(">a\nACGT\n>trailing\n", AlphabetKind::Dna) {
+            Err(SeqError::Fasta { msg, .. }) => assert!(msg.contains("no sequence data")),
+            other => panic!("expected Fasta error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let seqs = parse(">a\r\nAC\r\nGT\r\n", AlphabetKind::Dna).unwrap();
+        assert_eq!(seqs[0].to_text(), "ACGT");
     }
 }

@@ -16,6 +16,16 @@ use crate::tree::{BuildNode, Tree, TreeBuilder};
 /// Default branch length assigned when the Newick text omits one.
 pub const DEFAULT_BRANCH_LENGTH: f64 = 0.0;
 
+/// Deepest parenthesis nesting the parser accepts. The parser itself
+/// keeps an explicit stack, but the builder walk and the AST teardown
+/// after it recurse once per level, so without a bound a hostile input
+/// of a few kilobytes of `(` would overflow the stack — an abort, not a
+/// catchable error. The bound keeps those walks within a 2 MiB thread
+/// stack (the test-runner default) with margin. Only a pure-caterpillar
+/// topology nests anywhere near it; random and inferred trees stay
+/// within a few hundred levels even at 10⁵ taxa.
+pub const MAX_NESTING_DEPTH: usize = 2_000;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -89,36 +99,53 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses a subtree and the branch length that follows it.
+    ///
+    /// Iterative with an explicit stack of partially-built inner nodes:
+    /// parse depth is bounded only by [`MAX_NESTING_DEPTH`], never by the
+    /// thread's stack, so hostile nesting yields a typed error rather
+    /// than a stack-overflow abort.
     fn parse_subtree(&mut self) -> Result<(Ast, f64), TreeError> {
-        self.skip_ws();
-        if self.peek() == Some(b'(') {
-            self.pos += 1;
-            let mut children = Vec::new();
-            loop {
-                children.push(self.parse_subtree()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => {
-                        self.pos += 1;
-                    }
-                    Some(b')') => {
-                        self.pos += 1;
-                        break;
-                    }
-                    _ => return Err(self.err("expected ',' or ')'")),
+        let mut stack: Vec<Vec<(Ast, f64)>> = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'(') {
+                if stack.len() >= MAX_NESTING_DEPTH {
+                    return Err(self.err(format!("nesting deeper than {MAX_NESTING_DEPTH} levels")));
                 }
+                self.pos += 1;
+                stack.push(Vec::new());
+                continue;
             }
-            // Optional internal label, ignored.
-            let _ = self.parse_name();
-            let len = self.parse_length()?;
-            Ok((Ast::Inner(children), len))
-        } else {
             let name = self.parse_name();
             if name.is_empty() {
                 return Err(self.err("expected taxon name"));
             }
             let len = self.parse_length()?;
-            Ok((Ast::Leaf(name), len))
+            let mut node = (Ast::Leaf(name), len);
+            // Attach the completed subtree upward, closing as many groups
+            // as the input closes here.
+            loop {
+                let Some(top) = stack.last_mut() else {
+                    return Ok(node);
+                };
+                top.push(node);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                        break; // next sibling
+                    }
+                    Some(b')') => {
+                        self.pos += 1;
+                        let children = stack.pop().expect("non-empty: last_mut succeeded");
+                        // Optional internal label, ignored.
+                        let _ = self.parse_name();
+                        let len = self.parse_length()?;
+                        node = (Ast::Inner(children), len);
+                    }
+                    _ => return Err(self.err("expected ',' or ')'")),
+                }
+            }
         }
     }
 }
@@ -347,5 +374,44 @@ mod tests {
     #[test]
     fn reject_negative_length() {
         assert!(parse("(A:-0.5,B:0.2,C:0.3);").is_err());
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error_with_position() {
+        // Cut off mid-subtree: the error must be Parse (not a panic) and
+        // point at the byte where input ran out.
+        let text = "((A:0.1,B:0.2";
+        match parse(text) {
+            Err(TreeError::Parse { pos, .. }) => assert_eq!(pos, text.len()),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbalanced_parens_rejected() {
+        assert!(matches!(parse("((A,B,C);"), Err(TreeError::Parse { .. })));
+        assert!(matches!(parse("(A,B,C));"), Err(TreeError::Parse { .. })));
+        assert!(matches!(parse("(A,(B,C);"), Err(TreeError::Parse { .. })));
+    }
+
+    #[test]
+    fn hostile_nesting_depth_is_an_error_not_a_stack_overflow() {
+        let mut text = String::new();
+        for _ in 0..(MAX_NESTING_DEPTH + 10) {
+            text.push('(');
+        }
+        text.push('A');
+        match parse(&text) {
+            Err(TreeError::Parse { msg, .. }) => assert!(msg.contains("nesting"), "{msg}"),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_taxon_name_reports_position() {
+        match parse("(A:0.1,,C:0.3);") {
+            Err(TreeError::Parse { pos, .. }) => assert_eq!(pos, 7),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
     }
 }

@@ -9,11 +9,14 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release (warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -q --features faults --test faults (fault matrix)"
+cargo test -q --features faults --test faults
 
 echo "==> cargo fmt --check"
 cargo fmt --check

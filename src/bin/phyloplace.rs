@@ -22,7 +22,10 @@ fn main() {
             eprintln!("{summary}");
             match out_path {
                 Some(path) => {
-                    if let Err(e) = std::fs::write(&path, jplace) {
+                    // Atomic write: a crash mid-write must not leave a
+                    // truncated jplace behind.
+                    let p = std::path::Path::new(&path);
+                    if let Err(e) = phyloplace::place::result::write_jplace_atomic(p, &jplace) {
                         eprintln!("{path}: {e}");
                         std::process::exit(1);
                     }

@@ -88,7 +88,7 @@ fn stress() {
                     for op in &rs.ops {
                         for (k, d) in op.deps.iter().enumerate() {
                             if let DepSource::Slot(slot) = d {
-                                mgr.wait_ready_at(*slot, op.dep_versions[k]);
+                                mgr.wait_ready_at(*slot, op.dep_versions[k]).unwrap();
                             }
                         }
                         mgr.mark_ready_at(op.slot, op.slot_version);
@@ -97,7 +97,7 @@ fn stress() {
                     // A hit target may still be computing under an earlier
                     // concurrent plan; readers wait on the publish latch.
                     for (&(d, slot), v0) in rs.targets.iter().zip(&versions) {
-                        mgr.wait_ready(slot);
+                        mgr.wait_ready(slot).unwrap();
                         assert_eq!(
                             mgr.version(slot),
                             *v0,

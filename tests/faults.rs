@@ -1,0 +1,226 @@
+//! The fault matrix: every injection site in the pipeline is armed and
+//! the run must either absorb the fault with byte-identical output
+//! (recoverable faults) or surface a clean typed error — no hang, no
+//! panic escaping `place()` — and leave the pipeline reusable.
+//!
+//! Build with `cargo test --features faults --test faults`; without the
+//! feature this file compiles to nothing, matching release binaries
+//! where every probe site folds away.
+#![cfg(feature = "faults")]
+
+use phylo_faults::Trigger;
+use phyloplace::place::result::to_jplace;
+use phyloplace::place::{memplan, EpaConfig, PlaceError, Placer, PreplacementMode, QueryBatch};
+use phyloplace::prelude::*;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// The fault registry is process-global; tests that arm sites must not
+// overlap in time.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn setup() -> (phyloplace::datasets::Dataset, Vec<u32>, QueryBatch) {
+    let spec = phyloplace::datasets::neotrop(Scale::Ci);
+    let ds = phyloplace::datasets::generate(&spec);
+    let patterns = phyloplace::seq::compress(&ds.reference).unwrap();
+    let s2p = patterns.site_to_pattern().to_vec();
+    let batch = QueryBatch::new(&ds.queries, ds.reference.n_sites()).unwrap();
+    (ds, s2p, batch)
+}
+
+fn ctx_of(ds: &phyloplace::datasets::Dataset) -> ReferenceContext {
+    let patterns = phyloplace::seq::compress(&ds.reference).unwrap();
+    ReferenceContext::new(ds.tree.clone(), ds.model.clone(), ds.spec.alphabet.alphabet(), &patterns)
+        .unwrap()
+}
+
+/// A config that exercises the full AMC machinery: no lookup shortcut,
+/// floor slot budget, async prefetch, several worker threads.
+fn amc_config(ds: &phyloplace::datasets::Dataset, batch: &QueryBatch) -> EpaConfig {
+    let base = EpaConfig {
+        preplacement: PreplacementMode::Off,
+        chunk_size: 7,
+        threads: 2,
+        block_size: 4,
+        async_prefetch: true,
+        ..Default::default()
+    };
+    let probe = ctx_of(ds);
+    let floor = memplan::floor_budget(&probe, &base, batch.len(), batch.n_sites());
+    EpaConfig { max_memory: Some(floor), ..base }
+}
+
+fn run_jplace(
+    ds: &phyloplace::datasets::Dataset,
+    s2p: &[u32],
+    batch: &QueryBatch,
+    cfg: &EpaConfig,
+) -> String {
+    let placer = Placer::new(ctx_of(ds), s2p.to_vec(), cfg.clone()).unwrap();
+    let (results, _) = placer.place(batch).unwrap();
+    to_jplace(&ds.tree, &results)
+}
+
+#[test]
+fn recoverable_faults_preserve_output_bytes() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    phylo_faults::reset();
+    let (ds, s2p, batch) = setup();
+    let cfg = amc_config(&ds, &batch);
+    let baseline = run_jplace(&ds, &s2p, &batch, &cfg);
+
+    for (site, trigger) in [
+        // A spurious pin-exhaustion report: the degradation ladder must
+        // split / flush-and-retry, not abort.
+        ("amc::spurious_all_slots_pinned", Trigger::Once { after: 3 }),
+        // A publish that arrives late: waiters block on the latch a
+        // little longer, nothing else.
+        ("amc::delayed_publish", Trigger::Every { period: 100 }),
+        // A kernel scratch buffer that never returns to the pool: the
+        // next checkout simply allocates a fresh one.
+        ("engine::scratch_lost", Trigger::Every { period: 2 }),
+    ] {
+        phylo_faults::arm(site, trigger);
+        let faulted = run_jplace(&ds, &s2p, &batch, &cfg);
+        assert!(phylo_faults::hits(site) > 0, "{site} never fired — dead probe?");
+        assert_eq!(baseline, faulted, "{site}: output changed under a recoverable fault");
+        phylo_faults::disarm(site);
+    }
+    phylo_faults::reset();
+}
+
+#[test]
+fn worker_panic_is_contained_and_store_recovers() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    phylo_faults::reset();
+    let (ds, s2p, batch) = setup();
+    let cfg = EpaConfig { chunk_size: 7, threads: 2, ..Default::default() };
+    let placer = Placer::new(ctx_of(&ds), s2p.clone(), cfg.clone()).unwrap();
+
+    phylo_faults::arm("place::worker_panic", Trigger::Once { after: 0 });
+    match placer.place(&batch) {
+        Err(PlaceError::WorkerPanicked { context }) => {
+            assert!(context.contains("thorough"), "{context}");
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    phylo_faults::disarm("place::worker_panic");
+
+    // The panic drained cleanly: the same placer must place the same
+    // batch successfully afterwards.
+    let baseline = run_jplace(&ds, &s2p, &batch, &cfg);
+    let (results, _) = placer.place(&batch).unwrap();
+    assert_eq!(baseline, to_jplace(&ds.tree, &results));
+    phylo_faults::reset();
+}
+
+#[test]
+fn prefetch_panic_is_contained_and_store_recovers() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    phylo_faults::reset();
+    let (ds, s2p, batch) = setup();
+    // Small blocks + no lookup so the async prefetch thread actually runs.
+    let cfg = EpaConfig {
+        preplacement: PreplacementMode::Off,
+        chunk_size: 7,
+        block_size: 4,
+        async_prefetch: true,
+        ..Default::default()
+    };
+    let placer = Placer::new(ctx_of(&ds), s2p.clone(), cfg.clone()).unwrap();
+
+    phylo_faults::arm("place::prefetch_panic", Trigger::Once { after: 0 });
+    match placer.place(&batch) {
+        Err(PlaceError::WorkerPanicked { context }) => {
+            assert!(context.contains("prefetch"), "{context}");
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    phylo_faults::disarm("place::prefetch_panic");
+
+    let baseline = run_jplace(&ds, &s2p, &batch, &cfg);
+    let (results, _) = placer.place(&batch).unwrap();
+    assert_eq!(baseline, to_jplace(&ds.tree, &results));
+    phylo_faults::reset();
+}
+
+#[test]
+fn kernel_nan_is_a_typed_error_not_a_wrong_answer() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    phylo_faults::reset();
+    let (ds, s2p, batch) = setup();
+    let cfg =
+        EpaConfig { preplacement: PreplacementMode::Off, chunk_size: 7, ..Default::default() };
+    let placer = Placer::new(ctx_of(&ds), s2p, cfg).unwrap();
+
+    phylo_faults::arm("engine::kernel_nan", Trigger::Once { after: 2 });
+    match placer.place(&batch) {
+        Err(PlaceError::NonFiniteLikelihood { .. }) => {}
+        other => panic!("expected NonFiniteLikelihood, got {other:?}"),
+    }
+    assert_eq!(phylo_faults::hits("engine::kernel_nan"), 1);
+    phylo_faults::reset();
+}
+
+#[test]
+fn lost_publish_times_out_instead_of_hanging() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    phylo_faults::reset();
+    let (ds, s2p, batch) = setup();
+    let mut cfg = amc_config(&ds, &batch);
+    cfg.slot_wait_timeout = Some(Duration::from_millis(200));
+    let placer = Placer::new(ctx_of(&ds), s2p, cfg).unwrap();
+
+    phylo_faults::arm("amc::lost_publish", Trigger::Once { after: 0 });
+    let t = Instant::now();
+    match placer.place(&batch) {
+        Err(PlaceError::Engine(phyloplace::engine::EngineError::Amc(
+            phyloplace::amc::AmcError::SlotWaitTimeout { .. },
+        ))) => {}
+        other => panic!("expected SlotWaitTimeout, got {other:?}"),
+    }
+    // The watchdog, not a human, must have broken the wait.
+    assert!(t.elapsed() < Duration::from_secs(30), "waited {:?}", t.elapsed());
+    phylo_faults::reset();
+}
+
+#[test]
+fn arena_allocation_failure_is_typed() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    phylo_faults::reset();
+    let (ds, s2p, batch) = setup();
+    let placer = Placer::new(ctx_of(&ds), s2p, EpaConfig::default()).unwrap();
+
+    phylo_faults::arm("amc::arena_alloc", Trigger::Once { after: 0 });
+    match placer.place(&batch) {
+        Err(PlaceError::Engine(phyloplace::engine::EngineError::Amc(
+            phyloplace::amc::AmcError::AllocationFailed { bytes },
+        ))) => assert!(bytes > 0),
+        other => panic!("expected AllocationFailed, got {other:?}"),
+    }
+    phylo_faults::reset();
+}
+
+#[test]
+fn jplace_write_failure_leaves_no_partial_file() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    phylo_faults::reset();
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("phyloplace-faults-{}.jplace", std::process::id()));
+    let tmp = dir.join(format!("phyloplace-faults-{}.jplace.tmp", std::process::id()));
+    std::fs::write(&path, "previous run").unwrap();
+
+    phylo_faults::arm("place::jplace_io", Trigger::Once { after: 0 });
+    let err = phyloplace::place::result::write_jplace_atomic(&path, "half-written").unwrap_err();
+    assert!(err.to_string().contains("injected"));
+    // The previous output survives untouched and no temp file lingers.
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "previous run");
+    assert!(!tmp.exists());
+    phylo_faults::disarm("place::jplace_io");
+
+    phyloplace::place::result::write_jplace_atomic(&path, "new output").unwrap();
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "new output");
+    assert!(!tmp.exists());
+    let _ = std::fs::remove_file(&path);
+    phylo_faults::reset();
+}
