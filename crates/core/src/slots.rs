@@ -125,8 +125,22 @@ pub struct SlotStats {
     pub hits: u64,
     /// `acquire` calls that had to (re)assign a slot.
     pub misses: u64,
-    /// Misses that discarded another CLV's data.
+    /// Data discarded to make room: eviction-path misses plus poisoned
+    /// slots whose mapping was torn down. A poison is counted here, at
+    /// teardown — the waiter's later recompute is only a miss, so a
+    /// poisoned CLV never double-counts as eviction *and* miss twice.
     pub evictions: u64,
+    /// Slot (re)assignments, i.e. recomputations scheduled. Invariant:
+    /// `installs == misses` — a failed acquire installs nothing.
+    pub installs: u64,
+    /// Successful CLV acquisitions of any kind (`acquire` hits + misses
+    /// + `pin_if_ready` leases). Invariant: `acquires == hits + misses`.
+    pub acquires: u64,
+    /// [`SlotManager::poison`] calls (computing thread died before
+    /// publishing).
+    pub poisoned: u64,
+    /// Failed slots returned to the free list after their pins drained.
+    pub reclaimed: u64,
 }
 
 /// The eviction table: everything the replacement decision reads or
@@ -168,8 +182,19 @@ pub struct SlotManager {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    installs: AtomicU64,
+    acquires: AtomicU64,
+    poisoned: AtomicU64,
+    reclaimed: AtomicU64,
     /// Publish-latch watchdog deadline in milliseconds.
     wait_timeout_ms: AtomicU64,
+}
+
+/// Latch-wait latency histogram (`phylo-obs`); the handle is interned
+/// once so the wait path never touches the registry lock.
+fn wait_hist() -> &'static phylo_obs::Histogram {
+    static H: std::sync::OnceLock<&'static phylo_obs::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| phylo_obs::histogram("slot.wait_ns"))
 }
 
 impl SlotManager {
@@ -198,6 +223,10 @@ impl SlotManager {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            installs: AtomicU64::new(0),
+            acquires: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
             wait_timeout_ms: AtomicU64::new(DEFAULT_WAIT_TIMEOUT.as_millis() as u64),
         }
     }
@@ -253,6 +282,10 @@ impl SlotManager {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            installs: self.installs.load(Ordering::Relaxed),
+            acquires: self.acquires.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
         }
     }
 
@@ -261,6 +294,10 @@ impl SlotManager {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.installs.store(0, Ordering::Relaxed);
+        self.acquires.store(0, Ordering::Relaxed);
+        self.poisoned.store(0, Ordering::Relaxed);
+        self.reclaimed.store(0, Ordering::Relaxed);
     }
 
     /// The slot currently holding `clv`, if resident. Lock-free.
@@ -322,6 +359,7 @@ impl SlotManager {
         if s != UNSLOTTED {
             let slot = SlotId(s);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.acquires.fetch_add(1, Ordering::Relaxed);
             t.strategy.on_access(clv, slot);
             return Ok(Acquire::Hit(slot));
         }
@@ -329,6 +367,7 @@ impl SlotManager {
         if let Some(raw) = t.free.pop() {
             let slot = SlotId(raw);
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.acquires.fetch_add(1, Ordering::Relaxed);
             self.install(&mut t, clv, slot);
             return Ok(Acquire::Fresh(slot));
         }
@@ -342,6 +381,7 @@ impl SlotManager {
             });
         };
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.acquires.fetch_add(1, Ordering::Relaxed);
         debug_assert_eq!(t.pin_counts[victim_slot.idx()], 0, "strategy evicted a pinned slot");
         let victim = ClvKey(t.slot_to_clv[victim_slot.idx()]);
         self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -355,6 +395,7 @@ impl SlotManager {
     /// latch drops to Computing *before* the new mapping is published so
     /// no reader can pin the slot and read stale data.
     fn install(&self, t: &mut TableInner, clv: ClvKey, slot: SlotId) {
+        self.installs.fetch_add(1, Ordering::Relaxed);
         let ph = &self.phases[slot.idx()];
         {
             let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
@@ -397,6 +438,7 @@ impl SlotManager {
                 t.failed[slot.idx()] = false;
                 debug_assert_eq!(t.slot_to_clv[slot.idx()], FREE, "failed slot kept a mapping");
                 t.free.push(slot.0);
+                self.reclaimed.fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(())
@@ -414,8 +456,14 @@ impl SlotManager {
     pub fn poison(&self, slot: SlotId) {
         let _plan = self.plan_guard();
         let mut t = self.table();
+        self.poisoned.fetch_add(1, Ordering::Relaxed);
         let c = t.slot_to_clv[slot.idx()];
         if c != FREE {
+            // The teardown IS the eviction. The waiter that recomputes
+            // this CLV later counts only a miss — counting here too
+            // would double-book the poison as eviction + miss's
+            // eviction (the old accounting bug).
+            self.evictions.fetch_add(1, Ordering::Relaxed);
             t.strategy.on_evict(ClvKey(c), slot);
             self.clv_to_slot[c as usize].store(UNSLOTTED, Ordering::Release);
             t.slot_to_clv[slot.idx()] = FREE;
@@ -428,6 +476,7 @@ impl SlotManager {
             t.n_pinned_slots -= 1;
             t.failed[slot.idx()] = false;
             t.free.push(slot.0);
+            self.reclaimed.fetch_add(1, Ordering::Relaxed);
         }
         drop(t);
         let ph = &self.phases[slot.idx()];
@@ -545,16 +594,22 @@ impl SlotManager {
         let ph = &self.phases[slot.idx()];
         let deadline = self.wait_timeout();
         let start = Instant::now();
+        let mut waited_any = false;
         let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
         while !*r {
+            waited_any = true;
             let waited = start.elapsed();
             let Some(left) = deadline.checked_sub(waited) else {
+                wait_hist().record_ns(waited.as_nanos() as u64);
                 return Err(AmcError::SlotWaitTimeout {
                     slot: slot.0,
                     waited_ms: waited.as_millis() as u64,
                 });
             };
             (r, _) = ph.cv.wait_timeout(r, left).unwrap_or_else(|e| e.into_inner());
+        }
+        if waited_any {
+            wait_hist().record_ns(start.elapsed().as_nanos() as u64);
         }
         Ok(())
     }
@@ -581,16 +636,22 @@ impl SlotManager {
         let ph = &self.phases[slot.idx()];
         let deadline = self.wait_timeout();
         let start = Instant::now();
+        let mut waited_any = false;
         let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
         while !*r && ph.version.load(Ordering::Acquire) == version {
+            waited_any = true;
             let waited = start.elapsed();
             let Some(left) = deadline.checked_sub(waited) else {
+                wait_hist().record_ns(waited.as_nanos() as u64);
                 return Err(AmcError::SlotWaitTimeout {
                     slot: slot.0,
                     waited_ms: waited.as_millis() as u64,
                 });
             };
             (r, _) = ph.cv.wait_timeout(r, left).unwrap_or_else(|e| e.into_inner());
+        }
+        if waited_any {
+            wait_hist().record_ns(start.elapsed().as_nanos() as u64);
         }
         Ok(())
     }
@@ -634,6 +695,7 @@ impl SlotManager {
         t.pin_n(slot, 1);
         t.strategy.on_access(clv, slot);
         self.hits.fetch_add(1, Ordering::Relaxed);
+        self.acquires.fetch_add(1, Ordering::Relaxed);
         Some(slot)
     }
 
@@ -671,6 +733,19 @@ impl SlotManager {
                     ));
                 }
             }
+        }
+        let st = self.stats();
+        if st.installs != st.misses {
+            return Err(format!(
+                "counter invariant broken: installs {} != misses {}",
+                st.installs, st.misses
+            ));
+        }
+        if st.acquires != st.hits + st.misses {
+            return Err(format!(
+                "counter invariant broken: acquires {} != hits {} + misses {}",
+                st.acquires, st.hits, st.misses
+            ));
         }
         let pinned = t.pin_counts.iter().filter(|&&p| p > 0).count();
         if pinned != t.n_pinned_slots {
@@ -959,6 +1034,49 @@ mod tests {
         let b = m.acquire(ClvKey(2)).unwrap();
         assert_eq!(b.slot(), s, "reclaimed slot must be reusable");
         m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn poison_counts_one_eviction_and_recompute_is_only_a_miss() {
+        let m = mgr(8, 2);
+        m.acquire(ClvKey(0)).unwrap(); // miss 1
+        let s = m.acquire(ClvKey(1)).unwrap().slot(); // miss 2
+        m.pin(s);
+        m.poison(s);
+        let st = m.stats();
+        assert_eq!(st.evictions, 1, "poison teardown is the eviction");
+        assert_eq!(st.poisoned, 1);
+        assert_eq!(st.reclaimed, 1, "sole pin was the caller's: immediate reclaim");
+        assert_eq!(st.misses, 2, "poison itself is not a miss");
+        // The waiter recomputes the poisoned CLV: one more miss, and the
+        // eviction count must NOT move again (no double-counting).
+        m.acquire(ClvKey(1)).unwrap();
+        let st = m.stats();
+        assert_eq!(st.misses, 3);
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.installs, st.misses);
+        assert_eq!(st.acquires, st.hits + st.misses);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn acquisition_counters_balance() {
+        let m = mgr(10, 2);
+        let s = m.acquire(ClvKey(0)).unwrap().slot(); // miss
+        m.acquire(ClvKey(0)).unwrap(); // hit
+        m.mark_ready(s);
+        assert_eq!(m.pin_if_ready(ClvKey(0)), Some(s)); // lease hit
+        m.unpin(s).unwrap();
+        m.acquire(ClvKey(1)).unwrap(); // miss
+        m.acquire(ClvKey(2)).unwrap(); // miss + eviction
+        let st = m.stats();
+        assert_eq!(st.hits, 2);
+        assert_eq!(st.misses, 3);
+        assert_eq!(st.acquires, 5);
+        assert_eq!(st.installs, 3);
+        m.check_invariants().unwrap();
+        m.reset_stats();
+        assert_eq!(m.stats(), SlotStats::default());
     }
 
     #[test]

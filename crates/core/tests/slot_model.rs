@@ -13,7 +13,7 @@
 
 use phylo_amc::{AmcError, ClvKey, SlotId, SlotManager, StrategyKind};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 const N_CLVS: usize = 32;
 
@@ -24,9 +24,13 @@ struct Oracle {
     slot_of: HashMap<u32, u32>,
     clv_of: HashMap<u32, u32>,
     pins: HashMap<u32, u32>,
+    /// Poisoned slots still carrying pins (reclaim deferred).
+    failed: HashSet<u32>,
     hits: u64,
     misses: u64,
     evictions: u64,
+    poisoned: u64,
+    reclaimed: u64,
 }
 
 impl Oracle {
@@ -82,10 +86,15 @@ fn check(mgr: &SlotManager, o: &Oracle) {
     assert_eq!(resident, expected, "resident set");
     let stats = mgr.stats();
     assert_eq!(
-        (stats.hits, stats.misses, stats.evictions),
-        (o.hits, o.misses, o.evictions),
+        (stats.hits, stats.misses, stats.evictions, stats.poisoned, stats.reclaimed),
+        (o.hits, o.misses, o.evictions, o.poisoned, o.reclaimed),
         "stats must reconcile with the oracle's event log"
     );
+    // Counter invariants: every miss is exactly one install (a failed
+    // acquire installs nothing, a poison is not a miss), and every
+    // successful acquisition is a hit or a miss, never both.
+    assert_eq!(stats.installs, stats.misses, "installs == misses invariant");
+    assert_eq!(stats.acquires, stats.hits + stats.misses, "acquires == hits + misses invariant");
     assert_eq!(mgr.n_pinned(), o.pins.values().filter(|&&p| p > 0).count());
 }
 
@@ -94,7 +103,7 @@ proptest! {
 
     #[test]
     fn random_op_sequences_match_the_oracle(
-        ops in proptest::collection::vec((0u8..6, 0u32..N_CLVS as u32), 1..300),
+        ops in proptest::collection::vec((0u8..7, 0u32..N_CLVS as u32), 1..300),
         n_slots in 2usize..12,
         strat_idx in 0usize..4,
     ) {
@@ -147,7 +156,11 @@ proptest! {
                 2 => {
                     if let Some(slot) = pinned.pop() {
                         mgr.unpin(SlotId(slot)).unwrap();
-                        *o.pins.get_mut(&slot).unwrap() -= 1;
+                        let pc = o.pins.get_mut(&slot).unwrap();
+                        *pc -= 1;
+                        if *pc == 0 && o.failed.remove(&slot) {
+                            o.reclaimed += 1;
+                        }
                     } else {
                         let probe = SlotId(key % n_slots as u32);
                         if o.pin_count(probe.0) == 0 {
@@ -182,11 +195,36 @@ proptest! {
                     }
                 }
                 // reset the traffic counters (and the oracle's log).
-                _ => {
+                5 => {
                     mgr.reset_stats();
                     o.hits = 0;
                     o.misses = 0;
                     o.evictions = 0;
+                    o.poisoned = 0;
+                    o.reclaimed = 0;
+                }
+                // poison one of our pinned slots (a dying compute
+                // lease): the teardown counts one eviction iff the slot
+                // held a mapping, never a miss; reclamation is deferred
+                // until the remaining pins drain.
+                _ => {
+                    if let Some(slot) = pinned.pop() {
+                        let occupant = o.clv_of.get(&slot).copied();
+                        mgr.poison(SlotId(slot));
+                        o.poisoned += 1;
+                        if let Some(clv) = occupant {
+                            o.unmap(clv);
+                            o.evictions += 1;
+                        }
+                        let pc = o.pins.get_mut(&slot).unwrap();
+                        *pc -= 1;
+                        if *pc == 0 {
+                            o.failed.remove(&slot);
+                            o.reclaimed += 1;
+                        } else {
+                            o.failed.insert(slot);
+                        }
+                    }
                 }
             }
             check(&mgr, &o);
@@ -194,7 +232,11 @@ proptest! {
         // Drain our pins; the manager must end fully unpinned.
         for slot in pinned.drain(..) {
             mgr.unpin(SlotId(slot)).unwrap();
-            *o.pins.get_mut(&slot).unwrap() -= 1;
+            let pc = o.pins.get_mut(&slot).unwrap();
+            *pc -= 1;
+            if *pc == 0 && o.failed.remove(&slot) {
+                o.reclaimed += 1;
+            }
         }
         check(&mgr, &o);
         prop_assert_eq!(mgr.n_pinned(), 0);

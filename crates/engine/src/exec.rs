@@ -44,6 +44,13 @@ pub fn execute_op_par(
     execute_op_inner(ctx, arena, op, n_threads, scratch)
 }
 
+/// Per-op kernel timing probes (`phylo-obs`), interned once.
+fn op_probes() -> (&'static phylo_obs::Counter, &'static phylo_obs::Histogram) {
+    static P: std::sync::OnceLock<(&'static phylo_obs::Counter, &'static phylo_obs::Histogram)> =
+        std::sync::OnceLock::new();
+    *P.get_or_init(|| (phylo_obs::counter("engine.ops"), phylo_obs::histogram("engine.op_ns")))
+}
+
 fn execute_op_inner(
     ctx: &ReferenceContext,
     arena: &SlotArena,
@@ -51,6 +58,8 @@ fn execute_op_inner(
     n_threads: usize,
     scratch: &mut KernelScratch,
 ) -> Result<(), EngineError> {
+    let (ops_counter, op_hist) = op_probes();
+    let sw = phylo_obs::stopwatch();
     let layout = *ctx.layout();
     let child_slots: Vec<SlotId> = op
         .deps
@@ -116,6 +125,8 @@ fn execute_op_inner(
     // generation — announcing them as the new mapping's data would hand
     // concurrent plans the wrong CLV. The final-generation op publishes.
     arena.manager().mark_ready_at(op.slot, op.slot_version);
+    ops_counter.inc();
+    sw.record(op_hist);
     Ok(())
 }
 

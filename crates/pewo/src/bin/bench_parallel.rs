@@ -63,12 +63,17 @@ fn main() {
         .map(|(threads, r)| {
             format!(
                 "    \"{threads}\": {{ \"thorough_s\": {:.6}, \"prescore_s\": {:.6}, \
-                 \"total_s\": {:.6}, \"slots\": {}, \"misses\": {} }}",
+                 \"total_s\": {:.6}, \"slots\": {}, \"hits\": {}, \"misses\": {}, \
+                 \"evictions\": {}, \"acquires\": {}, \"flush_retries\": {} }}",
                 r.thorough_time.as_secs_f64(),
                 r.prescore_time.as_secs_f64(),
                 r.total_time.as_secs_f64(),
                 r.slots,
-                r.slot_stats.misses
+                r.slot_stats.hits,
+                r.slot_stats.misses,
+                r.slot_stats.evictions,
+                r.slot_stats.acquires,
+                r.degradation.flush_retries
             )
         })
         .collect::<Vec<_>>()

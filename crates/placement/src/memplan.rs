@@ -135,6 +135,77 @@ pub fn plan(
     Ok(MemoryPlan { mode: AmcMode::Amc, slots, use_lookup, chunk_size, tracker })
 }
 
+/// How one scoring pass runs branch blocks after the degradation ladder
+/// ([`effective_block_size`]) has fitted the configured block size and
+/// prefetch mode to a slot budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// Branches per block, ≥ 1 whenever planning succeeds.
+    pub block_size: usize,
+    /// Whether the next block is prefetched on a dedicated thread.
+    pub async_prefetch: bool,
+    /// Ladder rung 1 fired: async prefetch was requested but the spare
+    /// slots can only carry one pinned block.
+    pub prefetch_disabled: bool,
+    /// Ladder rung 2 fired: the block size was clamped below the
+    /// configured one.
+    pub block_clamped: bool,
+}
+
+/// The degradation ladder: fits the configured block size and prefetch
+/// mode to `slots` instead of aborting. Each block pins two CLVs per
+/// branch (both orientations), async prefetch keeps two blocks pinned at
+/// once, and `⌈log₂ n⌉ + 2` slots must stay unpinned for the traversal
+/// itself.
+///
+/// Rungs, in order: (1) disable async prefetch when the spare slots can
+/// only carry one pinned block; (2) clamp the block size to what the
+/// remaining spare supports — never below one branch. The bottom rung —
+/// not even a one-branch synchronous block fits — is a hard
+/// [`PlaceError::SlotHeadroomTooSmall`], never a degenerate zero-size
+/// block: blocks of zero branches would spin forever and blocks of one
+/// branch without headroom would still exhaust the pins at prepare time,
+/// only later and less explicably. [`plan`] always reserves this headroom
+/// ([`pin_headroom`]), so the error only fires for hand-built slot counts.
+pub fn effective_block_size(
+    ctx: &ReferenceContext,
+    cfg: &EpaConfig,
+    slots: usize,
+) -> Result<BlockPlan, PlaceError> {
+    // A full store holds every CLV: nothing is ever evicted, block pins
+    // cost no headroom, and blocks can be as large as requested. (Tiny
+    // trees can have fewer total slots than floor + headroom.)
+    if slots >= ctx.max_slots() {
+        return Ok(BlockPlan {
+            block_size: cfg.block_size,
+            async_prefetch: cfg.async_prefetch,
+            prefetch_disabled: false,
+            block_clamped: false,
+        });
+    }
+    let spare = slots.saturating_sub(ctx.min_slots());
+    let mut async_prefetch = cfg.async_prefetch;
+    let prefetch_disabled = async_prefetch && spare < 4;
+    if prefetch_disabled {
+        async_prefetch = false;
+    }
+    let per_block = if async_prefetch { 4 } else { 2 };
+    if spare < per_block {
+        return Err(PlaceError::SlotHeadroomTooSmall {
+            slots,
+            min_slots: ctx.min_slots(),
+            needed: per_block,
+        });
+    }
+    let block_size = (spare / per_block).min(cfg.block_size);
+    Ok(BlockPlan {
+        block_size,
+        async_prefetch,
+        prefetch_disabled,
+        block_clamped: block_size < cfg.block_size,
+    })
+}
+
 /// Parses the `MemAvailable` line of `/proc/meminfo`-formatted text into
 /// bytes. Exposed for testing; use [`detect_available_memory`] at runtime.
 pub fn parse_meminfo_available(text: &str) -> Option<usize> {
@@ -194,7 +265,7 @@ pub fn lookup_floor_budget(
 
 /// Extra slots reserved so cross-block pinning and the prefetched block
 /// never push the unpinned count below the FPA floor.
-fn pin_headroom(ctx: &ReferenceContext) -> usize {
+pub fn pin_headroom(ctx: &ReferenceContext) -> usize {
     // Two resident block targets (current + prefetch) of two dirs each.
     4 + (ctx.tree().n_leaves() > 1000) as usize * 4
 }
@@ -316,6 +387,51 @@ mod tests {
             let mem = detect_available_memory().expect("MemAvailable present");
             assert!(mem > 1024 * 1024, "unreasonably small: {mem}");
         }
+    }
+
+    #[test]
+    fn effective_block_size_boundary_never_degenerates() {
+        let c = ctx(24, 60);
+        let cfg = EpaConfig { async_prefetch: false, block_size: 64, ..Default::default() };
+        // Exactly ⌈log₂ n⌉ + 2 traversal slots plus one block of pin
+        // headroom: must plan, with a non-degenerate block.
+        let floor_slots = c.min_slots() + pin_headroom(&c);
+        assert!(floor_slots < c.max_slots(), "boundary must exercise the AMC path");
+        let p = effective_block_size(&c, &cfg, floor_slots).unwrap();
+        assert!(p.block_size >= 1, "zero-size blocks would spin forever: {p:?}");
+        assert!(p.block_clamped, "64-branch blocks cannot fit the floor");
+        assert!(!p.async_prefetch);
+        // One slot of spare below a synchronous block's demand: a typed
+        // headroom error, not a zero-size block.
+        let err = effective_block_size(&c, &cfg, c.min_slots() + 1).unwrap_err();
+        assert!(matches!(err, PlaceError::SlotHeadroomTooSmall { needed: 2, .. }), "{err:?}");
+        // Async demands four spare slots; three spare falls back to sync.
+        let acfg = EpaConfig { async_prefetch: true, block_size: 64, ..Default::default() };
+        let p = effective_block_size(&c, &acfg, c.min_slots() + 3).unwrap();
+        assert!(p.prefetch_disabled && !p.async_prefetch && p.block_size == 1, "{p:?}");
+    }
+
+    #[test]
+    fn floor_budget_is_an_exact_boundary() {
+        let c = ctx(24, 60);
+        let cfg = EpaConfig {
+            preplacement: PreplacementMode::Off,
+            async_prefetch: false,
+            block_size: 64,
+            ..Default::default()
+        };
+        let floor = floor_budget(&c, &cfg, 10, 60);
+        // At exactly the floor the plan succeeds with the minimum slot
+        // count, and that count supports a real (≥ 1 branch) block.
+        let cfg_at = EpaConfig { max_memory: Some(floor), ..cfg.clone() };
+        let p = plan(&c, &cfg_at, 10, 60).unwrap();
+        assert_eq!(p.slots, c.min_slots() + pin_headroom(&c));
+        let bp = effective_block_size(&c, &cfg_at, p.slots).unwrap();
+        assert!(bp.block_size >= 1);
+        // One byte under the floor must be rejected outright.
+        let cfg_under = EpaConfig { max_memory: Some(floor - 1), ..cfg };
+        let err = plan(&c, &cfg_under, 10, 60).unwrap_err();
+        assert!(matches!(err, PlaceError::BudgetTooSmall { .. }), "{err:?}");
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct RunReport {
     pub slots: usize,
     /// How often the run had to step down the degradation ladder.
     pub degradation: DegradationStats,
+    /// Per-run observability snapshot: the slot-traffic and degradation
+    /// counters are always folded in; with the `obs` feature enabled it
+    /// additionally carries every live probe recorded during the run
+    /// (kernel timings, wait-latency histograms, scratch-pool churn).
+    /// Export with [`phylo_obs::Snapshot::to_json`].
+    pub metrics: phylo_obs::Snapshot,
 }
 
 /// Counters for the graceful-degradation ladder the orchestrator walks
@@ -101,6 +107,18 @@ pub struct DegradationStats {
     /// Cache flush-and-retry attempts after pin exhaustion on a
     /// single-branch block.
     pub flush_retries: u64,
+}
+
+impl DegradationStats {
+    /// Folds one chunk's counters into a running total. The orchestrator
+    /// accumulates per-chunk stats through this, so the final
+    /// [`RunReport::degradation`] covers every chunk of the run, not just
+    /// the last one.
+    pub fn merge(&mut self, other: DegradationStats) {
+        self.prefetch_disabled += other.prefetch_disabled;
+        self.block_clamped += other.block_clamped;
+        self.flush_retries += other.flush_retries;
+    }
 }
 
 /// Serializes results in the `jplace` (v3) format. The tree string carries

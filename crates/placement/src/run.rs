@@ -4,7 +4,7 @@ use crate::candidates::{group_by_branch_ranked, select_candidates};
 use crate::config::EpaConfig;
 use crate::error::PlaceError;
 use crate::lookup::LookupTable;
-use crate::memplan::{self, MemoryPlan};
+use crate::memplan::{self, BlockPlan, MemoryPlan};
 use crate::queries::{EncodedQuery, QueryBatch};
 use crate::result::{DegradationStats, PlacementEntry, PlacementResult, RunReport};
 use crate::score::{attachment_partials, score_thorough, BranchScoreTable, ScoreScratch};
@@ -31,14 +31,6 @@ impl DegradationCounters {
             flush_retries: self.flush_retries.load(Ordering::Relaxed),
         }
     }
-}
-
-/// How one scoring pass runs branch blocks after the degradation ladder
-/// has been applied to the configured block size and prefetch mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct BlockPlan {
-    block_size: usize,
-    async_prefetch: bool,
 }
 
 /// A configured placement engine over one reference.
@@ -76,49 +68,19 @@ impl Placer {
         memplan::plan(&self.ctx, &self.cfg, batch.len(), batch.n_sites())
     }
 
-    /// The degradation ladder: fits the configured block size and prefetch
-    /// mode to the slot budget instead of aborting. Each block pins two
-    /// CLVs per branch (both orientations), async prefetch keeps two
-    /// blocks pinned at once, and `⌈log₂ n⌉ + 2` slots must stay unpinned
-    /// for the traversal itself.
-    ///
-    /// Rungs, in order: (1) disable async prefetch when the spare slots
-    /// can only carry one pinned block; (2) clamp the block size to what
-    /// the remaining spare supports. Each step is tallied in `deg`. The
-    /// bottom rung — not even a one-branch synchronous block fits — stays
-    /// a hard planning error: blocks of one branch would still exhaust
-    /// the pins at prepare time, only later and less explicably. The
-    /// memory planner ([`memplan::plan`]) always reserves this headroom,
-    /// so the error only fires for hand-built slot counts.
+    /// The degradation ladder ([`memplan::effective_block_size`]) with
+    /// each rung that fired tallied into `deg` and marked on the trace.
     fn plan_block(&self, slots: usize, deg: &DegradationCounters) -> Result<BlockPlan, PlaceError> {
-        // A full store holds every CLV: nothing is ever evicted, block
-        // pins cost no headroom, and blocks can be as large as requested.
-        // (Tiny trees can have fewer total slots than floor + headroom.)
-        if slots >= self.ctx.max_slots() {
-            return Ok(BlockPlan {
-                block_size: self.cfg.block_size,
-                async_prefetch: self.cfg.async_prefetch,
-            });
-        }
-        let spare = slots.saturating_sub(self.ctx.min_slots());
-        let mut async_prefetch = self.cfg.async_prefetch;
-        if async_prefetch && spare < 4 {
-            async_prefetch = false;
+        let plan = memplan::effective_block_size(&self.ctx, &self.cfg, slots)?;
+        if plan.prefetch_disabled {
             deg.prefetch_disabled.fetch_add(1, Ordering::Relaxed);
+            phylo_obs::trace::mark("degrade.prefetch_disabled", "degrade");
         }
-        let per_block = if async_prefetch { 4 } else { 2 };
-        if spare < per_block {
-            return Err(PlaceError::SlotHeadroomTooSmall {
-                slots,
-                min_slots: self.ctx.min_slots(),
-                needed: per_block,
-            });
-        }
-        let block_size = (spare / per_block).min(self.cfg.block_size);
-        if block_size < self.cfg.block_size {
+        if plan.block_clamped {
             deg.block_clamped.fetch_add(1, Ordering::Relaxed);
+            phylo_obs::trace::mark("degrade.block_clamped", "degrade");
         }
-        Ok(BlockPlan { block_size, async_prefetch })
+        Ok(plan)
     }
 
     /// Places every query of the batch; returns per-query results (in
@@ -138,7 +100,12 @@ impl Placer {
             peak_memory: plan.tracker.peak(),
             ..Default::default()
         };
-        let deg = DegradationCounters::default();
+        // Live probes are process-global and monotonic; the per-run view
+        // in `report.metrics` is the delta against this baseline. The
+        // slot and degradation counters are re-injected from their
+        // authoritative per-run sources below, so those stay exact even
+        // when concurrent runs share the registry.
+        let obs_base = phylo_obs::snapshot();
         let mut store = ManagedStore::with_slots(ctx, plan.slots, cfg.strategy)?;
         store.set_compute_threads(cfg.sitepar_threads.max(1));
         if let Some(timeout) = cfg.slot_wait_timeout {
@@ -148,7 +115,9 @@ impl Placer {
         let store = store; // sharing starts here; the store is internally synchronized
         let lookup = if plan.use_lookup {
             let t = Instant::now();
+            let span = phylo_obs::trace::span("preplacement.build", "phase");
             let table = LookupTable::build(ctx, &store, cfg)?;
+            drop(span);
             report.lookup_time = t.elapsed();
             Some(table)
         } else {
@@ -171,9 +140,18 @@ impl Placer {
         for (chunk_idx, chunk) in batch.chunks(plan.chunk_size).enumerate() {
             let qoff = chunk_idx * plan.chunk_size;
             let mat = &mut prescores[..chunk.len() * branches];
+            // Ladder counters are per chunk and merged into the report at
+            // the end of each iteration, so a run that degrades on every
+            // chunk reports every step — not just the final chunk's.
+            let deg = DegradationCounters::default();
+            let chunk_span = phylo_obs::trace::span(&format!("chunk {chunk_idx}"), "chunk");
+            phylo_obs::counter("place.chunks").inc();
+            phylo_obs::gauge("place.chunk.current").set(chunk_idx as i64);
+            phylo_obs::trace::mark("chunk.heartbeat", "chunk");
 
             // ---- Phase 1: prescore every (query, branch) pair. ----
             let t = Instant::now();
+            let phase_span = phylo_obs::trace::span("prescore", "phase");
             match &lookup {
                 Some(table) => {
                     prescore_with_lookup(
@@ -190,6 +168,7 @@ impl Placer {
                     self.prescore_blocked(ctx, &store, chunk, mat, branches, &deg)?;
                 }
             }
+            drop(phase_span);
             report.n_prescored += (chunk.len() * branches) as u64;
             report.prescore_time += t.elapsed();
             // NaN never ranks correctly in candidate selection (every
@@ -210,18 +189,22 @@ impl Placer {
 
             // ---- Phase 2: thorough scoring, grouped by branch. ----
             let t = Instant::now();
+            let phase_span = phylo_obs::trace::span("thorough", "phase");
             let grouped = group_by_branch_ranked(&cand, &dfs_rank);
             report.n_thorough += grouped.iter().map(|(_, qs)| qs.len() as u64).sum::<u64>();
             self.thorough_blocked(ctx, &store, chunk, &grouped, qoff, &mut results, &deg)?;
+            drop(phase_span);
             report.thorough_time += t.elapsed();
+            report.degradation.merge(deg.snapshot());
+            drop(chunk_span);
         }
 
         for r in &mut results {
             r.finalize();
         }
         report.slot_stats = store.stats();
-        report.degradation = deg.snapshot();
         report.total_time = t_total.elapsed();
+        report.metrics = run_metrics(&report, &obs_base);
         Ok((results, report))
     }
 
@@ -381,6 +364,29 @@ impl Placer {
     }
 }
 
+/// Builds the per-run metrics snapshot: the delta of the live registry
+/// against the run's baseline, with the slot-traffic and degradation
+/// counters injected from their authoritative per-run sources
+/// ([`RunReport::slot_stats`] and [`RunReport::degradation`]). The
+/// injected counters are exact regardless of the `obs` feature or of
+/// concurrent runs sharing the global registry.
+fn run_metrics(report: &RunReport, base: &phylo_obs::Snapshot) -> phylo_obs::Snapshot {
+    let mut m = phylo_obs::snapshot().delta(base);
+    let s = &report.slot_stats;
+    m.set_counter("slot.hits", s.hits);
+    m.set_counter("slot.misses", s.misses);
+    m.set_counter("slot.evictions", s.evictions);
+    m.set_counter("slot.installs", s.installs);
+    m.set_counter("slot.acquires", s.acquires);
+    m.set_counter("slot.poisoned", s.poisoned);
+    m.set_counter("slot.reclaimed", s.reclaimed);
+    let d = &report.degradation;
+    m.set_counter("place.degrade.prefetch_disabled", d.prefetch_disabled);
+    m.set_counter("place.degrade.block_clamped", d.block_clamped);
+    m.set_counter("place.degrade.flush_retries", d.flush_retries);
+    m
+}
+
 /// Shared-nothing row access: hands disjoint row ranges of a flat matrix
 /// to worker threads.
 struct RowMatrix<'a> {
@@ -478,6 +484,7 @@ fn run_blocks(
                     let pref_err = &mut prefetch_result;
                     std::thread::scope(|s| {
                         let handle = s.spawn(|| -> Result<Option<PreparedBlock>, PlaceError> {
+                            let _span = phylo_obs::trace::span("prefetch", "prefetch");
                             if phylo_faults::fire("place::prefetch_panic") {
                                 // Fires before any pins are taken, so the
                                 // contained panic leaves nothing to drain.
@@ -834,7 +841,9 @@ mod tests {
             Err(PlaceError::SlotHeadroomTooSmall { needed: 2, .. })
         ));
         let plan = placer.plan_block(floor + 2, &deg).unwrap();
-        assert_eq!(plan, BlockPlan { block_size: 1, async_prefetch: false });
+        assert_eq!(plan.block_size, 1);
+        assert!(!plan.async_prefetch);
+        assert!(plan.block_clamped && !plan.prefetch_disabled);
         assert_eq!(deg.snapshot().block_clamped, 1);
 
         // Async prefetch keeps two blocks pinned (4 slots per branch);
@@ -845,10 +854,12 @@ mod tests {
         let async_placer = Placer::new(ctx2, s2p, async_cfg).unwrap();
         let deg = DegradationCounters::default();
         let plan = async_placer.plan_block(floor + 3, &deg).unwrap();
-        assert_eq!(plan, BlockPlan { block_size: 1, async_prefetch: false });
+        assert_eq!(plan.block_size, 1);
+        assert!(!plan.async_prefetch && plan.prefetch_disabled);
         assert_eq!(deg.snapshot().prefetch_disabled, 1);
         let plan = async_placer.plan_block(floor + 4, &deg).unwrap();
-        assert_eq!(plan, BlockPlan { block_size: 1, async_prefetch: true });
+        assert_eq!(plan.block_size, 1);
+        assert!(plan.async_prefetch && !plan.prefetch_disabled);
         // Only one spare slot is fatal even after dropping prefetch.
         assert!(matches!(
             async_placer.plan_block(floor + 1, &deg),

@@ -201,4 +201,22 @@ mod tests {
         let seqs = parse(">a\r\nAC\r\nGT\r\n", AlphabetKind::Dna).unwrap();
         assert_eq!(seqs[0].to_text(), "ACGT");
     }
+
+    #[test]
+    fn crlf_and_lowercase_mix_within_one_record() {
+        // Real-world files mix Windows line endings with soft-masked
+        // (lowercase) residues, sometimes inside a single record with
+        // Unix-ended lines. The decoded codes must match the clean
+        // uppercase LF-only equivalent exactly — no stray '\r' reaching
+        // the alphabet decoder, no case sensitivity.
+        let messy = ">q1 soft-masked\r\nacG\nT\r\ntgCA\r\n>q2\ngggg\n";
+        let clean = ">q1\nACGTTGCA\n>q2\nGGGG\n";
+        let a = parse(messy, AlphabetKind::Dna).unwrap();
+        let b = parse(clean, AlphabetKind::Dna).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].name(), "q1");
+        assert_eq!(a[0].codes(), b[0].codes());
+        assert_eq!(a[1].codes(), b[1].codes());
+        assert_eq!(a[0].to_text(), "ACGTTGCA");
+    }
 }

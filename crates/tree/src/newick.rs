@@ -93,9 +93,17 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid utf-8 in branch length"))?;
-        text.parse::<f64>().map_err(|_| self.err(format!("invalid branch length {text:?}")))
+        // Errors anchor at the first byte of the length token, not at
+        // `self.pos` (the token's end): a malformed exponent like `1e+`
+        // should point the user at the `1`, the start of the offending
+        // number.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
+            TreeError::Parse { pos: start, msg: "invalid utf-8 in branch length".into() }
+        })?;
+        text.parse::<f64>().map_err(|_| TreeError::Parse {
+            pos: start,
+            msg: format!("invalid branch length {text:?}"),
+        })
     }
 
     /// Parses a subtree and the branch length that follows it.
@@ -405,6 +413,43 @@ mod tests {
             Err(TreeError::Parse { msg, .. }) => assert!(msg.contains("nesting"), "{msg}"),
             other => panic!("expected Parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn malformed_exponents_rejected_at_token_start() {
+        // An exponent marker with no digits is not a number; the error
+        // position must be the first byte of the length token.
+        for (text, at) in [
+            ("(A:1e,B:0.2,C:0.3);", 3),
+            ("(A:1e+,B:0.2,C:0.3);", 3),
+            ("(A:0.1,B:1E-,C:0.3);", 9),
+            ("(A:0.1,B:0.2,C:.e5);", 15),
+        ] {
+            match parse(text) {
+                Err(TreeError::Parse { pos, msg }) => {
+                    assert_eq!(pos, at, "{text}");
+                    assert!(msg.contains("branch length"), "{msg}");
+                }
+                other => panic!("expected Parse error for {text}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_at_its_offset() {
+        // Whitespace after ';' is fine; anything else errors at the first
+        // offending byte.
+        assert!(parse("(A:0.1,B:0.2,C:0.3);  \n").is_ok());
+        let text = "(A:0.1,B:0.2,C:0.3); x";
+        match parse(text) {
+            Err(TreeError::Parse { pos, msg }) => {
+                assert_eq!(pos, 21);
+                assert!(msg.contains("trailing"), "{msg}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        // A second tree on the same line is trailing garbage too.
+        assert!(parse("(A,B,C);(D,E,F);").is_err());
     }
 
     #[test]

@@ -19,3 +19,51 @@ cargo bench --no-run
 CRITERION_QUICK=1 CRITERION_JSON="$out" cargo bench -p bench --bench kernels
 
 echo "wrote $out"
+
+# Observability smoke: an end-to-end CLI run under a tight --maxmem must
+# emit a metrics JSON that parses and shows real slot traffic (non-zero
+# slot.misses — CLVs were recomputed under the budget).
+echo "==> observability smoke (--metrics-json under tight --maxmem)"
+cargo build --release --features obs --bin phyloplace
+obsdir="$(mktemp -d -t obs_smoke.XXXXXX)"
+trap 'rm -rf "$obsdir"' EXIT
+cat > "$obsdir/ref.nwk" <<'EOF'
+((A:0.1,B:0.2):0.05,(C:0.15,D:0.1):0.05,E:0.3);
+EOF
+cat > "$obsdir/ref.fasta" <<'EOF'
+>A
+ACGTACGTAC
+>B
+ACGTACGTCC
+>C
+ACTTACGAAC
+>D
+ACTTACGTAC
+>E
+GCTTACGTAA
+EOF
+cat > "$obsdir/q.fasta" <<'EOF'
+>q1
+ACGTACGTAC
+>q2
+ACTTACG-AC
+EOF
+target/release/phyloplace place \
+  --tree "$obsdir/ref.nwk" --ref-msa "$obsdir/ref.fasta" --queries "$obsdir/q.fasta" \
+  --maxmem 1 --chunk 1 \
+  --out "$obsdir/out.jplace" \
+  --metrics-json "$obsdir/metrics.json" --trace "$obsdir/trace.json"
+python3 - "$obsdir/metrics.json" "$obsdir/trace.json" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+misses = metrics["counters"]["slot.misses"]
+assert misses > 0, f"expected non-zero slot.misses, got {misses}"
+hits = metrics["counters"]["slot.hits"]
+acquires = metrics["counters"]["slot.acquires"]
+assert hits + misses == acquires, f"{hits} + {misses} != {acquires}"
+trace = json.load(open(sys.argv[2]))
+names = {e["name"] for e in trace["traceEvents"]}
+assert "prescore" in names and "thorough" in names, f"missing phase spans: {sorted(names)}"
+print(f"metrics OK: hits={hits} misses={misses} acquires={acquires}; "
+      f"trace OK: {len(trace['traceEvents'])} events")
+EOF

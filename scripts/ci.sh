@@ -18,6 +18,9 @@ cargo test -q
 echo "==> cargo test -q --features faults --test faults (fault matrix)"
 cargo test -q --features faults --test faults
 
+echo "==> cargo test -q --features obs (suite again with live observability probes)"
+cargo test -q --features obs
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -32,6 +32,10 @@ pub struct CliOptions {
     pub chunk_size: usize,
     /// Worker threads.
     pub threads: usize,
+    /// Write the run's metrics snapshot as JSON to this path.
+    pub metrics_json: Option<String>,
+    /// Record phase spans and write a Chrome-trace JSON to this path.
+    pub trace_path: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -45,6 +49,8 @@ impl Default for CliOptions {
             gamma_alpha: Some(1.0),
             chunk_size: 5000,
             threads: 1,
+            metrics_json: None,
+            trace_path: None,
         }
     }
 }
@@ -98,7 +104,27 @@ pub fn run_placement(opts: &CliOptions) -> Result<(String, String), String> {
     let placer = Placer::new(ctx, patterns.site_to_pattern().to_vec(), cfg)
         .map_err(|e| format!("config: {e}"))?;
     let batch = QueryBatch::new(&queries, msa.n_sites()).map_err(|e| format!("queries: {e}"))?;
+    if (opts.metrics_json.is_some() || opts.trace_path.is_some()) && !phylo_obs::enabled() {
+        // Slot-traffic and degradation counters are always collected, so
+        // the metrics file is still useful — but kernel timings, wait
+        // histograms, and trace spans need the compiled-in probes.
+        eprintln!(
+            "phyloplace: warning: built without the `obs` feature; \
+             metrics are limited to slot counters and the trace will be empty"
+        );
+    }
+    if opts.trace_path.is_some() {
+        phylo_obs::trace::start();
+    }
     let (results, report) = placer.place(&batch).map_err(|e| format!("placement: {e}"))?;
+    if let Some(path) = &opts.trace_path {
+        phylo_obs::trace::stop();
+        let json = phylo_obs::trace::chrome_json(&phylo_obs::trace::drain());
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &opts.metrics_json {
+        std::fs::write(path, report.metrics.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
     let summary = format!(
         "placed {} queries on {} branches in {:.2}s (peak {:.1} MiB, {} CLV slots, lookup {}, {} CLV computations)",
         report.n_queries,
@@ -118,7 +144,8 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
     const USAGE: &str =
         "usage: phyloplace place --tree REF.nwk --ref-msa REF.fasta --queries Q.fasta \
   [--aa] [--maxmem MIB | --maxmem auto] [--gamma ALPHA | --no-gamma] \
-  [--chunk N] [--threads N] [--out OUT.jplace]";
+  [--chunk N] [--threads N] [--out OUT.jplace] \
+  [--metrics-json METRICS.json] [--trace TRACE.json]";
     let mut opts = CliOptions::default();
     let mut out: Option<String> = None;
     let mut tree_path = None;
@@ -160,6 +187,8 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
                 let v = value()?;
                 opts.threads = v.parse().map_err(|_| format!("bad --threads {v:?}\n{USAGE}"))?;
             }
+            "--metrics-json" => opts.metrics_json = Some(value()?),
+            "--trace" => opts.trace_path = Some(value()?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }

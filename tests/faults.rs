@@ -90,6 +90,64 @@ fn recoverable_faults_preserve_output_bytes() {
 }
 
 #[test]
+fn degradation_stats_accumulate_across_chunks() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    phylo_faults::reset();
+    let (ds, s2p, batch) = setup();
+
+    // Under the floor budget a block size of 64 is clamped by every
+    // plan_block call — once in the prescore phase and once in the
+    // thorough phase of every chunk. The report must count them all; a
+    // regression to last-chunk-only reporting would read exactly 2.
+    let base = EpaConfig {
+        preplacement: PreplacementMode::Off,
+        chunk_size: 7,
+        threads: 2,
+        block_size: 64,
+        async_prefetch: false,
+        ..Default::default()
+    };
+    let probe = ctx_of(&ds);
+    let floor = memplan::floor_budget(&probe, &base, batch.len(), batch.n_sites());
+    let cfg = EpaConfig { max_memory: Some(floor), ..base };
+    let placer = Placer::new(ctx_of(&ds), s2p.clone(), cfg.clone()).unwrap();
+    let n_chunks = batch.len().div_ceil(placer.memory_plan(&batch).unwrap().chunk_size) as u64;
+    assert!(n_chunks >= 2, "need a multi-chunk batch, got {n_chunks} chunk(s)");
+    let (_, report) = placer.place(&batch).unwrap();
+    assert_eq!(
+        report.degradation.block_clamped,
+        2 * n_chunks,
+        "block clamps must accumulate across all {n_chunks} chunks: {:?}",
+        report.degradation
+    );
+    // The injected metrics counters mirror the authoritative stats.
+    assert_eq!(
+        report.metrics.counter("place.degrade.block_clamped"),
+        report.degradation.block_clamped
+    );
+
+    // Spurious pin exhaustion on single-branch blocks forces the ladder's
+    // flush-and-retry rung in many different chunks; every retry must
+    // reach the final report, and the fault is recoverable so the output
+    // bytes must not change.
+    let cfg1 = EpaConfig { block_size: 1, ..cfg };
+    let baseline = run_jplace(&ds, &s2p, &batch, &cfg1);
+    phylo_faults::arm("amc::spurious_all_slots_pinned", Trigger::Every { period: 40 });
+    let placer = Placer::new(ctx_of(&ds), s2p.clone(), cfg1.clone()).unwrap();
+    let (results, rep) = placer.place(&batch).unwrap();
+    assert!(phylo_faults::hits("amc::spurious_all_slots_pinned") >= 2, "fault barely fired");
+    assert!(
+        rep.degradation.flush_retries >= 2,
+        "flush retries from every chunk must accumulate: {:?}",
+        rep.degradation
+    );
+    assert_eq!(rep.metrics.counter("place.degrade.flush_retries"), rep.degradation.flush_retries);
+    assert_eq!(baseline, to_jplace(&ds.tree, &results), "recoverable fault changed output");
+    phylo_faults::disarm("amc::spurious_all_slots_pinned");
+    phylo_faults::reset();
+}
+
+#[test]
 fn worker_panic_is_contained_and_store_recovers() {
     let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
     phylo_faults::reset();
