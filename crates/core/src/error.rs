@@ -47,6 +47,11 @@ pub enum AmcError {
         /// Bytes requested.
         bytes: usize,
     },
+    /// A cooperative shutdown request ([`crate::CancelToken`]) was
+    /// observed mid-operation. Not a failure: the caller should unwind
+    /// cleanly, flush whatever durable state it holds, and report a
+    /// partial result.
+    Cancelled,
 }
 
 impl fmt::Display for AmcError {
@@ -72,6 +77,9 @@ impl fmt::Display for AmcError {
             ),
             AmcError::AllocationFailed { bytes } => {
                 write!(f, "could not allocate {bytes} bytes of CLV slot storage")
+            }
+            AmcError::Cancelled => {
+                write!(f, "cancelled by shutdown request or deadline")
             }
         }
     }

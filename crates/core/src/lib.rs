@@ -29,6 +29,7 @@
 
 pub mod arena;
 pub mod budget;
+pub mod cancel;
 pub mod error;
 pub mod fpa;
 pub mod slots;
@@ -36,6 +37,7 @@ pub mod strategy;
 
 pub use arena::{ComputeLease, Lease, ReadLease, SlotArena};
 pub use budget::{MemCategory, MemoryTracker};
+pub use cancel::CancelToken;
 pub use error::AmcError;
 pub use fpa::{ensure_resident, DepSource, FpaOp, ResidentSet};
 pub use slots::{Acquire, ClvKey, SlotId, SlotManager, SlotStats};

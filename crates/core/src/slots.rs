@@ -46,6 +46,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use crate::error::AmcError;
 use crate::strategy::{ReplacementStrategy, VictimView};
 
@@ -54,6 +55,11 @@ use crate::strategy::{ReplacementStrategy, VictimView};
 /// is milliseconds; the deadline only trips when the computing thread died
 /// or its publish was lost, turning a deadlock into a typed error.
 pub const DEFAULT_WAIT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How finely publish-latch waits are sliced so a blocked waiter notices
+/// cancellation ([`SlotManager::set_cancel_token`]) promptly even when
+/// the publish it waits for will never arrive.
+const CANCEL_POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Index of a physical CLV slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -188,6 +194,11 @@ pub struct SlotManager {
     reclaimed: AtomicU64,
     /// Publish-latch watchdog deadline in milliseconds.
     wait_timeout_ms: AtomicU64,
+    /// Cooperative shutdown flag threaded in from the run owner (see
+    /// [`SlotManager::set_cancel_token`]). Latch waits poll it so
+    /// cancellation can never hang behind a publish that got cancelled
+    /// itself; the engine polls it per compute step.
+    cancel: Mutex<CancelToken>,
 }
 
 /// Latch-wait latency histogram (`phylo-obs`); the handle is interned
@@ -228,7 +239,23 @@ impl SlotManager {
             poisoned: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
             wait_timeout_ms: AtomicU64::new(DEFAULT_WAIT_TIMEOUT.as_millis() as u64),
+            cancel: Mutex::new(CancelToken::new()),
         }
+    }
+
+    /// Installs the run's shutdown token. Every publish-latch wait and
+    /// (via [`SlotManager::cancel_token`]) every engine compute step
+    /// polls it; once cancelled they return [`AmcError::Cancelled`]
+    /// instead of blocking or computing further. The default token is
+    /// never cancelled.
+    pub fn set_cancel_token(&self, token: &CancelToken) {
+        *self.cancel.lock().unwrap_or_else(|e| e.into_inner()) = token.clone();
+    }
+
+    /// A clone of the installed shutdown token (the default, inert token
+    /// when none was installed).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Sets the publish-latch watchdog: [`SlotManager::wait_ready`] and
@@ -593,11 +620,20 @@ impl SlotManager {
     pub fn wait_ready(&self, slot: SlotId) -> Result<(), AmcError> {
         let ph = &self.phases[slot.idx()];
         let deadline = self.wait_timeout();
+        let cancel = self.cancel_token();
         let start = Instant::now();
         let mut waited_any = false;
         let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
         while !*r {
             waited_any = true;
+            // A cancelled run must not sit out the full watchdog window:
+            // the thread that would publish this latch may itself have
+            // exited on the same token, so the wait is sliced and the
+            // token re-checked at every wake.
+            if cancel.is_cancelled() {
+                wait_hist().record_ns(start.elapsed().as_nanos() as u64);
+                return Err(AmcError::Cancelled);
+            }
             let waited = start.elapsed();
             let Some(left) = deadline.checked_sub(waited) else {
                 wait_hist().record_ns(waited.as_nanos() as u64);
@@ -606,7 +642,8 @@ impl SlotManager {
                     waited_ms: waited.as_millis() as u64,
                 });
             };
-            (r, _) = ph.cv.wait_timeout(r, left).unwrap_or_else(|e| e.into_inner());
+            let slice = left.min(CANCEL_POLL_INTERVAL);
+            (r, _) = ph.cv.wait_timeout(r, slice).unwrap_or_else(|e| e.into_inner());
         }
         if waited_any {
             wait_hist().record_ns(start.elapsed().as_nanos() as u64);
@@ -635,11 +672,16 @@ impl SlotManager {
     pub fn wait_ready_at(&self, slot: SlotId, version: u64) -> Result<(), AmcError> {
         let ph = &self.phases[slot.idx()];
         let deadline = self.wait_timeout();
+        let cancel = self.cancel_token();
         let start = Instant::now();
         let mut waited_any = false;
         let mut r = ph.ready.lock().unwrap_or_else(|e| e.into_inner());
         while !*r && ph.version.load(Ordering::Acquire) == version {
             waited_any = true;
+            if cancel.is_cancelled() {
+                wait_hist().record_ns(start.elapsed().as_nanos() as u64);
+                return Err(AmcError::Cancelled);
+            }
             let waited = start.elapsed();
             let Some(left) = deadline.checked_sub(waited) else {
                 wait_hist().record_ns(waited.as_nanos() as u64);
@@ -648,7 +690,8 @@ impl SlotManager {
                     waited_ms: waited.as_millis() as u64,
                 });
             };
-            (r, _) = ph.cv.wait_timeout(r, left).unwrap_or_else(|e| e.into_inner());
+            let slice = left.min(CANCEL_POLL_INTERVAL);
+            (r, _) = ph.cv.wait_timeout(r, slice).unwrap_or_else(|e| e.into_inner());
         }
         if waited_any {
             wait_hist().record_ns(start.elapsed().as_nanos() as u64);
@@ -1009,6 +1052,30 @@ mod tests {
         // spinning forever.
         let err = m.wait_ready_at(s, m.version(s)).unwrap_err();
         assert!(matches!(err, AmcError::SlotWaitTimeout { .. }), "{err:?}");
+        m.unpin(s).unwrap();
+    }
+
+    #[test]
+    fn cancellation_breaks_latch_waits_promptly() {
+        use std::sync::Arc;
+        let m = Arc::new(mgr(4, 2));
+        // Long watchdog: only the cancel token may break the wait.
+        m.set_wait_timeout(Duration::from_secs(30));
+        let token = CancelToken::new();
+        m.set_cancel_token(&token);
+        let s = m.acquire(ClvKey(0)).unwrap().slot();
+        m.pin(s);
+        let m2 = Arc::clone(&m);
+        let waiter = std::thread::spawn(move || m2.wait_ready(s));
+        std::thread::sleep(Duration::from_millis(10));
+        let t = Instant::now();
+        token.cancel();
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(matches!(err, AmcError::Cancelled), "{err:?}");
+        assert!(t.elapsed() < Duration::from_secs(5), "cancel took {:?}", t.elapsed());
+        // The snapshot wait honors the token too.
+        let err = m.wait_ready_at(s, m.version(s)).unwrap_err();
+        assert!(matches!(err, AmcError::Cancelled), "{err:?}");
         m.unpin(s).unwrap();
     }
 

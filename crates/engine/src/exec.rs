@@ -58,6 +58,14 @@ fn execute_op_inner(
     n_threads: usize,
     scratch: &mut KernelScratch,
 ) -> Result<(), EngineError> {
+    // Cooperative shutdown: a cancelled run stops between Felsenstein
+    // steps, so even a deep recomputation schedule exits with bounded
+    // latency. The caller (`ManagedStore`) aborts the schedule, which
+    // releases pins and invalidates unpublished targets — the store
+    // stays consistent for the partial-result flush.
+    if arena.manager().cancel_token().is_cancelled() {
+        return Err(EngineError::Amc(phylo_amc::AmcError::Cancelled));
+    }
     let (ops_counter, op_hist) = op_probes();
     let sw = phylo_obs::stopwatch();
     let layout = *ctx.layout();

@@ -221,6 +221,16 @@ impl ManagedStore {
         self.arena.manager().set_wait_timeout(timeout);
     }
 
+    /// Installs the run's cooperative shutdown token (see
+    /// [`phylo_amc::CancelToken`]): once cancelled, publish-latch waits
+    /// unblock and schedule execution stops between Felsenstein steps
+    /// with [`phylo_amc::AmcError::Cancelled`]. In-flight schedules are
+    /// aborted through the normal failure path, so the store remains
+    /// consistent and reusable.
+    pub fn set_cancel_token(&self, token: &phylo_amc::CancelToken) {
+        self.arena.manager().set_cancel_token(token);
+    }
+
     /// Slot traffic counters (hits/misses/evictions).
     pub fn stats(&self) -> SlotStats {
         self.arena.stats()

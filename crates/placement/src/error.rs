@@ -60,6 +60,24 @@ pub enum PlaceError {
     OutputIo(std::io::Error),
     /// Propagated engine/AMC failure.
     Engine(phylo_engine::EngineError),
+    /// Checkpoint journal failure: an append could not be made durable,
+    /// or a `--resume` directory failed validation (missing/mismatched
+    /// manifest, frame that contradicts the current run's chunking).
+    Journal(phylo_journal::JournalError),
+}
+
+impl PlaceError {
+    /// True when this error is the cooperative-cancellation signal
+    /// ([`phylo_amc::AmcError::Cancelled`]) surfacing through the
+    /// engine, possibly via a scoring worker. Not a failure: the
+    /// orchestrator unwinds cleanly, keeps every chunk journaled so
+    /// far, and reports a partial result.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            PlaceError::Engine(phylo_engine::EngineError::Amc(phylo_amc::AmcError::Cancelled))
+        )
+    }
 }
 
 impl fmt::Display for PlaceError {
@@ -92,6 +110,7 @@ impl fmt::Display for PlaceError {
             ),
             PlaceError::OutputIo(e) => write!(f, "could not write placement output: {e}"),
             PlaceError::Engine(e) => write!(f, "engine error: {e}"),
+            PlaceError::Journal(e) => write!(f, "checkpoint journal: {e}"),
         }
     }
 }
@@ -101,6 +120,7 @@ impl std::error::Error for PlaceError {
         match self {
             PlaceError::Engine(e) => Some(e),
             PlaceError::OutputIo(e) => Some(e),
+            PlaceError::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -109,5 +129,11 @@ impl std::error::Error for PlaceError {
 impl From<phylo_engine::EngineError> for PlaceError {
     fn from(e: phylo_engine::EngineError) -> Self {
         PlaceError::Engine(e)
+    }
+}
+
+impl From<phylo_journal::JournalError> for PlaceError {
+    fn from(e: phylo_journal::JournalError) -> Self {
+        PlaceError::Journal(e)
     }
 }

@@ -85,6 +85,10 @@ pub struct RunReport {
     pub slots: usize,
     /// How often the run had to step down the degradation ladder.
     pub degradation: DegradationStats,
+    /// Chunks restored from a resumed checkpoint journal instead of
+    /// recomputed (zero on a fresh run). Their stats are folded into
+    /// the counters above; the timings cover only this process's work.
+    pub resumed_chunks: usize,
     /// Per-run observability snapshot: the slot-traffic and degradation
     /// counters are always folded in; with the `obs` feature enabled it
     /// additionally carries every live probe recorded during the run
@@ -124,6 +128,14 @@ impl DegradationStats {
 /// Serializes results in the `jplace` (v3) format. The tree string carries
 /// `{edge}` numbers matching [`PlacementEntry::edge`].
 pub fn to_jplace(tree: &Tree, results: &[PlacementResult]) -> String {
+    to_jplace_with(tree, results, true)
+}
+
+/// As [`to_jplace`], marking the run's completion state in the metadata:
+/// a cancelled (deadline/SIGINT) run emits its durable prefix with
+/// `"completed": false` so downstream tooling can distinguish a partial
+/// result from a finished one.
+pub fn to_jplace_with(tree: &Tree, results: &[PlacementResult], completed: bool) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n  \"version\": 3,\n  \"tree\": \"");
     out.push_str(&newick_with_edge_numbers(tree));
@@ -142,28 +154,47 @@ pub fn to_jplace(tree: &Tree, results: &[PlacementResult]) -> String {
         out.push_str(&format!("], \"n\": [{:?}]}}", r.name));
         out.push_str(if qi + 1 < results.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ],\n  \"metadata\": {\"software\": \"phyloplace\"}\n}\n");
+    out.push_str(&format!(
+        "  ],\n  \"metadata\": {{\"software\": \"phyloplace\", \"completed\": {completed}}}\n}}\n"
+    ));
     out
 }
 
-/// Writes jplace output crash-atomically: the contents go to
-/// `<path>.tmp` first and are renamed into place only once fully
-/// written, so an interrupted run leaves either the previous output or
-/// none — never a truncated file a downstream parser would choke on.
+/// Writes jplace output crash-atomically *and durably*: the contents go
+/// to `<path>.tmp` first, are fsynced, renamed into place, and the
+/// parent directory is fsynced so the rename itself survives power
+/// loss. An interrupted run leaves either the previous output or none —
+/// never a truncated file a downstream parser would choke on, and never
+/// a rename that evaporates with the directory's dirty page.
 pub fn write_jplace_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    use std::io::Write;
     let tmp = path.with_extension(match path.extension() {
         Some(e) => format!("{}.tmp", e.to_string_lossy()),
         None => "tmp".to_string(),
     });
     let write = || -> std::io::Result<()> {
-        std::fs::write(&tmp, contents)?;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Data must be durable before the rename publishes the name;
+        // otherwise a crash could leave the final path pointing at a
+        // zero-length inode.
+        f.sync_all()?;
+        drop(f);
         if phylo_faults::fire("place::jplace_io") {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::Other,
                 "injected jplace write failure",
             ));
         }
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        // The rename lives in the directory; fsync it (best-effort on
+        // platforms where directories cannot be opened for sync).
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                d.sync_all()?;
+            }
+        }
+        Ok(())
     };
     let r = write();
     if r.is_err() {

@@ -8,7 +8,9 @@ use crate::memplan::{self, BlockPlan, MemoryPlan};
 use crate::queries::{EncodedQuery, QueryBatch};
 use crate::result::{DegradationStats, PlacementEntry, PlacementResult, RunReport};
 use crate::score::{attachment_partials, score_thorough, BranchScoreTable, ScoreScratch};
+use phylo_amc::CancelToken;
 use phylo_engine::{ManagedStore, PreparedBlock, ReferenceContext};
+use phylo_journal::{ChunkFrame, ChunkStats, PlacementRecord, QueryRecord, RunJournal};
 use phylo_tree::{DirEdgeId, EdgeId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -31,6 +33,42 @@ impl DegradationCounters {
             flush_retries: self.flush_retries.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Run-lifecycle hooks for [`Placer::place_run`]: cooperative
+/// cancellation plus optional chunk-journal checkpointing. The default
+/// is inert (never cancelled, no journal), which is exactly what
+/// [`Placer::place`] runs under.
+#[derive(Default)]
+pub struct RunControl {
+    /// Cooperative shutdown flag, polled at chunk boundaries and per
+    /// Felsenstein op inside the engine. Arm it from a signal handler
+    /// watchdog or a deadline timer; the run breaks with bounded
+    /// latency, flushes nothing mid-chunk, and reports a partial
+    /// outcome instead of an error.
+    pub cancel: CancelToken,
+    /// Durable chunk journal. Frames replayed by
+    /// [`phylo_journal::RunJournal::resume`] are restored instead of
+    /// recomputed; every freshly completed chunk is appended (durably)
+    /// before the orchestrator advances to the next one.
+    pub journal: Option<RunJournal>,
+}
+
+/// What a crash-safe run produced: the placements for every finished
+/// query, the run report, and how far the run got.
+#[derive(Debug)]
+pub struct PlaceOutcome {
+    /// Per-query results in batch order, truncated to the completed
+    /// chunk prefix when the run was cancelled.
+    pub results: Vec<PlacementResult>,
+    /// The run report ([`RunReport::resumed_chunks`] counts replayed
+    /// frames; timings cover only the work this process did).
+    pub report: RunReport,
+    /// False when the run was cancelled before placing every query.
+    pub completed: bool,
+    /// Queries with final, durable results (`== n_queries` iff
+    /// `completed`).
+    pub queries_done: usize,
 }
 
 /// A configured placement engine over one reference.
@@ -84,20 +122,50 @@ impl Placer {
     }
 
     /// Places every query of the batch; returns per-query results (in
-    /// batch order) and the run report.
+    /// batch order) and the run report. Equivalent to [`Placer::place_run`]
+    /// under inert [`RunControl`] (never cancelled, no journal).
     pub fn place(
         &self,
         batch: &QueryBatch,
     ) -> Result<(Vec<PlacementResult>, RunReport), PlaceError> {
+        let outcome = self.place_run(batch, RunControl::default())?;
+        debug_assert!(outcome.completed, "an inert token can never cancel the run");
+        Ok((outcome.results, outcome.report))
+    }
+
+    /// Places the batch under run-lifecycle control: chunks replayed from
+    /// a resumed journal are restored instead of recomputed, every fresh
+    /// chunk is journaled durably before the run advances, and a cancelled
+    /// token turns into a clean partial [`PlaceOutcome`] (never an error)
+    /// at the next chunk boundary — mid-chunk work is abandoned, so the
+    /// journal only ever holds complete chunks.
+    ///
+    /// Determinism contract: finalization (candidate sorting + LWR) is a
+    /// pure function of the per-chunk scores, the journal round-trips
+    /// floats as exact bit patterns, and chunk boundaries are pinned by
+    /// the manifest — so crash → resume produces output byte-identical to
+    /// the uninterrupted run.
+    pub fn place_run(
+        &self,
+        batch: &QueryBatch,
+        mut control: RunControl,
+    ) -> Result<PlaceOutcome, PlaceError> {
         let t_total = Instant::now();
         let ctx = &self.ctx;
         let cfg = &self.cfg;
         let plan = self.memory_plan(batch)?;
+        let n_chunks = batch.len().div_ceil(plan.chunk_size.max(1));
+        // Frames recovered by `RunJournal::resume`: a contiguous,
+        // CRC-validated prefix `0..replayed_chunks`.
+        let replayed = control.journal.as_mut().map(|j| j.take_replayed()).unwrap_or_default();
+        let replayed_chunks = replayed.len().min(n_chunks);
+        let cancel = control.cancel.clone();
         let mut report = RunReport {
             n_queries: batch.len(),
             used_lookup: plan.use_lookup,
             slots: plan.slots,
             peak_memory: plan.tracker.peak(),
+            resumed_chunks: replayed_chunks,
             ..Default::default()
         };
         // Live probes are process-global and monotonic; the per-run view
@@ -111,15 +179,34 @@ impl Placer {
         if let Some(timeout) = cfg.slot_wait_timeout {
             store.set_wait_timeout(timeout);
         }
+        // Cancellation reaches every layer from here on: the engine
+        // polls per Felsenstein op, slot waits poll while blocked, and
+        // the chunk loop below polls at chunk boundaries.
+        store.set_cancel_token(&cancel);
 
         let store = store; // sharing starts here; the store is internally synchronized
-        let lookup = if plan.use_lookup {
+                           // A fully-replayed run has nothing left to compute — skip the
+                           // expensive lookup build so resuming after a crash between the
+                           // final chunk and the output write is near-instant.
+                           // Cancellation during the build (a pre-armed token, a signal
+                           // landing this early) is a graceful empty run, not a failure:
+                           // fall through with no table — the chunk loop below sees the
+                           // cancelled token immediately and emits the partial outcome.
+        let lookup = if plan.use_lookup && replayed_chunks < n_chunks && !cancel.is_cancelled() {
             let t = Instant::now();
             let span = phylo_obs::trace::span("preplacement.build", "phase");
-            let table = LookupTable::build(ctx, &store, cfg)?;
-            drop(span);
-            report.lookup_time = t.elapsed();
-            Some(table)
+            match LookupTable::build(ctx, &store, cfg) {
+                Ok(table) => {
+                    drop(span);
+                    report.lookup_time = t.elapsed();
+                    Some(table)
+                }
+                Err(e) if e.is_cancellation() => {
+                    drop(span);
+                    None
+                }
+                Err(e) => return Err(e),
+            }
         } else {
             None
         };
@@ -136,76 +223,167 @@ impl Placer {
             .map(|q| PlacementResult { name: q.name.clone(), placements: Vec::new() })
             .collect();
         let mut prescores = vec![0.0f64; plan.chunk_size * branches];
+        let mut completed = true;
+        let mut chunks_done = 0usize;
 
         for (chunk_idx, chunk) in batch.chunks(plan.chunk_size).enumerate() {
             let qoff = chunk_idx * plan.chunk_size;
+            if chunk_idx < replayed_chunks {
+                restore_chunk(&replayed[chunk_idx], chunk, qoff, &mut results, &mut report)?;
+                chunks_done = chunk_idx + 1;
+                continue;
+            }
+            if cancel.is_cancelled() {
+                completed = false;
+                break;
+            }
             let mat = &mut prescores[..chunk.len() * branches];
-            // Ladder counters are per chunk and merged into the report at
-            // the end of each iteration, so a run that degrades on every
-            // chunk reports every step — not just the final chunk's.
-            let deg = DegradationCounters::default();
-            let chunk_span = phylo_obs::trace::span(&format!("chunk {chunk_idx}"), "chunk");
-            phylo_obs::counter("place.chunks").inc();
-            phylo_obs::gauge("place.chunk.current").set(chunk_idx as i64);
-            phylo_obs::trace::mark("chunk.heartbeat", "chunk");
-
-            // ---- Phase 1: prescore every (query, branch) pair. ----
-            let t = Instant::now();
-            let phase_span = phylo_obs::trace::span("prescore", "phase");
-            match &lookup {
-                Some(table) => {
-                    prescore_with_lookup(
-                        ctx,
-                        table,
-                        &self.site_to_pattern,
-                        chunk,
-                        mat,
-                        branches,
-                        cfg.threads,
-                    );
+            match self.compute_chunk(
+                &store,
+                &lookup,
+                &dfs_rank,
+                chunk,
+                chunk_idx,
+                qoff,
+                mat,
+                branches,
+                &mut results,
+                &mut report,
+            ) {
+                Ok(stats) => {
+                    if let Some(journal) = control.journal.as_mut() {
+                        // Durable before advancing: once append returns,
+                        // this chunk survives process death.
+                        let span = phylo_obs::trace::span("checkpoint", "phase");
+                        let frame = frame_of(chunk_idx, stats, &results[qoff..qoff + chunk.len()]);
+                        journal.append(&frame)?;
+                        drop(span);
+                    }
+                    chunks_done = chunk_idx + 1;
                 }
-                None => {
-                    self.prescore_blocked(ctx, &store, chunk, mat, branches, &deg)?;
+                // Cancellation surfacing through a worker/prefetch/slot
+                // wait is a graceful break, not a failure: the chunk is
+                // abandoned (not journaled, not counted) and the partial
+                // prefix below is still valid.
+                Err(e) if e.is_cancellation() => {
+                    completed = false;
+                    break;
                 }
+                Err(e) => return Err(e),
             }
-            drop(phase_span);
-            report.n_prescored += (chunk.len() * branches) as u64;
-            report.prescore_time += t.elapsed();
-            // NaN never ranks correctly in candidate selection (every
-            // comparison is false), so a kernel numeric failure here would
-            // otherwise silently drop branches from consideration.
-            if let Some(bad) = mat.iter().position(|v| v.is_nan()) {
-                return Err(PlaceError::NonFiniteLikelihood {
-                    query: chunk[bad / branches].name.clone(),
-                    edge: (bad % branches) as u32,
-                });
+            // Deterministic mid-run shutdown for the crash/resume test
+            // matrix: cancels the token after chunk `chunk_idx` is
+            // durable, exactly like a deadline firing at this boundary.
+            if phylo_faults::fire("place::cancel_after_chunk") {
+                cancel.cancel();
             }
-
-            // ---- Candidate selection. ----
-            let cand: Vec<Vec<EdgeId>> = mat
-                .chunks(branches)
-                .map(|row| select_candidates(row, cfg.thorough_fraction, cfg.thorough_min))
-                .collect();
-
-            // ---- Phase 2: thorough scoring, grouped by branch. ----
-            let t = Instant::now();
-            let phase_span = phylo_obs::trace::span("thorough", "phase");
-            let grouped = group_by_branch_ranked(&cand, &dfs_rank);
-            report.n_thorough += grouped.iter().map(|(_, qs)| qs.len() as u64).sum::<u64>();
-            self.thorough_blocked(ctx, &store, chunk, &grouped, qoff, &mut results, &deg)?;
-            drop(phase_span);
-            report.thorough_time += t.elapsed();
-            report.degradation.merge(deg.snapshot());
-            drop(chunk_span);
         }
 
+        let queries_done =
+            if completed { batch.len() } else { (chunks_done * plan.chunk_size).min(batch.len()) };
+        if !completed {
+            // Queries past the last completed chunk may hold partial
+            // placements from the abandoned chunk; drop them so the
+            // outcome is exactly the durable prefix.
+            results.truncate(queries_done);
+            phylo_obs::counter("place.cancelled_runs").inc();
+        }
         for r in &mut results {
             r.finalize();
         }
         report.slot_stats = store.stats();
         report.total_time = t_total.elapsed();
         report.metrics = run_metrics(&report, &obs_base);
-        Ok((results, report))
+        Ok(PlaceOutcome { results, report, completed, queries_done })
+    }
+
+    /// One chunk of the run: prescore, candidate selection, thorough
+    /// scoring. Returns the chunk's journal-frame stats.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_chunk(
+        &self,
+        store: &ManagedStore,
+        lookup: &Option<LookupTable>,
+        dfs_rank: &[u32],
+        chunk: &[EncodedQuery],
+        chunk_idx: usize,
+        qoff: usize,
+        mat: &mut [f64],
+        branches: usize,
+        results: &mut Vec<PlacementResult>,
+        report: &mut RunReport,
+    ) -> Result<ChunkStats, PlaceError> {
+        let ctx = &self.ctx;
+        let cfg = &self.cfg;
+        // Ladder counters are per chunk and merged into the report at
+        // the end of each chunk, so a run that degrades on every chunk
+        // reports every step — not just the final chunk's. They also
+        // ride in the chunk's journal frame, which is how a resumed
+        // run's report still covers the pre-crash chunks.
+        let deg = DegradationCounters::default();
+        let chunk_span = phylo_obs::trace::span(&format!("chunk {chunk_idx}"), "chunk");
+        phylo_obs::counter("place.chunks").inc();
+        phylo_obs::gauge("place.chunk.current").set(chunk_idx as i64);
+        phylo_obs::trace::mark("chunk.heartbeat", "chunk");
+
+        // ---- Phase 1: prescore every (query, branch) pair. ----
+        let t = Instant::now();
+        let phase_span = phylo_obs::trace::span("prescore", "phase");
+        match lookup {
+            Some(table) => {
+                prescore_with_lookup(
+                    ctx,
+                    table,
+                    &self.site_to_pattern,
+                    chunk,
+                    mat,
+                    branches,
+                    cfg.threads,
+                );
+            }
+            None => {
+                self.prescore_blocked(ctx, store, chunk, mat, branches, &deg)?;
+            }
+        }
+        drop(phase_span);
+        let n_prescored = (chunk.len() * branches) as u64;
+        report.n_prescored += n_prescored;
+        report.prescore_time += t.elapsed();
+        // NaN never ranks correctly in candidate selection (every
+        // comparison is false), so a kernel numeric failure here would
+        // otherwise silently drop branches from consideration.
+        if let Some(bad) = mat.iter().position(|v| v.is_nan()) {
+            return Err(PlaceError::NonFiniteLikelihood {
+                query: chunk[bad / branches].name.clone(),
+                edge: (bad % branches) as u32,
+            });
+        }
+
+        // ---- Candidate selection. ----
+        let cand: Vec<Vec<EdgeId>> = mat
+            .chunks(branches)
+            .map(|row| select_candidates(row, cfg.thorough_fraction, cfg.thorough_min))
+            .collect();
+
+        // ---- Phase 2: thorough scoring, grouped by branch. ----
+        let t = Instant::now();
+        let phase_span = phylo_obs::trace::span("thorough", "phase");
+        let grouped = group_by_branch_ranked(&cand, dfs_rank);
+        let n_thorough = grouped.iter().map(|(_, qs)| qs.len() as u64).sum::<u64>();
+        report.n_thorough += n_thorough;
+        self.thorough_blocked(ctx, store, chunk, &grouped, qoff, results, &deg)?;
+        drop(phase_span);
+        report.thorough_time += t.elapsed();
+        let snap = deg.snapshot();
+        report.degradation.merge(snap);
+        drop(chunk_span);
+        Ok(ChunkStats {
+            prefetch_disabled: snap.prefetch_disabled,
+            block_clamped: snap.block_clamped,
+            flush_retries: snap.flush_retries,
+            n_prescored,
+            n_thorough,
+        })
     }
 
     /// Prescoring without the lookup table: branch blocks are prepared
@@ -361,6 +539,90 @@ impl Placer {
             }
             Ok(())
         })
+    }
+}
+
+/// Restores one replayed journal frame into the results vector and the
+/// report. The manifest already pinned the inputs and chunk geometry,
+/// so a mismatch here means a corrupted-but-CRC-valid journal or a bug
+/// — surfaced as a typed error, never merged silently.
+fn restore_chunk(
+    frame: &ChunkFrame,
+    chunk: &[EncodedQuery],
+    qoff: usize,
+    results: &mut [PlacementResult],
+    report: &mut RunReport,
+) -> Result<(), PlaceError> {
+    if frame.queries.len() != chunk.len() {
+        return Err(phylo_journal::JournalError::FrameMismatch {
+            chunk: frame.chunk_index,
+            detail: format!(
+                "frame holds {} queries, this run's chunk holds {}",
+                frame.queries.len(),
+                chunk.len()
+            ),
+        }
+        .into());
+    }
+    for (local, q) in frame.queries.iter().enumerate() {
+        if q.name != chunk[local].name {
+            return Err(phylo_journal::JournalError::FrameMismatch {
+                chunk: frame.chunk_index,
+                detail: format!(
+                    "query {} is {:?} in the frame but {:?} in this run",
+                    qoff + local,
+                    q.name,
+                    chunk[local].name
+                ),
+            }
+            .into());
+        }
+        // LWR is left 0.0: finalization recomputes it from the exact
+        // log-likelihood bits, identically to the uninterrupted run.
+        results[qoff + local].placements = q
+            .placements
+            .iter()
+            .map(|p| PlacementEntry {
+                edge: EdgeId(p.edge),
+                log_likelihood: p.log_likelihood,
+                like_weight_ratio: 0.0,
+                pendant_length: p.pendant_length,
+                distal_length: p.distal_length,
+            })
+            .collect();
+    }
+    report.n_prescored += frame.stats.n_prescored;
+    report.n_thorough += frame.stats.n_thorough;
+    report.degradation.merge(DegradationStats {
+        prefetch_disabled: frame.stats.prefetch_disabled,
+        block_clamped: frame.stats.block_clamped,
+        flush_retries: frame.stats.flush_retries,
+    });
+    phylo_obs::counter("journal.chunks_restored").inc();
+    Ok(())
+}
+
+/// Serializes one completed chunk's results into a journal frame.
+fn frame_of(chunk_idx: usize, stats: ChunkStats, slice: &[PlacementResult]) -> ChunkFrame {
+    ChunkFrame {
+        chunk_index: chunk_idx as u32,
+        stats,
+        queries: slice
+            .iter()
+            .map(|r| QueryRecord {
+                name: r.name.clone(),
+                placements: r
+                    .placements
+                    .iter()
+                    .map(|p| PlacementRecord {
+                        edge: p.edge.0,
+                        log_likelihood: p.log_likelihood,
+                        pendant_length: p.pendant_length,
+                        distal_length: p.distal_length,
+                    })
+                    .collect(),
+            })
+            .collect(),
     }
 }
 

@@ -1,0 +1,48 @@
+//! Exports a synthetic dataset to on-disk files the `phyloplace` CLI can
+//! consume: `ref.nwk`, `ref.fasta`, and `query.fasta` in the given
+//! directory. Used by `scripts/ci.sh` to drive the binary end-to-end
+//! (checkpoint → interrupt → resume) against real files.
+//!
+//! ```text
+//! cargo run --release --example export_dataset -- OUT_DIR [neotrop|serratus|pro_ref]
+//! ```
+
+use phyloplace::prelude::Scale;
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().unwrap_or_else(|| {
+        eprintln!("usage: export_dataset OUT_DIR [neotrop|serratus|pro_ref]");
+        std::process::exit(2);
+    });
+    let which = args.next().unwrap_or_else(|| "neotrop".to_string());
+    let spec = match which.as_str() {
+        "neotrop" => phyloplace::datasets::neotrop(Scale::Ci),
+        "serratus" => phyloplace::datasets::serratus(Scale::Ci),
+        "pro_ref" => phyloplace::datasets::pro_ref(Scale::Ci),
+        other => {
+            eprintln!("unknown dataset {other:?} (want neotrop|serratus|pro_ref)");
+            std::process::exit(2);
+        }
+    };
+    let ds = phyloplace::datasets::generate(&spec);
+    let dir = Path::new(&dir);
+    std::fs::create_dir_all(dir).expect("create output directory");
+    std::fs::write(dir.join("ref.nwk"), phyloplace::tree::newick::write(&ds.tree))
+        .expect("write ref.nwk");
+    std::fs::write(
+        dir.join("ref.fasta"),
+        phyloplace::seq::fasta::to_string(ds.reference.rows(), 70),
+    )
+    .expect("write ref.fasta");
+    std::fs::write(dir.join("query.fasta"), phyloplace::seq::fasta::to_string(&ds.queries, 70))
+        .expect("write query.fasta");
+    eprintln!(
+        "wrote {} ({} taxa, {} sites, {} queries)",
+        dir.display(),
+        ds.tree.n_leaves(),
+        ds.reference.n_sites(),
+        ds.queries.len()
+    );
+}

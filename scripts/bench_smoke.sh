@@ -67,3 +67,43 @@ assert "prescore" in names and "thorough" in names, f"missing phase spans: {sort
 print(f"metrics OK: hits={hits} misses={misses} acquires={acquires}; "
       f"trace OK: {len(trace['traceEvents'])} events")
 EOF
+
+# Checkpoint-journal overhead: the same CI-scale run with and without
+# --checkpoint, reported as % wall-clock. The journal fsyncs one frame
+# per chunk; this keeps an eye on that cost as chunk/frame sizes evolve.
+echo "==> checkpoint journal overhead (journal on vs off)"
+cargo build --release --bin phyloplace
+cargo build --release -q --example export_dataset
+jdir="$(mktemp -d -t journal_smoke.XXXXXX)"
+trap 'rm -rf "$obsdir" "$jdir"' EXIT
+target/release/examples/export_dataset "$jdir"
+journal_args=(place --tree "$jdir/ref.nwk" --ref-msa "$jdir/ref.fasta"
+              --queries "$jdir/query.fasta" --chunk 4)
+bin=target/release/phyloplace
+# Warm-up, then 3 timed repeats of each mode (best-of to damp noise).
+"$bin" "${journal_args[@]}" --out "$jdir/warm.jplace"
+best_ns() { # best_ns <label> [extra args...]
+    local label="$1"; shift
+    local best=""
+    for _ in 1 2 3; do
+        local t0 t1 dt
+        t0=$(date +%s%N)
+        "$bin" "${journal_args[@]}" "$@" --out "$jdir/$label.jplace" >/dev/null 2>&1
+        t1=$(date +%s%N)
+        dt=$((t1 - t0))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+    done
+    echo "$best"
+}
+off_ns=$(best_ns off)
+rm -rf "$jdir/ckpt"
+on_ns=$(best_ns on --checkpoint "$jdir/ckpt")
+cmp "$jdir/off.jplace" "$jdir/on.jplace" \
+    || { echo "journaling changed the output"; exit 1; }
+python3 - "$off_ns" "$on_ns" <<'EOF'
+import sys
+off, on = int(sys.argv[1]), int(sys.argv[2])
+pct = 100.0 * (on - off) / off if off else float("nan")
+print(f"journal overhead: off={off/1e6:.1f} ms, on={on/1e6:.1f} ms, "
+      f"delta={pct:+.1f}% wall-clock (best of 3)")
+EOF

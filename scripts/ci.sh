@@ -18,6 +18,30 @@ cargo test -q
 echo "==> cargo test -q --features faults --test faults (fault matrix)"
 cargo test -q --features faults --test faults
 
+echo "==> cargo test -q --features faults --test crash_resume (kill-and-resume matrix)"
+cargo test -q --features faults --test crash_resume
+
+echo "==> shell-level interrupt + resume smoke (deadline -> exit 3 -> --resume -> byte-compare)"
+smoke_dir=$(mktemp -d -t crash_smoke.XXXXXX)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -q --example export_dataset -- "$smoke_dir"
+bin=target/release/phyloplace
+place_args=(place --tree "$smoke_dir/ref.nwk" --ref-msa "$smoke_dir/ref.fasta"
+            --queries "$smoke_dir/query.fasta" --chunk 7)
+"$bin" "${place_args[@]}" --out "$smoke_dir/full.jplace"
+# A zero deadline cancels at the first chunk boundary: the run must
+# exit 3, leave a valid partial jplace, and a replayable journal.
+rc=0
+"$bin" "${place_args[@]}" --checkpoint "$smoke_dir/ckpt" --deadline 0 \
+    --out "$smoke_dir/partial.jplace" || rc=$?
+[ "$rc" -eq 3 ] || { echo "expected exit 3 from interrupted run, got $rc"; exit 1; }
+grep -q '"completed": false' "$smoke_dir/partial.jplace" \
+    || { echo "partial jplace not marked incomplete"; exit 1; }
+"$bin" "${place_args[@]}" --resume "$smoke_dir/ckpt" --out "$smoke_dir/resumed.jplace"
+cmp "$smoke_dir/full.jplace" "$smoke_dir/resumed.jplace" \
+    || { echo "resumed jplace differs from uninterrupted run"; exit 1; }
+echo "    interrupt/resume smoke OK (resumed output byte-identical)"
+
 echo "==> cargo test -q --features obs (suite again with live observability probes)"
 cargo test -q --features obs
 

@@ -2,11 +2,47 @@
 //!
 //! ```text
 //! phyloplace place --tree ref.nwk --ref-msa ref.fasta --queries q.fasta \
-//!     [--aa] [--maxmem MIB|auto] [--gamma ALPHA|--no-gamma] \
-//!     [--chunk N] [--threads N] [--out out.jplace]
+//!     [--aa] [--maxmem SIZE[K|M|G|T]|auto] [--gamma ALPHA|--no-gamma] \
+//!     [--chunk N] [--threads N] [--out out.jplace] \
+//!     [--checkpoint DIR | --resume DIR] [--deadline SECS]
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime error, `2` usage error, `3`
+//! interrupted (SIGINT/SIGTERM or `--deadline`) — the partial jplace
+//! was still written and the checkpoint journal holds every finished
+//! chunk, so a `--resume` run completes the work.
 
+use phylo_amc::CancelToken;
 use phyloplace::cli;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Exit status for a run cancelled by signal or deadline.
+const EXIT_INTERRUPTED: i32 = 3;
+
+/// Set (only) by the signal handler; a watchdog thread converts it into
+/// a cancel-token arm. Storing a flag is the entire handler body — the
+/// async-signal-safe subset.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers via the libc `signal(2)` that std
+/// already links — no new dependency. Failure to install (exotic
+/// platforms) degrades to default signal behavior, not an error.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,21 +53,39 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match cli::run_placement(&opts) {
-        Ok((jplace, summary)) => {
-            eprintln!("{summary}");
+    install_signal_handlers();
+    let cancel = CancelToken::new();
+    {
+        // Watchdog: polls the handler's flag and arms the cooperative
+        // token. Detached on purpose — it dies with the process.
+        let cancel = cancel.clone();
+        std::thread::spawn(move || loop {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                cancel.cancel();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+    match cli::run_placement_with(&opts, cancel) {
+        Ok(out) => {
+            eprintln!("{}", out.summary);
             match out_path {
                 Some(path) => {
-                    // Atomic write: a crash mid-write must not leave a
-                    // truncated jplace behind.
+                    // Atomic, durable write: a crash mid-write must not
+                    // leave a truncated jplace behind, and the rename
+                    // must survive power loss (file + dir fsync).
                     let p = std::path::Path::new(&path);
-                    if let Err(e) = phyloplace::place::result::write_jplace_atomic(p, &jplace) {
+                    if let Err(e) = phyloplace::place::result::write_jplace_atomic(p, &out.jplace) {
                         eprintln!("{path}: {e}");
                         std::process::exit(1);
                     }
-                    eprintln!("wrote {path}");
+                    eprintln!("wrote {path}{}", if out.completed { "" } else { " (partial)" });
                 }
-                None => print!("{jplace}"),
+                None => print!("{}", out.jplace),
+            }
+            if !out.completed {
+                std::process::exit(EXIT_INTERRUPTED);
             }
         }
         Err(msg) => {

@@ -5,9 +5,12 @@
 //! sequences (FASTA), producing placements in the `jplace` interchange
 //! format — here with the paper's `--maxmem` memory management surface.
 
-use crate::place::result::to_jplace;
+use crate::place::result::to_jplace_with;
+use crate::place::run::RunControl;
 use crate::place::{memplan, EpaConfig, Placer, QueryBatch};
+use phylo_amc::CancelToken;
 use phylo_engine::ReferenceContext;
+use phylo_journal::{fnv1a64, Manifest, RunJournal, MANIFEST_FORMAT};
 use phylo_models::gamma::GammaMode;
 use phylo_models::{aa, dna, DiscreteGamma, SubstModel};
 use phylo_seq::alphabet::AlphabetKind;
@@ -36,6 +39,14 @@ pub struct CliOptions {
     pub metrics_json: Option<String>,
     /// Record phase spans and write a Chrome-trace JSON to this path.
     pub trace_path: Option<String>,
+    /// Start a fresh checkpoint journal in this directory.
+    pub checkpoint_dir: Option<String>,
+    /// Resume from the checkpoint journal in this directory (and keep
+    /// journaling into it).
+    pub resume_dir: Option<String>,
+    /// Cancel the run after this many wall-clock seconds and emit the
+    /// completed prefix as a partial result.
+    pub deadline_secs: Option<f64>,
 }
 
 impl Default for CliOptions {
@@ -51,13 +62,79 @@ impl Default for CliOptions {
             threads: 1,
             metrics_json: None,
             trace_path: None,
+            checkpoint_dir: None,
+            resume_dir: None,
+            deadline_secs: None,
         }
     }
 }
 
-/// Runs the full pipeline and returns the `jplace` document plus a short
-/// human-readable run summary.
-pub fn run_placement(opts: &CliOptions) -> Result<(String, String), String> {
+/// What one pipeline invocation produced.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The `jplace` document (the durable prefix when interrupted).
+    pub jplace: String,
+    /// Human-readable one-line run summary.
+    pub summary: String,
+    /// False when the run was cancelled (signal or `--deadline`) before
+    /// placing every query; the caller should exit with status 3.
+    pub completed: bool,
+}
+
+/// Parses a `--maxmem` value into MiB. Accepts a bare number (MiB, the
+/// historical unit), a binary-unit suffix (`512M`, `2G`, `0.5G`,
+/// `1024K`, `1T`, optionally with a trailing `B`/`iB` as in `2GiB`),
+/// or `auto` (returned as `0.0`, the autodetect sentinel). Rejects
+/// non-positive, NaN, and infinite budgets — a budget of zero bytes is
+/// never what the user meant, and NaN would poison every comparison in
+/// the memory planner.
+pub fn parse_maxmem(s: &str) -> Result<f64, String> {
+    let t = s.trim();
+    if t.eq_ignore_ascii_case("auto") {
+        return Ok(0.0);
+    }
+    let bad = |why: &str| format!("bad --maxmem value {s:?}: {why}");
+    let lower = t.to_ascii_lowercase();
+    let core = lower.strip_suffix("ib").or_else(|| lower.strip_suffix('b')).unwrap_or(&lower);
+    let (num, mult_mib) = if let Some(n) = core.strip_suffix('k') {
+        (n, 1.0 / 1024.0)
+    } else if let Some(n) = core.strip_suffix('m') {
+        (n, 1.0)
+    } else if let Some(n) = core.strip_suffix('g') {
+        (n, 1024.0)
+    } else if let Some(n) = core.strip_suffix('t') {
+        (n, 1024.0 * 1024.0)
+    } else {
+        (core, 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| bad("expected a number with optional K/M/G/T suffix, or `auto`"))?;
+    if v.is_nan() {
+        return Err(bad("NaN is not a budget"));
+    }
+    if !v.is_finite() {
+        return Err(bad("must be finite"));
+    }
+    let mib = v * mult_mib;
+    if mib <= 0.0 {
+        return Err(bad("must be positive"));
+    }
+    Ok(mib)
+}
+
+/// Runs the full pipeline with an inert cancel token (never interrupted
+/// unless `--deadline` fires).
+pub fn run_placement(opts: &CliOptions) -> Result<RunOutput, String> {
+    run_placement_with(opts, CancelToken::new())
+}
+
+/// Runs the full pipeline under an externally armed cancel token (the
+/// binary wires SIGINT/SIGTERM to it) and returns the `jplace` document
+/// plus a short human-readable run summary. A cancelled run is *not* an
+/// error: the durable prefix comes back with `completed == false`.
+pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunOutput, String> {
     let tree =
         phylo_tree::newick::parse(&opts.tree_text).map_err(|e| format!("reference tree: {e}"))?;
     let ref_rows = fasta::parse(&opts.ref_fasta, opts.alphabet)
@@ -104,6 +181,62 @@ pub fn run_placement(opts: &CliOptions) -> Result<(String, String), String> {
     let placer = Placer::new(ctx, patterns.site_to_pattern().to_vec(), cfg)
         .map_err(|e| format!("config: {e}"))?;
     let batch = QueryBatch::new(&queries, msa.n_sites()).map_err(|e| format!("queries: {e}"))?;
+
+    // Checkpoint journal: the manifest fingerprints the input texts and
+    // the *effective* chunk geometry (post-memory-plan), so `--resume`
+    // refuses any run whose chunk boundaries or scoring would differ.
+    let journal = match (&opts.checkpoint_dir, &opts.resume_dir) {
+        (Some(_), Some(_)) => {
+            return Err("--checkpoint and --resume are mutually exclusive; \
+                        --resume keeps journaling into its directory"
+                .to_string())
+        }
+        (None, None) => None,
+        (ckpt, res) => {
+            let plan = placer.memory_plan(&batch).map_err(|e| format!("memory planning: {e}"))?;
+            let epa = placer.config();
+            let manifest = Manifest {
+                format: MANIFEST_FORMAT,
+                tree_hash: fnv1a64(opts.tree_text.as_bytes()),
+                ref_msa_hash: fnv1a64(opts.ref_fasta.as_bytes()),
+                query_hash: fnv1a64(opts.query_fasta.as_bytes()),
+                alphabet: match opts.alphabet {
+                    AlphabetKind::Dna => "dna".to_string(),
+                    AlphabetKind::Protein => "protein".to_string(),
+                },
+                gamma_alpha_bits: opts.gamma_alpha.map(f64::to_bits),
+                chunk_size: plan.chunk_size,
+                n_queries: batch.len(),
+                thorough_fraction_bits: epa.thorough_fraction.to_bits(),
+                thorough_min: epa.thorough_min,
+                blo_iterations: epa.blo_iterations,
+            };
+            Some(match (ckpt, res) {
+                (Some(dir), _) => RunJournal::create(std::path::Path::new(dir), &manifest)
+                    .map_err(|e| format!("checkpoint: {e}"))?,
+                (_, Some(dir)) => RunJournal::resume(std::path::Path::new(dir), &manifest)
+                    .map_err(|e| format!("resume: {e}"))?,
+                (None, None) => unreachable!(),
+            })
+        }
+    };
+
+    // Deadline watchdog: a detached poller arms the shared token once
+    // the wall-clock budget is spent; the run then unwinds at its next
+    // cancellation point. The thread dies with the process.
+    if let Some(secs) = opts.deadline_secs {
+        let cancel = cancel.clone();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(secs);
+        std::thread::spawn(move || {
+            while std::time::Instant::now() < deadline {
+                if cancel.is_cancelled() {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            cancel.cancel();
+        });
+    }
     if (opts.metrics_json.is_some() || opts.trace_path.is_some()) && !phylo_obs::enabled() {
         // Slot-traffic and degradation counters are always collected, so
         // the metrics file is still useful — but kernel timings, wait
@@ -116,26 +249,50 @@ pub fn run_placement(opts: &CliOptions) -> Result<(String, String), String> {
     if opts.trace_path.is_some() {
         phylo_obs::trace::start();
     }
-    let (results, report) = placer.place(&batch).map_err(|e| format!("placement: {e}"))?;
+    let outcome = placer
+        .place_run(&batch, RunControl { cancel, journal })
+        .map_err(|e| format!("placement: {e}"))?;
     if let Some(path) = &opts.trace_path {
         phylo_obs::trace::stop();
         let json = phylo_obs::trace::chrome_json(&phylo_obs::trace::drain());
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
     }
+    let report = &outcome.report;
     if let Some(path) = &opts.metrics_json {
         std::fs::write(path, report.metrics.to_json()).map_err(|e| format!("{path}: {e}"))?;
     }
-    let summary = format!(
-        "placed {} queries on {} branches in {:.2}s (peak {:.1} MiB, {} CLV slots, lookup {}, {} CLV computations)",
-        report.n_queries,
-        tree.n_edges(),
-        report.total_time.as_secs_f64(),
-        report.peak_memory as f64 / (1024.0 * 1024.0),
-        report.slots,
-        if report.used_lookup { "on" } else { "off" },
-        report.slot_stats.misses,
-    );
-    Ok((to_jplace(&tree, &results), summary))
+    let resumed = if report.resumed_chunks > 0 {
+        format!(", {} chunks restored from checkpoint", report.resumed_chunks)
+    } else {
+        String::new()
+    };
+    let summary = if outcome.completed {
+        format!(
+            "placed {} queries on {} branches in {:.2}s (peak {:.1} MiB, {} CLV slots, lookup {}, {} CLV computations{})",
+            report.n_queries,
+            tree.n_edges(),
+            report.total_time.as_secs_f64(),
+            report.peak_memory as f64 / (1024.0 * 1024.0),
+            report.slots,
+            if report.used_lookup { "on" } else { "off" },
+            report.slot_stats.misses,
+            resumed,
+        )
+    } else {
+        format!(
+            "interrupted: placed {} of {} queries in {:.2}s{}; every finished chunk is durable — \
+             rerun with --resume to complete",
+            outcome.queries_done,
+            report.n_queries,
+            report.total_time.as_secs_f64(),
+            resumed,
+        )
+    };
+    Ok(RunOutput {
+        jplace: to_jplace_with(&tree, &outcome.results, outcome.completed),
+        summary,
+        completed: outcome.completed,
+    })
 }
 
 /// Parses `phyloplace place` arguments. Returns `Err(usage)` on any
@@ -143,8 +300,9 @@ pub fn run_placement(opts: &CliOptions) -> Result<(String, String), String> {
 pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String> {
     const USAGE: &str =
         "usage: phyloplace place --tree REF.nwk --ref-msa REF.fasta --queries Q.fasta \
-  [--aa] [--maxmem MIB | --maxmem auto] [--gamma ALPHA | --no-gamma] \
+  [--aa] [--maxmem SIZE[K|M|G|T] | --maxmem auto] [--gamma ALPHA | --no-gamma] \
   [--chunk N] [--threads N] [--out OUT.jplace] \
+  [--checkpoint DIR | --resume DIR] [--deadline SECS] \
   [--metrics-json METRICS.json] [--trace TRACE.json]";
     let mut opts = CliOptions::default();
     let mut out: Option<String> = None;
@@ -167,11 +325,7 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
             "--aa" => opts.alphabet = AlphabetKind::Protein,
             "--maxmem" => {
                 let v = value()?;
-                opts.maxmem_mib = if v == "auto" {
-                    Some(0.0)
-                } else {
-                    Some(v.parse::<f64>().map_err(|_| format!("bad --maxmem {v:?}\n{USAGE}"))?)
-                };
+                opts.maxmem_mib = Some(parse_maxmem(&v).map_err(|e| format!("{e}\n{USAGE}"))?);
             }
             "--gamma" => {
                 let v = value()?;
@@ -189,6 +343,16 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
             }
             "--metrics-json" => opts.metrics_json = Some(value()?),
             "--trace" => opts.trace_path = Some(value()?),
+            "--checkpoint" => opts.checkpoint_dir = Some(value()?),
+            "--resume" => opts.resume_dir = Some(value()?),
+            "--deadline" => {
+                let v = value()?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad --deadline {v:?}\n{USAGE}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("bad --deadline {v:?}: must be >= 0\n{USAGE}"));
+                }
+                opts.deadline_secs = Some(secs);
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -220,16 +384,18 @@ mod tests {
 
     #[test]
     fn end_to_end_pipeline_from_text() {
-        let (jplace, summary) = run_placement(&demo_opts()).unwrap();
-        assert!(jplace.contains("\"version\": 3"));
-        assert!(jplace.contains("q1"));
-        assert!(jplace.contains("q2"));
-        assert!(summary.contains("placed 2 queries"));
+        let out = run_placement(&demo_opts()).unwrap();
+        assert!(out.jplace.contains("\"version\": 3"));
+        assert!(out.jplace.contains("q1"));
+        assert!(out.jplace.contains("q2"));
+        assert!(out.jplace.contains("\"completed\": true"));
+        assert!(out.completed);
+        assert!(out.summary.contains("placed 2 queries"));
     }
 
     #[test]
     fn identical_query_places_on_own_pendant() {
-        let (jplace, _) = run_placement(&demo_opts()).unwrap();
+        let jplace = run_placement(&demo_opts()).unwrap().jplace;
         // q1 == A's sequence; its best placement must be A's pendant edge.
         // Find A's edge number from the tree string: "A:0.1{N}".
         let tree_line = jplace.lines().find(|l| l.contains("\"tree\"")).unwrap();
@@ -252,11 +418,11 @@ mod tests {
 
     #[test]
     fn budgeted_run_matches_unlimited() {
-        let unlimited = run_placement(&demo_opts()).unwrap().0;
+        let unlimited = run_placement(&demo_opts()).unwrap().jplace;
         let mut opts = demo_opts();
         opts.maxmem_mib = Some(1.0);
         opts.chunk_size = 1;
-        let budgeted = run_placement(&opts).unwrap().0;
+        let budgeted = run_placement(&opts).unwrap().jplace;
         // Same best edges for both runs (compare the placement arrays).
         let pick = |s: &str| -> Vec<String> {
             s.lines().filter(|l| l.contains("\"p\"")).map(|l| l.to_string()).collect()
@@ -274,8 +440,75 @@ mod tests {
             alphabet: AlphabetKind::Protein,
             ..Default::default()
         };
-        let (jplace, _) = run_placement(&opts).unwrap();
+        let jplace = run_placement(&opts).unwrap().jplace;
         assert!(jplace.contains("qa"));
+    }
+
+    #[test]
+    fn parse_maxmem_accepts_units_and_bare_mib() {
+        assert_eq!(parse_maxmem("512"), Ok(512.0));
+        assert_eq!(parse_maxmem("512M"), Ok(512.0));
+        assert_eq!(parse_maxmem("512m"), Ok(512.0));
+        assert_eq!(parse_maxmem("512MB"), Ok(512.0));
+        assert_eq!(parse_maxmem("512MiB"), Ok(512.0));
+        assert_eq!(parse_maxmem("2G"), Ok(2048.0));
+        assert_eq!(parse_maxmem("0.5G"), Ok(512.0));
+        assert_eq!(parse_maxmem("2GiB"), Ok(2048.0));
+        assert_eq!(parse_maxmem("1024K"), Ok(1.0));
+        assert_eq!(parse_maxmem("1T"), Ok(1024.0 * 1024.0));
+        assert_eq!(parse_maxmem(" 64 "), Ok(64.0));
+        assert_eq!(parse_maxmem("auto"), Ok(0.0));
+        assert_eq!(parse_maxmem("AUTO"), Ok(0.0));
+    }
+
+    #[test]
+    fn parse_maxmem_rejects_nonsense() {
+        for bad in
+            ["0", "-1", "-0.5G", "0K", "nan", "NaN", "inf", "-inf", "infG", "", "G", "B", "12Q"]
+        {
+            assert!(parse_maxmem(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // The message names the offending value and stays actionable.
+        let msg = parse_maxmem("-2G").unwrap_err();
+        assert!(msg.contains("-2G") && msg.contains("positive"), "{msg}");
+        let msg = parse_maxmem("nan").unwrap_err();
+        assert!(msg.contains("NaN"), "{msg}");
+    }
+
+    #[test]
+    fn parse_cli_accepts_lifecycle_flags() {
+        let dir = std::env::temp_dir().join(format!("phyloplace-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tree = dir.join("t.nwk");
+        let msa = dir.join("r.fasta");
+        let q = dir.join("q.fasta");
+        std::fs::write(&tree, "(A:0.1,B:0.2,C:0.3);").unwrap();
+        std::fs::write(&msa, ">A\nACGT\n>B\nACGA\n>C\nACTA\n").unwrap();
+        std::fs::write(&q, ">x\nACGT\n").unwrap();
+        let base = |extra: &[&str]| -> Vec<String> {
+            let mut v: Vec<String> = vec![
+                "place".into(),
+                "--tree".into(),
+                tree.to_str().unwrap().into(),
+                "--ref-msa".into(),
+                msa.to_str().unwrap().into(),
+                "--queries".into(),
+                q.to_str().unwrap().into(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        let (opts, _) =
+            parse_cli(&base(&["--checkpoint", "ck", "--deadline", "1.5", "--maxmem", "2G"]))
+                .unwrap();
+        assert_eq!(opts.checkpoint_dir.as_deref(), Some("ck"));
+        assert_eq!(opts.deadline_secs, Some(1.5));
+        assert_eq!(opts.maxmem_mib, Some(2048.0));
+        let (opts, _) = parse_cli(&base(&["--resume", "ck"])).unwrap();
+        assert_eq!(opts.resume_dir.as_deref(), Some("ck"));
+        assert!(parse_cli(&base(&["--deadline", "-1"])).is_err());
+        assert!(parse_cli(&base(&["--maxmem", "0"])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

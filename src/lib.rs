@@ -57,6 +57,7 @@ pub use epa_place as place;
 pub use phylo_amc as amc;
 pub use phylo_datasets as datasets;
 pub use phylo_engine as engine;
+pub use phylo_journal as journal;
 pub use phylo_kernel as kernel;
 pub use phylo_models as models;
 pub use phylo_seq as seq;
@@ -65,8 +66,10 @@ pub use pplacer_mmap as baseline;
 
 /// The most commonly used types, in one import.
 pub mod prelude {
-    pub use epa_place::{EpaConfig, PlacementResult, Placer, QueryBatch, RunReport};
-    pub use phylo_amc::{SlotManager, StrategyKind};
+    pub use epa_place::{
+        EpaConfig, PlaceOutcome, PlacementResult, Placer, QueryBatch, RunControl, RunReport,
+    };
+    pub use phylo_amc::{CancelToken, SlotManager, StrategyKind};
     pub use phylo_datasets::{generate as generate_dataset, Scale};
     pub use phylo_engine::{ManagedStore, ReferenceContext};
     pub use phylo_models::{DiscreteGamma, SubstModel};

@@ -1,7 +1,7 @@
 //! End-to-end integration: datasets → engine → placement → jplace, across
 //! all three synthetic datasets and every major configuration axis.
 
-use phyloplace::place::result::to_jplace;
+use phyloplace::place::result::{to_jplace, to_jplace_with};
 use phyloplace::place::{memplan, EpaConfig, Placer, PreplacementMode, QueryBatch};
 use phyloplace::prelude::*;
 
@@ -111,6 +111,45 @@ fn jplace_byte_identical_across_thread_counts() {
             }
         }
     }
+}
+
+#[test]
+fn jplace_schema_is_structurally_valid() {
+    // The jplace consumers downstream (gappa, guppy) are strict about
+    // the envelope: version 3, the exact field ordering we advertise,
+    // and exactly one "p" entry per query. Run metadata distinguishes
+    // complete from interrupted runs.
+    let spec = phyloplace::datasets::neotrop(Scale::Ci);
+    let (ds, s2p, batch) = setup(&spec);
+    let placer = Placer::new(ctx_of(&ds), s2p, EpaConfig::default()).unwrap();
+    let (results, _) = placer.place(&batch).unwrap();
+    let j = to_jplace(&ds.tree, &results);
+
+    assert!(j.contains("\"version\": 3"), "jplace version field missing");
+    assert!(
+        j.contains(
+            "\"fields\": [\"edge_num\", \"likelihood\", \"like_weight_ratio\", \
+             \"distal_length\", \"pendant_length\"]"
+        ),
+        "fields ordering changed: {j}"
+    );
+    // One placement record per query, keyed by name.
+    assert_eq!(j.matches("\"p\":").count(), batch.len());
+    for q in batch.queries() {
+        assert!(j.contains(&format!("\"n\": [\"{}\"]", q.name)), "query {} missing", q.name);
+    }
+    // Every edge referenced by a placement exists in the annotated tree.
+    let n_edges = ds.tree.n_edges();
+    for r in &results {
+        for p in &r.placements {
+            assert!(p.edge.idx() < n_edges);
+        }
+    }
+    // Completed runs are marked so; partial (interrupted) runs are not.
+    assert!(j.contains("\"completed\": true"));
+    let partial = to_jplace_with(&ds.tree, &results, false);
+    assert!(partial.contains("\"completed\": false"));
+    assert!(partial.contains("\"version\": 3"));
 }
 
 #[test]
