@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use phylo_kernel::kernels::{update_partials, Side};
 use phylo_kernel::likelihood::edge_log_likelihood;
 use phylo_kernel::sitepar::update_partials_par;
-use phylo_kernel::{reference, KernelScratch, Layout, TipTable};
+use phylo_kernel::{reference, KernelScratch, Layout, TierChoice, TipTable};
 use phylo_models::gamma::GammaMode;
 use phylo_models::{aa, dna, DiscreteGamma, SubstModel};
 
@@ -106,17 +106,26 @@ fn bench_update_partials(c: &mut Criterion) {
 
 fn bench_sitepar(c: &mut Criterion) {
     let mut group = c.benchmark_group("update_partials_sitepar");
-    group.sample_size(10);
+    // Many short samples: the round-robin period stays well under the
+    // host's contention-burst timescale, so the medians see the same
+    // noise distribution row-to-row.
+    group.sample_size(100);
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     // Wide alignment (serratus-like) is where across-site parallelism
-    // pays; this bench quantifies the crossover.
+    // pays; this bench quantifies the crossover. The rows are a scaling
+    // curve compared against each other, so they are sampled interleaved
+    // (round-robin) rather than sequentially — host drift over the
+    // group's wall-time would otherwise read as fake negative scaling.
     let s = setup(4000, 4, false);
-    let mut out = vec![0.0; s.layout.clv_len()];
-    let mut scale = vec![0u32; s.layout.patterns];
-    for threads in [1usize, 2, 4] {
-        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
-            b.iter(|| {
+    group.throughput(Throughput::Elements((s.layout.patterns * s.layout.rates) as u64));
+    let s = &s;
+    let benches = [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let mut out = vec![0.0; s.layout.clv_len()];
+            let mut scale = vec![0u32; s.layout.patterns];
+            let f: Box<dyn FnMut()> = Box::new(move || {
                 update_partials_par(
                     &s.layout,
                     Side::Clv { clv: &s.clv, scale: None, pmatrix: &s.pmatrix },
@@ -125,9 +134,11 @@ fn bench_sitepar(c: &mut Criterion) {
                     &mut scale,
                     threads,
                 )
-            })
-        });
-    }
+            });
+            (threads.to_string(), f)
+        })
+        .collect();
+    group.bench_comparison(benches);
     group.finish();
 }
 
@@ -230,11 +241,48 @@ fn bench_kernel_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_tier(c: &mut Criterion) {
+    // Tier-by-tier comparison on identical inputs and layouts: the
+    // reference oracle, the fixed scalar kernels, and the SIMD tier
+    // (AVX2 where the host supports it, portable fallback otherwise).
+    // Rows share a group so `bench_smoke.sh` can print a per-tier
+    // throughput line straight from the JSON export.
+    let mut group = c.benchmark_group("kernel_tier");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, patterns, rates, protein) in
+        [("dna-gamma4", 1000usize, 4usize, false), ("aa-gamma4", 250, 4, true)]
+    {
+        let s = setup(patterns, rates, protein);
+        group.throughput(Throughput::Elements((patterns * rates) as u64));
+        let mut out = vec![0.0; s.layout.clv_len()];
+        let mut scale = vec![0u32; patterns];
+        for choice in [TierChoice::Reference, TierChoice::Fixed, TierChoice::Simd] {
+            let layout = s.layout.with_tier(choice);
+            group.bench_function(BenchmarkId::new(layout.tier().name(), label), |b| {
+                b.iter(|| {
+                    update_partials(
+                        &layout,
+                        Side::Clv { clv: &s.clv, scale: None, pmatrix: &s.pmatrix },
+                        Side::Clv { clv: &s.clv, scale: None, pmatrix: &s.pmatrix },
+                        &mut out,
+                        &mut scale,
+                        0..layout.patterns,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_update_partials,
     bench_sitepar,
     bench_edge_loglik,
-    bench_kernel_dispatch
+    bench_kernel_dispatch,
+    bench_kernel_tier
 );
 criterion_main!(benches);

@@ -12,7 +12,7 @@ use crate::ctx::ReferenceContext;
 use crate::error::EngineError;
 use phylo_amc::{DepSource, FpaOp, SlotArena, SlotId};
 use phylo_kernel::kernels::{update_partials_scratch, Side};
-use phylo_kernel::sitepar::update_partials_par;
+use phylo_kernel::sitepar::SiteParPool;
 use phylo_kernel::KernelScratch;
 
 /// Executes one Felsenstein step: reads the dependency slots / tip
@@ -29,19 +29,22 @@ pub fn execute_op(
     op: &FpaOp,
     scratch: &mut KernelScratch,
 ) -> Result<(), EngineError> {
-    execute_op_inner(ctx, arena, op, 1, scratch)
+    execute_op_inner(ctx, arena, op, None, scratch)
 }
 
-/// As [`execute_op`], splitting the pattern range over `n_threads`
-/// (the paper's across-site experimental parallelization, Fig. 7).
+/// As [`execute_op`], splitting the pattern range into `n_chunks` ranges
+/// executed on the store's persistent [`SiteParPool`] (the paper's
+/// across-site experimental parallelization, Fig. 7) — the pool outlives
+/// the run, so no threads are spawned per op.
 pub fn execute_op_par(
     ctx: &ReferenceContext,
     arena: &SlotArena,
     op: &FpaOp,
-    n_threads: usize,
+    pool: &SiteParPool,
+    n_chunks: usize,
     scratch: &mut KernelScratch,
 ) -> Result<(), EngineError> {
-    execute_op_inner(ctx, arena, op, n_threads, scratch)
+    execute_op_inner(ctx, arena, op, Some((pool, n_chunks)), scratch)
 }
 
 /// Per-op kernel timing probes (`phylo-obs`), interned once.
@@ -55,7 +58,7 @@ fn execute_op_inner(
     ctx: &ReferenceContext,
     arena: &SlotArena,
     op: &FpaOp,
-    n_threads: usize,
+    par: Option<(&SiteParPool, usize)>,
     scratch: &mut KernelScratch,
 ) -> Result<(), EngineError> {
     // Cooperative shutdown: a cancelled run stops between Felsenstein
@@ -109,8 +112,8 @@ fn execute_op_inner(
         });
     }
     let (left, right) = (sides[0].take().unwrap(), sides[1].take().unwrap());
-    if n_threads <= 1 {
-        update_partials_scratch(
+    match par {
+        None | Some((_, 0..=1)) => update_partials_scratch(
             &layout,
             left,
             right,
@@ -118,9 +121,10 @@ fn execute_op_inner(
             view.target_scale,
             0..layout.patterns,
             scratch,
-        );
-    } else {
-        update_partials_par(&layout, left, right, view.target_clv, view.target_scale, n_threads);
+        ),
+        Some((pool, n_chunks)) => {
+            pool.update_partials(&layout, left, right, view.target_clv, view.target_scale, n_chunks)
+        }
     }
     if phylo_faults::fire("engine::kernel_nan") {
         // Simulates a kernel numeric failure (underflow past the scaler
@@ -151,16 +155,18 @@ pub fn execute_ops(
     Ok(())
 }
 
-/// Executes a whole schedule with across-site parallelism per step.
+/// Executes a whole schedule with across-site parallelism per step, all
+/// steps sharing one persistent pool.
 pub fn execute_ops_par(
     ctx: &ReferenceContext,
     arena: &SlotArena,
     ops: &[FpaOp],
-    n_threads: usize,
+    pool: &SiteParPool,
+    n_chunks: usize,
     scratch: &mut KernelScratch,
 ) -> Result<(), EngineError> {
     for op in ops {
-        execute_op_par(ctx, arena, op, n_threads, scratch)?;
+        execute_op_par(ctx, arena, op, pool, n_chunks, scratch)?;
     }
     Ok(())
 }

@@ -29,6 +29,7 @@ use crate::error::EngineError;
 use crate::exec;
 use phylo_amc::{ensure_resident, ClvKey, ResidentSet, SlotArena, SlotId, SlotStats, StrategyKind};
 use phylo_kernel::kernels::Side;
+use phylo_kernel::sitepar::{PoolStats, SiteParPool};
 use phylo_kernel::KernelScratch;
 use phylo_tree::{DirEdgeId, NodeId};
 
@@ -84,8 +85,12 @@ impl ScratchPool {
 /// Slot-managed directional CLV store for a reference tree.
 pub struct ManagedStore {
     arena: SlotArena,
-    /// Across-site threads used when recomputing CLVs (1 = serial).
+    /// Across-site chunks used when recomputing CLVs (1 = serial).
     compute_threads: usize,
+    /// Persistent site-parallel worker pool: created (once) by
+    /// [`ManagedStore::set_compute_threads`], parked between kernel
+    /// calls, so per-op parallelism never spawns threads.
+    sitepar: Option<SiteParPool>,
     /// Kernel working buffers, reused across every recomputation this
     /// store performs (only the generic kernel fallback touches them).
     scratch: ScratchPool,
@@ -169,7 +174,7 @@ impl ManagedStore {
             ctx.layout().patterns,
             strategy.build(costs),
         )?;
-        Ok(ManagedStore { arena, compute_threads: 1, scratch: ScratchPool::new() })
+        Ok(ManagedStore { arena, compute_threads: 1, sitepar: None, scratch: ScratchPool::new() })
     }
 
     /// A store with a caller-supplied replacement strategy — the paper's
@@ -195,7 +200,7 @@ impl ManagedStore {
             ctx.layout().patterns,
             strategy,
         )?;
-        Ok(ManagedStore { arena, compute_threads: 1, scratch: ScratchPool::new() })
+        Ok(ManagedStore { arena, compute_threads: 1, sitepar: None, scratch: ScratchPool::new() })
     }
 
     /// The full-memory store (`3(n−2)` slots, EPA-NG default mode).
@@ -204,10 +209,23 @@ impl ManagedStore {
             .expect("full slot count is always above the minimum")
     }
 
-    /// Sets the number of threads used for across-site parallel CLV
-    /// recomputation (the paper's Fig. 7 mode). 1 = serial.
+    /// Sets the number of chunks used for across-site parallel CLV
+    /// recomputation (the paper's Fig. 7 mode). 1 = serial. For `n > 1`
+    /// this creates the store's persistent [`SiteParPool`] once; workers
+    /// park between kernel calls, so changing the count mid-run is the
+    /// only operation that (re)spawns threads.
     pub fn set_compute_threads(&mut self, n: usize) {
-        self.compute_threads = n.max(1);
+        let n = n.max(1);
+        if n != self.compute_threads || (n > 1) != self.sitepar.is_some() {
+            self.sitepar = (n > 1).then(|| SiteParPool::new(n));
+        }
+        self.compute_threads = n;
+    }
+
+    /// Counters of the store's site-parallel pool (zeros when the store
+    /// computes serially and owns no pool).
+    pub fn sitepar_stats(&self) -> PoolStats {
+        self.sitepar.as_ref().map(|p| p.stats()).unwrap_or_default()
     }
 
     /// Number of physical slots.
@@ -264,10 +282,16 @@ impl ManagedStore {
     ) -> Result<PreparedBlock, EngineError> {
         let mut rs = ensure_resident(ctx.tree(), dirs, self.arena.manager(), ctx.register_need())?;
         let mut scratch = self.scratch.checkout();
-        let run = if self.compute_threads <= 1 {
-            exec::execute_ops(ctx, &self.arena, &rs.ops, &mut scratch)
-        } else {
-            exec::execute_ops_par(ctx, &self.arena, &rs.ops, self.compute_threads, &mut scratch)
+        let run = match &self.sitepar {
+            None => exec::execute_ops(ctx, &self.arena, &rs.ops, &mut scratch),
+            Some(pool) => exec::execute_ops_par(
+                ctx,
+                &self.arena,
+                &rs.ops,
+                pool,
+                self.compute_threads,
+                &mut scratch,
+            ),
         };
         self.scratch.checkin(scratch);
         if let Err(e) = run {
@@ -348,10 +372,16 @@ impl ManagedStore {
             return Ok(false);
         };
         let mut scratch = self.scratch.checkout();
-        let run = if self.compute_threads <= 1 {
-            exec::execute_op(ctx, &self.arena, &op, &mut scratch)
-        } else {
-            exec::execute_op_par(ctx, &self.arena, &op, self.compute_threads, &mut scratch)
+        let run = match &self.sitepar {
+            None => exec::execute_op(ctx, &self.arena, &op, &mut scratch),
+            Some(pool) => exec::execute_op_par(
+                ctx,
+                &self.arena,
+                &op,
+                pool,
+                self.compute_threads,
+                &mut scratch,
+            ),
         };
         self.scratch.checkin(scratch);
         run?;

@@ -97,7 +97,7 @@ fn side_scale<'a>(side: &Side<'a>) -> Option<&'a [u32]> {
 /// element — the same per-element operation sequence, one pass.
 #[cold]
 #[inline(never)]
-fn rescale_pattern(dst: &mut [f64], mut max: f64) -> u32 {
+pub(crate) fn rescale_pattern(dst: &mut [f64], mut max: f64) -> u32 {
     let mut count = 0u32;
     while max > 0.0 && max < SCALE_THRESHOLD {
         max *= SCALE_FACTOR;

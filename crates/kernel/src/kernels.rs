@@ -1,23 +1,28 @@
 //! CLV update kernels (the Felsenstein pruning step).
 //!
 //! The public functions here are thin **dispatchers**: each branches once
-//! per call on [`Layout::kind`] (selected at layout construction) to one
-//! of the implementations —
+//! per call on [`Layout::kind`] and [`Layout::tier`] (both selected at
+//! layout construction) to one of the implementations —
 //!
 //! * [`crate::fixed`] for DNA (`states == 4`) and protein
 //!   (`states == 20`): fused, pattern-blocked kernels with compile-time
 //!   state counts and no heap scratch;
-//! * [`crate::reference`] for everything else: the generic scalar
+//! * [`crate::simd`] for the same state counts under the SIMD tier:
+//!   AVX2/FMA intrinsics for the fused hot paths (`update_partials`
+//!   here, `edge_log_likelihood` in [`crate::likelihood`]); the cooler
+//!   entry points (`propagate`, `point_log_likelihood`) stay on `fixed`;
+//! * [`crate::reference`] for every other state count — and for any
+//!   layout whose tier is [`KernelTier::Reference`]: the generic scalar
 //!   kernels, which double as the differential-test oracle.
 //!
 //! Every entry point has a `_scratch` variant taking a caller-owned
 //! [`KernelScratch`]; the plain variants construct a transient empty
 //! scratch, which allocates only when the generic path actually runs.
 
-use crate::layout::{KernelKind, Layout};
+use crate::layout::{KernelKind, KernelTier, Layout};
 use crate::scratch::KernelScratch;
 use crate::tips::TipTable;
-use crate::{fixed, reference};
+use crate::{fixed, reference, simd};
 
 /// One side of a likelihood combination: the data flowing toward a node
 /// across one of its edges.
@@ -117,13 +122,21 @@ pub fn update_partials_scratch(
     range: std::ops::Range<usize>,
     scratch: &mut KernelScratch,
 ) {
-    match layout.kind() {
-        KernelKind::Dna4 => fixed::update_partials::<4>(layout, left, right, out, out_scale, range),
-        KernelKind::Protein20 => {
+    match (layout.kind(), layout.tier()) {
+        (KernelKind::Generic, _) | (_, KernelTier::Reference) => {
+            reference::update_partials(layout, left, right, out, out_scale, range, scratch)
+        }
+        (KernelKind::Dna4, KernelTier::Fixed) => {
+            fixed::update_partials::<4>(layout, left, right, out, out_scale, range)
+        }
+        (KernelKind::Protein20, KernelTier::Fixed) => {
             fixed::update_partials::<20>(layout, left, right, out, out_scale, range)
         }
-        KernelKind::Generic => {
-            reference::update_partials(layout, left, right, out, out_scale, range, scratch)
+        (KernelKind::Dna4, KernelTier::Simd) => {
+            simd::update_partials::<4>(layout, left, right, out, out_scale, range)
+        }
+        (KernelKind::Protein20, KernelTier::Simd) => {
+            simd::update_partials::<20>(layout, left, right, out, out_scale, range)
         }
     }
 }
@@ -152,10 +165,13 @@ pub fn propagate_scratch(
     range: std::ops::Range<usize>,
     scratch: &mut KernelScratch,
 ) {
-    match layout.kind() {
-        KernelKind::Dna4 => fixed::propagate::<4>(layout, side, out, out_scale, range),
-        KernelKind::Protein20 => fixed::propagate::<20>(layout, side, out, out_scale, range),
-        KernelKind::Generic => reference::propagate(layout, side, out, out_scale, range, scratch),
+    // `propagate` is off the hot path; the SIMD tier runs `fixed` here.
+    match (layout.kind(), layout.tier()) {
+        (KernelKind::Generic, _) | (_, KernelTier::Reference) => {
+            reference::propagate(layout, side, out, out_scale, range, scratch)
+        }
+        (KernelKind::Dna4, _) => fixed::propagate::<4>(layout, side, out, out_scale, range),
+        (KernelKind::Protein20, _) => fixed::propagate::<20>(layout, side, out, out_scale, range),
     }
 }
 

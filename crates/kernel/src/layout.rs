@@ -1,5 +1,105 @@
 //! CLV memory layout.
 
+/// Which kernel *tier* a [`Layout`] dispatches to, orthogonal to the
+/// state-count [`KernelKind`]. Resolved once at layout construction:
+///
+/// * [`KernelTier::Reference`] — the generic scalar oracle kernels, for
+///   every state count. Bit-for-bit the definition of correctness.
+/// * [`KernelTier::Fixed`] — const-generic fused kernels (S = 4 / 20),
+///   order-preserving arithmetic, bit-identical to `Reference`.
+/// * [`KernelTier::Simd`] — explicit AVX2/FMA intrinsics for S = 4 / 20
+///   (`crate::simd`). FMA reassociates the inner dot products, so this
+///   tier is *tolerance-checked* against the oracle, not bit-identical —
+///   unless the portable fallback is active, which delegates to `Fixed`.
+///
+/// Layouts with [`KernelKind::Generic`] always run the reference
+/// implementation regardless of tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Generic scalar kernels (the differential-test oracle).
+    Reference,
+    /// Const-generic fused kernels, bit-identical to `Reference`.
+    Fixed,
+    /// AVX2/FMA kernels (tolerance contract); portable fallback = `Fixed`.
+    Simd,
+}
+
+impl KernelTier {
+    /// Stable lowercase name (CLI/env/metrics vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelTier::Reference => "reference",
+            KernelTier::Fixed => "fixed",
+            KernelTier::Simd => "simd",
+        }
+    }
+}
+
+/// A tier *request*: what the user (CLI flag, `PHYLO_KERNEL_TIER` env
+/// var) asked for, before runtime feature detection resolves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierChoice {
+    /// Resolve from the environment, then CPU features: the env var if
+    /// set, else [`KernelTier::Simd`] when AVX2+FMA are detected at
+    /// runtime, else [`KernelTier::Fixed`].
+    #[default]
+    Auto,
+    /// Force the generic scalar oracle.
+    Reference,
+    /// Force the const-generic fused kernels.
+    Fixed,
+    /// Force the SIMD module (which itself falls back to portable code
+    /// on hosts without AVX2+FMA, so this is always safe to request).
+    Simd,
+}
+
+impl TierChoice {
+    /// Parses the CLI/env vocabulary (`auto|reference|fixed|simd`).
+    pub fn parse(s: &str) -> Option<TierChoice> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(TierChoice::Auto),
+            "reference" => Some(TierChoice::Reference),
+            "fixed" => Some(TierChoice::Fixed),
+            "simd" => Some(TierChoice::Simd),
+            _ => None,
+        }
+    }
+
+    /// The `PHYLO_KERNEL_TIER` override, read once per process (invalid
+    /// values fall back to `Auto` rather than aborting mid-run).
+    pub fn from_env() -> TierChoice {
+        static ENV: std::sync::OnceLock<TierChoice> = std::sync::OnceLock::new();
+        *ENV.get_or_init(|| {
+            std::env::var("PHYLO_KERNEL_TIER")
+                .ok()
+                .and_then(|v| TierChoice::parse(&v))
+                .unwrap_or(TierChoice::Auto)
+        })
+    }
+
+    /// Resolves the request into a concrete tier. Priority: an explicit
+    /// choice wins outright; `Auto` defers to the env var, then to
+    /// runtime CPU feature detection (AVX2+FMA → `Simd`, else `Fixed`).
+    pub fn resolve(self) -> KernelTier {
+        match self {
+            TierChoice::Reference => KernelTier::Reference,
+            TierChoice::Fixed => KernelTier::Fixed,
+            TierChoice::Simd => KernelTier::Simd,
+            TierChoice::Auto => match TierChoice::from_env() {
+                // Env `auto` (or unset): pick from CPU features.
+                TierChoice::Auto => {
+                    if crate::simd::runtime_supported() {
+                        KernelTier::Simd
+                    } else {
+                        KernelTier::Fixed
+                    }
+                }
+                explicit => explicit.resolve(),
+            },
+        }
+    }
+}
+
 /// Which kernel implementation a [`Layout`] dispatches to. Selected once
 /// at layout construction from the state count; every kernel entry point
 /// branches on it exactly once per call, outside the pattern loop.
@@ -39,19 +139,45 @@ pub struct Layout {
     pub states: usize,
     /// Kernel implementation selected for this layout.
     kind: KernelKind,
+    /// Kernel tier selected for this layout (see [`KernelTier`]).
+    tier: KernelTier,
 }
 
 impl Layout {
-    /// Creates a layout; all dimensions must be non-zero.
+    /// Creates a layout; all dimensions must be non-zero. The kernel
+    /// tier resolves from `PHYLO_KERNEL_TIER` / runtime CPU detection
+    /// (see [`TierChoice::resolve`]); use [`Layout::with_tier`] for an
+    /// explicit override.
     pub fn new(patterns: usize, rates: usize, states: usize) -> Self {
         assert!(patterns > 0 && rates > 0 && states > 0, "layout dimensions must be non-zero");
-        Layout { patterns, rates, states, kind: KernelKind::for_states(states) }
+        Layout {
+            patterns,
+            rates,
+            states,
+            kind: KernelKind::for_states(states),
+            tier: TierChoice::Auto.resolve(),
+        }
+    }
+
+    /// This layout with its tier re-resolved from an explicit request
+    /// (`Auto` re-runs env + CPU detection, so it is priority-neutral).
+    #[inline]
+    pub fn with_tier(mut self, choice: TierChoice) -> Self {
+        self.tier = choice.resolve();
+        self
     }
 
     /// The kernel implementation this layout dispatches to.
     #[inline]
     pub fn kind(&self) -> KernelKind {
         self.kind
+    }
+
+    /// The kernel tier this layout dispatches to. [`KernelKind::Generic`]
+    /// layouts run the reference kernels regardless of this value.
+    #[inline]
+    pub fn tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// Number of `f64` entries in one CLV.
@@ -96,7 +222,13 @@ impl Layout {
     #[inline]
     pub fn slice(&self, range: std::ops::Range<usize>) -> Layout {
         debug_assert!(range.end <= self.patterns);
-        Layout { patterns: range.len(), rates: self.rates, states: self.states, kind: self.kind }
+        Layout {
+            patterns: range.len(),
+            rates: self.rates,
+            states: self.states,
+            kind: self.kind,
+            tier: self.tier,
+        }
     }
 
     /// The f64 index range covering the given pattern range of a CLV.
@@ -149,5 +281,42 @@ mod tests {
     #[should_panic]
     fn zero_dims_rejected() {
         Layout::new(0, 4, 4);
+    }
+
+    #[test]
+    fn tier_choice_parse_vocabulary() {
+        assert_eq!(TierChoice::parse("auto"), Some(TierChoice::Auto));
+        assert_eq!(TierChoice::parse("Reference"), Some(TierChoice::Reference));
+        assert_eq!(TierChoice::parse(" fixed "), Some(TierChoice::Fixed));
+        assert_eq!(TierChoice::parse("SIMD"), Some(TierChoice::Simd));
+        assert_eq!(TierChoice::parse("avx512"), None);
+        assert_eq!(TierChoice::parse(""), None);
+    }
+
+    #[test]
+    fn explicit_tier_overrides_resolution() {
+        let l = Layout::new(8, 2, 4);
+        assert_eq!(l.with_tier(TierChoice::Reference).tier(), KernelTier::Reference);
+        assert_eq!(l.with_tier(TierChoice::Fixed).tier(), KernelTier::Fixed);
+        assert_eq!(l.with_tier(TierChoice::Simd).tier(), KernelTier::Simd);
+        // Auto lands on a concrete tier and slicing preserves it. Which
+        // tier depends on the environment: PHYLO_KERNEL_TIER pins it
+        // (ci.sh runs this suite once per value); unpinned, auto never
+        // picks the reference oracle.
+        let auto = l.with_tier(TierChoice::Auto);
+        match std::env::var("PHYLO_KERNEL_TIER").ok().as_deref().and_then(TierChoice::parse) {
+            Some(TierChoice::Reference) => assert_eq!(auto.tier(), KernelTier::Reference),
+            Some(TierChoice::Fixed) => assert_eq!(auto.tier(), KernelTier::Fixed),
+            Some(TierChoice::Simd) => assert_eq!(auto.tier(), KernelTier::Simd),
+            _ => assert!(matches!(auto.tier(), KernelTier::Fixed | KernelTier::Simd)),
+        }
+        assert_eq!(auto.slice(1..5).tier(), auto.tier());
+    }
+
+    #[test]
+    fn tier_names_are_stable() {
+        assert_eq!(KernelTier::Reference.name(), "reference");
+        assert_eq!(KernelTier::Fixed.name(), "fixed");
+        assert_eq!(KernelTier::Simd.name(), "simd");
     }
 }

@@ -26,10 +26,15 @@
 //!
 //! Every public entry point is a dispatcher selected once per call from
 //! [`layout::KernelKind`] (itself fixed at [`Layout`] construction from
-//! the state count): DNA (`states == 4`) and protein (`states == 20`) run
-//! the fused, fixed-state kernels in [`fixed`]; everything else runs the
-//! generic scalar kernels in [`reference`], which double as the
-//! bit-for-bit differential-test oracle for the fast paths.
+//! the state count) and [`layout::KernelTier`]: DNA (`states == 4`) and
+//! protein (`states == 20`) run the fused fixed-state kernels in
+//! [`fixed`], or the AVX2/FMA kernels in [`simd`] when the SIMD tier is
+//! active; everything else runs the generic scalar kernels in
+//! [`reference`], which double as the bit-for-bit differential-test
+//! oracle for the fast paths. The tier is resolved once per layout from
+//! `--kernel-tier` / `PHYLO_KERNEL_TIER` / runtime CPU detection (see
+//! [`layout::TierChoice`]); `reference` vs `fixed` is bit-identical,
+//! the AVX2 path is tolerance-checked (FMA reassociation).
 
 pub mod fixed;
 pub mod kernels;
@@ -38,10 +43,11 @@ pub mod likelihood;
 pub mod reference;
 pub mod scaling;
 pub mod scratch;
+pub mod simd;
 pub mod sitepar;
 pub mod tips;
 
-pub use layout::{KernelKind, Layout};
+pub use layout::{KernelKind, KernelTier, Layout, TierChoice};
 pub use scaling::{LN_SCALE, SCALE_FACTOR, SCALE_THRESHOLD};
 pub use scratch::KernelScratch;
 pub use tips::TipTable;

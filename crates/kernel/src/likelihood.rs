@@ -1,15 +1,19 @@
 //! Log-likelihood evaluation from CLVs.
 //!
 //! Like [`crate::kernels`], the functions here dispatch once per call on
-//! [`Layout::kind`] to the fixed-state implementations in [`crate::fixed`]
-//! (DNA/protein) or the generic oracle in [`crate::reference`]. Both
-//! likelihood evaluations keep the pattern-outer / rate-inner accumulation
-//! order on every path, so totals are bit-identical across dispatch arms.
+//! [`Layout::kind`] and [`Layout::tier`] to the fixed-state
+//! implementations in [`crate::fixed`] (DNA/protein), the AVX2/FMA
+//! implementations in [`crate::simd`] (SIMD tier, `edge_log_likelihood`
+//! only — `point_log_likelihood` stays on `fixed`), or the generic oracle
+//! in [`crate::reference`]. The scalar paths keep the pattern-outer /
+//! rate-inner accumulation order, so their totals are bit-identical; the
+//! AVX2 path reassociates the state-dimension dot product and is
+//! tolerance-checked against the oracle instead.
 
 use crate::kernels::Side;
-use crate::layout::{KernelKind, Layout};
+use crate::layout::{KernelKind, KernelTier, Layout};
 use crate::scratch::KernelScratch;
-use crate::{fixed, reference};
+use crate::{fixed, reference, simd};
 
 /// Evaluates the tree log-likelihood at a branch: one side is the CLV
 /// *at* node `u` (unpropagated), the other is everything beyond the branch,
@@ -56,28 +60,8 @@ pub fn edge_log_likelihood_scratch(
     range: std::ops::Range<usize>,
     scratch: &mut KernelScratch,
 ) -> f64 {
-    match layout.kind() {
-        KernelKind::Dna4 => fixed::edge_log_likelihood::<4>(
-            layout,
-            u_clv,
-            u_scale,
-            v,
-            freqs,
-            rate_weights,
-            pattern_weights,
-            range,
-        ),
-        KernelKind::Protein20 => fixed::edge_log_likelihood::<20>(
-            layout,
-            u_clv,
-            u_scale,
-            v,
-            freqs,
-            rate_weights,
-            pattern_weights,
-            range,
-        ),
-        KernelKind::Generic => reference::edge_log_likelihood(
+    match (layout.kind(), layout.tier()) {
+        (KernelKind::Generic, _) | (_, KernelTier::Reference) => reference::edge_log_likelihood(
             layout,
             u_clv,
             u_scale,
@@ -87,6 +71,46 @@ pub fn edge_log_likelihood_scratch(
             pattern_weights,
             range,
             scratch,
+        ),
+        (KernelKind::Dna4, KernelTier::Fixed) => fixed::edge_log_likelihood::<4>(
+            layout,
+            u_clv,
+            u_scale,
+            v,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+        ),
+        (KernelKind::Protein20, KernelTier::Fixed) => fixed::edge_log_likelihood::<20>(
+            layout,
+            u_clv,
+            u_scale,
+            v,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+        ),
+        (KernelKind::Dna4, KernelTier::Simd) => simd::edge_log_likelihood::<4>(
+            layout,
+            u_clv,
+            u_scale,
+            v,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+        ),
+        (KernelKind::Protein20, KernelTier::Simd) => simd::edge_log_likelihood::<20>(
+            layout,
+            u_clv,
+            u_scale,
+            v,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
         ),
     }
 }
@@ -126,24 +150,9 @@ pub fn point_log_likelihood_scratch(
     range: std::ops::Range<usize>,
     scratch: &mut KernelScratch,
 ) -> f64 {
-    match layout.kind() {
-        KernelKind::Dna4 => fixed::point_log_likelihood::<4>(
-            layout,
-            sides,
-            freqs,
-            rate_weights,
-            pattern_weights,
-            range,
-        ),
-        KernelKind::Protein20 => fixed::point_log_likelihood::<20>(
-            layout,
-            sides,
-            freqs,
-            rate_weights,
-            pattern_weights,
-            range,
-        ),
-        KernelKind::Generic => reference::point_log_likelihood(
+    // Multi-side points are off the hot path; the SIMD tier runs `fixed`.
+    match (layout.kind(), layout.tier()) {
+        (KernelKind::Generic, _) | (_, KernelTier::Reference) => reference::point_log_likelihood(
             layout,
             sides,
             freqs,
@@ -151,6 +160,22 @@ pub fn point_log_likelihood_scratch(
             pattern_weights,
             range,
             scratch,
+        ),
+        (KernelKind::Dna4, _) => fixed::point_log_likelihood::<4>(
+            layout,
+            sides,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
+        ),
+        (KernelKind::Protein20, _) => fixed::point_log_likelihood::<20>(
+            layout,
+            sides,
+            freqs,
+            rate_weights,
+            pattern_weights,
+            range,
         ),
     }
 }

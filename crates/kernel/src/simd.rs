@@ -1,0 +1,539 @@
+//! Explicit SIMD kernel tier: AVX2/FMA implementations of the fused
+//! `update_partials` and `edge_log_likelihood` inner loops for the
+//! compile-time state counts `S = 4` (DNA) and `S = 20` (protein).
+//!
+//! The backend is picked **once per process** ([`backend`]):
+//!
+//! * **AVX2** — requires both `avx2` and `fma` at runtime
+//!   (`is_x86_feature_detected!`). The `S×S` matrix–vector propagation
+//!   runs four output states per step with FMA-accumulated dot products,
+//!   and the fused multiply + running-maximum pass is vectorized
+//!   four lanes wide. FMA contracts `a*b+c` and the dot products reduce
+//!   in tree order, so results are **not** bit-identical to the
+//!   [`crate::reference`] oracle — the differential suite checks this
+//!   tier under the log-domain tolerance contract documented in
+//!   `DESIGN.md` §5c (per-element effective log within `1e-10`,
+//!   log-likelihood totals within `1e-9·max(1, |lnL|)`; scaler counts
+//!   may legitimately differ when the compared implementations land on
+//!   opposite sides of the rescale threshold, which the log-domain
+//!   comparison absorbs because `SCALE_FACTOR` is an exact power of 2).
+//! * **Portable** — any other host, or `PHYLO_SIMD_PORTABLE=1` (the
+//!   forced-fallback switch `scripts/ci.sh` tests). Delegates to the
+//!   order-preserving [`crate::fixed`] kernels, so the portable path is
+//!   bit-for-bit identical to the oracle.
+//!
+//! Only the two hot fused entry points get intrinsics; `propagate` and
+//! `point_log_likelihood` under the SIMD tier run the `fixed`
+//! implementations (see [`crate::kernels`] / [`crate::likelihood`]).
+
+use crate::fixed;
+use crate::kernels::Side;
+use crate::layout::Layout;
+use crate::scaling::{LN_SCALE, SCALE_THRESHOLD};
+
+/// Which implementation the SIMD tier runs on this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// AVX2 + FMA intrinsics (tolerance contract vs the oracle).
+    Avx2,
+    /// Delegation to [`crate::fixed`] (bit-identical to the oracle).
+    Portable,
+}
+
+impl SimdBackend {
+    /// Stable lowercase name (metrics vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Portable => "portable",
+        }
+    }
+}
+
+/// True when `PHYLO_SIMD_PORTABLE=1` forces the portable fallback
+/// (read once per process).
+fn portable_forced() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("PHYLO_SIMD_PORTABLE").map(|v| v == "1" || v == "true").unwrap_or(false)
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn host_has_avx2_fma() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn host_has_avx2_fma() -> bool {
+    false
+}
+
+/// The backend the SIMD tier uses, decided once per process.
+pub fn backend() -> SimdBackend {
+    static BACKEND: std::sync::OnceLock<SimdBackend> = std::sync::OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if !portable_forced() && host_has_avx2_fma() {
+            SimdBackend::Avx2
+        } else {
+            SimdBackend::Portable
+        }
+    })
+}
+
+/// Whether auto tier selection should pick the SIMD tier: the AVX2
+/// backend is actually available (and not disabled via
+/// `PHYLO_SIMD_PORTABLE`). When false, auto resolves to the fixed tier
+/// instead — requesting `simd` explicitly is still safe (portable path).
+pub fn runtime_supported() -> bool {
+    backend() == SimdBackend::Avx2
+}
+
+/// Fused parent-CLV computation, SIMD tier. Same contract as
+/// [`crate::fixed::update_partials`].
+pub fn update_partials<const S: usize>(
+    layout: &Layout,
+    left: Side<'_>,
+    right: Side<'_>,
+    out: &mut [f64],
+    out_scale: &mut [u32],
+    range: std::ops::Range<usize>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if backend() == SimdBackend::Avx2 {
+        // SAFETY: backend() verified avx2+fma at runtime.
+        unsafe { avx2::update_partials::<S>(layout, left, right, out, out_scale, range) };
+        return;
+    }
+    fixed::update_partials::<S>(layout, left, right, out, out_scale, range)
+}
+
+/// Edge log-likelihood, SIMD tier. Same contract as
+/// [`crate::fixed::edge_log_likelihood`].
+#[allow(clippy::too_many_arguments)]
+pub fn edge_log_likelihood<const S: usize>(
+    layout: &Layout,
+    u_clv: &[f64],
+    u_scale: Option<&[u32]>,
+    v: Side<'_>,
+    freqs: &[f64],
+    rate_weights: &[f64],
+    pattern_weights: &[u32],
+    range: std::ops::Range<usize>,
+) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if backend() == SimdBackend::Avx2 {
+        // SAFETY: backend() verified avx2+fma at runtime.
+        return unsafe {
+            avx2::edge_log_likelihood::<S>(
+                layout,
+                u_clv,
+                u_scale,
+                v,
+                freqs,
+                rate_weights,
+                pattern_weights,
+                range,
+            )
+        };
+    }
+    fixed::edge_log_likelihood::<S>(
+        layout,
+        u_clv,
+        u_scale,
+        v,
+        freqs,
+        rate_weights,
+        pattern_weights,
+        range,
+    )
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// Patterns per cache block (matches [`crate::fixed`]).
+    const PATTERN_BLOCK: usize = 16;
+
+    /// `out[i..i+4] = Σ_j pm[(i..i+4)·S + j] · child[j]` for all `i`,
+    /// four FMA-accumulated dot products at a time, combined with the
+    /// hadd/permute butterfly. Requires `S % 4 == 0` (holds for 4, 20).
+    ///
+    /// SAFETY: caller guarantees avx2+fma, `pm` points at `S·S` f64s and
+    /// `child`/`out` at `S` f64s.
+    #[inline(always)]
+    unsafe fn matvec<const S: usize>(pm: *const f64, child: *const f64, out: *mut f64) {
+        debug_assert_eq!(S % 4, 0);
+        let mut i = 0;
+        while i < S {
+            let mut a0 = _mm256_setzero_pd();
+            let mut a1 = _mm256_setzero_pd();
+            let mut a2 = _mm256_setzero_pd();
+            let mut a3 = _mm256_setzero_pd();
+            let mut j = 0;
+            while j < S {
+                let c = _mm256_loadu_pd(child.add(j));
+                a0 = _mm256_fmadd_pd(_mm256_loadu_pd(pm.add(i * S + j)), c, a0);
+                a1 = _mm256_fmadd_pd(_mm256_loadu_pd(pm.add((i + 1) * S + j)), c, a1);
+                a2 = _mm256_fmadd_pd(_mm256_loadu_pd(pm.add((i + 2) * S + j)), c, a2);
+                a3 = _mm256_fmadd_pd(_mm256_loadu_pd(pm.add((i + 3) * S + j)), c, a3);
+                j += 4;
+            }
+            // hadd pairs lanes within 128-bit halves; the permute swaps
+            // halves so the final add yields [Σa0, Σa1, Σa2, Σa3].
+            let h01 = _mm256_hadd_pd(a0, a1);
+            let h23 = _mm256_hadd_pd(a2, a3);
+            let lo = _mm256_permute2f128_pd(h01, h23, 0x20);
+            let hi = _mm256_permute2f128_pd(h01, h23, 0x31);
+            _mm256_storeu_pd(out.add(i), _mm256_add_pd(lo, hi));
+            i += 4;
+        }
+    }
+
+    /// One side's propagated likelihoods for a `(pattern, rate)` pair.
+    /// Mirrors `fixed::SideProp`, with the CLV side vectorized.
+    trait SidePropV<const S: usize>: Copy {
+        /// SAFETY: caller guarantees avx2+fma are available.
+        unsafe fn prop(&self, pattern: usize, rate: usize, out: &mut [f64; S]);
+    }
+
+    #[derive(Clone, Copy)]
+    struct TipPropV<'a> {
+        table: &'a crate::tips::TipTable,
+        codes: &'a [u8],
+    }
+
+    impl<const S: usize> SidePropV<S> for TipPropV<'_> {
+        #[inline(always)]
+        unsafe fn prop(&self, pattern: usize, rate: usize, out: &mut [f64; S]) {
+            out.copy_from_slice(self.table.code_rate(self.codes[pattern], rate));
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct ClvPropV<'a> {
+        clv: &'a [f64],
+        pmatrix: &'a [f64],
+        stride: usize,
+    }
+
+    impl<const S: usize> SidePropV<S> for ClvPropV<'_> {
+        #[inline(always)]
+        unsafe fn prop(&self, pattern: usize, rate: usize, out: &mut [f64; S]) {
+            let base = pattern * self.stride + rate * S;
+            debug_assert!(base + S <= self.clv.len());
+            debug_assert!((rate + 1) * S * S <= self.pmatrix.len());
+            matvec::<S>(
+                self.pmatrix.as_ptr().add(rate * S * S),
+                self.clv.as_ptr().add(base),
+                out.as_mut_ptr(),
+            );
+        }
+    }
+
+    #[inline(always)]
+    fn side_scale<'a>(side: &Side<'a>) -> Option<&'a [u32]> {
+        match side {
+            Side::Clv { scale, .. } => *scale,
+            Side::Tip { .. } => None,
+        }
+    }
+
+    /// Horizontal maximum of a 4-lane vector.
+    ///
+    /// SAFETY: caller guarantees avx2.
+    #[inline(always)]
+    unsafe fn hmax(v: __m256d) -> f64 {
+        let hi = _mm256_extractf128_pd(v, 1);
+        let lo = _mm256_castpd256_pd128(v);
+        let m = _mm_max_pd(lo, hi);
+        let s = _mm_max_sd(m, _mm_unpackhi_pd(m, m));
+        _mm_cvtsd_f64(s)
+    }
+
+    /// AVX2 fused parent-CLV computation. Structure mirrors
+    /// `fixed::update_partials` (four monomorphized side combinations,
+    /// rate-outer blocks of 16 patterns, block-level scaling check).
+    ///
+    /// SAFETY: caller guarantees avx2+fma are available.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn update_partials<const S: usize>(
+        layout: &Layout,
+        left: Side<'_>,
+        right: Side<'_>,
+        out: &mut [f64],
+        out_scale: &mut [u32],
+        range: std::ops::Range<usize>,
+    ) {
+        debug_assert_eq!(layout.states, S);
+        debug_assert_eq!(out.len(), layout.clv_len());
+        debug_assert_eq!(out_scale.len(), layout.patterns);
+        debug_assert!(range.end <= layout.patterns);
+        let rates = layout.rates;
+        let stride = layout.pattern_stride();
+        let (lscale, rscale) = (side_scale(&left), side_scale(&right));
+        match (left, right) {
+            (Side::Tip { table: lt, codes: lc }, Side::Tip { table: rt, codes: rc }) => {
+                update_fused::<S, _, _>(
+                    rates,
+                    stride,
+                    TipPropV { table: lt, codes: lc },
+                    TipPropV { table: rt, codes: rc },
+                    lscale,
+                    rscale,
+                    out,
+                    out_scale,
+                    range,
+                )
+            }
+            (Side::Tip { table: lt, codes: lc }, Side::Clv { clv, pmatrix, .. }) => {
+                update_fused::<S, _, _>(
+                    rates,
+                    stride,
+                    TipPropV { table: lt, codes: lc },
+                    ClvPropV { clv, pmatrix, stride },
+                    lscale,
+                    rscale,
+                    out,
+                    out_scale,
+                    range,
+                )
+            }
+            (Side::Clv { clv, pmatrix, .. }, Side::Tip { table: rt, codes: rc }) => {
+                update_fused::<S, _, _>(
+                    rates,
+                    stride,
+                    ClvPropV { clv, pmatrix, stride },
+                    TipPropV { table: rt, codes: rc },
+                    lscale,
+                    rscale,
+                    out,
+                    out_scale,
+                    range,
+                )
+            }
+            (
+                Side::Clv { clv: lclv, pmatrix: lpm, .. },
+                Side::Clv { clv: rclv, pmatrix: rpm, .. },
+            ) => update_fused::<S, _, _>(
+                rates,
+                stride,
+                ClvPropV { clv: lclv, pmatrix: lpm, stride },
+                ClvPropV { clv: rclv, pmatrix: rpm, stride },
+                lscale,
+                rscale,
+                out,
+                out_scale,
+                range,
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn update_fused<const S: usize, L: SidePropV<S>, R: SidePropV<S>>(
+        rates: usize,
+        stride: usize,
+        left: L,
+        right: R,
+        lscale: Option<&[u32]>,
+        rscale: Option<&[u32]>,
+        out: &mut [f64],
+        out_scale: &mut [u32],
+        range: std::ops::Range<usize>,
+    ) {
+        let mut p = range.start;
+        while p < range.end {
+            let block_end = (p + PATTERN_BLOCK).min(range.end);
+            let mut maxs = [0.0f64; PATTERN_BLOCK];
+            for r in 0..rates {
+                for (k, pp) in (p..block_end).enumerate() {
+                    let mut lv = [0.0f64; S];
+                    let mut rv = [0.0f64; S];
+                    left.prop(pp, r, &mut lv);
+                    right.prop(pp, r, &mut rv);
+                    let dst = out.as_mut_ptr().add(pp * stride + r * S);
+                    let mut mv = _mm256_setzero_pd();
+                    let mut i = 0;
+                    while i < S {
+                        let v = _mm256_mul_pd(
+                            _mm256_loadu_pd(lv.as_ptr().add(i)),
+                            _mm256_loadu_pd(rv.as_ptr().add(i)),
+                        );
+                        _mm256_storeu_pd(dst.add(i), v);
+                        mv = _mm256_max_pd(mv, v);
+                        i += 4;
+                    }
+                    maxs[k] = maxs[k].max(hmax(mv));
+                }
+            }
+            for (k, pp) in (p..block_end).enumerate() {
+                let mut scale = lscale.map_or(0, |s| s[pp]) + rscale.map_or(0, |s| s[pp]);
+                let max = maxs[k];
+                if max > 0.0 && max < SCALE_THRESHOLD {
+                    scale += crate::fixed::rescale_pattern(
+                        &mut out[pp * stride..(pp + 1) * stride],
+                        max,
+                    );
+                }
+                out_scale[pp] = scale;
+            }
+            p = block_end;
+        }
+    }
+
+    /// `Σ_i freqs[i] · u[i] · v[i]` over `S` lanes (FMA-accumulated,
+    /// tree-order reduction).
+    ///
+    /// SAFETY: caller guarantees avx2+fma; all pointers cover `S` f64s.
+    #[inline(always)]
+    unsafe fn weighted_dot<const S: usize>(freqs: *const f64, u: *const f64, v: *const f64) -> f64 {
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < S {
+            let fu = _mm256_mul_pd(_mm256_loadu_pd(freqs.add(i)), _mm256_loadu_pd(u.add(i)));
+            acc = _mm256_fmadd_pd(fu, _mm256_loadu_pd(v.add(i)), acc);
+            i += 4;
+        }
+        let hi = _mm256_extractf128_pd(acc, 1);
+        let lo = _mm256_castpd256_pd128(acc);
+        let s = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }
+
+    /// AVX2 edge log-likelihood (fused v-side propagation + weighted
+    /// per-category dot).
+    ///
+    /// SAFETY: caller guarantees avx2+fma are available.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn edge_log_likelihood<const S: usize>(
+        layout: &Layout,
+        u_clv: &[f64],
+        u_scale: Option<&[u32]>,
+        v: Side<'_>,
+        freqs: &[f64],
+        rate_weights: &[f64],
+        pattern_weights: &[u32],
+        range: std::ops::Range<usize>,
+    ) -> f64 {
+        debug_assert_eq!(layout.states, S);
+        debug_assert_eq!(u_clv.len(), layout.clv_len());
+        debug_assert_eq!(freqs.len(), S);
+        debug_assert_eq!(rate_weights.len(), layout.rates);
+        debug_assert_eq!(pattern_weights.len(), layout.patterns);
+        let stride = layout.pattern_stride();
+        let vscale = side_scale(&v);
+        match v {
+            Side::Tip { table, codes } => edge_fused::<S, _>(
+                layout.rates,
+                stride,
+                u_clv,
+                u_scale,
+                TipPropV { table, codes },
+                vscale,
+                freqs,
+                rate_weights,
+                pattern_weights,
+                range,
+            ),
+            Side::Clv { clv, pmatrix, .. } => edge_fused::<S, _>(
+                layout.rates,
+                stride,
+                u_clv,
+                u_scale,
+                ClvPropV { clv, pmatrix, stride },
+                vscale,
+                freqs,
+                rate_weights,
+                pattern_weights,
+                range,
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn edge_fused<const S: usize, V: SidePropV<S>>(
+        rates: usize,
+        stride: usize,
+        u_clv: &[f64],
+        u_scale: Option<&[u32]>,
+        v: V,
+        vscale: Option<&[u32]>,
+        freqs: &[f64],
+        rate_weights: &[f64],
+        pattern_weights: &[u32],
+        range: std::ops::Range<usize>,
+    ) -> f64 {
+        let mut total = 0.0f64;
+        for p in range {
+            let mut site = 0.0f64;
+            for r in 0..rates {
+                let mut buf = [0.0f64; S];
+                v.prop(p, r, &mut buf);
+                let cat = weighted_dot::<S>(
+                    freqs.as_ptr(),
+                    u_clv.as_ptr().add(p * stride + r * S),
+                    buf.as_ptr(),
+                );
+                site += rate_weights[r] * cat;
+            }
+            let scale = u_scale.map_or(0, |s| s[p]) + vscale.map_or(0, |s| s[p]);
+            total += pattern_weights[p] as f64 * (site.ln() - scale as f64 * LN_SCALE);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_is_stable_and_consistent() {
+        let b = backend();
+        assert_eq!(b, backend(), "backend must be decided once");
+        assert_eq!(runtime_supported(), b == SimdBackend::Avx2);
+        assert!(matches!(b.name(), "avx2" | "portable"));
+    }
+
+    /// The SIMD entry points must run (and produce finite values) on
+    /// whatever backend this host selects — the cross-tier numerical
+    /// comparison lives in `tests/differential.rs`.
+    #[test]
+    fn simd_entry_points_run_on_selected_backend() {
+        for states in [4usize, 20] {
+            let layout = Layout::new(17, 3, states).with_tier(crate::layout::TierChoice::Simd);
+            let mut pm = vec![0.0; layout.pmatrix_len()];
+            for r in 0..layout.rates {
+                for i in 0..states {
+                    for j in 0..states {
+                        pm[r * states * states + i * states + j] =
+                            if i == j { 0.7 } else { 0.3 / (states as f64 - 1.0) };
+                    }
+                }
+            }
+            let clv: Vec<f64> =
+                (0..layout.clv_len()).map(|i| 0.05 + (i % 11) as f64 * 0.07).collect();
+            let mut out = vec![0.0; layout.clv_len()];
+            let mut scale = vec![0u32; layout.patterns];
+            let side = Side::Clv { clv: &clv, scale: None, pmatrix: &pm };
+            match states {
+                4 => update_partials::<4>(&layout, side, side, &mut out, &mut scale, 0..17),
+                _ => update_partials::<20>(&layout, side, side, &mut out, &mut scale, 0..17),
+            }
+            assert!(out.iter().all(|v| v.is_finite() && *v > 0.0));
+            let freqs = vec![1.0 / states as f64; states];
+            let rw = vec![1.0 / 3.0; 3];
+            let pw = vec![1u32; 17];
+            let ll = match states {
+                4 => edge_log_likelihood::<4>(&layout, &clv, None, side, &freqs, &rw, &pw, 0..17),
+                _ => edge_log_likelihood::<20>(&layout, &clv, None, side, &freqs, &rw, &pw, 0..17),
+            };
+            assert!(ll.is_finite());
+        }
+    }
+}

@@ -1,24 +1,36 @@
-//! Across-site parallel kernel wrappers.
+//! Across-site parallel kernel wrappers over a persistent worker pool.
 //!
 //! The paper's Fig. 7 "experimental" mode parallelizes CLV recomputation
 //! over alignment sites instead of (only) overlapping it with placement
 //! work. Because the CLV layout keeps patterns outermost, splitting the
-//! pattern range splits every buffer into disjoint contiguous slices, so
-//! the parallel kernels are plain safe Rust over `chunks_mut`.
+//! pattern range splits every buffer into disjoint contiguous slices.
 //!
-//! As the paper observes (§V-C), this only pays off for wide alignments:
-//! each thread must amortize its spawn/join over `patterns / threads`
-//! sites.
+//! Earlier revisions spawned (and joined) fresh OS threads on *every*
+//! kernel call, which made site-parallel scoring scale negatively: the
+//! per-call spawn cost dwarfed the per-chunk kernel work. The wrappers
+//! now run on a [`SiteParPool`] — workers are spawned once, park on a
+//! condvar between calls, and a call is just "publish a job, wake the
+//! pool, help drain it". The caller thread always participates in the
+//! drain, so a pool sized `n` uses `n - 1` parked workers plus the
+//! caller, and on a single-core host (zero workers) every call runs
+//! inline with no synchronization beyond two atomic bumps.
 //!
-//! Each worker calls the dispatching serial kernels on its sub-range, so
-//! the range split composes with kernel specialization: DNA/protein
-//! chunks run the fused fixed-state kernels allocation-free, and only the
-//! generic fallback touches a (per-spawn, transient) scratch — negligible
-//! next to the thread spawn these wrappers already pay for.
+//! Each chunk calls the dispatching serial kernels on its sub-range, so
+//! the range split composes with kernel specialization *and* the tier
+//! layer: DNA/protein chunks run the fused fixed-state or SIMD kernels
+//! allocation-free, and only the generic fallback touches a transient
+//! scratch.
+//!
+//! As the paper observes (§V-C), site parallelism still only pays off
+//! for wide alignments — each chunk must amortize its share of the
+//! wake/park handshake over `patterns / chunks` sites — but the
+//! handshake is now hundreds of nanoseconds, not a thread spawn.
 
 use crate::kernels::{update_partials, Side};
 use crate::layout::Layout;
 use crate::likelihood::edge_log_likelihood;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Splits `patterns` into at most `n_chunks` near-equal contiguous ranges.
 pub fn split_ranges(patterns: usize, n_chunks: usize) -> Vec<std::ops::Range<usize>> {
@@ -51,9 +63,370 @@ fn slice_side<'a>(side: &Side<'a>, layout: &Layout, range: &std::ops::Range<usiz
     }
 }
 
-/// Parallel [`update_partials`]: splits the pattern range across
-/// `n_threads` OS threads. Falls back to the serial kernel for one thread
-/// or tiny pattern counts.
+/// A raw pointer that may cross threads. Used to hand each pool task its
+/// own disjoint chunk of an output buffer; every dereference site states
+/// the disjointness argument.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// One published batch of index-addressed tasks (`0..n_tasks`).
+struct Job {
+    /// Type-erased `&(dyn Fn(usize) + Sync)` borrowed from the caller's
+    /// stack. Valid until `pending` reaches zero, which [`SiteParPool::run`]
+    /// waits for before returning; the pointer is only ever dereferenced
+    /// for a claimed index, strictly before that index's `pending`
+    /// decrement, so no dereference can happen after `run` returns.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index.
+    cursor: AtomicUsize,
+    n_tasks: usize,
+    /// Tasks not yet *finished* (claimed-and-executed).
+    pending: AtomicUsize,
+    done_m: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: the raw `task` pointer is the only non-auto-Send/Sync field;
+// its validity window is enforced by the `pending` protocol above.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and executes tasks until the cursor is exhausted.
+    fn drain(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return;
+            }
+            // SAFETY: see the `task` field contract.
+            unsafe { (*self.task)(i) };
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Lock-then-notify so a caller between its `pending`
+                // check and `wait` cannot miss the wakeup.
+                let _g = self.done_m.lock().unwrap();
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task has finished.
+    fn wait(&self) {
+        let mut g = self.done_m.lock().unwrap();
+        while self.pending.load(Ordering::Acquire) > 0 {
+            g = self.done_cv.wait(g).unwrap();
+        }
+    }
+}
+
+struct PoolState {
+    /// The most recently published job (workers help the latest; older
+    /// jobs are finished by their own publishing callers).
+    job: Option<Arc<Job>>,
+    /// Bumped on every publish so workers can tell "new job" from "the
+    /// job I just drained".
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    /// Workers currently parked on `work_cv`.
+    parked: AtomicUsize,
+    /// Pool-routed batches since creation.
+    jobs: AtomicU64,
+    /// Tasks executed (by workers and callers) since creation.
+    tasks: AtomicU64,
+}
+
+/// Point-in-time pool counters, exported through the observability
+/// registry by `placement::run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker threads owned by the pool (excludes participating callers).
+    pub workers: usize,
+    /// Workers currently parked waiting for work.
+    pub parked: usize,
+    /// Unclaimed tasks in the most recent job.
+    pub queue_depth: usize,
+    /// Batches routed through the pool.
+    pub jobs: u64,
+    /// Tasks executed across all batches.
+    pub tasks: u64,
+}
+
+/// A persistent site-parallel worker pool: `requested - 1` worker threads
+/// (clamped to the host's available parallelism) that park between calls.
+///
+/// Created once per run (the engine's store owns one; a lazily created
+/// [`SiteParPool::global`] instance backs the free-function wrappers) so
+/// thread startup is amortized across every kernel call of the run.
+pub struct SiteParPool {
+    inner: Arc<PoolInner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SiteParPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteParPool").field("workers", &self.handles.len()).finish()
+    }
+}
+
+impl SiteParPool {
+    /// A pool sized for `requested` concurrent chunk executors: the
+    /// caller plus `min(requested, available_parallelism) - 1` parked
+    /// workers. `requested <= 1` (or a single-core host) yields a pool
+    /// with zero threads whose `run` executes inline.
+    pub fn new(requested: usize) -> SiteParPool {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        SiteParPool::spawn(requested.clamp(1, cores) - 1)
+    }
+
+    /// A pool with exactly `n_workers` threads, bypassing the host-core
+    /// clamp — lets tests exercise the chunked paths on any host.
+    #[cfg(test)]
+    fn with_workers(n_workers: usize) -> SiteParPool {
+        SiteParPool::spawn(n_workers)
+    }
+
+    fn spawn(n_workers: usize) -> SiteParPool {
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState { job: None, epoch: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            parked: AtomicUsize::new(0),
+            jobs: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+        });
+        let handles = (0..n_workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("sitepar-{}", i + 1))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn sitepar worker")
+            })
+            .collect();
+        SiteParPool { inner, handles }
+    }
+
+    /// The process-wide pool backing [`update_partials_par`] /
+    /// [`edge_log_likelihood_par`], sized to the host parallelism and
+    /// created on first use.
+    pub fn global() -> &'static SiteParPool {
+        static POOL: OnceLock<SiteParPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            SiteParPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        })
+    }
+
+    /// Current pool counters.
+    pub fn stats(&self) -> PoolStats {
+        let queue_depth = {
+            let st = self.inner.state.lock().unwrap();
+            st.job
+                .as_ref()
+                .map(|j| j.n_tasks.saturating_sub(j.cursor.load(Ordering::Relaxed)))
+                .unwrap_or(0)
+        };
+        PoolStats {
+            workers: self.handles.len(),
+            parked: self.inner.parked.load(Ordering::Relaxed),
+            queue_depth,
+            jobs: self.inner.jobs.load(Ordering::Relaxed),
+            tasks: self.inner.tasks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes `task(0..n_tasks)` across the pool; the calling thread
+    /// participates and the call returns only when every task finished.
+    /// Tasks must be independent (they run concurrently in any order).
+    pub fn run(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        self.inner.jobs.fetch_add(1, Ordering::Relaxed);
+        if self.handles.is_empty() || n_tasks == 1 {
+            for i in 0..n_tasks {
+                task(i);
+            }
+            self.inner.tasks.fetch_add(n_tasks as u64, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: erase the borrow lifetime of `task`. The pointer is
+        // dereferenced only for claimed indices, all of which complete
+        // before `job.wait()` returns below, i.e. within the borrow.
+        let task_ptr: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(task as *const (dyn Fn(usize) + Sync)) };
+        let job = Arc::new(Job {
+            task: task_ptr,
+            cursor: AtomicUsize::new(0),
+            n_tasks,
+            pending: AtomicUsize::new(n_tasks),
+            done_m: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.epoch += 1;
+            st.job = Some(Arc::clone(&job));
+        }
+        self.inner.work_cv.notify_all();
+        job.drain();
+        self.inner.tasks.fetch_add(job.n_tasks as u64, Ordering::Relaxed);
+        job.wait();
+        // Unpublish so `task`'s borrow cannot outlive this call through
+        // the pool state (workers holding stale Arcs see an exhausted
+        // cursor and never touch the pointer again).
+        let mut st = self.inner.state.lock().unwrap();
+        if st.job.as_ref().is_some_and(|j| Arc::ptr_eq(j, &job)) {
+            st.job = None;
+        }
+    }
+
+    /// Parallel [`update_partials`] over `n_chunks` contiguous pattern
+    /// ranges. Falls back to one serial kernel call for a single chunk or
+    /// tiny pattern counts.
+    pub fn update_partials(
+        &self,
+        layout: &Layout,
+        left: Side<'_>,
+        right: Side<'_>,
+        out: &mut [f64],
+        out_scale: &mut [u32],
+        n_chunks: usize,
+    ) {
+        // Chunking with no workers is pure overhead (the caller would
+        // execute every chunk itself, paying the per-chunk slicing and
+        // SIMD block-remainder cost with zero concurrency), so a
+        // worker-less pool always runs the one-call serial kernel.
+        if n_chunks <= 1 || layout.patterns < 2 * n_chunks || self.handles.is_empty() {
+            update_partials(layout, left, right, out, out_scale, 0..layout.patterns);
+            return;
+        }
+        let ranges = split_ranges(layout.patterns, n_chunks);
+        let stride = layout.pattern_stride();
+        debug_assert!(out.len() >= layout.clv_len() && out_scale.len() >= layout.patterns);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let scale_ptr = SendPtr(out_scale.as_mut_ptr());
+        self.run(ranges.len(), &|i| {
+            let range = ranges[i].clone();
+            let sub = layout.slice(range.clone());
+            // SAFETY: the ranges are disjoint and contiguous, so each
+            // task writes a private slice of `out` / `out_scale`, all
+            // within the caller's exclusive borrows.
+            let (out_chunk, scale_chunk) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(
+                        out_ptr.get().add(range.start * stride),
+                        range.len() * stride,
+                    ),
+                    std::slice::from_raw_parts_mut(scale_ptr.get().add(range.start), range.len()),
+                )
+            };
+            let l = slice_side(&left, layout, &range);
+            let r = slice_side(&right, layout, &range);
+            update_partials(&sub, l, r, out_chunk, scale_chunk, 0..sub.patterns);
+        });
+    }
+
+    /// Parallel [`edge_log_likelihood`] over `n_chunks` pattern ranges;
+    /// partial sums are added in range order, so the result is
+    /// deterministic for a fixed chunk count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge_log_likelihood(
+        &self,
+        layout: &Layout,
+        u_clv: &[f64],
+        u_scale: Option<&[u32]>,
+        v: Side<'_>,
+        freqs: &[f64],
+        rate_weights: &[f64],
+        pattern_weights: &[u32],
+        n_chunks: usize,
+    ) -> f64 {
+        if n_chunks <= 1 || layout.patterns < 2 * n_chunks || self.handles.is_empty() {
+            return edge_log_likelihood(
+                layout,
+                u_clv,
+                u_scale,
+                v,
+                freqs,
+                rate_weights,
+                pattern_weights,
+                0..layout.patterns,
+            );
+        }
+        let ranges = split_ranges(layout.patterns, n_chunks);
+        let mut partials = vec![0.0f64; ranges.len()];
+        let p_ptr = SendPtr(partials.as_mut_ptr());
+        self.run(ranges.len(), &|i| {
+            let range = ranges[i].clone();
+            let sub = layout.slice(range.clone());
+            let u = &u_clv[layout.clv_range(&range)];
+            let us = u_scale.map(|x| &x[range.clone()]);
+            let vv = slice_side(&v, layout, &range);
+            let pw = &pattern_weights[range.clone()];
+            let val =
+                edge_log_likelihood(&sub, u, us, vv, freqs, rate_weights, pw, 0..sub.patterns);
+            // SAFETY: task `i` exclusively owns `partials[i]`.
+            unsafe { *p_ptr.get().add(i) = val };
+        });
+        partials.iter().sum()
+    }
+}
+
+impl Drop for SiteParPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    if let Some(job) = st.job.clone() {
+                        break job;
+                    }
+                    // Job already unpublished (finished): nothing to help.
+                    continue;
+                }
+                inner.parked.fetch_add(1, Ordering::Relaxed);
+                st = inner.work_cv.wait(st).unwrap();
+                inner.parked.fetch_sub(1, Ordering::Relaxed);
+            }
+        };
+        job.drain();
+    }
+}
+
+/// Parallel [`update_partials`] on the [`SiteParPool::global`] pool:
+/// splits the pattern range into `n_threads` chunks. Falls back to the
+/// serial kernel for one thread or tiny pattern counts.
 pub fn update_partials_par(
     layout: &Layout,
     left: Side<'_>,
@@ -62,33 +435,12 @@ pub fn update_partials_par(
     out_scale: &mut [u32],
     n_threads: usize,
 ) {
-    if n_threads <= 1 || layout.patterns < 2 * n_threads {
-        update_partials(layout, left, right, out, out_scale, 0..layout.patterns);
-        return;
-    }
-    let ranges = split_ranges(layout.patterns, n_threads);
-    let stride = layout.pattern_stride();
-    std::thread::scope(|s| {
-        let mut out_rest = out;
-        let mut scale_rest = out_scale;
-        for range in &ranges {
-            let (out_chunk, tail) = out_rest.split_at_mut(range.len() * stride);
-            out_rest = tail;
-            let (scale_chunk, tail) = scale_rest.split_at_mut(range.len());
-            scale_rest = tail;
-            let sub = layout.slice(range.clone());
-            let l = slice_side(&left, layout, range);
-            let r = slice_side(&right, layout, range);
-            s.spawn(move || {
-                update_partials(&sub, l, r, out_chunk, scale_chunk, 0..sub.patterns);
-            });
-        }
-    });
+    SiteParPool::global().update_partials(layout, left, right, out, out_scale, n_threads)
 }
 
-/// Parallel [`edge_log_likelihood`]: each thread sums its pattern range;
-/// partial sums are added in range order so the result is deterministic
-/// for a fixed thread count.
+/// Parallel [`edge_log_likelihood`] on the [`SiteParPool::global`] pool;
+/// deterministic for a fixed `n_threads` (partial sums added in range
+/// order).
 #[allow(clippy::too_many_arguments)]
 pub fn edge_log_likelihood_par(
     layout: &Layout,
@@ -100,34 +452,16 @@ pub fn edge_log_likelihood_par(
     pattern_weights: &[u32],
     n_threads: usize,
 ) -> f64 {
-    if n_threads <= 1 || layout.patterns < 2 * n_threads {
-        return edge_log_likelihood(
-            layout,
-            u_clv,
-            u_scale,
-            v,
-            freqs,
-            rate_weights,
-            pattern_weights,
-            0..layout.patterns,
-        );
-    }
-    let ranges = split_ranges(layout.patterns, n_threads);
-    let mut partials = vec![0.0f64; ranges.len()];
-    std::thread::scope(|s| {
-        for (range, slot) in ranges.iter().zip(partials.iter_mut()) {
-            let sub = layout.slice(range.clone());
-            let u = &u_clv[layout.clv_range(range)];
-            let us = u_scale.map(|x| &x[range.clone()]);
-            let vv = slice_side(&v, layout, range);
-            let pw = &pattern_weights[range.clone()];
-            s.spawn(move || {
-                *slot =
-                    edge_log_likelihood(&sub, u, us, vv, freqs, rate_weights, pw, 0..sub.patterns);
-            });
-        }
-    });
-    partials.iter().sum()
+    SiteParPool::global().edge_log_likelihood(
+        layout,
+        u_clv,
+        u_scale,
+        v,
+        freqs,
+        rate_weights,
+        pattern_weights,
+        n_threads,
+    )
 }
 
 #[cfg(test)]
@@ -176,13 +510,21 @@ mod tests {
         let mut serial = vec![0.0; layout.clv_len()];
         let mut serial_scale = vec![0u32; patterns];
         update_partials(&layout, left, right, &mut serial, &mut serial_scale, 0..patterns);
+        // Unclamped pool: the chunked path runs even on a one-core host.
+        let pool = SiteParPool::with_workers(2);
         for threads in [2usize, 3, 7] {
             let mut par = vec![0.0; layout.clv_len()];
             let mut par_scale = vec![0u32; patterns];
-            update_partials_par(&layout, left, right, &mut par, &mut par_scale, threads);
+            pool.update_partials(&layout, left, right, &mut par, &mut par_scale, threads);
             assert_eq!(serial, par, "threads={threads}");
             assert_eq!(serial_scale, par_scale);
         }
+        // The free-function wrapper (global pool, host-clamped) agrees too.
+        let mut par = vec![0.0; layout.clv_len()];
+        let mut par_scale = vec![0u32; patterns];
+        update_partials_par(&layout, left, right, &mut par, &mut par_scale, 4);
+        assert_eq!(serial, par);
+        assert_eq!(serial_scale, par_scale);
     }
 
     #[test]
@@ -208,8 +550,10 @@ mod tests {
             &pw,
             0..patterns,
         );
+        // Unclamped pool: the chunked path runs even on a one-core host.
+        let pool = SiteParPool::with_workers(2);
         for threads in [2usize, 4, 5] {
-            let par = edge_log_likelihood_par(
+            let par = pool.edge_log_likelihood(
                 &layout,
                 &u_clv,
                 None,
@@ -221,6 +565,17 @@ mod tests {
             );
             assert!((serial - par).abs() < 1e-9, "threads={threads}: {serial} vs {par}");
         }
+        let par = edge_log_likelihood_par(
+            &layout,
+            &u_clv,
+            None,
+            Side::Tip { table: &table, codes: &codes },
+            &freqs,
+            &[1.0],
+            &pw,
+            3,
+        );
+        assert!((serial - par).abs() < 1e-9, "{serial} vs {par}");
     }
 
     #[test]
@@ -240,5 +595,69 @@ mod tests {
             8,
         );
         assert!(out.iter().any(|&v| v > 0.0));
+    }
+
+    /// The pool is the whole point: repeated calls must reuse it (no
+    /// spawn per call) and its counters must reflect the traffic.
+    #[test]
+    fn pool_reuses_workers_and_counts_jobs() {
+        let pool = SiteParPool::new(4);
+        let stats0 = pool.stats();
+        assert_eq!(stats0.jobs, 0);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run(8, &|_i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 80);
+        let stats = pool.stats();
+        assert_eq!(stats.jobs, 10);
+        assert_eq!(stats.tasks, 80);
+        assert_eq!(stats.queue_depth, 0, "all jobs drained");
+        // Worker count is host-dependent but bounded by the request.
+        assert!(stats.workers < 4);
+    }
+
+    /// Every task index is executed exactly once even when tasks outnumber
+    /// pool threads many times over.
+    #[test]
+    fn pool_executes_each_task_exactly_once() {
+        let pool = SiteParPool::new(3);
+        let marks: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(marks.len(), &|i| {
+            marks[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, m) in marks.iter().enumerate() {
+            assert_eq!(m.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    /// Dropping a pool must join its workers promptly (no deadlock).
+    #[test]
+    fn pool_shutdown_joins_workers() {
+        let pool = SiteParPool::new(4);
+        pool.run(4, &|_| {});
+        drop(pool);
+    }
+
+    /// Concurrent `run` calls from independent threads may overlap; each
+    /// caller must still see all of its own tasks complete.
+    #[test]
+    fn pool_survives_concurrent_callers() {
+        let pool = SiteParPool::new(4);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        pool.run(7, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 7);
     }
 }

@@ -1,15 +1,44 @@
-//! Differential tests: the specialized fixed-state kernels (dispatched
-//! through the public entry points for DNA and protein layouts) must
-//! reproduce the generic reference kernels **bit for bit** — same CLV
-//! bits, same scaler counts, same log-likelihood bits — across random
-//! dimensions, side combinations, partial pattern ranges, and
-//! scaling-heavy tiny-likelihood inputs.
+//! Differential tests: every dispatchable kernel tier must reproduce the
+//! generic reference kernels, under the per-tier equivalence contract
+//! documented in DESIGN.md §5c:
+//!
+//! * `reference` and `fixed` tiers are **bit-for-bit** identical — same
+//!   CLV bits, same scaler counts, same log-likelihood bits — across
+//!   random dimensions, side combinations, partial pattern ranges, and
+//!   scaling-heavy tiny-likelihood inputs.
+//! * The `simd` tier is **tolerance-checked**: FMA contraction and the
+//!   vectorized horizontal reductions reassociate sums, so CLV elements
+//!   are compared in the effective log domain (`ln v − scale·LN_SCALE`,
+//!   absorbing legitimate ±1 scaler-count differences at the rescale
+//!   threshold) within `1e-10`, exact zeroes must match exactly, and
+//!   log-likelihood totals must agree within `1e-9 · max(1, |L|)`.
+//!   `propagate` and `point_log_likelihood` run the fixed scalar path
+//!   even under the `simd` tier, so they stay bit-exact on every tier.
+//!
+//! Tiers are pinned explicitly via `Layout::with_tier`, never inherited
+//! from the environment, so the suite exercises all tiers regardless of
+//! `PHYLO_KERNEL_TIER` or host CPU features (on non-AVX2 hosts the simd
+//! tier falls back to the portable backend, which is bit-exact, and the
+//! tolerance checks pass trivially).
 
 use phylo_kernel::kernels::{self, Side};
 use phylo_kernel::{likelihood, reference};
-use phylo_kernel::{KernelKind, KernelScratch, Layout, TipTable, SCALE_THRESHOLD};
+use phylo_kernel::{
+    KernelKind, KernelScratch, KernelTier, Layout, TierChoice, TipTable, LN_SCALE, SCALE_THRESHOLD,
+};
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
+
+/// Per-element tolerance for simd-tier CLVs in the effective log domain.
+const CLV_LOG_TOL: f64 = 1e-10;
+/// Relative tolerance for simd-tier log-likelihood totals.
+const LL_REL_TOL: f64 = 1e-9;
+
+/// The bit-exact tiers: dispatched output must equal reference exactly.
+const EXACT_TIERS: [TierChoice; 2] = [TierChoice::Reference, TierChoice::Fixed];
+
+/// Every tier choice, for entry points that stay bit-exact on all tiers.
+const ALL_TIERS: [TierChoice; 3] = [TierChoice::Reference, TierChoice::Fixed, TierChoice::Simd];
 
 /// Deterministic input builder driven by the proptest shim's RNG.
 struct Gen {
@@ -126,18 +155,69 @@ impl OwnedSide {
     }
 }
 
-/// Runs dispatched-vs-reference `update_partials` and asserts bit
-/// equality.
-fn check_update(layout: &Layout, left: Side<'_>, right: Side<'_>, range: std::ops::Range<usize>) {
-    let mut fast = vec![0.0; layout.clv_len()];
-    let mut fast_scale = vec![0u32; layout.patterns];
-    kernels::update_partials(layout, left, right, &mut fast, &mut fast_scale, range.clone());
+/// Dispatched `update_partials` under one pinned tier.
+fn run_update(
+    layout: &Layout,
+    left: Side<'_>,
+    right: Side<'_>,
+    range: std::ops::Range<usize>,
+) -> (Vec<f64>, Vec<u32>) {
+    let mut clv = vec![0.0; layout.clv_len()];
+    let mut scale = vec![0u32; layout.patterns];
+    kernels::update_partials(layout, left, right, &mut clv, &mut scale, range);
+    (clv, scale)
+}
 
-    let mut oracle = vec![0.0; layout.clv_len()];
-    let mut oracle_scale = vec![0u32; layout.patterns];
+/// Asserts two CLV buffers agree in the effective log domain within
+/// `CLV_LOG_TOL` per element over `range`. Scale counts may legitimately
+/// differ by rescale-threshold straddling, which the `scale·LN_SCALE`
+/// subtraction absorbs exactly (the scale factor is a power of two, so a
+/// shifted element's `ln` moves by exactly `LN_SCALE` up to f64 `ln`
+/// accuracy). Exact zeroes must match exactly.
+fn assert_clv_close(
+    layout: &Layout,
+    got: &[f64],
+    got_scale: &[u32],
+    want: &[f64],
+    want_scale: &[u32],
+    range: std::ops::Range<usize>,
+    tier: KernelTier,
+) {
+    let stride = layout.pattern_stride();
+    for p in range {
+        let (cg, cw) = (got_scale[p] as f64, want_scale[p] as f64);
+        for i in p * stride..(p + 1) * stride {
+            let (a, b) = (got[i], want[i]);
+            if a == 0.0 || b == 0.0 {
+                assert!(
+                    a == b,
+                    "tier {tier:?}: zero/nonzero mismatch at f64 index {i}: {a} vs {b}"
+                );
+                continue;
+            }
+            let la = a.ln() - cg * LN_SCALE;
+            let lb = b.ln() - cw * LN_SCALE;
+            assert!(
+                (la - lb).abs() <= CLV_LOG_TOL,
+                "tier {tier:?}: CLV log mismatch at f64 index {i} (pattern {p}): \
+                 {a} (scale {}) vs {b} (scale {}), log delta {:e}",
+                got_scale[p],
+                want_scale[p],
+                (la - lb).abs()
+            );
+        }
+    }
+}
+
+/// Runs dispatched-vs-reference `update_partials` on every tier: exact
+/// tiers bit-for-bit, the simd tier under the documented log-domain
+/// tolerance.
+fn check_update(base: &Layout, left: Side<'_>, right: Side<'_>, range: std::ops::Range<usize>) {
+    let mut oracle = vec![0.0; base.clv_len()];
+    let mut oracle_scale = vec![0u32; base.patterns];
     let mut scratch = KernelScratch::new();
     reference::update_partials(
-        layout,
+        base,
         left,
         right,
         &mut oracle,
@@ -146,10 +226,75 @@ fn check_update(layout: &Layout, left: Side<'_>, right: Side<'_>, range: std::op
         &mut scratch,
     );
 
-    for (i, (a, b)) in fast.iter().zip(&oracle).enumerate() {
-        assert_eq!(a.to_bits(), b.to_bits(), "CLV bit mismatch at f64 index {i} (range {range:?})");
+    for choice in EXACT_TIERS {
+        let layout = (*base).with_tier(choice);
+        let (clv, scale) = run_update(&layout, left, right, range.clone());
+        for (i, (a, b)) in clv.iter().zip(&oracle).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "tier {choice:?}: CLV bit mismatch at f64 index {i} (range {range:?})"
+            );
+        }
+        assert_eq!(scale, oracle_scale, "tier {choice:?}: scaler mismatch (range {range:?})");
     }
-    assert_eq!(fast_scale, oracle_scale, "scaler mismatch (range {range:?})");
+
+    let simd = (*base).with_tier(TierChoice::Simd);
+    let (clv, scale) = run_update(&simd, left, right, range.clone());
+    assert_clv_close(base, &clv, &scale, &oracle, &oracle_scale, range, simd.tier());
+}
+
+/// Runs dispatched-vs-reference `edge_log_likelihood` on every tier:
+/// bit-exact on the scalar tiers, relative tolerance on simd.
+#[allow(clippy::too_many_arguments)]
+fn check_edge_ll(
+    base: &Layout,
+    u_clv: &[f64],
+    u_scale: &[u32],
+    v: Side<'_>,
+    freqs: &[f64],
+    rw: &[f64],
+    pw: &[u32],
+    range: std::ops::Range<usize>,
+) {
+    let mut scratch = KernelScratch::new();
+    let oracle = reference::edge_log_likelihood(
+        base,
+        u_clv,
+        Some(u_scale),
+        v,
+        freqs,
+        rw,
+        pw,
+        range.clone(),
+        &mut scratch,
+    );
+
+    for choice in EXACT_TIERS {
+        let layout = (*base).with_tier(choice);
+        let fast = likelihood::edge_log_likelihood(
+            &layout,
+            u_clv,
+            Some(u_scale),
+            v,
+            freqs,
+            rw,
+            pw,
+            range.clone(),
+        );
+        assert_eq!(fast.to_bits(), oracle.to_bits(), "tier {choice:?}: {fast} vs {oracle}");
+    }
+
+    let simd = (*base).with_tier(TierChoice::Simd);
+    let fast =
+        likelihood::edge_log_likelihood(&simd, u_clv, Some(u_scale), v, freqs, rw, pw, range);
+    let tol = LL_REL_TOL * oracle.abs().max(1.0);
+    assert!(
+        (fast - oracle).abs() <= tol,
+        "tier {:?}: log-likelihood mismatch {fast} vs {oracle} (delta {:e}, tol {tol:e})",
+        simd.tier(),
+        (fast - oracle).abs(),
+    );
 }
 
 fn dims_to_layout(patterns: usize, rates: usize, states: usize) -> Layout {
@@ -192,8 +337,9 @@ proptest! {
     }
 
     /// Scaling-heavy inputs: tiny CLVs on both sides force the rescale
-    /// paths (one-shot cold rescale vs iterative loop) to agree bit for
-    /// bit, including multi-level rescales.
+    /// paths (one-shot cold rescale vs iterative loop) to agree — bit for
+    /// bit on the scalar tiers, within the log-domain tolerance on simd,
+    /// including multi-level rescales.
     #[test]
     fn scaling_heavy_update_matches_reference(
         seed in 0u64..u64::MAX,
@@ -210,7 +356,9 @@ proptest! {
         check_update(&layout, left.as_side(), right.as_side(), range);
     }
 
-    /// One-side propagation (lookup-table construction path).
+    /// One-side propagation (lookup-table construction path). Bit-exact
+    /// on every tier: the simd tier dispatches propagate to the fixed
+    /// scalar kernels (it is off the placement hot path).
     #[test]
     fn propagate_matches_reference(
         seed in 0u64..u64::MAX,
@@ -219,34 +367,38 @@ proptest! {
         protein in 0usize..2,
     ) {
         let states = if protein == 1 { 20 } else { 4 };
-        let layout = dims_to_layout(patterns, rates, states);
+        let base = dims_to_layout(patterns, rates, states);
         let mut g = Gen::new(seed);
-        let side = OwnedSide::generate(&mut g, &layout, false, false);
+        let side = OwnedSide::generate(&mut g, &base, false, false);
         let range = g.range(patterns);
 
-        let mut fast = vec![0.0; layout.clv_len()];
-        let mut fast_scale = vec![0u32; layout.patterns];
-        kernels::propagate(&layout, side.as_side(), &mut fast, &mut fast_scale, range.clone());
-
-        let mut oracle = vec![0.0; layout.clv_len()];
-        let mut oracle_scale = vec![0u32; layout.patterns];
+        let mut oracle = vec![0.0; base.clv_len()];
+        let mut oracle_scale = vec![0u32; base.patterns];
         let mut scratch = KernelScratch::new();
         reference::propagate(
-            &layout,
+            &base,
             side.as_side(),
             &mut oracle,
             &mut oracle_scale,
-            range,
+            range.clone(),
             &mut scratch,
         );
-        for (a, b) in fast.iter().zip(&oracle) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
+
+        for choice in ALL_TIERS {
+            let layout = base.with_tier(choice);
+            let mut fast = vec![0.0; layout.clv_len()];
+            let mut fast_scale = vec![0u32; layout.patterns];
+            kernels::propagate(&layout, side.as_side(), &mut fast, &mut fast_scale, range.clone());
+            for (a, b) in fast.iter().zip(&oracle) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(&fast_scale, &oracle_scale);
         }
-        prop_assert_eq!(fast_scale, oracle_scale);
     }
 
-    /// Edge log-likelihood totals must match bit for bit (same
-    /// accumulation order on both paths).
+    /// Edge log-likelihood totals: bit-exact on the scalar tiers (same
+    /// accumulation order on both paths), within relative tolerance on
+    /// simd.
     #[test]
     fn edge_log_likelihood_matches_reference(
         seed in 0u64..u64::MAX,
@@ -268,17 +420,12 @@ proptest! {
         let pw: Vec<u32> = (0..patterns).map(|_| 1 + g.rng.below(4) as u32).collect();
         let range = g.range(patterns);
 
-        let fast = likelihood::edge_log_likelihood(
-            &layout, &u_clv, Some(&u_scale), v.as_side(), &freqs, &rw, &pw, range.clone(),
-        );
-        let mut scratch = KernelScratch::new();
-        let oracle = reference::edge_log_likelihood(
-            &layout, &u_clv, Some(&u_scale), v.as_side(), &freqs, &rw, &pw, range, &mut scratch,
-        );
-        prop_assert_eq!(fast.to_bits(), oracle.to_bits(), "{} vs {}", fast, oracle);
+        check_edge_ll(&layout, &u_clv, &u_scale, v.as_side(), &freqs, &rw, &pw, range);
     }
 
     /// Three-way point log-likelihood (the placement evaluation).
+    /// Bit-exact on every tier: the simd tier dispatches this entry point
+    /// to the fixed scalar kernels.
     #[test]
     fn point_log_likelihood_matches_reference(
         seed in 0u64..u64::MAX,
@@ -287,10 +434,10 @@ proptest! {
         protein in 0usize..2,
     ) {
         let states = if protein == 1 { 20 } else { 4 };
-        let layout = dims_to_layout(patterns, rates, states);
+        let base = dims_to_layout(patterns, rates, states);
         let mut g = Gen::new(seed);
         let owned: Vec<OwnedSide> = (0..3)
-            .map(|_| OwnedSide::generate(&mut g, &layout, false, false))
+            .map(|_| OwnedSide::generate(&mut g, &base, false, false))
             .collect();
         let sides: Vec<Side<'_>> = owned.iter().map(|o| o.as_side()).collect();
         let mut freqs: Vec<f64> = (0..states).map(|_| g.val(0.0, 1.0)).collect();
@@ -300,28 +447,33 @@ proptest! {
         let pw: Vec<u32> = (0..patterns).map(|_| 1 + g.rng.below(4) as u32).collect();
         let range = g.range(patterns);
 
-        let fast = likelihood::point_log_likelihood(&layout, &sides, &freqs, &rw, &pw, range.clone());
         let mut scratch = KernelScratch::new();
         let oracle = reference::point_log_likelihood(
-            &layout, &sides, &freqs, &rw, &pw, range, &mut scratch,
+            &base, &sides, &freqs, &rw, &pw, range.clone(), &mut scratch,
         );
-        prop_assert_eq!(fast.to_bits(), oracle.to_bits(), "{} vs {}", fast, oracle);
+        for choice in ALL_TIERS {
+            let layout = base.with_tier(choice);
+            let fast = likelihood::point_log_likelihood(
+                &layout, &sides, &freqs, &rw, &pw, range.clone(),
+            );
+            prop_assert_eq!(fast.to_bits(), oracle.to_bits(), "{:?}: {} vs {}", choice, fast, oracle);
+        }
     }
 }
 
 /// A deterministic worst case: every pattern underflows several scaling
-/// levels at once, on both the DNA and the protein path.
+/// levels at once, on both the DNA and the protein path, on every tier.
 #[test]
 fn deep_rescale_bit_exact() {
     for states in [4usize, 20] {
-        let layout = Layout::new(8, 3, states);
+        let base = Layout::new(8, 3, states);
         let mut g = Gen::new(0xDEADBEEF);
-        let pm_l = g.pmatrix(&layout);
-        let pm_r = g.pmatrix(&layout);
-        let stride = layout.pattern_stride();
-        let mut clv_l = vec![0.0; layout.clv_len()];
-        let mut clv_r = vec![0.0; layout.clv_len()];
-        for p in 0..layout.patterns {
+        let pm_l = g.pmatrix(&base);
+        let pm_r = g.pmatrix(&base);
+        let stride = base.pattern_stride();
+        let mut clv_l = vec![0.0; base.clv_len()];
+        let mut clv_r = vec![0.0; base.clv_len()];
+        for p in 0..base.patterns {
             // Left ~ 2^-300·u, right ~ 2^-280·u: the product sits around
             // 2^-580, needing two+ rescale levels.
             for v in &mut clv_l[p * stride..(p + 1) * stride] {
@@ -331,18 +483,22 @@ fn deep_rescale_bit_exact() {
                 *v = g.val(0.0, 1.0) * 2.0f64.powi(-280);
             }
         }
-        let ls = g.scales(layout.patterns);
-        let rs = g.scales(layout.patterns);
+        let ls = g.scales(base.patterns);
+        let rs = g.scales(base.patterns);
         let left = Side::Clv { clv: &clv_l, scale: Some(&ls), pmatrix: &pm_l };
         let right = Side::Clv { clv: &clv_r, scale: Some(&rs), pmatrix: &pm_r };
-        let mut fast = vec![0.0; layout.clv_len()];
-        let mut fast_scale = vec![0u32; layout.patterns];
-        kernels::update_partials(&layout, left, right, &mut fast, &mut fast_scale, 0..8);
-        // Every pattern must actually have rescaled ≥ 2 levels beyond the
-        // inherited counts, or the test is vacuous.
-        for p in 0..8 {
-            assert!(fast_scale[p] >= ls[p] + rs[p] + 2, "pattern {p} did not deep-rescale");
+        // Every tier must actually deep-rescale ≥ 2 levels beyond the
+        // inherited counts, or the test is vacuous for that tier.
+        for choice in ALL_TIERS {
+            let layout = base.with_tier(choice);
+            let (_, scale) = run_update(&layout, left, right, 0..8);
+            for p in 0..8 {
+                assert!(
+                    scale[p] >= ls[p] + rs[p] + 2,
+                    "tier {choice:?}: pattern {p} did not deep-rescale"
+                );
+            }
         }
-        check_update(&layout, left, right, 0..8);
+        check_update(&base, left, right, 0..8);
     }
 }

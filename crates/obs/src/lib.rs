@@ -389,6 +389,13 @@ impl Snapshot {
         self.counters.insert(name.to_string(), value);
     }
 
+    /// Inserts or overwrites a gauge — used to fold per-run state (the
+    /// selected kernel tier, worker-pool occupancy) into an exported
+    /// snapshot.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }

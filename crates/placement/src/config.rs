@@ -44,6 +44,10 @@ pub struct EpaConfig {
     pub sitepar_threads: usize,
     /// Iterations of pendant/position refinement in thorough scoring.
     pub blo_iterations: usize,
+    /// Kernel tier request (`--kernel-tier`): `Auto` resolves from
+    /// `PHYLO_KERNEL_TIER` and runtime CPU detection; explicit choices
+    /// pin the reference / fixed / SIMD implementations.
+    pub kernel_tier: phylo_kernel::TierChoice,
     /// Watchdog deadline for publish-latch waits; `None` keeps the
     /// manager's default (60 s). A lost or stalled publish then surfaces
     /// as [`phylo_amc::AmcError::SlotWaitTimeout`] instead of hanging.
@@ -64,6 +68,7 @@ impl Default for EpaConfig {
             async_prefetch: true,
             sitepar_threads: 1,
             blo_iterations: 2,
+            kernel_tier: phylo_kernel::TierChoice::Auto,
             slot_wait_timeout: None,
         }
     }

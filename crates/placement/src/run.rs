@@ -83,11 +83,15 @@ impl Placer {
     /// compressed reference alignment
     /// ([`phylo_seq::PatternMsa::site_to_pattern`]).
     pub fn new(
-        ctx: ReferenceContext,
+        mut ctx: ReferenceContext,
         site_to_pattern: Vec<u32>,
         cfg: EpaConfig,
     ) -> Result<Self, PlaceError> {
         cfg.validate()?;
+        // Pin the kernel tier before any store is built from the context
+        // so every CLV and likelihood of the run uses one implementation
+        // (`Auto` re-resolves env + CPU detection, a no-op override).
+        ctx.set_kernel_tier(cfg.kernel_tier);
         Ok(Placer { ctx, site_to_pattern, cfg })
     }
 
@@ -293,7 +297,8 @@ impl Placer {
         }
         report.slot_stats = store.stats();
         report.total_time = t_total.elapsed();
-        report.metrics = run_metrics(&report, &obs_base);
+        report.metrics =
+            run_metrics(&report, &obs_base, ctx.layout().tier(), store.sitepar_stats());
         Ok(PlaceOutcome { results, report, completed, queries_done })
     }
 
@@ -631,9 +636,23 @@ fn frame_of(chunk_idx: usize, stats: ChunkStats, slice: &[PlacementResult]) -> C
 /// counters injected from their authoritative per-run sources
 /// ([`RunReport::slot_stats`] and [`RunReport::degradation`]). The
 /// injected counters are exact regardless of the `obs` feature or of
-/// concurrent runs sharing the global registry.
-fn run_metrics(report: &RunReport, base: &phylo_obs::Snapshot) -> phylo_obs::Snapshot {
+/// concurrent runs sharing the global registry. The selected kernel
+/// tier is exported as exactly one `kernel.tier.<name>` gauge (the
+/// invariant the observability suite checks), alongside the
+/// site-parallel pool counters.
+fn run_metrics(
+    report: &RunReport,
+    base: &phylo_obs::Snapshot,
+    tier: phylo_kernel::KernelTier,
+    pool: phylo_kernel::sitepar::PoolStats,
+) -> phylo_obs::Snapshot {
     let mut m = phylo_obs::snapshot().delta(base);
+    m.set_gauge(&format!("kernel.tier.{}", tier.name()), 1);
+    m.set_gauge("sitepar.pool.workers", pool.workers as i64);
+    m.set_gauge("sitepar.pool.parked", pool.parked as i64);
+    m.set_gauge("sitepar.pool.queue_depth", pool.queue_depth as i64);
+    m.set_counter("sitepar.pool.jobs", pool.jobs);
+    m.set_counter("sitepar.pool.tasks", pool.tasks);
     let s = &report.slot_stats;
     m.set_counter("slot.hits", s.hits);
     m.set_counter("slot.misses", s.misses);

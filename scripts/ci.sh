@@ -15,6 +15,17 @@ RUSTFLAGS="-D warnings" cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The kernel crate's differential + proptest suite, once per tier: the
+# dispatch must be correct no matter what PHYLO_KERNEL_TIER pins, and
+# the forced-fallback run (simd tier + portable backend) is what a
+# non-AVX2 host executes, so it is exercised on every CI machine.
+for tier in reference fixed simd; do
+    echo "==> cargo test -q -p phylo-kernel (PHYLO_KERNEL_TIER=$tier)"
+    PHYLO_KERNEL_TIER="$tier" cargo test -q -p phylo-kernel
+done
+echo "==> cargo test -q -p phylo-kernel (simd tier, forced portable fallback)"
+PHYLO_KERNEL_TIER=simd PHYLO_SIMD_PORTABLE=1 cargo test -q -p phylo-kernel
+
 echo "==> cargo test -q --features faults --test faults (fault matrix)"
 cargo test -q --features faults --test faults
 

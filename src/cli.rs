@@ -35,6 +35,8 @@ pub struct CliOptions {
     pub chunk_size: usize,
     /// Worker threads.
     pub threads: usize,
+    /// Kernel tier request (`--kernel-tier auto|reference|fixed|simd`).
+    pub kernel_tier: phylo_kernel::TierChoice,
     /// Write the run's metrics snapshot as JSON to this path.
     pub metrics_json: Option<String>,
     /// Record phase spans and write a Chrome-trace JSON to this path.
@@ -60,6 +62,7 @@ impl Default for CliOptions {
             gamma_alpha: Some(1.0),
             chunk_size: 5000,
             threads: 1,
+            kernel_tier: phylo_kernel::TierChoice::Auto,
             metrics_json: None,
             trace_path: None,
             checkpoint_dir: None,
@@ -176,6 +179,7 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
         max_memory,
         chunk_size: opts.chunk_size,
         threads: opts.threads,
+        kernel_tier: opts.kernel_tier,
         ..Default::default()
     };
     let placer = Placer::new(ctx, patterns.site_to_pattern().to_vec(), cfg)
@@ -301,7 +305,7 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
     const USAGE: &str =
         "usage: phyloplace place --tree REF.nwk --ref-msa REF.fasta --queries Q.fasta \
   [--aa] [--maxmem SIZE[K|M|G|T] | --maxmem auto] [--gamma ALPHA | --no-gamma] \
-  [--chunk N] [--threads N] [--out OUT.jplace] \
+  [--chunk N] [--threads N] [--kernel-tier auto|reference|fixed|simd] [--out OUT.jplace] \
   [--checkpoint DIR | --resume DIR] [--deadline SECS] \
   [--metrics-json METRICS.json] [--trace TRACE.json]";
     let mut opts = CliOptions::default();
@@ -340,6 +344,11 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
             "--threads" => {
                 let v = value()?;
                 opts.threads = v.parse().map_err(|_| format!("bad --threads {v:?}\n{USAGE}"))?;
+            }
+            "--kernel-tier" => {
+                let v = value()?;
+                opts.kernel_tier = phylo_kernel::TierChoice::parse(&v)
+                    .ok_or_else(|| format!("bad --kernel-tier {v:?}\n{USAGE}"))?;
             }
             "--metrics-json" => opts.metrics_json = Some(value()?),
             "--trace" => opts.trace_path = Some(value()?),
@@ -508,6 +517,16 @@ mod tests {
         assert_eq!(opts.resume_dir.as_deref(), Some("ck"));
         assert!(parse_cli(&base(&["--deadline", "-1"])).is_err());
         assert!(parse_cli(&base(&["--maxmem", "0"])).is_err());
+        for (flag, want) in [
+            ("auto", phylo_kernel::TierChoice::Auto),
+            ("reference", phylo_kernel::TierChoice::Reference),
+            ("fixed", phylo_kernel::TierChoice::Fixed),
+            ("simd", phylo_kernel::TierChoice::Simd),
+        ] {
+            let (opts, _) = parse_cli(&base(&["--kernel-tier", flag])).unwrap();
+            assert_eq!(opts.kernel_tier, want);
+        }
+        assert!(parse_cli(&base(&["--kernel-tier", "avx9000"])).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -153,6 +153,101 @@ fn jplace_schema_is_structurally_valid() {
 }
 
 #[test]
+fn jplace_equivalent_across_kernel_tiers() {
+    // The tier contract (DESIGN.md §5c): forcing `--kernel-tier
+    // reference` must produce the same placements as any other tier.
+    // The scalar tiers are bit-identical, so their jplace output is
+    // byte-equal; the simd tier is tolerance-checked — if its jplace
+    // differs in bytes, every query must still pick the same best edge
+    // with the log-likelihood within 1e-6.
+    use phyloplace::kernel::TierChoice;
+    for protein in [false, true] {
+        let spec = if protein {
+            phyloplace::datasets::serratus(Scale::Ci)
+        } else {
+            phyloplace::datasets::neotrop(Scale::Ci)
+        };
+        let (ds, s2p, batch) = setup(&spec);
+        let base = EpaConfig { chunk_size: 7, ..Default::default() };
+
+        let run = |choice: TierChoice| {
+            let cfg = EpaConfig { kernel_tier: choice, ..base.clone() };
+            let placer = Placer::new(ctx_of(&ds), s2p.clone(), cfg).unwrap();
+            let (results, _) = placer.place(&batch).unwrap();
+            let j = to_jplace(&ds.tree, &results);
+            (results, j)
+        };
+        let (ref_results, ref_j) = run(TierChoice::Reference);
+
+        // Fixed is bit-identical to reference: byte-equal jplace.
+        let (_, fixed_j) = run(TierChoice::Fixed);
+        assert_eq!(ref_j, fixed_j, "{}: fixed tier jplace differs from reference", spec.name);
+
+        // Simd (and Auto, which resolves to simd or fixed) may differ
+        // within the documented tolerance only.
+        for choice in [TierChoice::Simd, TierChoice::Auto] {
+            let (results, j) = run(choice);
+            if j == ref_j {
+                continue;
+            }
+            for (a, b) in ref_results.iter().zip(&results) {
+                let (ba, bb) = (a.best().unwrap(), b.best().unwrap());
+                assert_eq!(
+                    ba.edge, bb.edge,
+                    "{}: tier {:?} moved best placement of {}",
+                    spec.name, choice, a.name
+                );
+                assert!(
+                    (ba.log_likelihood - bb.log_likelihood).abs() <= 1e-6,
+                    "{}: tier {:?} shifted lnL of {} by {:e}",
+                    spec.name,
+                    choice,
+                    a.name,
+                    (ba.log_likelihood - bb.log_likelihood).abs()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_report_exactly_one_kernel_tier() {
+    // Observability invariant: every run exports exactly one
+    // `kernel.tier.<name>` gauge (value 1) naming the tier it actually
+    // dispatched, plus the site-parallel pool occupancy gauges.
+    use phyloplace::kernel::TierChoice;
+    let spec = phyloplace::datasets::neotrop(Scale::Ci);
+    let (ds, s2p, batch) = setup(&spec);
+    for (choice, expect) in [
+        (TierChoice::Reference, Some("kernel.tier.reference")),
+        (TierChoice::Fixed, Some("kernel.tier.fixed")),
+        (TierChoice::Simd, Some("kernel.tier.simd")),
+        (TierChoice::Auto, None), // host-dependent, but still exactly one
+    ] {
+        let cfg = EpaConfig { kernel_tier: choice, ..Default::default() };
+        let placer = Placer::new(ctx_of(&ds), s2p.clone(), cfg).unwrap();
+        let (_, report) = placer.place(&batch).unwrap();
+        let tiers: Vec<&str> = report
+            .metrics
+            .gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with("kernel.tier."))
+            .map(|(k, v)| {
+                assert_eq!(*v, 1, "tier gauge {k} must be 1");
+                k.as_str()
+            })
+            .collect();
+        assert_eq!(tiers.len(), 1, "expected exactly one tier gauge, got {tiers:?}");
+        if let Some(name) = expect {
+            assert_eq!(tiers[0], name, "tier {choice:?} exported the wrong gauge");
+        }
+        for g in ["sitepar.pool.workers", "sitepar.pool.parked", "sitepar.pool.queue_depth"] {
+            assert!(report.metrics.gauges.contains_key(g), "missing pool gauge {g}");
+        }
+    }
+}
+
+#[test]
 fn protein_dataset_places() {
     let spec = phyloplace::datasets::serratus(Scale::Ci);
     let (ds, s2p, batch) = setup(&spec);

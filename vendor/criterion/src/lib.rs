@@ -211,6 +211,95 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Measures several routines as one interleaved comparison: each
+    /// routine is warmed up and cost-estimated individually, then the
+    /// timed samples run round-robin across all routines. Sequential
+    /// `bench_function` calls let slow host drift (thermal, cgroup,
+    /// neighbors) bias later rows; round-robin sampling spreads the
+    /// drift evenly, which matters when the rows are compared against
+    /// each other (scaling curves, tier ratios). Each routine is
+    /// recorded exactly as if it had run through `bench_function`,
+    /// except that the reported figure is the *minimum* per-iteration
+    /// time across samples rather than the median: for relative
+    /// comparisons the minimum is the burst-robust estimator — every
+    /// row eventually gets one clean scheduling window, while medians
+    /// keep residual skew from whichever rows absorbed more neighbor
+    /// noise.
+    pub fn bench_comparison<'b>(&mut self, benches: Vec<(String, Box<dyn FnMut() + 'b>)>) {
+        let (warm_up, measurement, samples) = if self.criterion.quick {
+            (Duration::from_millis(50), Duration::from_millis(200), self.sample_size.min(5).max(2))
+        } else {
+            (self.warm_up_time, self.measurement_time, self.sample_size)
+        };
+        struct Row<'b> {
+            bench: String,
+            f: Box<dyn FnMut() + 'b>,
+            iters_per_sample: u64,
+            per_iter_ns: Vec<f64>,
+            total_iters: u64,
+        }
+        let mut rows: Vec<Row<'b>> = Vec::new();
+        for (bench, mut f) in benches {
+            let full = format!("{}/{}", self.name, bench);
+            if let Some(filter) = &self.criterion.filter {
+                if !full.contains(filter.as_str()) {
+                    continue;
+                }
+            }
+            let warm_start = Instant::now();
+            let mut warm_iters: u64 = 0;
+            loop {
+                black_box(f());
+                warm_iters += 1;
+                if warm_start.elapsed() >= warm_up {
+                    break;
+                }
+            }
+            let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+            let target_sample_ns = measurement.as_nanos() as f64 / samples as f64;
+            let iters_per_sample = ((target_sample_ns / est_ns) as u64).max(1);
+            rows.push(Row {
+                bench,
+                f,
+                iters_per_sample,
+                per_iter_ns: Vec::with_capacity(samples),
+                total_iters: warm_iters,
+            });
+        }
+        for _ in 0..samples {
+            for row in rows.iter_mut() {
+                let start = Instant::now();
+                for _ in 0..row.iters_per_sample {
+                    black_box((row.f)());
+                }
+                row.per_iter_ns
+                    .push(start.elapsed().as_nanos() as f64 / row.iters_per_sample as f64);
+                row.total_iters += row.iters_per_sample;
+            }
+        }
+        for row in rows {
+            let median_ns = row.per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+            let full = format!("{}/{}", self.name, row.bench);
+            let tp = match self.throughput {
+                Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+                    format!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / median_ns)
+                }
+                Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+                    format!("  thrpt: {:.3} MiB/s", n as f64 * 1e9 / median_ns / (1024.0 * 1024.0))
+                }
+                _ => String::new(),
+            };
+            println!("{full:<50} time: {median_ns:>12.1} ns/iter{tp}");
+            self.criterion.results.push(BenchResult {
+                group: self.name.clone(),
+                bench: row.bench,
+                median_ns,
+                iterations: row.total_iters,
+                throughput: self.throughput,
+            });
+        }
+    }
+
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -328,16 +417,20 @@ impl Bencher {
         self.record(per_iter_ns, warm_iters + iters_per_sample * self.samples as u64);
     }
 
-    fn record(&mut self, mut per_iter_ns: Vec<f64>, total_iters: u64) {
-        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mid = per_iter_ns.len() / 2;
-        let median = if per_iter_ns.len() % 2 == 0 {
-            (per_iter_ns[mid - 1] + per_iter_ns[mid]) / 2.0
-        } else {
-            per_iter_ns[mid]
-        };
-        self.median_ns = Some(median);
+    fn record(&mut self, per_iter_ns: Vec<f64>, total_iters: u64) {
+        self.median_ns = Some(median(per_iter_ns));
         self.iterations = total_iters;
+    }
+}
+
+/// Median of a non-empty sample vector.
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = v.len() / 2;
+    if v.len() % 2 == 0 {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
     }
 }
 
@@ -396,6 +489,31 @@ mod tests {
         };
         b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
         assert!(b.median_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn bench_comparison_records_every_row() {
+        let mut c = Criterion { filter: None, quick: true, results: Vec::new() };
+        {
+            let mut g = c.benchmark_group("cmp");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(10));
+            let a = std::cell::Cell::new(0u64);
+            let b = std::cell::Cell::new(0u64);
+            g.bench_comparison(vec![
+                ("a".to_string(), Box::new(|| a.set(a.get().wrapping_add(1)))),
+                ("b".to_string(), Box::new(|| b.set(b.get().wrapping_add(1)))),
+            ]);
+            assert!(a.get() > 0 && b.get() > 0, "both routines must actually run");
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        for r in &c.results {
+            assert_eq!(r.group, "cmp");
+            assert!(r.median_ns > 0.0);
+            assert!(r.iterations > 0);
+            assert!(matches!(r.throughput, Some(Throughput::Elements(10))));
+        }
     }
 
     #[test]
