@@ -42,9 +42,11 @@
 //! `phylo_engine`'s `ManagedStore`, which compose these primitives under
 //! `plan_lock`.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use phylo_obs::slottrace::{SlotEvent, SlotTrace, NO_CLV};
 
 use crate::cancel::CancelToken;
 use crate::error::AmcError;
@@ -199,6 +201,15 @@ pub struct SlotManager {
     /// cancellation can never hang behind a publish that got cancelled
     /// itself; the engine polls it per compute step.
     cancel: Mutex<CancelToken>,
+    /// Fast guard for the trace recorder: one relaxed load on every hot
+    /// path when tracing is off ([`SlotManager::set_slot_trace`]).
+    trace_on: AtomicBool,
+    /// The installed slot-access trace recorder, if any. Events are
+    /// pushed *inside* the table-lock critical section of the operation
+    /// they describe, so the trace is the true serialization order of
+    /// table mutations — what makes offline replay bit-exact
+    /// (DESIGN.md §10).
+    trace: Mutex<Option<Arc<SlotTrace>>>,
 }
 
 /// Latch-wait latency histogram (`phylo-obs`); the handle is interned
@@ -240,6 +251,31 @@ impl SlotManager {
             reclaimed: AtomicU64::new(0),
             wait_timeout_ms: AtomicU64::new(DEFAULT_WAIT_TIMEOUT.as_millis() as u64),
             cancel: Mutex::new(CancelToken::new()),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// Installs (or removes) a slot-access trace recorder. While a
+    /// recorder is installed every table mutation appends one
+    /// [`SlotEvent`] in serialization order; `None` disarms recording.
+    pub fn set_slot_trace(&self, trace: Option<Arc<SlotTrace>>) {
+        let armed = trace.is_some();
+        *self.trace.lock().unwrap_or_else(|e| e.into_inner()) = trace;
+        self.trace_on.store(armed, Ordering::Release);
+    }
+
+    /// Appends `ev` to the installed trace, if any. Called with the
+    /// table lock held so events land in true serialization order; the
+    /// trace mutex is strictly innermost and never held across any
+    /// other lock acquisition.
+    #[inline]
+    fn record(&self, ev: SlotEvent) {
+        if !self.trace_on.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(t) = self.trace.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            t.push(ev);
         }
     }
 
@@ -358,6 +394,7 @@ impl SlotManager {
         let mut t = self.table();
         let s = self.clv_to_slot[clv.idx()].load(Ordering::Acquire);
         if s != UNSLOTTED {
+            self.record(SlotEvent::Touch { clv: clv.0 });
             t.strategy.on_access(clv, SlotId(s));
         }
     }
@@ -385,6 +422,7 @@ impl SlotManager {
         let s = self.clv_to_slot[clv.idx()].load(Ordering::Acquire);
         if s != UNSLOTTED {
             let slot = SlotId(s);
+            self.record(SlotEvent::Acquire { clv: clv.0 });
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.acquires.fetch_add(1, Ordering::Relaxed);
             t.strategy.on_access(clv, slot);
@@ -393,6 +431,7 @@ impl SlotManager {
         let mut t = &mut *t; // plain &mut TableInner, so field borrows split
         if let Some(raw) = t.free.pop() {
             let slot = SlotId(raw);
+            self.record(SlotEvent::Acquire { clv: clv.0 });
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.acquires.fetch_add(1, Ordering::Relaxed);
             self.install(&mut t, clv, slot);
@@ -401,12 +440,15 @@ impl SlotManager {
         let view = VictimView { slot_to_clv: &t.slot_to_clv, pin_counts: &t.pin_counts };
         let Some(victim_slot) = t.strategy.choose_victim(&view) else {
             // A failed acquire is not a miss: `misses` counts installs
-            // (i.e. recomputations), and nothing was installed.
+            // (i.e. recomputations), and nothing was installed — and it
+            // is not traced: the replay simulator only sees acquires
+            // that went through.
             return Err(AmcError::AllSlotsPinned {
                 slots: self.n_slots(),
                 pinned: t.n_pinned_slots,
             });
         };
+        self.record(SlotEvent::Acquire { clv: clv.0 });
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.acquires.fetch_add(1, Ordering::Relaxed);
         debug_assert_eq!(t.pin_counts[victim_slot.idx()], 0, "strategy evicted a pinned slot");
@@ -440,12 +482,22 @@ impl SlotManager {
     /// Increments a slot's pin count; pinned slots are never chosen as
     /// eviction victims.
     pub fn pin(&self, slot: SlotId) {
-        self.table().pin_n(slot, 1);
+        self.pin_n(slot, 1);
     }
 
     /// Adds `count` pins at once (refcounted use across a plan).
     pub fn pin_n(&self, slot: SlotId, count: u32) {
-        self.table().pin_n(slot, count);
+        if count == 0 {
+            return;
+        }
+        let mut t = self.table();
+        // Trace the pin in CLV terms (the slot numbering is an
+        // implementation detail the simulator re-derives). A pin on an
+        // unmapped slot — only possible in fault scenarios — is traced
+        // with `NO_CLV` and skipped by the replay.
+        let occ = t.slot_to_clv[slot.idx()];
+        self.record(SlotEvent::Pin { clv: if occ == FREE { NO_CLV } else { occ }, n: count });
+        t.pin_n(slot, count);
     }
 
     /// Decrements a slot's pin count. The last unpin of a
@@ -454,10 +506,13 @@ impl SlotManager {
     /// waiters that raced the failure still hold pins on it.
     pub fn unpin(&self, slot: SlotId) -> Result<(), AmcError> {
         let mut t = self.table();
+        let occ = t.slot_to_clv[slot.idx()];
         let c = &mut t.pin_counts[slot.idx()];
         if *c == 0 {
+            // Not traced: a rejected unpin changes nothing.
             return Err(AmcError::NotPinned(slot.0));
         }
+        self.record(SlotEvent::Unpin { clv: if occ == FREE { NO_CLV } else { occ } });
         *c -= 1;
         if *c == 0 {
             t.n_pinned_slots -= 1;
@@ -485,6 +540,7 @@ impl SlotManager {
         let mut t = self.table();
         self.poisoned.fetch_add(1, Ordering::Relaxed);
         let c = t.slot_to_clv[slot.idx()];
+        self.record(SlotEvent::Poison { clv: if c == FREE { NO_CLV } else { c } });
         if c != FREE {
             // The teardown IS the eviction. The waiter that recomputes
             // this CLV later counts only a miss — counting here too
@@ -521,6 +577,7 @@ impl SlotManager {
     /// `fpa::ensure_resident`).
     pub fn unpin_all(&self) {
         let mut t = self.table();
+        self.record(SlotEvent::UnpinAll);
         for c in &mut t.pin_counts {
             *c = 0;
         }
@@ -536,6 +593,7 @@ impl SlotManager {
         if s != UNSLOTTED {
             let slot = SlotId(s);
             assert_eq!(t.pin_counts[slot.idx()], 0, "cannot invalidate a pinned slot");
+            self.record(SlotEvent::Invalidate { clv: clv.0 });
             t.strategy.on_evict(clv, slot);
             let ph = &self.phases[slot.idx()];
             {
@@ -735,6 +793,11 @@ impl SlotManager {
         if !ready {
             return None;
         }
+        // A successful lease is a hit plus a pin: two trace events, in
+        // that order (the replay counts the Acquire as the hit, then
+        // applies the pin to the now-resident CLV).
+        self.record(SlotEvent::Acquire { clv: clv.0 });
+        self.record(SlotEvent::Pin { clv: clv.0, n: 1 });
         t.pin_n(slot, 1);
         t.strategy.on_access(clv, slot);
         self.hits.fetch_add(1, Ordering::Relaxed);
@@ -1144,6 +1207,62 @@ mod tests {
         m.check_invariants().unwrap();
         m.reset_stats();
         assert_eq!(m.stats(), SlotStats::default());
+    }
+
+    #[test]
+    fn trace_records_table_ops_in_order() {
+        let m = mgr(8, 2);
+        let trace = Arc::new(SlotTrace::new());
+        m.set_slot_trace(Some(Arc::clone(&trace)));
+        let s0 = m.acquire(ClvKey(0)).unwrap().slot(); // fresh
+        m.acquire(ClvKey(0)).unwrap(); // hit
+        m.acquire(ClvKey(1)).unwrap(); // fresh
+        m.pin(s0);
+        m.touch(ClvKey(1));
+        m.acquire(ClvKey(2)).unwrap(); // evicts 1 (FIFO; 0 is pinned)
+        m.unpin(s0).unwrap();
+        m.invalidate(ClvKey(2));
+        m.touch(ClvKey(1)); // not resident: must NOT trace
+        assert!(m.unpin(s0).is_err()); // rejected: must NOT trace
+        m.unpin_all();
+        use SlotEvent::*;
+        assert_eq!(
+            trace.snapshot().events,
+            vec![
+                Acquire { clv: 0 },
+                Acquire { clv: 0 },
+                Acquire { clv: 1 },
+                Pin { clv: 0, n: 1 },
+                Touch { clv: 1 },
+                Acquire { clv: 2 },
+                Unpin { clv: 0 },
+                Invalidate { clv: 2 },
+                UnpinAll,
+            ]
+        );
+        // Disarming stops recording.
+        m.set_slot_trace(None);
+        m.acquire(ClvKey(3)).unwrap();
+        assert_eq!(trace.len(), 9);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn trace_records_lease_hit_and_poison() {
+        let m = mgr(8, 2);
+        let trace = Arc::new(SlotTrace::new());
+        m.set_slot_trace(Some(Arc::clone(&trace)));
+        let s = m.acquire(ClvKey(4)).unwrap().slot();
+        assert_eq!(m.pin_if_ready(ClvKey(4)), None, "unpublished: no lease, no trace");
+        m.mark_ready(s);
+        assert_eq!(m.pin_if_ready(ClvKey(4)), Some(s));
+        m.poison(s); // consumes the lease pin, tears down clv 4
+        use SlotEvent::*;
+        assert_eq!(
+            trace.snapshot().events,
+            vec![Acquire { clv: 4 }, Acquire { clv: 4 }, Pin { clv: 4, n: 1 }, Poison { clv: 4 },]
+        );
+        m.check_invariants().unwrap();
     }
 
     #[test]

@@ -20,6 +20,16 @@ pub struct VictimView<'a> {
 }
 
 impl<'a> VictimView<'a> {
+    /// Builds a view over raw table state: `slot_to_clv[s]` is the CLV
+    /// key resident in slot `s` (`u32::MAX` = free) and `pin_counts[s]`
+    /// its pin count. Public so out-of-process simulators (the
+    /// `phylo-replay` trace replayer) can drive the exact same strategy
+    /// objects the live slot manager uses.
+    pub fn new(slot_to_clv: &'a [u32], pin_counts: &'a [u32]) -> Self {
+        assert_eq!(slot_to_clv.len(), pin_counts.len(), "mismatched table columns");
+        VictimView { slot_to_clv, pin_counts }
+    }
+
     /// Iterates evictable `(slot, clv)` pairs: occupied and unpinned.
     pub fn candidates(&self) -> impl Iterator<Item = (SlotId, ClvKey)> + '_ {
         self.slot_to_clv
@@ -103,6 +113,20 @@ impl StrategyKind {
     /// True for kinds whose constructor requires a cost table.
     pub fn needs_costs(self) -> bool {
         matches!(self, StrategyKind::CostBased | StrategyKind::CostLru)
+    }
+
+    /// Parses a kind from its `Display` name (the CLI's `--strategy`
+    /// vocabulary); `"cost-based"` is accepted as an alias for `"cost"`.
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        Some(match s {
+            "cost" | "cost-based" => StrategyKind::CostBased,
+            "lru" => StrategyKind::Lru,
+            "mru" => StrategyKind::Mru,
+            "fifo" => StrategyKind::Fifo,
+            "random" => StrategyKind::Random,
+            "cost-lru" => StrategyKind::CostLru,
+            _ => return None,
+        })
     }
 }
 
@@ -428,5 +452,150 @@ mod tests {
         // 0 is cheapest but pinned; must evict 1.
         let a = m.acquire(ClvKey(2)).unwrap();
         assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }));
+    }
+
+    #[test]
+    fn kind_display_parse_round_trip() {
+        for kind in StrategyKind::all() {
+            let name = kind.to_string();
+            assert_eq!(StrategyKind::parse(&name), Some(kind), "{name}");
+        }
+        // The alias and the rejection path.
+        assert_eq!(StrategyKind::parse("cost-based"), Some(StrategyKind::CostBased));
+        assert_eq!(StrategyKind::parse("belady"), None, "the oracle is not a live strategy");
+        assert_eq!(StrategyKind::parse("LRU"), None, "names are case-sensitive");
+        assert_eq!(StrategyKind::parse(""), None);
+    }
+
+    #[test]
+    fn victim_view_candidates_skip_pinned_and_free() {
+        // slots: 0 holds clv 7 unpinned, 1 free, 2 holds clv 9 pinned,
+        // 3 holds clv 4 unpinned.
+        let slot_to_clv = [7, u32::MAX, 9, 4];
+        let pin_counts = [0, 0, 2, 0];
+        let view = VictimView::new(&slot_to_clv, &pin_counts);
+        let cand: Vec<(u32, u32)> = view.candidates().map(|(s, c)| (s.0, c.0)).collect();
+        assert_eq!(cand, vec![(0, 7), (3, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched table columns")]
+    fn victim_view_rejects_ragged_columns() {
+        let _ = VictimView::new(&[1, 2], &[0]);
+    }
+
+    /// LRU recency must be maintained by accesses — and *only* accesses.
+    /// Pins and unpins interleaved with the accesses must not disturb the
+    /// recency order (they protect slots, they do not "use" them).
+    #[test]
+    fn lru_recency_survives_interleaved_pin_unpin() {
+        let m = SlotManager::new(10, 3, Box::new(Lru::new()));
+        let s0 = m.acquire(ClvKey(0)).unwrap().slot();
+        let s1 = m.acquire(ClvKey(1)).unwrap().slot();
+        let s2 = m.acquire(ClvKey(2)).unwrap().slot();
+        // Recency now 0 < 1 < 2. Touch 0 (making 1 the LRU), with pin
+        // churn around the touch that must not count as accesses.
+        m.pin(s1);
+        m.pin_n(s2, 3);
+        m.touch(ClvKey(0));
+        m.unpin(s1).unwrap();
+        for _ in 0..3 {
+            m.unpin(s2).unwrap();
+        }
+        let a = m.acquire(ClvKey(3)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }), "{a:?}");
+        // After evicting 1, the order is 2 < 0 < 3 — but 2 is pinned now,
+        // so the next eviction must fall through to 0.
+        let s2b = m.lookup(ClvKey(2)).unwrap();
+        assert_eq!(s2b, s2, "pinned-free slot churn must not remap resident CLVs");
+        m.pin(s2b);
+        let a = m.acquire(ClvKey(4)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(0), .. }), "{a:?}");
+        m.unpin(s2b).unwrap();
+        let _ = s0;
+        m.check_invariants().unwrap();
+    }
+
+    /// After an eviction the freed slot's recency stamp must be refreshed
+    /// by the incoming CLV's insert — the new occupant is the *most*
+    /// recent, not the heir of the victim's staleness.
+    #[test]
+    fn lru_reinserted_slot_gets_fresh_recency() {
+        let m = SlotManager::new(10, 2, Box::new(Lru::new()));
+        m.acquire(ClvKey(0)).unwrap();
+        m.acquire(ClvKey(1)).unwrap();
+        // Evicts 0 (oldest); the slot is re-stamped for clv 2's insert.
+        m.acquire(ClvKey(2)).unwrap();
+        // If on_insert failed to stamp, clv 2's slot would still look
+        // ancient and get evicted here; the correct victim is clv 1.
+        let a = m.acquire(ClvKey(3)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }), "{a:?}");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mru_recency_survives_interleaved_pin_unpin() {
+        let m = SlotManager::new(10, 3, Box::new(Mru::new()));
+        m.acquire(ClvKey(0)).unwrap();
+        let s1 = m.acquire(ClvKey(1)).unwrap().slot();
+        m.acquire(ClvKey(2)).unwrap();
+        // 2 is most recent, but pin churn on 1 must not promote it.
+        m.pin(s1);
+        m.unpin(s1).unwrap();
+        let a = m.acquire(ClvKey(3)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(2), .. }), "{a:?}");
+        // Touch 0: now 0 is most recent among residents {0, 1, 3}... but
+        // pin it, and MRU must fall back to the next most recent (3).
+        let s0 = m.lookup(ClvKey(0)).unwrap();
+        m.touch(ClvKey(0));
+        m.pin(s0);
+        let a = m.acquire(ClvKey(4)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(3), .. }), "{a:?}");
+        m.unpin(s0).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    /// FIFO order is set at insert time: accesses and pin churn between
+    /// insert and eviction must not reorder the queue.
+    #[test]
+    fn fifo_order_ignores_touches_and_pins() {
+        let m = SlotManager::new(10, 3, Box::new(Fifo::new()));
+        let s0 = m.acquire(ClvKey(0)).unwrap().slot();
+        m.acquire(ClvKey(1)).unwrap();
+        m.acquire(ClvKey(2)).unwrap();
+        // Heavy use of the oldest entry; FIFO must still evict it first.
+        m.touch(ClvKey(0));
+        m.acquire(ClvKey(0)).unwrap(); // a hit, not a reinsert
+        m.pin(s0);
+        m.unpin(s0).unwrap();
+        let a = m.acquire(ClvKey(3)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(0), .. }), "{a:?}");
+        // 3 went into 0's old slot; insertion order is now 1 < 2 < 3.
+        let a = m.acquire(ClvKey(4)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }), "{a:?}");
+        m.check_invariants().unwrap();
+    }
+
+    /// A pinned slot is invisible to `choose_victim` even when the
+    /// policy's own bookkeeping ranks it first, and becomes evictable
+    /// again the moment its last pin drains.
+    #[test]
+    fn unpin_restores_evictability() {
+        let m = SlotManager::new(10, 2, Box::new(Lru::new()));
+        let s0 = m.acquire(ClvKey(0)).unwrap().slot();
+        m.acquire(ClvKey(1)).unwrap();
+        m.pin_n(s0, 2);
+        // 0 is LRU but pinned twice: evictions take 1's slot.
+        let a = m.acquire(ClvKey(2)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(1), .. }), "{a:?}");
+        m.unpin(s0).unwrap();
+        // Still one pin left: 0 remains protected.
+        let a = m.acquire(ClvKey(3)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(2), .. }), "{a:?}");
+        m.unpin(s0).unwrap();
+        // Pin fully drained: 0 is finally evictable (and is the LRU).
+        let a = m.acquire(ClvKey(4)).unwrap();
+        assert!(matches!(a, Acquire::Evicted { victim: ClvKey(0), .. }), "{a:?}");
+        m.check_invariants().unwrap();
     }
 }

@@ -249,6 +249,14 @@ impl ManagedStore {
         self.arena.manager().set_cancel_token(token);
     }
 
+    /// Arms a slot-access trace recorder on the slot manager: every
+    /// subsequent table operation appends one event in serialization
+    /// order (see `phylo_obs::slottrace`). Install it before traffic
+    /// starts so the offline replay sees the whole run.
+    pub fn set_slot_trace(&self, trace: std::sync::Arc<phylo_obs::slottrace::SlotTrace>) {
+        self.arena.manager().set_slot_trace(Some(trace));
+    }
+
     /// Slot traffic counters (hits/misses/evictions).
     pub fn stats(&self) -> SlotStats {
         self.arena.stats()

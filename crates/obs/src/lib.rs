@@ -19,6 +19,7 @@
 //! figures are obtained by snapshotting before and after and taking
 //! [`Snapshot::delta`].
 
+pub mod slottrace;
 pub mod trace;
 
 use std::collections::BTreeMap;

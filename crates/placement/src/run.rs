@@ -52,6 +52,12 @@ pub struct RunControl {
     /// recomputed; every freshly completed chunk is appended (durably)
     /// before the orchestrator advances to the next one.
     pub journal: Option<RunJournal>,
+    /// Slot-access trace recorder (`--slot-trace`): armed on the slot
+    /// manager before any CLV traffic, with the run's metadata (slot
+    /// count, strategy, slot size, cost table) filled in. The caller
+    /// snapshots it after the run for the offline replay lab
+    /// (`phylo-replay`).
+    pub slot_trace: Option<std::sync::Arc<phylo_obs::slottrace::SlotTrace>>,
 }
 
 /// What a crash-safe run produced: the placements for every finished
@@ -187,6 +193,26 @@ impl Placer {
         // polls per Felsenstein op, slot waits poll while blocked, and
         // the chunk loop below polls at chunk boundaries.
         store.set_cancel_token(&cancel);
+        // Arm the slot-access trace before the lookup build below — the
+        // build already drives slot traffic that the run report counts,
+        // and the replay contract is "trace == everything the counters
+        // saw".
+        if let Some(trace) = &control.slot_trace {
+            trace.set_meta(phylo_obs::slottrace::TraceMeta {
+                n_clvs: ctx.tree().n_dir_edges() as u32,
+                n_slots: store.n_slots() as u32,
+                strategy: cfg.strategy.to_string(),
+                bytes_per_slot: phylo_amc::SlotArena::bytes_per_slot(
+                    ctx.layout().clv_len(),
+                    ctx.layout().patterns,
+                ) as u64,
+                // Always embedded (not only for cost-aware runs) so a
+                // trace captured under any policy can replay the
+                // cost-aware ones too.
+                costs: ctx.cost_table(),
+            });
+            store.set_slot_trace(std::sync::Arc::clone(trace));
+        }
 
         let store = store; // sharing starts here; the store is internally synchronized
                            // A fully-replayed run has nothing left to compute — skip the

@@ -123,3 +123,21 @@ pct = 100.0 * (on - off) / off if off else float("nan")
 print(f"journal overhead: off={off/1e6:.1f} ms, on={on/1e6:.1f} ms, "
       f"delta={pct:+.1f}% wall-clock (best of 3)")
 EOF
+
+# Replacement-policy smoke: one tight-budget traced run per policy, then
+# the offline replay reports that policy's miss rate next to the Belady
+# oracle's floor at the same slot count — the paper's eviction ablation
+# in one screenful, with each line backed by a bit-exact differential
+# (`replay --verify` fails unless simulator and live counters agree).
+echo "==> replacement-policy miss rates (live vs clairvoyant oracle)"
+for policy in cost lru mru fifo random cost-lru; do
+    "$bin" place --tree "$jdir/ref.nwk" --ref-msa "$jdir/ref.fasta" \
+        --queries "$jdir/query.fasta" --chunk 7 --maxmem 300K --no-lookup \
+        --strategy "$policy" --slot-trace "$jdir/$policy.trace" \
+        --metrics-json "$jdir/$policy.metrics.json" \
+        --out "$jdir/$policy.jplace" >/dev/null 2>&1
+    "$bin" replay --trace "$jdir/$policy.trace" \
+        --verify "$jdir/$policy.metrics.json" \
+        | grep -E "^  ($policy|belady) " \
+        || { echo "$policy: replay differential failed"; exit 1; }
+done

@@ -53,6 +53,24 @@ cmp "$smoke_dir/full.jplace" "$smoke_dir/resumed.jplace" \
     || { echo "resumed jplace differs from uninterrupted run"; exit 1; }
 echo "    interrupt/resume smoke OK (resumed output byte-identical)"
 
+echo "==> replay differential (capture -> replay -> exact counter compare, per policy)"
+# A tight budget with the lookup table disabled forces real eviction
+# traffic; the offline simulator must then reproduce the live slot.*
+# counters bit-exactly from the captured trace (DESIGN.md §10).
+for policy in cost lru mru fifo random cost-lru; do
+    "$bin" "${place_args[@]}" --maxmem 300K --no-lookup --strategy "$policy" \
+        --slot-trace "$smoke_dir/$policy.trace" \
+        --metrics-json "$smoke_dir/$policy.metrics.json" \
+        --out "$smoke_dir/$policy.jplace" >/dev/null 2>&1
+    grep -q '"slot.evictions": 0' "$smoke_dir/$policy.metrics.json" \
+        && { echo "$policy: no evictions — the differential run is not under pressure"; exit 1; }
+    "$bin" replay --trace "$smoke_dir/$policy.trace" \
+        --verify "$smoke_dir/$policy.metrics.json" \
+        | grep -E 'verified|oracle bound holds' \
+        || { echo "$policy: replay differential failed"; exit 1; }
+done
+echo "    replay differential OK (all policies bit-exact, oracle bound holds)"
+
 echo "==> cargo test -q --features obs (suite again with live observability probes)"
 cargo test -q --features obs
 

@@ -4,7 +4,10 @@
 //! phyloplace place --tree ref.nwk --ref-msa ref.fasta --queries q.fasta \
 //!     [--aa] [--maxmem SIZE[K|M|G|T]|auto] [--gamma ALPHA|--no-gamma] \
 //!     [--chunk N] [--threads N] [--out out.jplace] \
+//!     [--strategy cost|lru|mru|fifo|random|cost-lru] [--slot-trace TRACE.txt] \
 //!     [--checkpoint DIR | --resume DIR] [--deadline SECS]
+//! phyloplace replay --trace TRACE.txt [--slots N,M,...] [--policies LIST|all] \
+//!     [--threshold PCT] [--verify METRICS.json]
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime error, `2` usage error, `3`
@@ -46,6 +49,26 @@ fn install_signal_handlers() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("replay") {
+        // The replay lab is offline: no signal plumbing, no placement.
+        let opts = match phyloplace::replay_cli::parse_replay(&args) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        };
+        match phyloplace::replay_cli::run_replay(&opts) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     let (opts, out_path) = match cli::parse_cli(&args) {
         Ok(v) => v,
         Err(msg) => {

@@ -7,7 +7,7 @@
 
 use crate::place::result::to_jplace_with;
 use crate::place::run::RunControl;
-use crate::place::{memplan, EpaConfig, Placer, QueryBatch};
+use crate::place::{memplan, EpaConfig, Placer, PreplacementMode, QueryBatch};
 use phylo_amc::CancelToken;
 use phylo_engine::ReferenceContext;
 use phylo_journal::{fnv1a64, Manifest, RunJournal, MANIFEST_FORMAT};
@@ -37,6 +37,17 @@ pub struct CliOptions {
     pub threads: usize,
     /// Kernel tier request (`--kernel-tier auto|reference|fixed|simd`).
     pub kernel_tier: phylo_kernel::TierChoice,
+    /// Replacement strategy for the CLV slot cache
+    /// (`--strategy cost|lru|mru|fifo|random|cost-lru`; the paper's
+    /// cost-based heuristic is the default).
+    pub strategy: phylo_amc::StrategyKind,
+    /// Never build the preplacement lookup table (`--no-lookup`) —
+    /// exposes the slow recompute path for eviction-policy ablation and
+    /// trace capture under real slot pressure.
+    pub no_lookup: bool,
+    /// Write the run's slot-access trace (for `phyloplace replay`) to
+    /// this path.
+    pub slot_trace: Option<String>,
     /// Write the run's metrics snapshot as JSON to this path.
     pub metrics_json: Option<String>,
     /// Record phase spans and write a Chrome-trace JSON to this path.
@@ -63,6 +74,9 @@ impl Default for CliOptions {
             chunk_size: 5000,
             threads: 1,
             kernel_tier: phylo_kernel::TierChoice::Auto,
+            strategy: phylo_amc::StrategyKind::CostBased,
+            no_lookup: false,
+            slot_trace: None,
             metrics_json: None,
             trace_path: None,
             checkpoint_dir: None,
@@ -180,6 +194,8 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
         chunk_size: opts.chunk_size,
         threads: opts.threads,
         kernel_tier: opts.kernel_tier,
+        strategy: opts.strategy,
+        preplacement: if opts.no_lookup { PreplacementMode::Off } else { PreplacementMode::Auto },
         ..Default::default()
     };
     let placer = Placer::new(ctx, patterns.site_to_pattern().to_vec(), cfg)
@@ -253,9 +269,16 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
     if opts.trace_path.is_some() {
         phylo_obs::trace::start();
     }
+    let slot_trace = opts
+        .slot_trace
+        .as_ref()
+        .map(|_| std::sync::Arc::new(phylo_obs::slottrace::SlotTrace::new()));
     let outcome = placer
-        .place_run(&batch, RunControl { cancel, journal })
+        .place_run(&batch, RunControl { cancel, journal, slot_trace: slot_trace.clone() })
         .map_err(|e| format!("placement: {e}"))?;
+    if let (Some(path), Some(trace)) = (&opts.slot_trace, &slot_trace) {
+        std::fs::write(path, trace.snapshot().to_text()).map_err(|e| format!("{path}: {e}"))?;
+    }
     if let Some(path) = &opts.trace_path {
         phylo_obs::trace::stop();
         let json = phylo_obs::trace::chrome_json(&phylo_obs::trace::drain());
@@ -306,6 +329,7 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
         "usage: phyloplace place --tree REF.nwk --ref-msa REF.fasta --queries Q.fasta \
   [--aa] [--maxmem SIZE[K|M|G|T] | --maxmem auto] [--gamma ALPHA | --no-gamma] \
   [--chunk N] [--threads N] [--kernel-tier auto|reference|fixed|simd] [--out OUT.jplace] \
+  [--strategy cost|lru|mru|fifo|random|cost-lru] [--no-lookup] [--slot-trace TRACE.txt] \
   [--checkpoint DIR | --resume DIR] [--deadline SECS] \
   [--metrics-json METRICS.json] [--trace TRACE.json]";
     let mut opts = CliOptions::default();
@@ -350,6 +374,17 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
                 opts.kernel_tier = phylo_kernel::TierChoice::parse(&v)
                     .ok_or_else(|| format!("bad --kernel-tier {v:?}\n{USAGE}"))?;
             }
+            "--strategy" => {
+                let v = value()?;
+                opts.strategy = phylo_amc::StrategyKind::parse(&v).ok_or_else(|| {
+                    format!(
+                        "bad --strategy {v:?} (expected one of cost, lru, mru, fifo, \
+                         random, cost-lru)\n{USAGE}"
+                    )
+                })?;
+            }
+            "--no-lookup" => opts.no_lookup = true,
+            "--slot-trace" => opts.slot_trace = Some(value()?),
             "--metrics-json" => opts.metrics_json = Some(value()?),
             "--trace" => opts.trace_path = Some(value()?),
             "--checkpoint" => opts.checkpoint_dir = Some(value()?),
@@ -527,6 +562,17 @@ mod tests {
             assert_eq!(opts.kernel_tier, want);
         }
         assert!(parse_cli(&base(&["--kernel-tier", "avx9000"])).is_err());
+        // Every strategy name round-trips through the flag.
+        for kind in phylo_amc::StrategyKind::all() {
+            let name = kind.to_string();
+            let (opts, _) = parse_cli(&base(&["--strategy", &name])).unwrap();
+            assert_eq!(opts.strategy, kind, "--strategy {name}");
+        }
+        assert!(parse_cli(&base(&["--strategy", "belady"])).is_err(), "oracle is replay-only");
+        let (opts, _) = parse_cli(&base(&["--no-lookup"])).unwrap();
+        assert!(opts.no_lookup);
+        let (opts, _) = parse_cli(&base(&["--slot-trace", "trace.txt"])).unwrap();
+        assert_eq!(opts.slot_trace.as_deref(), Some("trace.txt"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
