@@ -32,6 +32,7 @@ pub mod budget;
 pub mod cancel;
 pub mod error;
 pub mod fpa;
+pub mod retry;
 pub mod slots;
 pub mod strategy;
 
@@ -40,6 +41,7 @@ pub use budget::{MemCategory, MemoryTracker};
 pub use cancel::CancelToken;
 pub use error::AmcError;
 pub use fpa::{ensure_resident, DepSource, FpaOp, ResidentSet};
+pub use retry::Backoff;
 pub use slots::{Acquire, ClvKey, SlotId, SlotManager, SlotStats};
 pub use strategy::{
     CostBased, Fifo, Lru, Mru, RandomEvict, ReplacementStrategy, StrategyKind, VictimView,

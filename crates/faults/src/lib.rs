@@ -149,6 +149,86 @@ pub fn hits(_site: &str) -> u64 {
     0
 }
 
+/// Parses one trigger spec: `always`, `once[:after]`, or `every[:period]`
+/// (`once` alone means `once:0`, `every` alone means `every:1`).
+pub fn parse_trigger(spec: &str) -> Result<Trigger, String> {
+    let (kind, arg) = match spec.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (spec, None),
+    };
+    let num = |a: Option<&str>, default: u64| -> Result<u64, String> {
+        match a {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad trigger count {s:?} in {spec:?}")),
+        }
+    };
+    match kind {
+        "always" if arg.is_none() => Ok(Trigger::Always),
+        "once" => Ok(Trigger::Once { after: num(arg, 0)? }),
+        "every" => Ok(Trigger::Every { period: num(arg, 1)? }),
+        _ => Err(format!("bad trigger {spec:?} (want always, once[:N], or every[:N])")),
+    }
+}
+
+/// Arms sites from a comma-separated `site=trigger` spec, e.g.
+/// `shard::worker_crash=once:1,journal::torn_write=every:3`. This is how
+/// fault injection crosses a process boundary: a supervisor sets the
+/// spec in a worker's `PHYLO_FAULTS` environment and the worker arms it
+/// at startup via [`arm_from_env`]. Without the `inject` feature the
+/// spec is still validated but arming is a no-op.
+pub fn arm_from_spec(spec: &str) -> Result<(), String> {
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (site, trig) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad fault spec {part:?} (want site=trigger)"))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(format!("bad fault spec {part:?}: empty site name"));
+        }
+        arm(site, parse_trigger(trig.trim())?);
+    }
+    Ok(())
+}
+
+/// Arms sites from the `PHYLO_FAULTS` environment variable (absent or
+/// empty means nothing is armed). A malformed spec is returned as an
+/// error so binaries can refuse to run with a half-armed matrix.
+pub fn arm_from_env() -> Result<(), String> {
+    match std::env::var("PHYLO_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            arm_from_spec(&spec).map_err(|e| format!("PHYLO_FAULTS: {e}"))
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+
+    #[test]
+    fn triggers_parse() {
+        assert_eq!(parse_trigger("always"), Ok(Trigger::Always));
+        assert_eq!(parse_trigger("once"), Ok(Trigger::Once { after: 0 }));
+        assert_eq!(parse_trigger("once:3"), Ok(Trigger::Once { after: 3 }));
+        assert_eq!(parse_trigger("every"), Ok(Trigger::Every { period: 1 }));
+        assert_eq!(parse_trigger("every:2"), Ok(Trigger::Every { period: 2 }));
+        for bad in ["", "sometimes", "once:x", "every:", "always:1"] {
+            assert!(parse_trigger(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn specs_validate() {
+        assert!(arm_from_spec("").is_ok());
+        assert!(arm_from_spec("a::b=always, c::d=once:2").is_ok());
+        assert!(arm_from_spec("nosign").is_err());
+        assert!(arm_from_spec("=always").is_err());
+        assert!(arm_from_spec("a=never").is_err());
+        reset();
+    }
+}
+
 #[cfg(all(test, feature = "inject"))]
 mod tests {
     use super::*;
@@ -156,6 +236,18 @@ mod tests {
 
     // The registry is process-global; serialize the tests touching it.
     static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn arm_from_spec_arms_sites() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        arm_from_spec("x::one=once:1,x::two=always").unwrap();
+        assert!(!fire("x::one"));
+        assert!(fire("x::one"));
+        assert!(!fire("x::one"));
+        assert!(fire("x::two"));
+        reset();
+    }
 
     #[test]
     fn unarmed_sites_never_fire() {

@@ -31,9 +31,11 @@
 
 pub mod frame;
 pub mod manifest;
+pub mod shard;
 
 pub use frame::{ChunkFrame, ChunkStats, PlacementRecord, QueryRecord};
 pub use manifest::{fnv1a64, Manifest, MANIFEST_FORMAT};
+pub use shard::{ShardSetManifest, SHARD_MANIFEST_FILE, SHARD_MANIFEST_FORMAT};
 
 use frame::{crc32, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_PAYLOAD_LEN};
 use std::fs::{File, OpenOptions};
@@ -110,6 +112,71 @@ fn sync_dir(dir: &Path) -> Result<(), JournalError> {
         Ok(d) => d.sync_all().map_err(io_err(format!("fsync dir {}", dir.display()))),
         Err(_) => Ok(()),
     }
+}
+
+/// Writes `contents` to `path` crash-atomically *and durably*: the bytes
+/// go to `<path>.tmp` first, are fsynced, renamed into place, and the
+/// parent directory is fsynced so the rename itself survives power loss.
+/// A crash or failure mid-write leaves either the previous file or none
+/// — never a truncated one — and the temp file is cleaned up on error.
+///
+/// This is the single write idiom for every user-visible artifact of a
+/// run (jplace output, slot traces, shard manifests, merged results);
+/// callers that need a deterministic failure-injection point use
+/// [`write_text_atomic_probed`].
+pub fn write_text_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    write_text_atomic_impl(path, contents, None)
+}
+
+/// As [`write_text_atomic`], probing the named fault site between the
+/// data fsync and the rename — the precise point where a crash would
+/// leave a durable temp file but an unchanged destination.
+pub fn write_text_atomic_probed(
+    path: &Path,
+    contents: &str,
+    fault_site: &str,
+) -> std::io::Result<()> {
+    write_text_atomic_impl(path, contents, Some(fault_site))
+}
+
+fn write_text_atomic_impl(
+    path: &Path,
+    contents: &str,
+    fault_site: Option<&str>,
+) -> std::io::Result<()> {
+    let tmp = path.with_extension(match path.extension() {
+        Some(e) => format!("{}.tmp", e.to_string_lossy()),
+        None => "tmp".to_string(),
+    });
+    let write = || -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Data must be durable before the rename publishes the name;
+        // otherwise a crash could leave the final path pointing at a
+        // zero-length inode.
+        f.sync_all()?;
+        drop(f);
+        if fault_site.is_some_and(phylo_faults::fire) {
+            return Err(std::io::Error::other(format!(
+                "injected {} write failure",
+                path.extension().map(|e| e.to_string_lossy().into_owned()).unwrap_or_default()
+            )));
+        }
+        std::fs::rename(&tmp, path)?;
+        // The rename lives in the directory; fsync it (best-effort on
+        // platforms where directories cannot be opened for sync).
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                d.sync_all()?;
+            }
+        }
+        Ok(())
+    };
+    let r = write();
+    if r.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    r
 }
 
 /// Result of scanning a journal file: the decodable frame prefix, the

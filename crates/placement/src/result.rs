@@ -167,40 +167,7 @@ pub fn to_jplace_with(tree: &Tree, results: &[PlacementResult], completed: bool)
 /// never a truncated file a downstream parser would choke on, and never
 /// a rename that evaporates with the directory's dirty page.
 pub fn write_jplace_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
-    use std::io::Write;
-    let tmp = path.with_extension(match path.extension() {
-        Some(e) => format!("{}.tmp", e.to_string_lossy()),
-        None => "tmp".to_string(),
-    });
-    let write = || -> std::io::Result<()> {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
-        // Data must be durable before the rename publishes the name;
-        // otherwise a crash could leave the final path pointing at a
-        // zero-length inode.
-        f.sync_all()?;
-        drop(f);
-        if phylo_faults::fire("place::jplace_io") {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::Other,
-                "injected jplace write failure",
-            ));
-        }
-        std::fs::rename(&tmp, path)?;
-        // The rename lives in the directory; fsync it (best-effort on
-        // platforms where directories cannot be opened for sync).
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            if let Ok(d) = std::fs::File::open(dir) {
-                d.sync_all()?;
-            }
-        }
-        Ok(())
-    };
-    let r = write();
-    if r.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    r
+    phylo_journal::write_text_atomic_probed(path, contents, "place::jplace_io")
 }
 
 /// Newick with `{edge_id}` annotations after each branch length (the

@@ -35,6 +35,28 @@ impl DegradationCounters {
     }
 }
 
+/// One progress beat of a run, handed to [`RunControl::heartbeat`] at
+/// run start (once the chunk geometry is known) and after every chunk
+/// boundary — freshly computed *or* restored from a resumed journal.
+/// Chunk boundaries are the run's natural liveness granularity: every
+/// beat corresponds to durable progress, so a supervisor that stops
+/// seeing beats knows the worker is dead, hung, or starved — never
+/// merely "between reporting intervals".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatEvent {
+    /// Chunks finished so far (restored chunks count).
+    pub chunks_done: usize,
+    /// Total chunks this run will process.
+    pub n_chunks: usize,
+    /// Queries with final results so far.
+    pub queries_done: usize,
+    /// Total queries in the batch.
+    pub n_queries: usize,
+}
+
+/// Chunk-boundary progress callback (see [`HeartbeatEvent`]).
+pub type HeartbeatFn = Box<dyn Fn(HeartbeatEvent) + Send + Sync>;
+
 /// Run-lifecycle hooks for [`Placer::place_run`]: cooperative
 /// cancellation plus optional chunk-journal checkpointing. The default
 /// is inert (never cancelled, no journal), which is exactly what
@@ -58,6 +80,11 @@ pub struct RunControl {
     /// snapshots it after the run for the offline replay lab
     /// (`phylo-replay`).
     pub slot_trace: Option<std::sync::Arc<phylo_obs::slottrace::SlotTrace>>,
+    /// Progress heartbeat, invoked at run start and per chunk boundary
+    /// (see [`HeartbeatEvent`]). The shard coordinator's workers pipe
+    /// these beats to their supervisor for liveness and straggler
+    /// detection; `None` costs nothing.
+    pub heartbeat: Option<HeartbeatFn>,
 }
 
 /// What a crash-safe run produced: the placements for every finished
@@ -170,6 +197,17 @@ impl Placer {
         let replayed = control.journal.as_mut().map(|j| j.take_replayed()).unwrap_or_default();
         let replayed_chunks = replayed.len().min(n_chunks);
         let cancel = control.cancel.clone();
+        let heartbeat = control.heartbeat.take();
+        let beat = |chunks_done: usize| {
+            if let Some(hb) = &heartbeat {
+                hb(HeartbeatEvent {
+                    chunks_done,
+                    n_chunks,
+                    queries_done: (chunks_done * plan.chunk_size).min(batch.len()),
+                    n_queries: batch.len(),
+                });
+            }
+        };
         let mut report = RunReport {
             n_queries: batch.len(),
             used_lookup: plan.use_lookup,
@@ -256,11 +294,15 @@ impl Placer {
         let mut completed = true;
         let mut chunks_done = 0usize;
 
+        // The run-start beat: tells a supervisor the chunk geometry and
+        // that the (possibly expensive) setup phase is behind us.
+        beat(0);
         for (chunk_idx, chunk) in batch.chunks(plan.chunk_size).enumerate() {
             let qoff = chunk_idx * plan.chunk_size;
             if chunk_idx < replayed_chunks {
                 restore_chunk(&replayed[chunk_idx], chunk, qoff, &mut results, &mut report)?;
                 chunks_done = chunk_idx + 1;
+                beat(chunks_done);
                 continue;
             }
             if cancel.is_cancelled() {
@@ -290,6 +332,10 @@ impl Placer {
                         drop(span);
                     }
                     chunks_done = chunk_idx + 1;
+                    // Beat only after the chunk is durable: a supervisor
+                    // may treat every reported chunk as safe to skip on
+                    // resume.
+                    beat(chunks_done);
                 }
                 // Cancellation surfacing through a worker/prefetch/slot
                 // wait is a graceful break, not a failure: the chunk is
@@ -902,14 +948,15 @@ fn prepare_split(
             // the pass). Flush the cache and retry over a clean slate,
             // where the pin demand is bounded by the traversal floor.
             // Concurrent planners can race us to the freed slots, so back
-            // off exponentially (capped) between a few attempts before
-            // giving up — the ladder's last rung.
-            let mut backoff = Duration::from_millis(1);
+            // off exponentially (capped, jittered so racing threads
+            // desynchronize) between a few attempts before giving up —
+            // the ladder's last rung.
+            let mut backoff =
+                phylo_amc::Backoff::new(Duration::from_millis(1), Duration::from_millis(8));
             let mut last = e;
             for attempt in 0..4 {
                 if attempt > 0 {
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(Duration::from_millis(8));
+                    std::thread::sleep(backoff.next_delay());
                 }
                 deg.flush_retries.fetch_add(1, Ordering::Relaxed);
                 store.flush_cache();

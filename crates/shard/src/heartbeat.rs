@@ -1,0 +1,70 @@
+//! The worker→coordinator heartbeat line protocol.
+//!
+//! Workers run with `--out` (the jplace goes to a file), which frees
+//! their stdout for a line-oriented progress channel: one `HB` line at
+//! run start and one after every *durable* chunk — the beat is emitted
+//! only once the chunk's journal frame is fsynced, so the coordinator's
+//! view of `chunks_done` never runs ahead of what a resume can restore.
+//! Anything on stdout that is not a heartbeat is forwarded verbatim to
+//! the coordinator's stderr, so workers stay free to print.
+
+/// One worker progress beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Heartbeat {
+    /// Chunks durably journaled so far.
+    pub chunks_done: usize,
+    /// Total chunks in the worker's plan.
+    pub n_chunks: usize,
+    /// Queries covered by the durable chunks.
+    pub queries_done: usize,
+    /// Total queries assigned to the worker.
+    pub n_queries: usize,
+}
+
+/// Line prefix that marks a heartbeat.
+pub const HB_PREFIX: &str = "HB ";
+
+/// Renders a heartbeat as its wire line (no trailing newline).
+pub fn format_heartbeat(hb: &Heartbeat) -> String {
+    format!("HB {} {} {} {}", hb.chunks_done, hb.n_chunks, hb.queries_done, hb.n_queries)
+}
+
+/// Parses a wire line; `None` for anything that is not a well-formed
+/// heartbeat (such lines are ordinary worker output, not an error).
+pub fn parse_heartbeat(line: &str) -> Option<Heartbeat> {
+    let rest = line.strip_prefix(HB_PREFIX)?;
+    let mut fields = rest.split_ascii_whitespace().map(|f| f.parse::<usize>().ok());
+    let mut next = || fields.next().flatten();
+    let hb = Heartbeat {
+        chunks_done: next()?,
+        n_chunks: next()?,
+        queries_done: next()?,
+        n_queries: next()?,
+    };
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(hb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let hb = Heartbeat { chunks_done: 3, n_chunks: 10, queries_done: 96, n_queries: 320 };
+        assert_eq!(parse_heartbeat(&format_heartbeat(&hb)), Some(hb));
+        let zero = Heartbeat::default();
+        assert_eq!(parse_heartbeat(&format_heartbeat(&zero)), Some(zero));
+    }
+
+    #[test]
+    fn non_heartbeat_lines_pass_through() {
+        for line in
+            ["", "HB", "HB 1 2 3", "HB 1 2 3 4 5", "HB a b c d", "placed 7 queries", "hb 1 2 3 4"]
+        {
+            assert_eq!(parse_heartbeat(line), None, "{line:?}");
+        }
+    }
+}

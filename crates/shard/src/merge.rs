@@ -1,0 +1,234 @@
+//! Merging per-shard jplace outputs into one document.
+//!
+//! jplace was designed to be merge-friendly (Matsen et al.): placements
+//! are per-query and reference the same edge-numbered tree, so merging
+//! is concatenation of placement entries — *provided* the documents
+//! really are siblings. The parser here is deliberately strict: it
+//! reads exactly the shape `epa_place::result::to_jplace_with` writes
+//! (the only producer whose outputs we merge) and the merge verifies
+//! version, field list, and tree identity across shards before
+//! reassembling the document byte-for-byte in that same shape. The
+//! result of merging N shard outputs is byte-identical to a
+//! single-process run over the unsplit query file.
+
+/// Why a shard output could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The document does not have the writer's shape; `what` names the
+    /// missing or malformed piece.
+    Malformed { shard: usize, what: String },
+    /// A shard disagrees with shard 0 on an identity field.
+    Mismatch { shard: usize, what: &'static str },
+    /// The shard's run was interrupted (`"completed": false`); its
+    /// placements are a prefix, not the shard's full answer.
+    Incomplete { shard: usize },
+    /// Nothing to merge.
+    Empty,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Malformed { shard, what } => {
+                write!(f, "shard {shard}: unmergeable jplace: {what}")
+            }
+            MergeError::Mismatch { shard, what } => write!(
+                f,
+                "shard {shard}: jplace {what} differs from shard 0 — outputs are not from \
+                 the same reference"
+            ),
+            MergeError::Incomplete { shard } => write!(
+                f,
+                "shard {shard}: output is marked incomplete; the shard's run was interrupted"
+            ),
+            MergeError::Empty => write!(f, "no shard outputs to merge"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// The parsed skeleton of one shard's jplace output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JplaceDoc {
+    /// The edge-numbered Newick string (contents of the `"tree"` field).
+    pub tree: String,
+    /// The `"fields"` line, verbatim (including its trailing comma).
+    pub fields_line: String,
+    /// One line per query, in query order, without trailing commas.
+    pub placement_lines: Vec<String>,
+    /// The run's completion flag.
+    pub completed: bool,
+}
+
+/// Parses one shard's output. `shard` is only used in error messages.
+pub fn parse_jplace(text: &str, shard: usize) -> Result<JplaceDoc, MergeError> {
+    let bad = |what: &str| MergeError::Malformed { shard, what: what.to_string() };
+    let mut lines = text.lines();
+    let mut tree = None;
+    let mut fields_line = None;
+    let mut version_ok = false;
+    loop {
+        let line = lines.next().ok_or_else(|| bad("no \"placements\" array"))?;
+        if line == "  \"version\": 3," {
+            version_ok = true;
+        } else if let Some(rest) = line.strip_prefix("  \"tree\": \"") {
+            tree = Some(
+                rest.strip_suffix("\",").ok_or_else(|| bad("unterminated tree line"))?.to_string(),
+            );
+        } else if line.starts_with("  \"fields\": [") {
+            fields_line = Some(line.to_string());
+        } else if line == "  \"placements\": [" {
+            break;
+        }
+    }
+    if !version_ok {
+        return Err(bad("missing or unsupported \"version\" (this merger reads version 3)"));
+    }
+    let mut placement_lines = Vec::new();
+    loop {
+        let line = lines.next().ok_or_else(|| bad("unterminated \"placements\" array"))?;
+        if line == "  ]," {
+            break;
+        }
+        let entry = line.strip_suffix(',').unwrap_or(line);
+        if !entry.trim_start().starts_with("{\"p\": ") {
+            return Err(bad(&format!("unexpected placement line {entry:?}")));
+        }
+        placement_lines.push(entry.to_string());
+    }
+    let meta = lines.next().ok_or_else(|| bad("missing metadata"))?;
+    let completed = if meta.contains("\"completed\": true") {
+        true
+    } else if meta.contains("\"completed\": false") {
+        false
+    } else {
+        return Err(bad("metadata has no \"completed\" flag"));
+    };
+    Ok(JplaceDoc {
+        tree: tree.ok_or_else(|| bad("no \"tree\" field"))?,
+        fields_line: fields_line.ok_or_else(|| bad("no \"fields\" field"))?,
+        placement_lines,
+        completed,
+    })
+}
+
+/// Merges shard outputs (in shard order) into one complete document.
+/// Every shard must be complete and agree with shard 0 on tree and
+/// fields; the output is byte-identical to what a single run over the
+/// concatenated queries would have written.
+pub fn merge_jplace(docs: &[JplaceDoc]) -> Result<String, MergeError> {
+    let first = docs.first().ok_or(MergeError::Empty)?;
+    for (shard, d) in docs.iter().enumerate() {
+        if !d.completed {
+            return Err(MergeError::Incomplete { shard });
+        }
+        if d.tree != first.tree {
+            return Err(MergeError::Mismatch { shard, what: "tree" });
+        }
+        if d.fields_line != first.fields_line {
+            return Err(MergeError::Mismatch { shard, what: "fields" });
+        }
+    }
+    let lines: Vec<&String> = docs.iter().flat_map(|d| &d.placement_lines).collect();
+    let mut out = String::with_capacity(docs.iter().map(|d| d.tree.len() + 64).sum::<usize>());
+    out.push_str("{\n  \"version\": 3,\n  \"tree\": \"");
+    out.push_str(&first.tree);
+    out.push_str("\",\n");
+    out.push_str(&first.fields_line);
+    out.push_str("\n  \"placements\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(line);
+        out.push_str(if i + 1 < lines.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"metadata\": {\"software\": \"phyloplace\", \"completed\": true}\n}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_place::result::{to_jplace_with, PlacementEntry};
+    use epa_place::PlacementResult;
+    use phylo_tree::tree::tripod;
+    use phylo_tree::EdgeId;
+
+    fn results(names: &[&str]) -> Vec<PlacementResult> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut r = PlacementResult {
+                    name: name.to_string(),
+                    placements: vec![
+                        PlacementEntry {
+                            edge: EdgeId(i as u32 % 3),
+                            log_likelihood: -5.0 - i as f64,
+                            like_weight_ratio: 0.0,
+                            pendant_length: 0.1,
+                            distal_length: 0.05,
+                        },
+                        PlacementEntry {
+                            edge: EdgeId((i as u32 + 1) % 3),
+                            log_likelihood: -6.5 - i as f64,
+                            like_weight_ratio: 0.0,
+                            pendant_length: 0.2,
+                            distal_length: 0.01,
+                        },
+                    ],
+                };
+                r.finalize();
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merged_shards_are_byte_identical_to_a_single_run() {
+        let tree = tripod(["A", "B", "C"], [0.1, 0.2, 0.3]).unwrap();
+        let all = results(&["q0", "q1", "q2", "q3", "q4"]);
+        let serial = to_jplace_with(&tree, &all, true);
+        let docs: Vec<JplaceDoc> = [&all[..2], &all[2..4], &all[4..]]
+            .iter()
+            .enumerate()
+            .map(|(k, part)| parse_jplace(&to_jplace_with(&tree, part, true), k).unwrap())
+            .collect();
+        assert_eq!(merge_jplace(&docs).unwrap(), serial);
+    }
+
+    #[test]
+    fn single_shard_roundtrips() {
+        let tree = tripod(["A", "B", "C"], [0.1, 0.2, 0.3]).unwrap();
+        let all = results(&["only"]);
+        let serial = to_jplace_with(&tree, &all, true);
+        let doc = parse_jplace(&serial, 0).unwrap();
+        assert_eq!(merge_jplace(&[doc]).unwrap(), serial);
+    }
+
+    #[test]
+    fn incomplete_and_mismatched_shards_are_refused() {
+        let tree = tripod(["A", "B", "C"], [0.1, 0.2, 0.3]).unwrap();
+        let other = tripod(["A", "B", "Z"], [0.1, 0.2, 0.3]).unwrap();
+        let all = results(&["q0", "q1"]);
+        let ok = parse_jplace(&to_jplace_with(&tree, &all[..1], true), 0).unwrap();
+        let partial = parse_jplace(&to_jplace_with(&tree, &all[1..], false), 1).unwrap();
+        assert_eq!(merge_jplace(&[ok.clone(), partial]), Err(MergeError::Incomplete { shard: 1 }));
+        let foreign = parse_jplace(&to_jplace_with(&other, &all[1..], true), 1).unwrap();
+        assert_eq!(
+            merge_jplace(&[ok, foreign]),
+            Err(MergeError::Mismatch { shard: 1, what: "tree" })
+        );
+        assert_eq!(merge_jplace(&[]), Err(MergeError::Empty));
+    }
+
+    #[test]
+    fn parser_rejects_foreign_documents() {
+        assert!(parse_jplace("{}", 0).is_err());
+        assert!(parse_jplace("{\n  \"version\": 2,\n  \"placements\": [\n  ],\n x\n}", 0).is_err());
+        let tree = tripod(["A", "B", "C"], [0.1, 0.2, 0.3]).unwrap();
+        let good = to_jplace_with(&tree, &results(&["q"]), true);
+        // Truncation anywhere inside the placements array is malformed.
+        let cut = &good[..good.find("\"n\"").unwrap()];
+        assert!(parse_jplace(cut, 0).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Raw-byte FASTA splitting.
+//!
+//! The coordinator splits the query stream into contiguous per-shard
+//! FASTA files. The split is **byte-preserving**: each record (header
+//! line through the last sequence byte before the next header) is
+//! copied verbatim, so concatenating the shard files reproduces the
+//! input and each worker's journal manifest hashes exactly the bytes it
+//! will read. Record *order* is preserved, which is what makes the
+//! merged jplace byte-identical to a single-process run — placement
+//! lines are emitted in query order and are independent of chunk
+//! geometry.
+
+/// A contiguous split of a query FASTA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Per-shard FASTA text, in shard order.
+    pub shards: Vec<String>,
+    /// Records per shard (parallel to `shards`; every entry ≥ 1).
+    pub sizes: Vec<usize>,
+}
+
+/// Splits `text` into at most `n_shards` contiguous shards of
+/// near-equal record count (the first `n_records % n_shards` shards get
+/// one extra). Fewer records than shards clamps the shard count — a
+/// worker with zero queries would be pure overhead.
+pub fn split_fasta(text: &str, n_shards: usize) -> Result<Split, String> {
+    if n_shards == 0 {
+        return Err("need at least one shard".to_string());
+    }
+    let bytes = text.as_bytes();
+    let mut starts = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'>' && (i == 0 || bytes[i - 1] == b'\n') {
+            starts.push(i);
+        }
+    }
+    let Some(&first) = starts.first() else {
+        return Err("query file has no FASTA records".to_string());
+    };
+    if !text[..first].trim().is_empty() {
+        return Err("query file does not start with a FASTA header".to_string());
+    }
+    let n_records = starts.len();
+    let k = n_shards.min(n_records);
+    let base = n_records / k;
+    let rem = n_records % k;
+    let mut shards = Vec::with_capacity(k);
+    let mut sizes = Vec::with_capacity(k);
+    let mut rec = 0usize;
+    for shard in 0..k {
+        let take = base + usize::from(shard < rem);
+        let lo = starts[rec];
+        let hi = starts.get(rec + take).copied().unwrap_or(text.len());
+        shards.push(text[lo..hi].to_string());
+        sizes.push(take);
+        rec += take;
+    }
+    Ok(Split { shards, sizes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fasta(n: usize) -> String {
+        (0..n).map(|i| format!(">q{i}\nACGT\nACGA\n")).collect()
+    }
+
+    #[test]
+    fn split_is_contiguous_and_byte_preserving() {
+        let text = fasta(7);
+        let s = split_fasta(&text, 3).unwrap();
+        assert_eq!(s.sizes, vec![3, 2, 2]);
+        assert_eq!(s.shards.concat(), text, "concatenation reproduces the input bytes");
+        assert!(s.shards.iter().all(|t| t.starts_with('>')));
+    }
+
+    #[test]
+    fn shard_count_clamps_to_record_count() {
+        let text = fasta(2);
+        let s = split_fasta(&text, 5).unwrap();
+        assert_eq!(s.sizes, vec![1, 1]);
+        assert_eq!(s.shards.concat(), text);
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_file() {
+        let text = fasta(4);
+        let s = split_fasta(&text, 1).unwrap();
+        assert_eq!(s.shards, vec![text]);
+        assert_eq!(s.sizes, vec![4]);
+    }
+
+    #[test]
+    fn odd_record_shapes_survive() {
+        // Multi-line sequences, no trailing newline, '>' inside a
+        // sequence line never starts a record.
+        let text = ">a\nAC\nGT\n>b desc > with angle\nACGT";
+        let s = split_fasta(text, 2).unwrap();
+        assert_eq!(s.sizes, vec![1, 1]);
+        assert_eq!(s.shards[0], ">a\nAC\nGT\n");
+        assert_eq!(s.shards[1], ">b desc > with angle\nACGT");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(split_fasta("", 2).is_err());
+        assert!(split_fasta("ACGT\n", 2).is_err());
+        assert!(split_fasta("junk\n>q\nACGT\n", 2).is_err());
+        assert!(split_fasta(&fasta(3), 0).is_err());
+        // Leading whitespace is tolerated (it parses fine downstream).
+        assert!(split_fasta("\n>q\nACGT\n", 1).is_ok());
+    }
+}

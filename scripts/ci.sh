@@ -71,6 +71,37 @@ for policy in cost lru mru fifo random cost-lru; do
 done
 echo "    replay differential OK (all policies bit-exact, oracle bound holds)"
 
+echo "==> cargo test -q --features faults --test shard_supervision (fleet chaos matrix)"
+cargo test -q --features faults --test shard_supervision
+
+echo "==> shell-level shard chaos (crash + hang injection -> requeue -> byte-compare)"
+# The release binary has no fault hooks, so the chaos fleet runs the
+# faults-enabled debug binary end-to-end: a worker SIGKILL-dies right
+# after journaling a chunk, another hangs silently; the coordinator
+# must requeue both and still merge output byte-identical to a serial
+# run of the same binary.
+cargo build -q --features faults
+fbin=target/debug/phyloplace
+shard_args=(shard --tree "$smoke_dir/ref.nwk" --ref-msa "$smoke_dir/ref.fasta"
+            --queries "$smoke_dir/query.fasta" --chunk 7 --shards 3)
+"$fbin" place --tree "$smoke_dir/ref.nwk" --ref-msa "$smoke_dir/ref.fasta" \
+    --queries "$smoke_dir/query.fasta" --chunk 7 --out "$smoke_dir/fserial.jplace"
+PHYLO_FAULTS_SHARD_0="shard::worker_crash=once:1" \
+    "$fbin" "${shard_args[@]}" --workdir "$smoke_dir/chaos-crash" \
+    --out "$smoke_dir/chaos-crash.jplace" --metrics-json "$smoke_dir/chaos-crash.metrics.json"
+cmp "$smoke_dir/fserial.jplace" "$smoke_dir/chaos-crash.jplace" \
+    || { echo "crash-injected shard run differs from serial"; exit 1; }
+grep -q '"shard.requeues": 0' "$smoke_dir/chaos-crash.metrics.json" \
+    && { echo "crashed worker was not requeued"; exit 1; }
+PHYLO_FAULTS_SHARD_1="shard::worker_hang=once" \
+    "$fbin" "${shard_args[@]}" --workdir "$smoke_dir/chaos-hang" --heartbeat-timeout 1 \
+    --out "$smoke_dir/chaos-hang.jplace" --metrics-json "$smoke_dir/chaos-hang.metrics.json"
+cmp "$smoke_dir/fserial.jplace" "$smoke_dir/chaos-hang.jplace" \
+    || { echo "hang-injected shard run differs from serial"; exit 1; }
+grep -q '"shard.hangs": 0' "$smoke_dir/chaos-hang.metrics.json" \
+    && { echo "hung worker was not detected"; exit 1; }
+echo "    shard chaos OK (crash + hang requeued, merged output byte-identical)"
+
 echo "==> cargo test -q --features obs (suite again with live observability probes)"
 cargo test -q --features obs
 

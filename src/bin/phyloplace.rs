@@ -5,30 +5,33 @@
 //!     [--aa] [--maxmem SIZE[K|M|G|T]|auto] [--gamma ALPHA|--no-gamma] \
 //!     [--chunk N] [--threads N] [--out out.jplace] \
 //!     [--strategy cost|lru|mru|fifo|random|cost-lru] [--slot-trace TRACE.txt] \
-//!     [--checkpoint DIR | --resume DIR] [--deadline SECS]
+//!     [--checkpoint DIR | --resume DIR] [--deadline SECS] [--heartbeat]
+//! phyloplace shard --tree ref.nwk --ref-msa ref.fasta --queries q.fasta \
+//!     --out out.jplace --workdir DIR --shards N [placement flags...] \
+//!     [--workers N] [--heartbeat-timeout SECS] [--straggler-factor F] \
+//!     [--max-shard-retries N] [--deadline SECS] [--metrics-json M.json]
 //! phyloplace replay --trace TRACE.txt [--slots N,M,...] [--policies LIST|all] \
 //!     [--threshold PCT] [--verify METRICS.json]
 //! ```
 //!
-//! Exit codes: `0` success, `1` runtime error, `2` usage error, `3`
-//! interrupted (SIGINT/SIGTERM or `--deadline`) — the partial jplace
-//! was still written and the checkpoint journal holds every finished
-//! chunk, so a `--resume` run completes the work.
+//! Exit codes: `0` success, `1` runtime error, `2` usage/input error, `3`
+//! interrupted (SIGINT/SIGTERM or `--deadline` — the checkpoint journal
+//! holds every finished chunk, so a `--resume` run completes the work),
+//! `130` aborted by a second SIGINT during a graceful drain.
 
 use phylo_amc::CancelToken;
+use phylo_shard::{Phase, Shutdown, EXIT_ABORTED, EXIT_INTERRUPTED};
 use phyloplace::cli;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
-/// Exit status for a run cancelled by signal or deadline.
-const EXIT_INTERRUPTED: i32 = 3;
-
-/// Set (only) by the signal handler; a watchdog thread converts it into
-/// a cancel-token arm. Storing a flag is the entire handler body — the
-/// async-signal-safe subset.
-static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Incremented (only) by the signal handler; a watchdog thread mirrors
+/// it into the [`Shutdown`] state machine. One signal drains
+/// gracefully; a second abandons the drain (exit 130). Counting is the
+/// entire handler body — the async-signal-safe subset.
+static SIGNALS: AtomicU32 = AtomicU32::new(0);
 
 extern "C" fn on_signal(_signum: i32) {
-    SHUTDOWN.store(true, Ordering::SeqCst);
+    SIGNALS.fetch_add(1, Ordering::SeqCst);
 }
 
 /// Installs SIGINT/SIGTERM handlers via the libc `signal(2)` that std
@@ -47,7 +50,29 @@ fn install_signal_handlers() {
     }
 }
 
+/// Spawns the detached watchdog that forwards handler-counted signals
+/// into `shutdown`. At the second signal the process exits 130 on the
+/// spot: the user asked twice, so no more graceful anything. Because
+/// this exit bypasses the supervision loop's own kill paths, any live
+/// worker subprocesses are SIGKILLed from the pid registry first —
+/// a hung fleet must not outlive an aborted coordinator.
+fn spawn_signal_watchdog(shutdown: Shutdown) {
+    std::thread::spawn(move || loop {
+        if shutdown.record_signals(SIGNALS.load(Ordering::SeqCst)) == Phase::Aborting {
+            phylo_shard::kill_registered_workers();
+            std::process::exit(EXIT_ABORTED);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    });
+}
+
 fn main() {
+    // A malformed fault spec means the requested chaos experiment is
+    // not the one that would run — refuse rather than half-arm.
+    if let Err(msg) = phylo_faults::arm_from_env() {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("replay") {
         // The replay lab is offline: no signal plumbing, no placement.
@@ -69,6 +94,29 @@ fn main() {
             }
         }
     }
+    if args.first().map(String::as_str) == Some("shard") {
+        let opts = match phyloplace::shard_cli::parse_shard(&args) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        };
+        install_signal_handlers();
+        let shutdown = Shutdown::new();
+        spawn_signal_watchdog(shutdown.clone());
+        match phyloplace::shard_cli::run_shard(&opts, &shutdown) {
+            Ok(summary) => {
+                eprintln!("{summary}");
+                eprintln!("wrote {}", opts.out_path);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(e.exit_code());
+            }
+        }
+        return;
+    }
     let (opts, out_path) = match cli::parse_cli(&args) {
         Ok(v) => v,
         Err(msg) => {
@@ -78,18 +126,10 @@ fn main() {
     };
     install_signal_handlers();
     let cancel = CancelToken::new();
-    {
-        // Watchdog: polls the handler's flag and arms the cooperative
-        // token. Detached on purpose — it dies with the process.
-        let cancel = cancel.clone();
-        std::thread::spawn(move || loop {
-            if SHUTDOWN.load(Ordering::SeqCst) {
-                cancel.cancel();
-                return;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(25));
-        });
-    }
+    // The shutdown machine shares the run's cancel token: the first
+    // signal arms cooperative cancellation (the run drains to a durable
+    // chunk boundary and exits 3), the second aborts at exit 130.
+    spawn_signal_watchdog(Shutdown::with_cancel(cancel.clone()));
     match cli::run_placement_with(&opts, cancel) {
         Ok(out) => {
             eprintln!("{}", out.summary);
@@ -111,9 +151,9 @@ fn main() {
                 std::process::exit(EXIT_INTERRUPTED);
             }
         }
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -6,15 +6,58 @@
 //! format — here with the paper's `--maxmem` memory management surface.
 
 use crate::place::result::to_jplace_with;
-use crate::place::run::RunControl;
+use crate::place::run::{HeartbeatEvent, HeartbeatFn, RunControl};
 use crate::place::{memplan, EpaConfig, Placer, PreplacementMode, QueryBatch};
 use phylo_amc::CancelToken;
 use phylo_engine::ReferenceContext;
-use phylo_journal::{fnv1a64, Manifest, RunJournal, MANIFEST_FORMAT};
+use phylo_journal::{fnv1a64, JournalError, Manifest, RunJournal, MANIFEST_FORMAT};
 use phylo_models::gamma::GammaMode;
 use phylo_models::{aa, dna, DiscreteGamma, SubstModel};
 use phylo_seq::alphabet::AlphabetKind;
 use phylo_seq::{compress, fasta, Msa};
+
+/// A pipeline failure, typed by who is at fault so the binary can keep
+/// its exit-code contract: bad input (malformed files, a checkpoint
+/// manifest that no longer matches the run) exits 2, runtime failures
+/// (I/O, placement internals) exit 1.
+#[derive(Debug)]
+pub enum CliError {
+    /// The inputs or flags are wrong; retrying without changing them
+    /// cannot succeed. Exit 2.
+    BadInput(String),
+    /// The environment failed the run (I/O, internal error). Exit 1.
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit status this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::BadInput(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::BadInput(msg) | CliError::Runtime(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Classifies a journal-session error: I/O is the environment's fault,
+/// everything else (missing/mismatched/unparseable manifest, bad frame)
+/// means the user pointed the run at the wrong checkpoint.
+fn journal_error(context: &str, e: JournalError) -> CliError {
+    match e {
+        JournalError::Io { .. } => CliError::Runtime(format!("{context}: {e}")),
+        _ => CliError::BadInput(format!("{context}: {e}")),
+    }
+}
 
 /// Parsed command-line options for `phyloplace place`.
 #[derive(Debug, Clone)]
@@ -60,6 +103,10 @@ pub struct CliOptions {
     /// Cancel the run after this many wall-clock seconds and emit the
     /// completed prefix as a partial result.
     pub deadline_secs: Option<f64>,
+    /// Emit `HB` progress lines on stdout (one at run start, one per
+    /// durable chunk) for a supervising `phyloplace shard` coordinator.
+    /// Requires `--out` (the jplace must not share the channel).
+    pub heartbeat: bool,
 }
 
 impl Default for CliOptions {
@@ -82,6 +129,7 @@ impl Default for CliOptions {
             checkpoint_dir: None,
             resume_dir: None,
             deadline_secs: None,
+            heartbeat: false,
         }
     }
 }
@@ -143,7 +191,7 @@ pub fn parse_maxmem(s: &str) -> Result<f64, String> {
 
 /// Runs the full pipeline with an inert cancel token (never interrupted
 /// unless `--deadline` fires).
-pub fn run_placement(opts: &CliOptions) -> Result<RunOutput, String> {
+pub fn run_placement(opts: &CliOptions) -> Result<RunOutput, CliError> {
     run_placement_with(opts, CancelToken::new())
 }
 
@@ -151,20 +199,21 @@ pub fn run_placement(opts: &CliOptions) -> Result<RunOutput, String> {
 /// binary wires SIGINT/SIGTERM to it) and returns the `jplace` document
 /// plus a short human-readable run summary. A cancelled run is *not* an
 /// error: the durable prefix comes back with `completed == false`.
-pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunOutput, String> {
-    let tree =
-        phylo_tree::newick::parse(&opts.tree_text).map_err(|e| format!("reference tree: {e}"))?;
+pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunOutput, CliError> {
+    let bad = |msg: String| CliError::BadInput(msg);
+    let tree = phylo_tree::newick::parse(&opts.tree_text)
+        .map_err(|e| bad(format!("reference tree: {e}")))?;
     let ref_rows = fasta::parse(&opts.ref_fasta, opts.alphabet)
-        .map_err(|e| format!("reference alignment: {e}"))?;
-    let msa = Msa::new(ref_rows).map_err(|e| format!("reference alignment: {e}"))?;
+        .map_err(|e| bad(format!("reference alignment: {e}")))?;
+    let msa = Msa::new(ref_rows).map_err(|e| bad(format!("reference alignment: {e}")))?;
     let queries =
-        fasta::parse(&opts.query_fasta, opts.alphabet).map_err(|e| format!("queries: {e}"))?;
-    let patterns = compress(&msa).map_err(|e| format!("compression: {e}"))?;
+        fasta::parse(&opts.query_fasta, opts.alphabet).map_err(|e| bad(format!("queries: {e}")))?;
+    let patterns = compress(&msa).map_err(|e| bad(format!("compression: {e}")))?;
 
     // Model: +F empirical frequencies over the reference, Γ4 if requested.
     let gamma = match opts.gamma_alpha {
         Some(alpha) => {
-            DiscreteGamma::new(alpha, 4, GammaMode::Mean).map_err(|e| format!("gamma: {e}"))?
+            DiscreteGamma::new(alpha, 4, GammaMode::Mean).map_err(|e| bad(format!("gamma: {e}")))?
         }
         None => DiscreteGamma::none(),
     };
@@ -173,17 +222,20 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
         AlphabetKind::Dna => {
             let f = dna::empirical_freqs(alphabet, msa.rows().iter().map(|r| r.codes()));
             let freqs: [f64; 4] = [f[0], f[1], f[2], f[3]];
-            SubstModel::new(&dna::gtr(&[1.0; 6], &freqs).map_err(|e| format!("model: {e}"))?, gamma)
-                .map_err(|e| format!("model: {e}"))?
+            SubstModel::new(
+                &dna::gtr(&[1.0; 6], &freqs).map_err(|e| bad(format!("model: {e}")))?,
+                gamma,
+            )
+            .map_err(|e| bad(format!("model: {e}")))?
         }
         AlphabetKind::Protein => {
-            SubstModel::new(&aa::synthetic_aa(0).map_err(|e| format!("model: {e}"))?, gamma)
-                .map_err(|e| format!("model: {e}"))?
+            SubstModel::new(&aa::synthetic_aa(0).map_err(|e| bad(format!("model: {e}")))?, gamma)
+                .map_err(|e| bad(format!("model: {e}")))?
         }
     };
 
     let ctx = ReferenceContext::new(tree.clone(), model, alphabet, &patterns)
-        .map_err(|e| format!("engine: {e}"))?;
+        .map_err(|e| CliError::Runtime(format!("engine: {e}")))?;
     let max_memory = match opts.maxmem_mib {
         None => None,
         Some(mib) if mib <= 0.0 => memplan::detect_available_memory(),
@@ -199,21 +251,24 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
         ..Default::default()
     };
     let placer = Placer::new(ctx, patterns.site_to_pattern().to_vec(), cfg)
-        .map_err(|e| format!("config: {e}"))?;
-    let batch = QueryBatch::new(&queries, msa.n_sites()).map_err(|e| format!("queries: {e}"))?;
+        .map_err(|e| bad(format!("config: {e}")))?;
+    let batch =
+        QueryBatch::new(&queries, msa.n_sites()).map_err(|e| bad(format!("queries: {e}")))?;
 
     // Checkpoint journal: the manifest fingerprints the input texts and
     // the *effective* chunk geometry (post-memory-plan), so `--resume`
     // refuses any run whose chunk boundaries or scoring would differ.
     let journal = match (&opts.checkpoint_dir, &opts.resume_dir) {
         (Some(_), Some(_)) => {
-            return Err("--checkpoint and --resume are mutually exclusive; \
+            return Err(bad("--checkpoint and --resume are mutually exclusive; \
                         --resume keeps journaling into its directory"
-                .to_string())
+                .to_string()))
         }
         (None, None) => None,
         (ckpt, res) => {
-            let plan = placer.memory_plan(&batch).map_err(|e| format!("memory planning: {e}"))?;
+            let plan = placer
+                .memory_plan(&batch)
+                .map_err(|e| CliError::Runtime(format!("memory planning: {e}")))?;
             let epa = placer.config();
             let manifest = Manifest {
                 format: MANIFEST_FORMAT,
@@ -233,9 +288,9 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
             };
             Some(match (ckpt, res) {
                 (Some(dir), _) => RunJournal::create(std::path::Path::new(dir), &manifest)
-                    .map_err(|e| format!("checkpoint: {e}"))?,
+                    .map_err(|e| journal_error("checkpoint", e))?,
                 (_, Some(dir)) => RunJournal::resume(std::path::Path::new(dir), &manifest)
-                    .map_err(|e| format!("resume: {e}"))?,
+                    .map_err(|e| journal_error("resume", e))?,
                 (None, None) => unreachable!(),
             })
         }
@@ -273,20 +328,59 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
         .slot_trace
         .as_ref()
         .map(|_| std::sync::Arc::new(phylo_obs::slottrace::SlotTrace::new()));
+    // Heartbeats for a supervising coordinator: one line per durable
+    // chunk on stdout (freed by --out). The three shard::* fault sites
+    // let the chaos tests force, at an exact chunk boundary, a worker
+    // that hangs, goes silent, or dies right after its durable append.
+    let heartbeat: Option<HeartbeatFn> = opts.heartbeat.then(|| {
+        Box::new(|ev: HeartbeatEvent| {
+            if phylo_faults::fire("shard::worker_hang") {
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(60));
+                }
+            }
+            if !phylo_faults::fire("shard::heartbeat_lost") {
+                use std::io::Write;
+                let mut out = std::io::stdout().lock();
+                let hb = phylo_shard::Heartbeat {
+                    chunks_done: ev.chunks_done,
+                    n_chunks: ev.n_chunks,
+                    queries_done: ev.queries_done,
+                    n_queries: ev.n_queries,
+                };
+                // stdout is block-buffered on a pipe; an unflushed beat
+                // is a beat the supervisor never sees.
+                let _ = writeln!(out, "{}", phylo_shard::format_heartbeat(&hb));
+                let _ = out.flush();
+            }
+            if phylo_faults::fire("shard::worker_crash") {
+                // The chunk is durable and the beat is out: the most
+                // adversarial instant to die.
+                std::process::abort();
+            }
+        }) as HeartbeatFn
+    });
     let outcome = placer
-        .place_run(&batch, RunControl { cancel, journal, slot_trace: slot_trace.clone() })
-        .map_err(|e| format!("placement: {e}"))?;
+        .place_run(
+            &batch,
+            RunControl { cancel, journal, slot_trace: slot_trace.clone(), heartbeat },
+        )
+        .map_err(|e| CliError::Runtime(format!("placement: {e}")))?;
     if let (Some(path), Some(trace)) = (&opts.slot_trace, &slot_trace) {
-        std::fs::write(path, trace.snapshot().to_text()).map_err(|e| format!("{path}: {e}"))?;
+        // Crash-atomic like every other run artifact: a trace consumer
+        // (phyloplace replay) must never see a torn file.
+        phylo_journal::write_text_atomic(std::path::Path::new(path), &trace.snapshot().to_text())
+            .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
     }
     if let Some(path) = &opts.trace_path {
         phylo_obs::trace::stop();
         let json = phylo_obs::trace::chrome_json(&phylo_obs::trace::drain());
-        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, json).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
     }
     let report = &outcome.report;
     if let Some(path) = &opts.metrics_json {
-        std::fs::write(path, report.metrics.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, report.metrics.to_json())
+            .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
     }
     let resumed = if report.resumed_chunks > 0 {
         format!(", {} chunks restored from checkpoint", report.resumed_chunks)
@@ -330,7 +424,7 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
   [--aa] [--maxmem SIZE[K|M|G|T] | --maxmem auto] [--gamma ALPHA | --no-gamma] \
   [--chunk N] [--threads N] [--kernel-tier auto|reference|fixed|simd] [--out OUT.jplace] \
   [--strategy cost|lru|mru|fifo|random|cost-lru] [--no-lookup] [--slot-trace TRACE.txt] \
-  [--checkpoint DIR | --resume DIR] [--deadline SECS] \
+  [--checkpoint DIR | --resume DIR] [--deadline SECS] [--heartbeat] \
   [--metrics-json METRICS.json] [--trace TRACE.json]";
     let mut opts = CliOptions::default();
     let mut out: Option<String> = None;
@@ -389,6 +483,7 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
             "--trace" => opts.trace_path = Some(value()?),
             "--checkpoint" => opts.checkpoint_dir = Some(value()?),
             "--resume" => opts.resume_dir = Some(value()?),
+            "--heartbeat" => opts.heartbeat = true,
             "--deadline" => {
                 let v = value()?;
                 let secs: f64 = v.parse().map_err(|_| format!("bad --deadline {v:?}\n{USAGE}"))?;
@@ -399,6 +494,11 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
             }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
+    }
+    if opts.heartbeat && out.is_none() {
+        return Err(format!(
+            "--heartbeat needs --out: heartbeat lines own stdout, the jplace needs a file\n{USAGE}"
+        ));
     }
     let tree_path = tree_path.ok_or_else(|| format!("--tree is required\n{USAGE}"))?;
     let ref_path = ref_path.ok_or_else(|| format!("--ref-msa is required\n{USAGE}"))?;
@@ -590,12 +690,61 @@ mod tests {
     fn bad_inputs_are_reported() {
         let mut opts = demo_opts();
         opts.tree_text = "not a tree".into();
-        assert!(run_placement(&opts).unwrap_err().contains("reference tree"));
+        let err = run_placement(&opts).unwrap_err();
+        assert!(err.to_string().contains("reference tree"));
+        assert_eq!(err.exit_code(), 2, "malformed input is the user's fault");
         let mut opts = demo_opts();
         opts.query_fasta = ">q\nACGT\n".into(); // wrong length
-        assert!(run_placement(&opts).unwrap_err().contains("queries"));
+        assert!(run_placement(&opts).unwrap_err().to_string().contains("queries"));
         let mut opts = demo_opts();
         opts.ref_fasta = ">A\nACGT\n".into(); // missing taxa
         assert!(run_placement(&opts).is_err());
+    }
+
+    #[test]
+    fn checkpoint_mismatch_is_bad_input() {
+        let dir = std::env::temp_dir().join(format!("phyloplace-mismatch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = demo_opts();
+        opts.checkpoint_dir = Some(dir.to_str().unwrap().to_string());
+        run_placement(&opts).unwrap();
+        // Resuming with different queries must refuse with exit code 2.
+        let mut opts = demo_opts();
+        opts.resume_dir = Some(dir.to_str().unwrap().to_string());
+        opts.query_fasta = ">other\nACGTACGTAC\n".into();
+        let err = run_placement(&opts).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("resume"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heartbeat_flag_requires_out() {
+        let dir = std::env::temp_dir().join(format!("phyloplace-hb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tree = dir.join("t.nwk");
+        std::fs::write(&tree, "(A:0.1,B:0.2,C:0.3);").unwrap();
+        let msa = dir.join("r.fasta");
+        std::fs::write(&msa, ">A\nACGT\n>B\nACGA\n>C\nACTA\n").unwrap();
+        let q = dir.join("q.fasta");
+        std::fs::write(&q, ">x\nACGT\n").unwrap();
+        let mk = |extra: &[&str]| -> Vec<String> {
+            let mut v: Vec<String> = vec![
+                "place".into(),
+                "--tree".into(),
+                tree.to_str().unwrap().into(),
+                "--ref-msa".into(),
+                msa.to_str().unwrap().into(),
+                "--queries".into(),
+                q.to_str().unwrap().into(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        assert!(parse_cli(&mk(&["--heartbeat"])).unwrap_err().contains("--out"));
+        let (opts, out) = parse_cli(&mk(&["--heartbeat", "--out", "o.jplace"])).unwrap();
+        assert!(opts.heartbeat);
+        assert_eq!(out.as_deref(), Some("o.jplace"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

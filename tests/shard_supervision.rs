@@ -1,0 +1,190 @@
+//! Sharded-run supervision through the real binary: a `phyloplace
+//! shard` fleet must produce output byte-identical to a single-process
+//! run — including when workers are killed mid-run or hang silently
+//! (fault-injected via `PHYLO_FAULTS_SHARD_<k>`; those tests need
+//! `cargo test --features faults`). The supervisor's full failure
+//! matrix is unit-tested over scripted workers in
+//! `crates/shard/src/supervisor.rs`; this file proves the same story
+//! end-to-end with real processes, real signals, and real journals.
+
+use phyloplace::prelude::Scale;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_phyloplace"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("phyloplace-shard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn export(dir: &Path) {
+    let ds = phyloplace::datasets::generate(&phyloplace::datasets::neotrop(Scale::Ci));
+    std::fs::write(dir.join("ref.nwk"), phyloplace::tree::newick::write(&ds.tree)).unwrap();
+    std::fs::write(
+        dir.join("ref.fasta"),
+        phyloplace::seq::fasta::to_string(ds.reference.rows(), 70),
+    )
+    .unwrap();
+    std::fs::write(dir.join("query.fasta"), phyloplace::seq::fasta::to_string(&ds.queries, 70))
+        .unwrap();
+}
+
+/// The single-process baseline every sharded variant must match byte
+/// for byte.
+fn serial_jplace(dir: &Path) -> String {
+    let out_path = dir.join("serial.jplace");
+    let out = bin()
+        .arg("place")
+        .arg("--tree")
+        .arg(dir.join("ref.nwk"))
+        .arg("--ref-msa")
+        .arg(dir.join("ref.fasta"))
+        .arg("--queries")
+        .arg(dir.join("query.fasta"))
+        .arg("--chunk")
+        .arg("7")
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    std::fs::read_to_string(out_path).unwrap()
+}
+
+fn shard_cmd(dir: &Path, tag: &str) -> (Command, PathBuf, PathBuf) {
+    let out_path = dir.join(format!("{tag}.jplace"));
+    let metrics = dir.join(format!("{tag}.metrics.json"));
+    let mut cmd = bin();
+    cmd.arg("shard")
+        .arg("--tree")
+        .arg(dir.join("ref.nwk"))
+        .arg("--ref-msa")
+        .arg(dir.join("ref.fasta"))
+        .arg("--queries")
+        .arg(dir.join("query.fasta"))
+        .arg("--chunk")
+        .arg("7")
+        .arg("--shards")
+        .arg("3")
+        .arg("--workdir")
+        .arg(dir.join(format!("{tag}-work")))
+        .arg("--out")
+        .arg(&out_path)
+        .arg("--metrics-json")
+        .arg(&metrics);
+    (cmd, out_path, metrics)
+}
+
+/// Pulls `"name": value` out of a metrics JSON document.
+fn metric(metrics_json: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\": ");
+    let at = metrics_json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{name} missing from metrics: {metrics_json}"));
+    metrics_json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn sharded_run_is_byte_identical_to_serial() {
+    let dir = tmpdir("clean");
+    export(&dir);
+    let serial = serial_jplace(&dir);
+    let (mut cmd, out_path, metrics) = shard_cmd(&dir, "clean");
+    let out = cmd.output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(
+        serial,
+        std::fs::read_to_string(out_path).unwrap(),
+        "merged jplace differs from the single-process run"
+    );
+    let m = std::fs::read_to_string(metrics).unwrap();
+    assert_eq!(metric(&m, "shard.n_shards"), 3);
+    assert_eq!(metric(&m, "shard.launched"), 3);
+    assert_eq!(metric(&m, "shard.requeues"), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn workdir_with_different_inputs_is_refused() {
+    let dir = tmpdir("reuse");
+    export(&dir);
+    let (mut cmd, _, _) = shard_cmd(&dir, "reuse");
+    let out = cmd.output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // Same workdir, mutated queries: resuming would attribute journaled
+    // chunks to the wrong queries, so the coordinator must refuse.
+    let mut text = std::fs::read_to_string(dir.join("query.fasta")).unwrap();
+    text.push_str(">extra_query\nACGT\n");
+    std::fs::write(dir.join("query.fasta"), text).unwrap();
+    let (mut cmd, _, _) = shard_cmd(&dir, "reuse");
+    let out = cmd.output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot reuse work directory"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shard_deadline_zero_exits_3() {
+    let dir = tmpdir("deadline");
+    export(&dir);
+    let (mut cmd, _, _) = shard_cmd(&dir, "deadline");
+    let out = cmd.arg("--deadline").arg("0").output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interrupted"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A worker SIGKILL-dies (via `abort`) right after journaling a chunk;
+/// the re-queued attempt must resume from the journal and the merged
+/// output must still be byte-identical to the serial run — the
+/// acceptance scenario for the whole supervision layer.
+#[cfg(feature = "faults")]
+#[test]
+fn killed_worker_is_requeued_and_output_is_byte_identical() {
+    let dir = tmpdir("crash");
+    export(&dir);
+    let serial = serial_jplace(&dir);
+    let (mut cmd, out_path, metrics) = shard_cmd(&dir, "crash");
+    // Fires on the beat after chunk 0 became durable, in shard 0 only;
+    // the coordinator clears fault arming for the retry.
+    cmd.env("PHYLO_FAULTS_SHARD_0", "shard::worker_crash=once:1");
+    let out = cmd.output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(serial, std::fs::read_to_string(out_path).unwrap());
+    let m = std::fs::read_to_string(metrics).unwrap();
+    assert!(metric(&m, "shard.requeues") >= 1, "no requeue recorded: {m}");
+    assert!(metric(&m, "shard.crashes") >= 1, "no crash recorded: {m}");
+    assert_eq!(metric(&m, "shard.launched"), 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A worker that hangs without dying (beats stop): the coordinator must
+/// notice within the heartbeat timeout, kill it, and re-queue.
+#[cfg(feature = "faults")]
+#[test]
+fn hung_worker_is_detected_and_requeued() {
+    let dir = tmpdir("hang");
+    export(&dir);
+    let serial = serial_jplace(&dir);
+    let (mut cmd, out_path, metrics) = shard_cmd(&dir, "hang");
+    cmd.env("PHYLO_FAULTS_SHARD_1", "shard::worker_hang=once").arg("--heartbeat-timeout").arg("1");
+    let out = cmd.output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(serial, std::fs::read_to_string(out_path).unwrap());
+    let m = std::fs::read_to_string(metrics).unwrap();
+    assert!(metric(&m, "shard.hangs") >= 1, "no hang recorded: {m}");
+    assert!(metric(&m, "shard.requeues") >= 1, "no requeue recorded: {m}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
