@@ -29,10 +29,12 @@
 //! whole-traversal plans.
 
 use std::cell::UnsafeCell;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::AmcError;
 use crate::slots::{Acquire, ClvKey, SlotId, SlotManager, SlotStats};
 use crate::strategy::ReplacementStrategy;
+use crate::tier::TieredStore;
 
 /// Interior-mutable storage shared across threads; all access goes
 /// through raw pointers under the protocol above.
@@ -68,6 +70,10 @@ pub struct SlotArena {
     patterns: usize,
     data: SyncBuf<f64>,
     scales: SyncBuf<u32>,
+    /// Optional demotion tiers ([`SlotArena::set_tiers`]). When set,
+    /// eviction in the lease path demotes published victims and misses
+    /// try a tier reload before falling back to recomputation.
+    tiers: OnceLock<Arc<TieredStore>>,
 }
 
 /// Disjoint access to a compute target and its resident children.
@@ -127,7 +133,21 @@ impl SlotArena {
             patterns,
             data: SyncBuf::new(data),
             scales: SyncBuf::new(scales),
+            tiers: OnceLock::new(),
         })
+    }
+
+    /// Attaches demotion storage tiers (at most once; later calls are
+    /// ignored). From then on, evictions through the lease path offer
+    /// published victims to the store and misses try [`TieredStore::
+    /// fetch_into`] before recomputing.
+    pub fn set_tiers(&self, tiers: Arc<TieredStore>) {
+        let _ = self.tiers.set(tiers);
+    }
+
+    /// The attached tier store, if any.
+    pub fn tiers(&self) -> Option<&Arc<TieredStore>> {
+        self.tiers.get()
     }
 
     /// The slot manager (for pinning, stats, lookups).
@@ -281,6 +301,22 @@ impl SlotArena {
             let version = self.mgr.version(slot);
             drop(guard);
             if !acq.is_hit() {
+                if let Some(tiers) = self.tiers.get() {
+                    // Demotion: the victim's bytes are still in the slot
+                    // (nothing writes until this lease does) and the pin
+                    // plus unpublished phase make us its exclusive owner.
+                    if let Acquire::Evicted { victim, victim_ready: true, .. } = acq {
+                        tiers.offer(victim, self.clv(slot), self.scale(slot));
+                    }
+                    // Promotion: answer the miss from a tier if possible.
+                    // SAFETY: same exclusivity a ComputeLease certifies —
+                    // the slot is mapped to `clv`, pinned, unpublished.
+                    let (clv_buf, scale_buf) = unsafe { self.slot_raw_mut(slot) };
+                    if tiers.fetch_into(clv, clv_buf, scale_buf) {
+                        self.mgr.mark_ready(slot);
+                        return Ok(Lease::Ready(ReadLease { arena: self, clv, slot }));
+                    }
+                }
                 return Ok(Lease::Compute(ComputeLease { arena: self, clv, slot }));
             }
             // Resident but possibly still computing in another thread —

@@ -26,13 +26,21 @@ pub enum MemCategory {
     TipTables,
     /// Reference tree + alignment + query batch.
     StaticData,
+    /// Demoted CLVs held in the compressed in-RAM storage tier.
+    CompressedTier,
+    /// Index + staging bytes for the disk-backed storage tier (the
+    /// file payload itself lives outside the RAM budget).
+    DiskTier,
     /// Anything else.
     Other,
 }
 
+/// Number of [`MemCategory`] variants (array-backed accounting).
+const N_CATEGORIES: usize = 9;
+
 impl MemCategory {
     /// All categories, for report ordering.
-    pub fn all() -> [MemCategory; 7] {
+    pub fn all() -> [MemCategory; N_CATEGORIES] {
         [
             MemCategory::ClvSlots,
             MemCategory::LookupTable,
@@ -40,6 +48,8 @@ impl MemCategory {
             MemCategory::PMatrices,
             MemCategory::TipTables,
             MemCategory::StaticData,
+            MemCategory::CompressedTier,
+            MemCategory::DiskTier,
             MemCategory::Other,
         ]
     }
@@ -52,7 +62,9 @@ impl MemCategory {
             MemCategory::PMatrices => 3,
             MemCategory::TipTables => 4,
             MemCategory::StaticData => 5,
-            MemCategory::Other => 6,
+            MemCategory::CompressedTier => 6,
+            MemCategory::DiskTier => 7,
+            MemCategory::Other => 8,
         }
     }
 }
@@ -66,6 +78,8 @@ impl fmt::Display for MemCategory {
             MemCategory::PMatrices => "p-matrices",
             MemCategory::TipTables => "tip-tables",
             MemCategory::StaticData => "static-data",
+            MemCategory::CompressedTier => "compressed-tier",
+            MemCategory::DiskTier => "disk-tier",
             MemCategory::Other => "other",
         };
         write!(f, "{s}")
@@ -75,7 +89,7 @@ impl fmt::Display for MemCategory {
 /// Tracks current and peak bytes per category.
 #[derive(Debug, Clone, Default)]
 pub struct MemoryTracker {
-    current: [usize; 7],
+    current: [usize; N_CATEGORIES],
     peak_total: usize,
 }
 
@@ -137,9 +151,25 @@ pub fn mib(bytes: usize) -> f64 {
     bytes as f64 / (1024.0 * 1024.0)
 }
 
-/// MiB → bytes.
-pub fn mib_to_bytes(mib: f64) -> usize {
-    (mib * 1024.0 * 1024.0) as usize
+/// MiB → bytes, checked. An `as usize` cast here would turn NaN and
+/// negative budgets into 0 (a budget that rejects every plan) and
+/// silently saturate oversized ones; instead each failure mode is a
+/// typed [`AmcError::BadBudget`] the CLI can surface verbatim.
+pub fn mib_to_bytes(mib: f64) -> Result<usize, AmcError> {
+    let bad = |why: &str| AmcError::BadBudget { why: format!("{mib} MiB {why}") };
+    if mib.is_nan() {
+        return Err(bad("is NaN"));
+    }
+    if mib < 0.0 {
+        return Err(bad("is negative"));
+    }
+    let bytes = mib * 1024.0 * 1024.0;
+    // `>=` because usize::MAX rounds up when cast to f64: a value that
+    // compares equal may still exceed the integer maximum.
+    if !bytes.is_finite() || bytes >= usize::MAX as f64 {
+        return Err(bad("exceeds the address space"));
+    }
+    Ok(bytes as usize)
 }
 
 /// Computes how many CLV slots a byte budget affords.
@@ -161,9 +191,12 @@ pub fn slots_for_budget(
     assert!(bytes_per_slot > 0);
     let affordable = budget_bytes / bytes_per_slot;
     if affordable < min_slots {
+        // The requirement itself can overflow (a pathological
+        // min_slots × bytes_per_slot); saturate rather than panic in
+        // the error path — the message stays honest either way.
         return Err(AmcError::BudgetTooSmall {
             budget_bytes,
-            required_bytes: min_slots * bytes_per_slot,
+            required_bytes: min_slots.checked_mul(bytes_per_slot).unwrap_or(usize::MAX),
         });
     }
     Ok(affordable.min(max_slots))
@@ -214,9 +247,33 @@ mod tests {
     }
 
     #[test]
+    fn slots_for_budget_error_path_survives_overflow() {
+        // min_slots × bytes_per_slot overflows usize; the error must
+        // saturate instead of panicking (the old unchecked multiply).
+        let err = slots_for_budget(1000, usize::MAX / 2, 3, 50).unwrap_err();
+        assert!(
+            matches!(err, AmcError::BudgetTooSmall { required_bytes: usize::MAX, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn unit_conversions() {
-        assert_eq!(mib_to_bytes(1.0), 1024 * 1024);
+        assert_eq!(mib_to_bytes(1.0), Ok(1024 * 1024));
+        assert_eq!(mib_to_bytes(0.0), Ok(0));
         assert!((mib(1024 * 1024) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mib_to_bytes_rejects_unrepresentable_budgets() {
+        for bad in [f64::NAN, -1.0, -0.0001, f64::INFINITY, f64::NEG_INFINITY, 1e300] {
+            assert!(matches!(mib_to_bytes(bad), Err(AmcError::BadBudget { .. })), "{bad}");
+        }
+        // Right at the address-space boundary: usize::MAX as f64 rounds
+        // up, so the equal-compare case must also be rejected.
+        let boundary = usize::MAX as f64 / (1024.0 * 1024.0);
+        assert!(mib_to_bytes(boundary).is_err());
+        assert!(mib_to_bytes(boundary / 2.0).is_ok());
     }
 
     #[test]

@@ -52,6 +52,24 @@ pub enum AmcError {
     /// cleanly, flush whatever durable state it holds, and report a
     /// partial result.
     Cancelled,
+    /// A memory-budget figure is not representable as a byte count:
+    /// NaN, negative, or beyond the address space. Raised by the checked
+    /// MiB→bytes conversion instead of silently saturating.
+    BadBudget {
+        /// Why the figure was rejected.
+        why: String,
+    },
+    /// A storage-tier operation failed (I/O, bad configuration). The
+    /// cause is carried pre-rendered so this enum stays `Clone + Eq`.
+    /// Demotion-tier failures on the load path are never fatal to a
+    /// run — the caller falls back to recomputing the CLV — but setup
+    /// failures (unwritable `--tier-dir`) surface through here.
+    TierIo {
+        /// Which tier failed (`"ram"`, `"compressed"`, `"disk"`).
+        tier: &'static str,
+        /// The rendered cause.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AmcError {
@@ -80,6 +98,12 @@ impl fmt::Display for AmcError {
             }
             AmcError::Cancelled => {
                 write!(f, "cancelled by shutdown request or deadline")
+            }
+            AmcError::BadBudget { why } => {
+                write!(f, "memory budget is not representable: {why}")
+            }
+            AmcError::TierIo { tier, detail } => {
+                write!(f, "storage tier {tier:?}: {detail}")
             }
         }
     }

@@ -29,7 +29,7 @@
 //! execution never blocks on a lock, so it always completes and releases.
 
 use crate::error::AmcError;
-use crate::slots::{ClvKey, SlotId, SlotManager};
+use crate::slots::{Acquire, ClvKey, SlotId, SlotManager};
 use phylo_tree::traversal::{extend_plan_for, OrderPolicy};
 use phylo_tree::{DirEdgeId, NodeId, Tree};
 
@@ -81,6 +81,11 @@ pub struct ResidentSet {
     /// One pin per slot reference the schedule reads or writes, held from
     /// planning until the executor calls [`ResidentSet::release_exec`].
     exec_pins: Vec<SlotId>,
+    /// Published CLVs this plan evicted, with the slot still holding
+    /// their bytes. The executor may demote these to a storage tier
+    /// *before* running the ops (which overwrite the slots); the list
+    /// is advisory — ignoring it just means the CLVs recompute later.
+    pub evicted: Vec<(ClvKey, SlotId)>,
 }
 
 impl ResidentSet {
@@ -197,11 +202,18 @@ pub fn ensure_resident(
     // ---- Phase 3: schedule, assigning slots in execution order. ----
     let mut ops = Vec::with_capacity(plan.len());
     let mut installed: Vec<ClvKey> = Vec::with_capacity(plan.len());
+    let mut evicted: Vec<(ClvKey, SlotId)> = Vec::new();
     let result: Result<(), AmcError> = (|| {
         for &d in &plan {
             let deps = tree.deps(d).expect("plan entries are inner-origin");
             let acq = mgr.acquire(ClvKey(d.0))?;
             debug_assert!(!acq.is_hit(), "plan entries are not resident");
+            if let Acquire::Evicted { slot, victim, victim_ready: true } = acq {
+                // The victim's bytes stay in `slot` until this plan's
+                // ops execute; record it so the executor can demote the
+                // payload to a storage tier first.
+                evicted.push((victim, slot));
+            }
             let slot = acq.slot();
             let slot_version = mgr.version(slot);
             installed.push(ClvKey(d.0));
@@ -287,7 +299,7 @@ pub fn ensure_resident(
         let slot = mgr.lookup(ClvKey(t.0)).expect("target resident after planning");
         out_targets.push((t, slot));
     }
-    Ok(ResidentSet { ops, targets: out_targets, exec_pins })
+    Ok(ResidentSet { ops, targets: out_targets, exec_pins, evicted })
 }
 
 /// Pins the resident CLVs with the highest recomputation cost, keeping at

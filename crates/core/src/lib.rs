@@ -35,6 +35,7 @@ pub mod fpa;
 pub mod retry;
 pub mod slots;
 pub mod strategy;
+pub mod tier;
 
 pub use arena::{ComputeLease, Lease, ReadLease, SlotArena};
 pub use budget::{MemCategory, MemoryTracker};
@@ -46,3 +47,4 @@ pub use slots::{Acquire, ClvKey, SlotId, SlotManager, SlotStats};
 pub use strategy::{
     CostBased, Fifo, Lru, Mru, RandomEvict, ReplacementStrategy, StrategyKind, VictimView,
 };
+pub use tier::{StorageTier, TierConfig, TierKind, TierStats, TieredStore};

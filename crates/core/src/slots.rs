@@ -106,6 +106,13 @@ pub enum Acquire {
         slot: SlotId,
         /// The CLV whose data was discarded.
         victim: ClvKey,
+        /// Whether the victim's publish latch was up at eviction time.
+        /// Only a ready victim holds a complete CLV worth demoting to a
+        /// storage tier; an in-flight one never published. Probed
+        /// *before* the latch resets for the new occupant. The bytes
+        /// stay intact in the slot until the caller overwrites them, so
+        /// a `true` here licenses a synchronous demotion copy.
+        victim_ready: bool,
     },
 }
 
@@ -455,9 +462,17 @@ impl SlotManager {
         let victim = ClvKey(t.slot_to_clv[victim_slot.idx()]);
         self.evictions.fetch_add(1, Ordering::Relaxed);
         t.strategy.on_evict(victim, victim_slot);
+        // Probe the victim's latch before `install` resets it: only a
+        // published victim carries a demotable payload. `try_lock`
+        // because a held latch means a publish is mid-flight — treat
+        // that as not ready rather than block the planning path.
+        let victim_ready = match self.phases[victim_slot.idx()].ready.try_lock() {
+            Ok(r) => *r,
+            Err(_) => false,
+        };
         self.clv_to_slot[victim.idx()].store(UNSLOTTED, Ordering::Release);
         self.install(&mut t, clv, victim_slot);
-        Ok(Acquire::Evicted { slot: victim_slot, victim })
+        Ok(Acquire::Evicted { slot: victim_slot, victim, victim_ready })
     }
 
     /// Installs a mapping; the table lock is held by the caller. The

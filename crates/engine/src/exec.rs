@@ -70,6 +70,18 @@ fn execute_op_inner(
         return Err(EngineError::Amc(phylo_amc::AmcError::Cancelled));
     }
     let (ops_counter, op_hist) = op_probes();
+    if let Some(tiers) = arena.tiers() {
+        // A demoted copy of this exact CLV answers the step without the
+        // kernels or the dependency slots: the op owns its unpublished
+        // target exclusively (execution pins + latch down), so the
+        // single-slot view is the same exclusive write access the
+        // kernel path uses below.
+        let view = arena.compute_view(op.slot, &[]);
+        if tiers.fetch_into(phylo_amc::ClvKey(op.target.0), view.target_clv, view.target_scale) {
+            arena.manager().mark_ready_at(op.slot, op.slot_version);
+            return Ok(());
+        }
+    }
     let sw = phylo_obs::stopwatch();
     let layout = *ctx.layout();
     let child_slots: Vec<SlotId> = op
@@ -112,6 +124,9 @@ fn execute_op_inner(
         });
     }
     let (left, right) = (sides[0].take().unwrap(), sides[1].take().unwrap());
+    // Kernel wall time feeds the tier store's demote-vs-drop cost model
+    // (ns per unit of recompute cost) — only measured when tiers exist.
+    let tier_t0 = arena.tiers().map(|_| std::time::Instant::now());
     match par {
         None | Some((_, 0..=1)) => update_partials_scratch(
             &layout,
@@ -125,6 +140,10 @@ fn execute_op_inner(
         Some((pool, n_chunks)) => {
             pool.update_partials(&layout, left, right, view.target_clv, view.target_scale, n_chunks)
         }
+    }
+    if let (Some(tiers), Some(t0)) = (arena.tiers(), tier_t0) {
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        tiers.note_recompute(phylo_amc::ClvKey(op.target.0), ns);
     }
     if phylo_faults::fire("engine::kernel_nan") {
         // Simulates a kernel numeric failure (underflow past the scaler

@@ -289,6 +289,7 @@ impl ManagedStore {
         dirs: &[DirEdgeId],
     ) -> Result<PreparedBlock, EngineError> {
         let mut rs = ensure_resident(ctx.tree(), dirs, self.arena.manager(), ctx.register_need())?;
+        self.demote_evicted(&mut rs);
         let mut scratch = self.scratch.checkout();
         let run = match &self.sitepar {
             None => exec::execute_ops(ctx, &self.arena, &rs.ops, &mut scratch),
@@ -361,8 +362,26 @@ impl ManagedStore {
         ctx: &ReferenceContext,
         dirs: &[DirEdgeId],
     ) -> Result<PendingBlock, EngineError> {
-        let rs = ensure_resident(ctx.tree(), dirs, self.arena.manager(), ctx.register_need())?;
+        let mut rs = ensure_resident(ctx.tree(), dirs, self.arena.manager(), ctx.register_need())?;
+        self.demote_evicted(&mut rs);
         Ok(PendingBlock { rs, next_op: 0 })
+    }
+
+    /// Offers the published CLVs a freshly planned schedule evicted to
+    /// the demotion tiers. Must run before any of the plan's ops execute:
+    /// the victims' bytes sit untouched in their (execution-pinned,
+    /// unpublished) slots exactly until the ops overwrite them.
+    fn demote_evicted(&self, rs: &mut phylo_amc::ResidentSet) {
+        if rs.evicted.is_empty() {
+            return;
+        }
+        let Some(tiers) = self.arena.tiers() else {
+            rs.evicted.clear();
+            return;
+        };
+        for (victim, slot) in rs.evicted.drain(..) {
+            tiers.offer(victim, self.arena.clv(slot), self.arena.scale(slot));
+        }
     }
 
     /// Executes the next compute step of a pending block. Returns `false`

@@ -52,6 +52,11 @@ pub struct EpaConfig {
     /// manager's default (60 s). A lost or stalled publish then surfaces
     /// as [`phylo_amc::AmcError::SlotWaitTimeout`] instead of hanging.
     pub slot_wait_timeout: Option<std::time::Duration>,
+    /// Demotion storage tiers for evicted CLVs (`--storage-tiers`):
+    /// eviction becomes demotion into these tiers (in order of
+    /// preference) and misses try a tier reload before recomputing.
+    /// `None` keeps the paper's pure recompute-on-miss AMC.
+    pub tiers: Option<phylo_amc::tier::TierConfig>,
 }
 
 impl Default for EpaConfig {
@@ -70,6 +75,7 @@ impl Default for EpaConfig {
             blo_iterations: 2,
             kernel_tier: phylo_kernel::TierChoice::Auto,
             slot_wait_timeout: None,
+            tiers: None,
         }
     }
 }
@@ -99,12 +105,27 @@ impl EpaConfig {
         if self.slot_wait_timeout.is_some_and(|d| d.is_zero()) {
             return Err(BadConfig("slot_wait_timeout must be non-zero".into()));
         }
+        if let Some(tiers) = &self.tiers {
+            tiers.validate().map_err(|e| BadConfig(e.to_string()))?;
+        }
         Ok(())
     }
 
     /// Convenience: a budget expressed in MiB.
+    ///
+    /// # Panics
+    /// On a budget the checked conversion rejects (NaN, negative, or
+    /// beyond the address space) — programmatic callers should pass a
+    /// sane constant; the CLI path surfaces the typed error instead.
     pub fn with_maxmem_mib(mut self, mib: f64) -> Self {
-        self.max_memory = Some(phylo_amc::budget::mib_to_bytes(mib));
+        self.max_memory =
+            Some(phylo_amc::budget::mib_to_bytes(mib).expect("invalid MiB budget in config"));
+        self
+    }
+
+    /// Convenience: demotion tiers from a `--storage-tiers` style spec.
+    pub fn with_tiers(mut self, cfg: phylo_amc::tier::TierConfig) -> Self {
+        self.tiers = Some(cfg);
         self
     }
 }

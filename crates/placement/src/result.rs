@@ -89,6 +89,9 @@ pub struct RunReport {
     /// recomputed (zero on a fresh run). Their stats are folded into
     /// the counters above; the timings cover only this process's work.
     pub resumed_chunks: usize,
+    /// Storage-tier traffic (`None` unless the run was configured with
+    /// tiered CLV storage via `EpaConfig::tiers`).
+    pub tier_stats: Option<phylo_amc::TierStats>,
     /// Per-run observability snapshot: the slot-traffic and degradation
     /// counters are always folded in; with the `obs` feature enabled it
     /// additionally carries every live probe recorded during the run

@@ -231,6 +231,32 @@ impl Placer {
         // polls per Felsenstein op, slot waits poll while blocked, and
         // the chunk loop below polls at chunk boundaries.
         store.set_cancel_token(&cancel);
+        // Tiered CLV storage: evicted slot payloads demote to the
+        // configured colder tiers instead of being dropped, and slot
+        // misses probe the tiers before falling back to recomputation.
+        // The shared tracker starts from the plan's accounting so the
+        // compressed-tier / disk-tier rows sit next to the static rows
+        // and `peak_memory` stays truthful under tier growth.
+        let tier_tracker = cfg
+            .tiers
+            .as_ref()
+            .map(|_| std::sync::Arc::new(std::sync::Mutex::new(plan.tracker.clone())));
+        let tier_store = match &cfg.tiers {
+            None => None,
+            Some(tcfg) => {
+                let tiers = phylo_amc::TieredStore::new(
+                    tcfg,
+                    ctx.tree().n_dir_edges(),
+                    ctx.layout().clv_len(),
+                    ctx.layout().patterns,
+                    ctx.cost_table(),
+                    tier_tracker.clone(),
+                )
+                .map_err(phylo_engine::EngineError::Amc)?;
+                store.arena().set_tiers(std::sync::Arc::clone(&tiers));
+                Some(tiers)
+            }
+        };
         // Arm the slot-access trace before the lookup build below — the
         // build already drives slot traffic that the run report counts,
         // and the replay contract is "trace == everything the counters
@@ -368,9 +394,25 @@ impl Placer {
             r.finalize();
         }
         report.slot_stats = store.stats();
+        if let Some(tiers) = &tier_store {
+            // Settle in-flight writebacks so the stats and the tracker
+            // rows describe the run's final tier state, not a snapshot
+            // racing the writeback worker.
+            tiers.drain();
+            report.tier_stats = Some(tiers.stats());
+        }
+        if let Some(tracker) = &tier_tracker {
+            let peak = tracker.lock().unwrap_or_else(|e| e.into_inner()).peak();
+            report.peak_memory = report.peak_memory.max(peak);
+        }
         report.total_time = t_total.elapsed();
-        report.metrics =
-            run_metrics(&report, &obs_base, ctx.layout().tier(), store.sitepar_stats());
+        report.metrics = run_metrics(
+            &report,
+            &obs_base,
+            ctx.layout().tier(),
+            store.sitepar_stats(),
+            tier_store.as_deref(),
+        );
         Ok(PlaceOutcome { results, report, completed, queries_done })
     }
 
@@ -717,6 +759,7 @@ fn run_metrics(
     base: &phylo_obs::Snapshot,
     tier: phylo_kernel::KernelTier,
     pool: phylo_kernel::sitepar::PoolStats,
+    tiers: Option<&phylo_amc::TieredStore>,
 ) -> phylo_obs::Snapshot {
     let mut m = phylo_obs::snapshot().delta(base);
     m.set_gauge(&format!("kernel.tier.{}", tier.name()), 1);
@@ -737,6 +780,23 @@ fn run_metrics(
     m.set_counter("place.degrade.prefetch_disabled", d.prefetch_disabled);
     m.set_counter("place.degrade.block_clamped", d.block_clamped);
     m.set_counter("place.degrade.flush_retries", d.flush_retries);
+    if let Some(t) = &report.tier_stats {
+        m.set_counter("tier.demotions", t.demotions);
+        m.set_counter("tier.writebacks", t.writebacks);
+        m.set_counter("tier.writeback_lost", t.writeback_lost);
+        m.set_counter("tier.drops_cost", t.drops_cost);
+        m.set_counter("tier.drops_budget", t.drops_budget);
+        m.set_counter("tier.reloads", t.reloads);
+        m.set_counter("tier.reload_misses", t.reload_misses);
+        m.set_counter("tier.corrupt", t.corrupt);
+        m.set_counter("tier.prefetches", t.prefetches);
+    }
+    if let Some(tiers) = tiers {
+        for (name, bytes, entries) in tiers.occupancy() {
+            m.set_gauge(&format!("tier.{name}.bytes"), bytes as i64);
+            m.set_gauge(&format!("tier.{name}.entries"), entries as i64);
+        }
+    }
     m
 }
 
@@ -833,6 +893,14 @@ fn run_blocks(
                 let mut scorer_result: Result<(), PlaceError> = Ok(());
                 if k + 1 < blocks.len() {
                     let next_dirs = dirs_of(&blocks[k + 1]);
+                    // The traversal schedule names next block's CLVs in
+                    // advance — stage any demoted copies (disk reads off
+                    // the critical path) before the slot planner asks.
+                    if let Some(tiers) = store.arena().tiers() {
+                        let keys: Vec<phylo_amc::ClvKey> =
+                            next_dirs.iter().map(|d| phylo_amc::ClvKey(d.0)).collect();
+                        tiers.prefetch(&keys);
+                    }
                     let pref_slot = &mut prefetched;
                     let pref_err = &mut prefetch_result;
                     std::thread::scope(|s| {

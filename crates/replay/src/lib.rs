@@ -31,11 +31,13 @@
 
 pub mod sim;
 pub mod sweep;
+pub mod tiersim;
 
-pub use sim::{simulate, Policy, SimError, SimStats};
+pub use sim::{simulate, simulate_observed, Policy, SimError, SimEvent, SimStats};
 pub use sweep::{
     min_feasible_slots, recommend, slot_count_ladder, sweep, Recommendation, SweepRow,
 };
+pub use tiersim::{crossover_cost, simulate_tiers, TierModel, TierSimStats};
 
 pub use phylo_amc::{ReplacementStrategy, StrategyKind};
 pub use phylo_obs::slottrace::{SlotEvent, Trace, TraceMeta, NO_CLV};

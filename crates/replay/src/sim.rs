@@ -226,6 +226,21 @@ impl Sim {
     }
 }
 
+/// A replacement decision surfaced to [`simulate_observed`] observers.
+/// The tier simulator ([`crate::tiersim`]) builds on these: an `Evict`
+/// is the moment a live tiered store would be offered the payload, a
+/// `Miss` the moment it would be probed for a reload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A demand access missed; a (re)computation — or a tier reload —
+    /// follows.
+    Miss { clv: u32 },
+    /// A resident CLV was discarded to make room. Only demand-path
+    /// evictions are reported (poison teardowns and invalidation
+    /// flushes never reach a live tiered store either).
+    Evict { clv: u32 },
+}
+
 /// Replays `trace` against `policy` with `n_slots` physical slots and
 /// returns the resulting traffic counters.
 ///
@@ -235,6 +250,17 @@ impl Sim {
 /// been". [`SimError::Stuck`] means `n_slots` cannot serve the trace's
 /// pinned set — use [`crate::min_feasible_slots`] for the floor.
 pub fn simulate(trace: &Trace, n_slots: usize, policy: Policy) -> Result<SimStats, SimError> {
+    simulate_observed(trace, n_slots, policy, &mut |_| {})
+}
+
+/// As [`simulate`], additionally reporting each miss and demand-path
+/// eviction to `obs` in trace order.
+pub fn simulate_observed(
+    trace: &Trace,
+    n_slots: usize,
+    policy: Policy,
+    obs: &mut dyn FnMut(SimEvent),
+) -> Result<SimStats, SimError> {
     if n_slots == 0 {
         return Err(SimError::BadTrace("n_slots must be positive".into()));
     }
@@ -315,6 +341,7 @@ pub fn simulate(trace: &Trace, n_slots: usize, policy: Policy) -> Result<SimStat
                     continue;
                 }
                 sim.stats.misses += 1;
+                obs(SimEvent::Miss { clv });
                 let slot = if let Some(raw) = sim.free.pop() {
                     raw as usize
                 } else {
@@ -323,6 +350,7 @@ pub fn simulate(trace: &Trace, n_slots: usize, policy: Policy) -> Result<SimStat
                     };
                     let victim = sim.slot_to_clv[victim_slot];
                     sim.stats.evictions += 1;
+                    obs(SimEvent::Evict { clv: victim });
                     sim.on_evict(victim, victim_slot);
                     sim.unmap(victim, victim_slot);
                     victim_slot

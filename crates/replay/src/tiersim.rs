@@ -1,0 +1,246 @@
+//! Offline what-if analysis for tiered CLV storage: replay a captured
+//! slot trace and model how a [`phylo_amc::TieredStore`] attached to
+//! the same run would have split the misses into tier reloads and
+//! recomputations.
+//!
+//! The model mirrors the live store's decision points exactly:
+//!
+//! * an eviction is an *offer* — accepted write-once, gated first by
+//!   the demote-vs-drop cost model (`reload_ns >= ns_per_cost × cost`
+//!   drops), then by the tier byte budget;
+//! * a miss probes the modeled store — present means a reload at the
+//!   tier's latency, absent means a recomputation at
+//!   `cost × ns_per_cost`.
+//!
+//! Unlike the live store the model is fed *fixed* latencies instead of
+//! measuring EWMAs, which is the point: feed it the per-tier reload
+//! latencies from `BENCH_tiers.json` (or `bench_smoke.sh`) and a
+//! trace from any run, and it answers "would a compressed tier have
+//! paid off here, and below which recompute cost does it stop paying?"
+//! without re-running placement.
+
+use std::collections::HashSet;
+
+use crate::sim::{simulate_observed, Policy, SimError, SimEvent};
+use phylo_obs::slottrace::Trace;
+
+/// Fixed-latency model of one tier configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierModel {
+    /// Modeled reload latency per payload, nanoseconds (measure it:
+    /// `bench_smoke.sh` prints one line per tier).
+    pub reload_ns: f64,
+    /// Kernel nanoseconds per unit of recompute cost (the trace's
+    /// `#costs` table is in these units; the live store measures this
+    /// as an EWMA, a bench run prints its converged value).
+    pub recompute_ns_per_cost: f64,
+    /// Byte cap across stored payloads; `None` is unbounded.
+    pub capacity_bytes: Option<u64>,
+    /// Stored bytes per payload. `None` uses the trace's
+    /// `bytes_per_slot` (the uncompressed slot row — exact for the
+    /// disk tier, an upper bound for a compressed tier).
+    pub entry_bytes: Option<u64>,
+}
+
+/// What the modeled tier would have done with the trace's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierSimStats {
+    /// Offers accepted into the modeled store.
+    pub demotions: u64,
+    /// Offers refused by the cost model (recompute estimated cheaper).
+    pub drops_cost: u64,
+    /// Offers refused by the byte budget.
+    pub drops_budget: u64,
+    /// Misses answered by the modeled store.
+    pub reloads: u64,
+    /// Misses that recompute (cold, dropped, or never demoted).
+    pub recomputes: u64,
+    /// Modeled nanoseconds spent reloading.
+    pub reload_ns_total: u64,
+    /// Modeled nanoseconds spent recomputing.
+    pub recompute_ns_total: u64,
+    /// Modeled nanoseconds the misses would have cost with *no* tiers
+    /// (every miss recomputes) — the baseline the saving is against.
+    pub untiered_ns_total: u64,
+}
+
+impl TierSimStats {
+    /// Modeled time saved by the tier over recompute-everything,
+    /// nanoseconds (negative when the tier loses).
+    pub fn saved_ns(&self) -> i64 {
+        self.untiered_ns_total as i64 - (self.reload_ns_total + self.recompute_ns_total) as i64
+    }
+}
+
+/// The recompute cost (in the trace's `#costs` units) at which a
+/// reload and a recomputation break even under `model`: CLVs costlier
+/// than this are worth demoting, cheaper ones are worth dropping.
+/// `None` when the model has no recompute-rate measurement.
+pub fn crossover_cost(model: &TierModel) -> Option<f64> {
+    if model.recompute_ns_per_cost > 0.0 && model.reload_ns >= 0.0 {
+        Some(model.reload_ns / model.recompute_ns_per_cost)
+    } else {
+        None
+    }
+}
+
+/// Replays `trace` at `n_slots`/`policy` and models the tier traffic a
+/// [`TierModel`]-shaped store would have seen. CLVs missing from the
+/// trace's `#costs` table count as cost 0 (always demoted — the live
+/// store is optimistic about unmeasured costs too — and free to
+/// recompute).
+pub fn simulate_tiers(
+    trace: &Trace,
+    n_slots: usize,
+    policy: Policy,
+    model: &TierModel,
+) -> Result<TierSimStats, SimError> {
+    let entry_bytes = model.entry_bytes.unwrap_or(trace.meta.bytes_per_slot).max(1);
+    let cost = |clv: u32| trace.meta.costs.get(clv as usize).copied().unwrap_or(0.0);
+    let recompute_ns = |clv: u32| (cost(clv) * model.recompute_ns_per_cost).max(0.0).round() as u64;
+
+    let mut stored: HashSet<u32> = HashSet::new();
+    let mut stored_bytes = 0u64;
+    let mut stats = TierSimStats::default();
+
+    simulate_observed(trace, n_slots, policy, &mut |ev| match ev {
+        SimEvent::Evict { clv } => {
+            if stored.contains(&clv) {
+                return; // write-once: the copy is still good
+            }
+            // Demote-vs-drop, in the live store's order: cost gate
+            // first, then the byte budget.
+            let c = cost(clv);
+            if model.reload_ns > 0.0
+                && model.recompute_ns_per_cost > 0.0
+                && c > 0.0
+                && model.reload_ns >= model.recompute_ns_per_cost * c
+            {
+                stats.drops_cost += 1;
+                return;
+            }
+            if let Some(cap) = model.capacity_bytes {
+                if stored_bytes + entry_bytes > cap {
+                    stats.drops_budget += 1;
+                    return;
+                }
+            }
+            stored.insert(clv);
+            stored_bytes += entry_bytes;
+            stats.demotions += 1;
+        }
+        SimEvent::Miss { clv } => {
+            stats.untiered_ns_total += recompute_ns(clv);
+            if stored.contains(&clv) {
+                stats.reloads += 1;
+                stats.reload_ns_total += model.reload_ns.max(0.0).round() as u64;
+            } else {
+                stats.recomputes += 1;
+                stats.recompute_ns_total += recompute_ns(clv);
+            }
+        }
+    })?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(text: &str) -> Trace {
+        Trace::parse(text).unwrap()
+    }
+
+    /// 4 CLVs round-robin over 2 slots: every revisit is a miss, and
+    /// after the first lap every victim has been demoted.
+    const THRASH: &str = "#phylo-slot-trace v1\n\
+        #meta n_clvs=4 n_slots=2 strategy=lru bytes_per_slot=100\n\
+        #costs 8.0 8.0 8.0 8.0\n\
+        a 0\na 1\na 2\na 3\na 0\na 1\na 2\na 3\n";
+
+    #[test]
+    fn reloads_replace_recomputes_when_the_tier_wins() {
+        let model = TierModel {
+            reload_ns: 10.0,
+            recompute_ns_per_cost: 100.0, // recompute = 800ns >> reload
+            capacity_bytes: None,
+            entry_bytes: None,
+        };
+        let s =
+            simulate_tiers(&trace_of(THRASH), 2, Policy::parse("lru").unwrap(), &model).unwrap();
+        // Lap one: 4 cold misses, 2 demotions (two victims evicted).
+        // Lap two: every miss hits the store once demoted.
+        assert_eq!(s.drops_cost, 0);
+        assert!(s.reloads >= 2, "{s:?}");
+        assert_eq!(s.reloads + s.recomputes, 8);
+        assert!(s.saved_ns() > 0, "{s:?}");
+    }
+
+    #[test]
+    fn cost_gate_drops_cheap_clvs() {
+        let model = TierModel {
+            reload_ns: 10_000.0, // reload slower than any recompute
+            recompute_ns_per_cost: 1.0,
+            capacity_bytes: None,
+            entry_bytes: None,
+        };
+        let s =
+            simulate_tiers(&trace_of(THRASH), 2, Policy::parse("lru").unwrap(), &model).unwrap();
+        assert_eq!(s.demotions, 0, "{s:?}");
+        assert!(s.drops_cost > 0, "{s:?}");
+        assert_eq!(s.reloads, 0);
+        assert_eq!(s.recomputes, 8);
+        assert_eq!(s.saved_ns(), 0);
+    }
+
+    #[test]
+    fn byte_budget_caps_the_store() {
+        let model = TierModel {
+            reload_ns: 10.0,
+            recompute_ns_per_cost: 100.0,
+            capacity_bytes: Some(100), // exactly one entry
+            entry_bytes: None,         // meta: 100 bytes per slot
+        };
+        let s =
+            simulate_tiers(&trace_of(THRASH), 2, Policy::parse("lru").unwrap(), &model).unwrap();
+        assert_eq!(s.demotions, 1, "{s:?}");
+        assert!(s.drops_budget > 0, "{s:?}");
+    }
+
+    #[test]
+    fn crossover_is_reload_over_rate() {
+        let model = TierModel {
+            reload_ns: 500.0,
+            recompute_ns_per_cost: 100.0,
+            capacity_bytes: None,
+            entry_bytes: None,
+        };
+        assert_eq!(crossover_cost(&model), Some(5.0));
+        let unmeasured = TierModel { recompute_ns_per_cost: 0.0, ..model };
+        assert_eq!(crossover_cost(&unmeasured), None);
+    }
+
+    #[test]
+    fn observer_reports_misses_and_demand_evictions_only() {
+        // Invalidate drops must not surface as Evict offers.
+        let text = "#phylo-slot-trace v1\n\
+            #meta n_clvs=3 n_slots=2 strategy=lru bytes_per_slot=10\n\
+            a 0\na 1\ni 0\na 2\na 0\n";
+        let mut evicts = 0u32;
+        let mut misses = 0u32;
+        crate::sim::simulate_observed(
+            &trace_of(text),
+            2,
+            Policy::parse("lru").unwrap(),
+            &mut |ev| match ev {
+                SimEvent::Evict { .. } => evicts += 1,
+                SimEvent::Miss { .. } => misses += 1,
+            },
+        )
+        .unwrap();
+        // a0 miss, a1 miss, i0 frees a slot, a2 miss (free slot, no
+        // evict), a0 miss (evicts 1 or 2).
+        assert_eq!(misses, 4);
+        assert_eq!(evicts, 1);
+    }
+}

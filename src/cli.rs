@@ -107,6 +107,10 @@ pub struct CliOptions {
     /// durable chunk) for a supervising `phyloplace shard` coordinator.
     /// Requires `--out` (the jplace must not share the channel).
     pub heartbeat: bool,
+    /// Demotion storage tiers for evicted CLVs, assembled from
+    /// `--storage-tiers` / `--tier-dir` / `--tier-budget`. `None` keeps
+    /// the paper's pure recompute-on-miss AMC.
+    pub tiers: Option<phylo_amc::tier::TierConfig>,
 }
 
 impl Default for CliOptions {
@@ -130,6 +134,7 @@ impl Default for CliOptions {
             resume_dir: None,
             deadline_secs: None,
             heartbeat: false,
+            tiers: None,
         }
     }
 }
@@ -154,11 +159,16 @@ pub struct RunOutput {
 /// never what the user meant, and NaN would poison every comparison in
 /// the memory planner.
 pub fn parse_maxmem(s: &str) -> Result<f64, String> {
+    parse_size("--maxmem", s)
+}
+
+/// The shared size-spec parser behind `--maxmem` and `--tier-budget`.
+fn parse_size(flag: &str, s: &str) -> Result<f64, String> {
     let t = s.trim();
     if t.eq_ignore_ascii_case("auto") {
         return Ok(0.0);
     }
-    let bad = |why: &str| format!("bad --maxmem value {s:?}: {why}");
+    let bad = |why: &str| format!("bad {flag} value {s:?}: {why}");
     let lower = t.to_ascii_lowercase();
     let core = lower.strip_suffix("ib").or_else(|| lower.strip_suffix('b')).unwrap_or(&lower);
     let (num, mult_mib) = if let Some(n) = core.strip_suffix('k') {
@@ -239,7 +249,12 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
     let max_memory = match opts.maxmem_mib {
         None => None,
         Some(mib) if mib <= 0.0 => memplan::detect_available_memory(),
-        Some(mib) => Some(phylo_amc::budget::mib_to_bytes(mib)),
+        // Checked conversion: an unrepresentable budget (NaN leaking in
+        // programmatically, or a size past the address space) is the
+        // user's input problem, not a runtime failure.
+        Some(mib) => {
+            Some(phylo_amc::budget::mib_to_bytes(mib).map_err(|e| bad(format!("--maxmem: {e}")))?)
+        }
     };
     let cfg = EpaConfig {
         max_memory,
@@ -248,6 +263,7 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
         kernel_tier: opts.kernel_tier,
         strategy: opts.strategy,
         preplacement: if opts.no_lookup { PreplacementMode::Off } else { PreplacementMode::Auto },
+        tiers: opts.tiers.clone(),
         ..Default::default()
     };
     let placer = Placer::new(ctx, patterns.site_to_pattern().to_vec(), cfg)
@@ -425,12 +441,16 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
   [--chunk N] [--threads N] [--kernel-tier auto|reference|fixed|simd] [--out OUT.jplace] \
   [--strategy cost|lru|mru|fifo|random|cost-lru] [--no-lookup] [--slot-trace TRACE.txt] \
   [--checkpoint DIR | --resume DIR] [--deadline SECS] [--heartbeat] \
+  [--storage-tiers ram,compressed,disk] [--tier-dir DIR] [--tier-budget SIZE[K|M|G|T]] \
   [--metrics-json METRICS.json] [--trace TRACE.json]";
     let mut opts = CliOptions::default();
     let mut out: Option<String> = None;
     let mut tree_path = None;
     let mut ref_path = None;
     let mut query_path = None;
+    let mut tier_spec: Option<String> = None;
+    let mut tier_dir: Option<String> = None;
+    let mut tier_budget: Option<String> = None;
     let mut it = args.iter();
     match it.next().map(|s| s.as_str()) {
         Some("place") => {}
@@ -478,6 +498,9 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
                 })?;
             }
             "--no-lookup" => opts.no_lookup = true,
+            "--storage-tiers" => tier_spec = Some(value()?),
+            "--tier-dir" => tier_dir = Some(value()?),
+            "--tier-budget" => tier_budget = Some(value()?),
             "--slot-trace" => opts.slot_trace = Some(value()?),
             "--metrics-json" => opts.metrics_json = Some(value()?),
             "--trace" => opts.trace_path = Some(value()?),
@@ -499,6 +522,31 @@ pub fn parse_cli(args: &[String]) -> Result<(CliOptions, Option<String>), String
         return Err(format!(
             "--heartbeat needs --out: heartbeat lines own stdout, the jplace needs a file\n{USAGE}"
         ));
+    }
+    match tier_spec {
+        None => {
+            if tier_dir.is_some() || tier_budget.is_some() {
+                return Err(format!("--tier-dir/--tier-budget need --storage-tiers\n{USAGE}"));
+            }
+        }
+        Some(spec) => {
+            let mut cfg =
+                phylo_amc::tier::TierConfig::parse(&spec).map_err(|e| format!("{e}\n{USAGE}"))?;
+            if let Some(dir) = tier_dir {
+                cfg = cfg.with_dir(std::path::PathBuf::from(dir));
+            }
+            if let Some(b) = tier_budget {
+                if b.trim().eq_ignore_ascii_case("auto") {
+                    return Err(format!("--tier-budget has no auto mode\n{USAGE}"));
+                }
+                let mib = parse_size("--tier-budget", &b).map_err(|e| format!("{e}\n{USAGE}"))?;
+                let bytes = phylo_amc::budget::mib_to_bytes(mib)
+                    .map_err(|e| format!("--tier-budget: {e}\n{USAGE}"))?;
+                cfg = cfg.with_budget(bytes);
+            }
+            cfg.validate().map_err(|e| format!("{e}\n{USAGE}"))?;
+            opts.tiers = Some(cfg);
+        }
     }
     let tree_path = tree_path.ok_or_else(|| format!("--tree is required\n{USAGE}"))?;
     let ref_path = ref_path.ok_or_else(|| format!("--ref-msa is required\n{USAGE}"))?;
@@ -673,6 +721,30 @@ mod tests {
         assert!(opts.no_lookup);
         let (opts, _) = parse_cli(&base(&["--slot-trace", "trace.txt"])).unwrap();
         assert_eq!(opts.slot_trace.as_deref(), Some("trace.txt"));
+        // Tiered CLV storage surface.
+        let (opts, _) = parse_cli(&base(&[
+            "--storage-tiers",
+            "compressed,disk",
+            "--tier-dir",
+            "tdir",
+            "--tier-budget",
+            "64M",
+        ]))
+        .unwrap();
+        let tiers = opts.tiers.expect("--storage-tiers must configure tiers");
+        assert_eq!(tiers.kinds, vec![phylo_amc::TierKind::Compressed, phylo_amc::TierKind::Disk]);
+        assert_eq!(tiers.dir.as_deref(), Some(std::path::Path::new("tdir")));
+        assert_eq!(tiers.budget_bytes, Some(64 * 1024 * 1024));
+        let (opts, _) = parse_cli(&base(&["--storage-tiers", "ram"])).unwrap();
+        assert_eq!(opts.tiers.unwrap().kinds, vec![phylo_amc::TierKind::Ram]);
+        // Rejects: unknown tier, dependent flags without the enabler,
+        // a dir without a disk tier, and the autodetect sentinel.
+        assert!(parse_cli(&base(&["--storage-tiers", "tape"])).is_err());
+        assert!(parse_cli(&base(&["--tier-dir", "tdir"])).is_err());
+        assert!(parse_cli(&base(&["--tier-budget", "64M"])).is_err());
+        assert!(parse_cli(&base(&["--storage-tiers", "ram", "--tier-dir", "tdir"])).is_err());
+        assert!(parse_cli(&base(&["--storage-tiers", "disk", "--tier-budget", "auto"])).is_err());
+        assert!(parse_cli(&base(&["--storage-tiers", "disk", "--tier-budget", "0"])).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

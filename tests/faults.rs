@@ -89,6 +89,52 @@ fn recoverable_faults_preserve_output_bytes() {
     phylo_faults::reset();
 }
 
+/// Tier faults are recoverable by construction: CLVs are pure functions
+/// of the run inputs, so a payload lost in writeback or corrupted at
+/// rest degrades to recomputation — the jplace bytes must not move.
+#[test]
+fn tier_faults_degrade_to_recompute_with_identical_output() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    phylo_faults::reset();
+    let (ds, s2p, batch) = setup();
+    let base_cfg = amc_config(&ds, &batch);
+    let baseline = run_jplace(&ds, &s2p, &batch, &base_cfg);
+    let tiered = EpaConfig {
+        tiers: Some(phylo_amc::TierConfig::parse("compressed,disk").unwrap()),
+        ..base_cfg
+    };
+
+    // Crash during writeback: demoted payloads die before landing in a
+    // tier; later misses find nothing and transparently recompute.
+    phylo_faults::arm("tier::writeback_crash", Trigger::Every { period: 2 });
+    let placer = Placer::new(ctx_of(&ds), s2p.clone(), tiered.clone()).unwrap();
+    let (results, report) = placer.place(&batch).unwrap();
+    assert!(
+        phylo_faults::hits("tier::writeback_crash") > 0,
+        "writeback_crash never fired — dead probe?"
+    );
+    assert_eq!(baseline, to_jplace(&ds.tree, &results), "writeback crash changed the output");
+    let stats = report.tier_stats.unwrap();
+    assert!(stats.writeback_lost > 0, "lost writebacks must be counted: {stats:?}");
+    phylo_faults::disarm("tier::writeback_crash");
+
+    // Bit-rot between store and load: the CRC check quarantines the
+    // entry and the miss recomputes — corrupt bytes never reach a
+    // kernel or the output.
+    phylo_faults::arm("tier::corrupt_reload", Trigger::Every { period: 2 });
+    let placer = Placer::new(ctx_of(&ds), s2p.clone(), tiered).unwrap();
+    let (results, report) = placer.place(&batch).unwrap();
+    assert!(
+        phylo_faults::hits("tier::corrupt_reload") > 0,
+        "corrupt_reload never fired — dead probe?"
+    );
+    assert_eq!(baseline, to_jplace(&ds.tree, &results), "corrupt reload changed the output");
+    let stats = report.tier_stats.unwrap();
+    assert!(stats.corrupt > 0, "CRC quarantines must be counted: {stats:?}");
+    phylo_faults::disarm("tier::corrupt_reload");
+    phylo_faults::reset();
+}
+
 #[test]
 fn degradation_stats_accumulate_across_chunks() {
     let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
