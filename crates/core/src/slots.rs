@@ -158,6 +158,25 @@ pub struct SlotStats {
     pub reclaimed: u64,
 }
 
+impl SlotStats {
+    /// Counters accumulated since `baseline` was snapshotted. Every
+    /// field is monotonic, so this is how a caller that shares one
+    /// arena across many runs (the placement daemon's warm store)
+    /// attributes slot traffic to a single run: snapshot before,
+    /// subtract after.
+    pub fn delta(&self, baseline: &SlotStats) -> SlotStats {
+        SlotStats {
+            hits: self.hits - baseline.hits,
+            misses: self.misses - baseline.misses,
+            evictions: self.evictions - baseline.evictions,
+            installs: self.installs - baseline.installs,
+            acquires: self.acquires - baseline.acquires,
+            poisoned: self.poisoned - baseline.poisoned,
+            reclaimed: self.reclaimed - baseline.reclaimed,
+        }
+    }
+}
+
 /// The eviction table: everything the replacement decision reads or
 /// writes, under one mutex (lock level 2).
 struct TableInner {
@@ -1222,6 +1241,22 @@ mod tests {
         m.check_invariants().unwrap();
         m.reset_stats();
         assert_eq!(m.stats(), SlotStats::default());
+    }
+
+    #[test]
+    fn stats_delta_isolates_one_runs_traffic() {
+        let m = mgr(8, 2);
+        m.acquire(ClvKey(0)).unwrap(); // miss
+        m.acquire(ClvKey(0)).unwrap(); // hit
+        let baseline = m.stats();
+        m.acquire(ClvKey(1)).unwrap(); // miss
+        m.acquire(ClvKey(0)).unwrap(); // hit
+        m.acquire(ClvKey(1)).unwrap(); // hit
+        let d = m.stats().delta(&baseline);
+        assert_eq!((d.hits, d.misses, d.acquires), (2, 1, 3));
+        assert_eq!(d.installs, d.misses);
+        // A delta against itself is all-zero.
+        assert_eq!(m.stats().delta(&m.stats()), SlotStats::default());
     }
 
     #[test]

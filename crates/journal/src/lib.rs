@@ -340,14 +340,13 @@ impl RunJournal {
     pub fn create(dir: &Path, manifest: &Manifest) -> Result<RunJournal, JournalError> {
         std::fs::create_dir_all(dir).map_err(io_err(format!("create dir {}", dir.display())))?;
         let man_path = dir.join(MANIFEST_FILE);
-        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
-        let write_manifest = || -> std::io::Result<()> {
-            let mut f = File::create(&tmp)?;
-            f.write_all(manifest.to_json().as_bytes())?;
-            f.sync_all()?;
-            std::fs::rename(&tmp, &man_path)
-        };
-        write_manifest().map_err(io_err(format!("write manifest {}", man_path.display())))?;
+        // The one atomic-writer implementation in the workspace: tmp +
+        // file fsync + rename + parent-dir fsync. Keeping the manifest
+        // on the same helper as every other run artifact (jplace, slot
+        // traces, shards.json) means an audit of crash-atomicity has a
+        // single code path to read.
+        write_text_atomic(&man_path, &manifest.to_json())
+            .map_err(io_err(format!("write manifest {}", man_path.display())))?;
         let writer = JournalWriter::create(&dir.join(JOURNAL_FILE))?;
         sync_dir(dir)?;
         Ok(RunJournal { dir: dir.to_owned(), writer, replayed: Vec::new(), torn_tail: false })
@@ -459,6 +458,22 @@ mod tests {
                 }],
             }],
         }
+    }
+
+    #[test]
+    fn create_publishes_manifest_atomically_with_no_tmp_residue() {
+        let dir = tmpdir("atomic-manifest");
+        let j = RunJournal::create(&dir, &manifest()).unwrap();
+        drop(j);
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.iter().any(|n| n == MANIFEST_FILE), "manifest missing: {names:?}");
+        assert!(!names.iter().any(|n| n.ends_with(".tmp")), "tmp residue left: {names:?}");
+        let text = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        Manifest::parse(&text).expect("published manifest parses");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

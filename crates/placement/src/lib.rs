@@ -40,4 +40,4 @@ pub use error::PlaceError;
 pub use memplan::{AmcMode, MemoryPlan};
 pub use queries::QueryBatch;
 pub use result::{PlacementEntry, PlacementResult, RunReport};
-pub use run::{HeartbeatEvent, PlaceOutcome, Placer, RunControl};
+pub use run::{HeartbeatEvent, PlaceOutcome, Placer, RunControl, WarmStore};

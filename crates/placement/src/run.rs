@@ -104,6 +104,40 @@ pub struct PlaceOutcome {
     pub queries_done: usize,
 }
 
+/// Reference-side engine state that outlives a single run: the CLV slot
+/// arena (internally synchronized — `&self` end to end) and the
+/// preplacement lookup table, built once by [`Placer::warm_up`] and
+/// shared across every subsequent [`Placer::place_warm`] call. This is
+/// the paper's "expensive to build, cheap to reuse" state made explicit:
+/// a long-lived service pays the arena allocation and the lookup build
+/// exactly once instead of per request.
+pub struct WarmStore {
+    store: ManagedStore,
+    lookup: Option<LookupTable>,
+    dfs_rank: Vec<u32>,
+    chunk_size: usize,
+    slots: usize,
+    use_lookup: bool,
+    peak_memory: usize,
+}
+
+impl WarmStore {
+    /// Slots the warm arena holds.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Whether the preplacement lookup table was built.
+    pub fn use_lookup(&self) -> bool {
+        self.use_lookup
+    }
+
+    /// Cumulative slot traffic over every run served so far.
+    pub fn slot_stats(&self) -> phylo_amc::SlotStats {
+        self.store.stats()
+    }
+}
+
 /// A configured placement engine over one reference.
 pub struct Placer {
     ctx: ReferenceContext,
@@ -413,6 +447,135 @@ impl Placer {
             store.sitepar_stats(),
             tier_store.as_deref(),
         );
+        Ok(PlaceOutcome { results, report, completed, queries_done })
+    }
+
+    /// Builds the reusable warm state for service mode: the slot arena
+    /// sized by the memory plan (at the configured chunk size) and the
+    /// preplacement lookup table. One call amortizes over arbitrarily
+    /// many [`Placer::place_warm`] runs.
+    ///
+    /// Tiered CLV storage is a batch-mode feature (its writeback worker
+    /// and disk arena are scoped to one run); a config that asks for
+    /// both is refused rather than silently ignored.
+    pub fn warm_up(&self) -> Result<WarmStore, PlaceError> {
+        if self.cfg.tiers.is_some() {
+            return Err(PlaceError::BadConfig(
+                "tiered CLV storage is not supported for warm (service-mode) stores".into(),
+            ));
+        }
+        let ctx = &self.ctx;
+        let cfg = &self.cfg;
+        let n_sites = self.site_to_pattern.len();
+        // Plan for a full chunk of queries: the per-request batches the
+        // service runs are at most one chunk's worth each anyway.
+        let plan = memplan::plan(ctx, cfg, cfg.chunk_size, n_sites)?;
+        let mut store = ManagedStore::with_slots(ctx, plan.slots, cfg.strategy)?;
+        store.set_compute_threads(cfg.sitepar_threads.max(1));
+        if let Some(timeout) = cfg.slot_wait_timeout {
+            store.set_wait_timeout(timeout);
+        }
+        let lookup =
+            if plan.use_lookup { Some(LookupTable::build(ctx, &store, cfg)?) } else { None };
+        let branches = ctx.tree().n_edges();
+        let mut dfs_rank = vec![0u32; branches];
+        for (i, e) in phylo_tree::traversal::edge_dfs_order(ctx.tree()).into_iter().enumerate() {
+            dfs_rank[e.idx()] = i as u32;
+        }
+        Ok(WarmStore {
+            store,
+            lookup,
+            dfs_rank,
+            chunk_size: plan.chunk_size,
+            slots: plan.slots,
+            use_lookup: plan.use_lookup,
+            peak_memory: plan.tracker.peak(),
+        })
+    }
+
+    /// Places one request's batch against a shared [`WarmStore`]: the
+    /// chunk loop of [`Placer::place_run`] minus the per-run setup —
+    /// no arena allocation, no lookup build, no journal. Per-query
+    /// results are bit-identical to a cold [`Placer::place_run`] of the
+    /// same queries (results are independent of chunking and of what
+    /// other requests the arena served before; the existing
+    /// chunking/threading equivalence tests pin that contract).
+    ///
+    /// `cancel` is request-scoped: a deadline or client cancellation
+    /// unwinds at the next cancellation point and yields a clean
+    /// partial outcome (`completed == false`), exactly like batch mode.
+    /// Runs against one store must be issued sequentially — the store
+    /// is internally synchronized, but the cancel token is store-wide.
+    pub fn place_warm(
+        &self,
+        warm: &WarmStore,
+        batch: &QueryBatch,
+        cancel: &CancelToken,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        let t_total = Instant::now();
+        let ctx = &self.ctx;
+        warm.store.set_cancel_token(cancel);
+        let slot_base = warm.store.stats();
+        let obs_base = phylo_obs::snapshot();
+        let branches = ctx.tree().n_edges();
+        let chunk_size = warm.chunk_size.min(batch.len().max(1));
+        let mut report = RunReport {
+            n_queries: batch.len(),
+            used_lookup: warm.use_lookup,
+            slots: warm.slots,
+            peak_memory: warm.peak_memory,
+            ..Default::default()
+        };
+        let mut results: Vec<PlacementResult> = batch
+            .queries()
+            .iter()
+            .map(|q| PlacementResult { name: q.name.clone(), placements: Vec::new() })
+            .collect();
+        let mut prescores = vec![0.0f64; chunk_size * branches];
+        let mut completed = true;
+        let mut chunks_done = 0usize;
+        for (chunk_idx, chunk) in batch.chunks(chunk_size).enumerate() {
+            if cancel.is_cancelled() {
+                completed = false;
+                break;
+            }
+            let qoff = chunk_idx * chunk_size;
+            let mat = &mut prescores[..chunk.len() * branches];
+            match self.compute_chunk(
+                &warm.store,
+                &warm.lookup,
+                &warm.dfs_rank,
+                chunk,
+                chunk_idx,
+                qoff,
+                mat,
+                branches,
+                &mut results,
+                &mut report,
+            ) {
+                Ok(_) => chunks_done = chunk_idx + 1,
+                Err(e) if e.is_cancellation() => {
+                    completed = false;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let queries_done =
+            if completed { batch.len() } else { (chunks_done * chunk_size).min(batch.len()) };
+        if !completed {
+            results.truncate(queries_done);
+            phylo_obs::counter("place.cancelled_runs").inc();
+        }
+        for r in &mut results {
+            r.finalize();
+        }
+        // Slot traffic attributed to *this* run, not the store's whole
+        // life — the arena is shared, the report is per-request.
+        report.slot_stats = warm.store.stats().delta(&slot_base);
+        report.total_time = t_total.elapsed();
+        report.metrics =
+            run_metrics(&report, &obs_base, ctx.layout().tier(), warm.store.sitepar_stats(), None);
         Ok(PlaceOutcome { results, report, completed, queries_done })
     }
 
@@ -1308,5 +1471,108 @@ mod tests {
         for (r, expect) in results.iter().zip(pendant_edges) {
             assert_eq!(r.best().unwrap().edge.0, expect, "query {}", r.name);
         }
+    }
+
+    /// Bit-exact equality of full placement lists — the service-mode
+    /// byte-identity contract at the results layer.
+    fn assert_bit_identical(a: &[PlacementResult], b: &[PlacementResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.placements.len(), y.placements.len());
+            for (p, q) in x.placements.iter().zip(&y.placements) {
+                assert_eq!(p.edge, q.edge);
+                assert_eq!(p.log_likelihood.to_bits(), q.log_likelihood.to_bits());
+                assert_eq!(p.like_weight_ratio.to_bits(), q.like_weight_ratio.to_bits());
+                assert_eq!(p.pendant_length.to_bits(), q.pendant_length.to_bits());
+                assert_eq!(p.distal_length.to_bits(), q.distal_length.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_runs_match_cold_runs_bit_exactly_and_reuse_the_arena() {
+        let (ctx, s2p, batch) = setup(14, 60, 9, 11);
+        let placer = Placer::new(ctx, s2p, EpaConfig::default()).unwrap();
+        let (cold, _) = placer.place(&batch).unwrap();
+        let warm = placer.warm_up().unwrap();
+        assert!(warm.use_lookup());
+        let token = CancelToken::new();
+        // Two consecutive runs over the same store: both must match the
+        // cold run bit-exactly — the second proves that residue from
+        // the first (resident CLVs, strategy state) cannot change
+        // results, only hit rates.
+        let one = placer.place_warm(&warm, &batch, &token).unwrap();
+        assert!(one.completed);
+        assert_bit_identical(&cold, &one.results);
+        let base = warm.slot_stats();
+        let two = placer.place_warm(&warm, &batch, &token).unwrap();
+        assert_bit_identical(&cold, &two.results);
+        let delta = warm.slot_stats().delta(&base);
+        assert_eq!(two.report.slot_stats, delta, "report must cover only its own run");
+        assert!(
+            delta.misses < base.misses,
+            "a warm rerun must recompute fewer CLVs than the first run ({} vs {})",
+            delta.misses,
+            base.misses,
+        );
+    }
+
+    #[test]
+    fn warm_run_subsets_match_their_own_cold_runs() {
+        // The daemon serves per-request subsets against one shared
+        // store; each subset's results must equal a dedicated cold run
+        // of just that subset.
+        let (ctx, s2p, batch) = setup(14, 60, 8, 12);
+        let placer = Placer::new(ctx, s2p, EpaConfig::default()).unwrap();
+        let warm = placer.warm_up().unwrap();
+        let token = CancelToken::new();
+        let queries = batch.queries();
+        for range in [0..3usize, 3..8usize] {
+            let subset: Vec<Sequence> = queries[range.clone()]
+                .iter()
+                .map(|q| {
+                    Sequence::from_codes(q.name.clone(), AlphabetKind::Dna, q.codes.clone())
+                        .unwrap()
+                })
+                .collect();
+            let sub_batch = QueryBatch::new(&subset, 60).unwrap();
+            let cold = self::setup(14, 60, 8, 12);
+            let cold_placer = Placer::new(cold.0, cold.1, EpaConfig::default()).unwrap();
+            let (cold_results, _) = cold_placer.place(&sub_batch).unwrap();
+            let out = placer.place_warm(&warm, &sub_batch, &token).unwrap();
+            assert_bit_identical(&cold_results, &out.results);
+        }
+    }
+
+    #[test]
+    fn cancelled_warm_run_is_clean_and_store_stays_usable() {
+        let (ctx, s2p, batch) = setup(12, 50, 6, 13);
+        let placer =
+            Placer::new(ctx, s2p, EpaConfig { chunk_size: 2, ..Default::default() }).unwrap();
+        let warm = placer.warm_up().unwrap();
+        let armed = CancelToken::new();
+        armed.cancel();
+        let out = placer.place_warm(&warm, &batch, &armed).unwrap();
+        assert!(!out.completed);
+        assert_eq!(out.queries_done, 0);
+        assert!(out.results.is_empty());
+        // The pre-armed token must not poison the store for the next
+        // request: a fresh token serves normally.
+        let fresh = CancelToken::new();
+        let ok = placer.place_warm(&warm, &batch, &fresh).unwrap();
+        assert!(ok.completed);
+        assert_eq!(ok.results.len(), 6);
+    }
+
+    #[test]
+    fn warm_up_refuses_tiered_storage() {
+        let (ctx, s2p, _) = setup(10, 40, 2, 14);
+        let cfg = EpaConfig {
+            tiers: Some(phylo_amc::TierConfig::parse("compressed").unwrap()),
+            ..Default::default()
+        };
+        let placer = Placer::new(ctx, s2p, cfg).unwrap();
+        assert!(matches!(placer.warm_up(), Err(PlaceError::BadConfig(_))));
     }
 }

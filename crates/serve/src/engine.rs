@@ -1,0 +1,338 @@
+//! The warm placement engine behind the daemon: reference tree, model,
+//! CLV slot arena, and preplacement lookup built once at startup, then
+//! shared by every request.
+//!
+//! The model pipeline here must mirror `phyloplace place`
+//! (`src/cli.rs::run_placement_with`) exactly — +F empirical
+//! frequencies over the reference for DNA (unit GTR rates), the
+//! synthetic AA matrix for protein, Γ4 when requested — because the
+//! service's contract is that a daemon response is byte-identical to a
+//! cold CLI run of the same queries. The CI daemon pass compares the
+//! two outputs with `cmp`, so any drift between the pipelines fails the
+//! gate.
+
+use crate::proto::Code;
+use epa_place::result::to_jplace_with;
+use epa_place::{EpaConfig, Placer, PreplacementMode, QueryBatch, WarmStore};
+use phylo_amc::CancelToken;
+use phylo_journal::fnv1a64;
+use phylo_seq::alphabet::AlphabetKind;
+use phylo_seq::{compress, fasta, Msa, Sequence};
+use phylo_tree::Tree;
+
+/// Engine build settings (the serve CLI surface that affects scoring;
+/// everything here must match the `place` flags the responses are
+/// compared against).
+#[derive(Debug, Clone)]
+pub struct EngineSettings {
+    pub alphabet: AlphabetKind,
+    /// Γ shape (4 categories); `None` = rate-homogeneous. The CLI
+    /// default is `Some(1.0)` — keep them in sync.
+    pub gamma_alpha: Option<f64>,
+    pub max_memory: Option<usize>,
+    pub chunk_size: usize,
+    pub threads: usize,
+    pub strategy: phylo_amc::StrategyKind,
+    pub no_lookup: bool,
+}
+
+impl Default for EngineSettings {
+    fn default() -> Self {
+        EngineSettings {
+            alphabet: AlphabetKind::Dna,
+            gamma_alpha: Some(1.0),
+            max_memory: None,
+            chunk_size: 5000,
+            threads: 1,
+            strategy: phylo_amc::StrategyKind::CostBased,
+            no_lookup: false,
+        }
+    }
+}
+
+/// A served placement: the jplace document plus request accounting.
+pub struct Served {
+    pub jplace: String,
+    pub n_queries: usize,
+    /// Whether the engine walked the degradation ladder during this
+    /// run (feeds the daemon's pressure ladder).
+    pub degraded: bool,
+}
+
+/// A typed per-request failure (maps straight onto a response code).
+#[derive(Debug)]
+pub struct ServeFail {
+    pub code: Code,
+    pub detail: String,
+}
+
+impl ServeFail {
+    fn bad(detail: String) -> Self {
+        ServeFail { code: Code::BadRequest, detail }
+    }
+}
+
+/// The long-lived engine: context + warm store + fingerprint.
+pub struct WarmEngine {
+    placer: Placer,
+    warm: WarmStore,
+    tree: Tree,
+    n_sites: usize,
+    alphabet: AlphabetKind,
+    fingerprint: u64,
+}
+
+impl WarmEngine {
+    /// Builds the full warm state from the reference inputs. Errors are
+    /// strings suitable for startup diagnostics (the daemon exits 2 on
+    /// bad inputs, like the CLI).
+    pub fn build(
+        tree_text: &str,
+        ref_fasta: &str,
+        st: &EngineSettings,
+    ) -> Result<WarmEngine, String> {
+        use phylo_models::gamma::GammaMode;
+        use phylo_models::{aa, dna, DiscreteGamma, SubstModel};
+
+        let tree =
+            phylo_tree::newick::parse(tree_text).map_err(|e| format!("reference tree: {e}"))?;
+        let ref_rows = fasta::parse(ref_fasta, st.alphabet)
+            .map_err(|e| format!("reference alignment: {e}"))?;
+        let msa = Msa::new(ref_rows).map_err(|e| format!("reference alignment: {e}"))?;
+        let patterns = compress(&msa).map_err(|e| format!("compression: {e}"))?;
+        let gamma = match st.gamma_alpha {
+            Some(alpha) => {
+                DiscreteGamma::new(alpha, 4, GammaMode::Mean).map_err(|e| format!("gamma: {e}"))?
+            }
+            None => DiscreteGamma::none(),
+        };
+        let alphabet = st.alphabet.alphabet();
+        let model = match st.alphabet {
+            AlphabetKind::Dna => {
+                let f = dna::empirical_freqs(alphabet, msa.rows().iter().map(|r| r.codes()));
+                let freqs: [f64; 4] = [f[0], f[1], f[2], f[3]];
+                SubstModel::new(
+                    &dna::gtr(&[1.0; 6], &freqs).map_err(|e| format!("model: {e}"))?,
+                    gamma,
+                )
+                .map_err(|e| format!("model: {e}"))?
+            }
+            AlphabetKind::Protein => {
+                SubstModel::new(&aa::synthetic_aa(0).map_err(|e| format!("model: {e}"))?, gamma)
+                    .map_err(|e| format!("model: {e}"))?
+            }
+        };
+        let ctx = phylo_engine::ReferenceContext::new(tree.clone(), model, alphabet, &patterns)
+            .map_err(|e| format!("engine: {e}"))?;
+        let cfg = EpaConfig {
+            max_memory: st.max_memory,
+            chunk_size: st.chunk_size,
+            threads: st.threads,
+            strategy: st.strategy,
+            preplacement: if st.no_lookup { PreplacementMode::Off } else { PreplacementMode::Auto },
+            ..Default::default()
+        };
+        let placer = Placer::new(ctx, patterns.site_to_pattern().to_vec(), cfg)
+            .map_err(|e| format!("config: {e}"))?;
+        let warm = placer.warm_up().map_err(|e| format!("warm-up: {e}"))?;
+        // The warm-state fingerprint: a client (or the status probe's
+        // reader) can verify which reference/settings this daemon is
+        // warm for without re-reading the inputs.
+        let mut fp = fnv1a64(tree_text.as_bytes());
+        fp ^= fnv1a64(ref_fasta.as_bytes()).rotate_left(1);
+        fp ^= fnv1a64(format!("{st:?}").as_bytes()).rotate_left(2);
+        Ok(WarmEngine {
+            placer,
+            warm,
+            tree,
+            n_sites: msa.n_sites(),
+            alphabet: st.alphabet,
+            fingerprint: fp,
+        })
+    }
+
+    /// Hex fingerprint of (tree, reference, settings).
+    pub fn fingerprint(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+
+    /// Slots in the warm arena.
+    pub fn slots(&self) -> usize {
+        self.warm.slots()
+    }
+
+    /// Whether the preplacement lookup table is resident.
+    pub fn use_lookup(&self) -> bool {
+        self.warm.use_lookup()
+    }
+
+    /// Parses one request's FASTA payload (cheap; done on the reader
+    /// thread so a malformed payload is rejected before admission).
+    pub fn parse_queries(&self, query_fasta: &str) -> Result<Vec<Sequence>, ServeFail> {
+        let rows = fasta::parse(query_fasta, self.alphabet)
+            .map_err(|e| ServeFail::bad(format!("queries: {e}")))?;
+        if rows.is_empty() {
+            return Err(ServeFail::bad("queries: empty FASTA payload".to_string()));
+        }
+        for r in &rows {
+            if r.codes().len() != self.n_sites {
+                return Err(ServeFail::bad(format!(
+                    "queries: {} has {} aligned sites, reference has {}",
+                    r.name(),
+                    r.codes().len(),
+                    self.n_sites
+                )));
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Places a micro-batch of requests in ONE warm engine run: all
+    /// requests' queries are concatenated into a single batch, scored
+    /// together, and the per-request results sliced back out. Per-query
+    /// results are independent of batch composition (the engine's
+    /// chunking-equivalence contract), so merging cannot change any
+    /// request's bytes.
+    ///
+    /// `cancel` is the run-scoped token (a single request's own token
+    /// when the batch has one element; a drain/abort-only token when
+    /// merged). A cancelled run maps to a typed failure per request,
+    /// never a torn jplace: a request either gets its complete document
+    /// or an error.
+    pub fn place_merged(
+        &self,
+        requests: &[Vec<Sequence>],
+        cancel: &CancelToken,
+    ) -> Vec<Result<Served, ServeFail>> {
+        let all: Vec<Sequence> = requests.iter().flatten().cloned().collect();
+        let batch = match QueryBatch::new(&all, self.n_sites) {
+            Ok(b) => b,
+            Err(e) => {
+                let detail = format!("queries: {e}");
+                return requests.iter().map(|_| Err(ServeFail::bad(detail.clone()))).collect();
+            }
+        };
+        let outcome = match self.placer.place_warm(&self.warm, &batch, cancel) {
+            Ok(o) => o,
+            Err(e) => {
+                let fail = ServeFail { code: Code::Internal, detail: format!("placement: {e}") };
+                return requests
+                    .iter()
+                    .map(|_| Err(ServeFail { code: fail.code, detail: fail.detail.clone() }))
+                    .collect();
+            }
+        };
+        if !outcome.completed {
+            // Cancelled mid-run (deadline or client cancel): every
+            // request in the run gets the typed error — the caller
+            // refines Deadline vs Cancelled from the request token.
+            return requests
+                .iter()
+                .map(|_| {
+                    Err(ServeFail {
+                        code: Code::Cancelled,
+                        detail: "run cancelled before completion".to_string(),
+                    })
+                })
+                .collect();
+        }
+        let degraded = {
+            let d = &outcome.report.degradation;
+            d.prefetch_disabled + d.block_clamped + d.flush_retries > 0
+        };
+        let mut out = Vec::with_capacity(requests.len());
+        let mut off = 0usize;
+        for req in requests {
+            let n = req.len();
+            let slice = &outcome.results[off..off + n];
+            off += n;
+            // An injected mid-request crash: prove the blast radius is
+            // one request. The panic is caught right here, converted to
+            // a typed Internal error, and every other request in the
+            // same engine run still gets its bytes.
+            let rendered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if phylo_faults::fire("serve::mid_request_crash") {
+                    panic!("injected mid-request crash");
+                }
+                to_jplace_with(&self.tree, slice, true)
+            }));
+            out.push(match rendered {
+                Ok(jplace) => Ok(Served { jplace, n_queries: n, degraded }),
+                Err(payload) => {
+                    phylo_obs::counter("serve.internal_errors").inc();
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "request panicked".to_string());
+                    Err(ServeFail { code: Code::Internal, detail: msg })
+                }
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_datasets::{generate, neotrop, Scale};
+
+    fn dataset_texts() -> (String, String, Vec<String>) {
+        let ds = generate(&neotrop(Scale::Ci));
+        let tree = phylo_tree::newick::write(&ds.tree);
+        let mut ref_fa = String::new();
+        for row in ds.reference.rows() {
+            ref_fa.push_str(&format!(">{}\n{}\n", row.name(), row.to_text()));
+        }
+        let queries: Vec<String> =
+            ds.queries.iter().map(|q| format!(">{}\n{}\n", q.name(), q.to_text())).collect();
+        (tree, ref_fa, queries)
+    }
+
+    #[test]
+    fn merged_requests_slice_back_to_per_request_documents() {
+        let (tree, ref_fa, queries) = dataset_texts();
+        let engine = WarmEngine::build(&tree, &ref_fa, &EngineSettings::default()).unwrap();
+        let token = CancelToken::new();
+        // Serve [q0] and [q1, q2] merged in one run, then each alone:
+        // the merged documents must be byte-identical to the solo ones.
+        let r0 = engine.parse_queries(&queries[0]).unwrap();
+        let r12 = engine.parse_queries(&format!("{}{}", queries[1], queries[2])).unwrap();
+        let merged = engine.place_merged(&[r0.clone(), r12.clone()], &token);
+        let solo0 = engine.place_merged(&[r0], &token);
+        let solo12 = engine.place_merged(&[r12], &token);
+        let doc = |r: &Result<Served, ServeFail>| r.as_ref().ok().unwrap().jplace.clone();
+        assert_eq!(doc(&merged[0]), doc(&solo0[0]));
+        assert_eq!(doc(&merged[1]), doc(&solo12[0]));
+        assert_eq!(merged[1].as_ref().ok().unwrap().n_queries, 2);
+    }
+
+    #[test]
+    fn bad_payloads_are_typed_not_fatal() {
+        let (tree, ref_fa, queries) = dataset_texts();
+        let engine = WarmEngine::build(&tree, &ref_fa, &EngineSettings::default()).unwrap();
+        assert!(engine.parse_queries("").is_err());
+        assert!(engine.parse_queries(">q\nACG\n").is_err(), "wrong width must be rejected");
+        assert!(engine.parse_queries("garbage not fasta").is_err());
+        // The engine still serves after rejections.
+        let ok = engine.parse_queries(&queries[0]).unwrap();
+        let served = engine.place_merged(&[ok], &CancelToken::new());
+        assert!(served[0].is_ok());
+    }
+
+    #[test]
+    fn pre_armed_token_yields_typed_cancellation() {
+        let (tree, ref_fa, queries) = dataset_texts();
+        let engine = WarmEngine::build(&tree, &ref_fa, &EngineSettings::default()).unwrap();
+        let armed = CancelToken::new();
+        armed.cancel();
+        let rows = engine.parse_queries(&queries[0]).unwrap();
+        let out = engine.place_merged(&[rows.clone()], &armed);
+        let fail = out[0].as_ref().err().unwrap();
+        assert_eq!(fail.code, Code::Cancelled);
+        // And the engine is not poisoned for the next request.
+        let ok = engine.place_merged(&[rows], &CancelToken::new());
+        assert!(ok[0].is_ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! phylo-serve — the hardened placement daemon behind `phyloplaced`.
+//!
+//! The paper's warm-start observation (§"Efficient Memory Management in
+//! Likelihood-based Phylogenetic Placement"): almost all of a placement
+//! run's cost is loading and preprocessing the reference — tree
+//! parsing, CLV arena sizing, the preplacement lookup table. A daemon
+//! that pays that cost **once** and then serves queries against the
+//! warm state turns per-request latency from seconds into milliseconds.
+//!
+//! This crate is the robustness half of that trade: once placement is a
+//! long-lived service, it needs admission control (bounded queue, typed
+//! `Overloaded` shedding — never a hang), per-request deadlines and
+//! client cancellation (wired into the engine's [`phylo_amc::CancelToken`]
+//! plumbing), micro-batching of concurrent queries into one engine run,
+//! a memory-pressure ladder that shrinks batches before shedding, and a
+//! three-phase drain (stop admitting → finish in-flight → exit 0).
+//!
+//! Layout:
+//! * [`proto`] — the newline-delimited JSON wire protocol (hand-rolled,
+//!   flat objects, typed response codes);
+//! * [`queue`] — [`queue::AdmissionQueue`] and [`queue::PressureLadder`];
+//! * [`engine`] — [`engine::WarmEngine`]: the once-per-process warm
+//!   state plus merged-batch execution and per-request result slicing;
+//! * [`server`] — transports, connection handling, the executor, and
+//!   the drain state machine.
+//!
+//! Every request ends in exactly one typed response; failures are
+//! isolated to the request that caused them (see the `serve::*` fault
+//! sites and `tests/serve_daemon.rs`).
+
+pub mod engine;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use engine::{EngineSettings, ServeFail, Served, WarmEngine};
+pub use proto::{Code, Request};
+pub use queue::{AdmissionQueue, PressureLadder};
+pub use server::{run, ServeConfig, Transport};

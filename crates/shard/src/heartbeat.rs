@@ -47,6 +47,87 @@ pub fn parse_heartbeat(line: &str) -> Option<Heartbeat> {
     Some(hb)
 }
 
+/// One decoded line from a worker's stdout stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbLine {
+    /// A well-formed heartbeat.
+    Beat(Heartbeat),
+    /// A line that *claims* to be a heartbeat (`HB ` prefix) but does
+    /// not parse — truncated by an interleaved writer, garbled by a
+    /// partial flush, or plain garbage. The reader skips it (counting
+    /// `shard.heartbeat_malformed`) instead of letting it derail the
+    /// stream: a worker with a mangled beat is noisy, not silent.
+    Malformed(String),
+    /// Ordinary worker output, forwarded verbatim.
+    Other(String),
+}
+
+/// Incremental, byte-level splitter for a worker's stdout stream.
+///
+/// The naive reader (`BufReader::lines`) dies on the first invalid
+/// UTF-8 byte — `lines()` yields `Err` and the loop breaks — which
+/// silences every *later* heartbeat and makes a healthy worker look
+/// hung (the supervisor then kills and requeues it). This scanner
+/// never gives up on the stream: bytes are buffered until a `\n`,
+/// decoded lossily, and classified per line. Partial lines survive
+/// across arbitrarily split reads.
+#[derive(Default)]
+pub struct HeartbeatScanner {
+    partial: Vec<u8>,
+}
+
+/// Cap on a buffered partial line: a worker that streams forever
+/// without a newline must not grow the coordinator's memory without
+/// bound. Past the cap the fragment is flushed as a (possibly
+/// malformed) line on its own.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+impl HeartbeatScanner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one read's worth of bytes; returns every line completed by
+    /// it. A trailing fragment stays buffered for the next call.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<HbLine> {
+        let mut out = Vec::new();
+        for &b in bytes {
+            if b == b'\n' {
+                out.push(Self::classify(&std::mem::take(&mut self.partial)));
+            } else {
+                self.partial.push(b);
+                if self.partial.len() >= MAX_LINE_BYTES {
+                    out.push(Self::classify(&std::mem::take(&mut self.partial)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Flushes a final unterminated fragment (stream hit EOF mid-line).
+    pub fn finish(&mut self) -> Option<HbLine> {
+        if self.partial.is_empty() {
+            return None;
+        }
+        Some(Self::classify(&std::mem::take(&mut self.partial)))
+    }
+
+    fn classify(raw: &[u8]) -> HbLine {
+        // Lossy decode: a worker writing binary junk (or two writers
+        // interleaving mid-line) yields a replacement-charactered
+        // string, which classifies as Other/Malformed like any text.
+        let line = String::from_utf8_lossy(raw);
+        let line = line.strip_suffix('\r').unwrap_or(&line);
+        if let Some(hb) = parse_heartbeat(line) {
+            return HbLine::Beat(hb);
+        }
+        if line.starts_with(HB_PREFIX) || line == HB_PREFIX.trim_end() {
+            return HbLine::Malformed(line.to_string());
+        }
+        HbLine::Other(line.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +147,70 @@ mod tests {
         {
             assert_eq!(parse_heartbeat(line), None, "{line:?}");
         }
+    }
+
+    fn beat(c: usize, nc: usize, q: usize, nq: usize) -> HbLine {
+        HbLine::Beat(Heartbeat { chunks_done: c, n_chunks: nc, queries_done: q, n_queries: nq })
+    }
+
+    #[test]
+    fn scanner_reassembles_a_beat_split_across_reads() {
+        let mut s = HeartbeatScanner::new();
+        assert!(s.push(b"HB 1 ").is_empty());
+        assert!(s.push(b"4 2").is_empty());
+        assert_eq!(s.push(b"5 100\nHB 2 4 "), vec![beat(1, 4, 25, 100)]);
+        assert_eq!(s.push(b"50 100\n"), vec![beat(2, 4, 50, 100)]);
+        assert_eq!(s.finish(), None);
+    }
+
+    #[test]
+    fn scanner_counts_junk_prefixed_and_truncated_hb_lines_as_malformed() {
+        let mut s = HeartbeatScanner::new();
+        // An interleaved writer glued its output onto the front of a
+        // beat: the line is not a heartbeat and not silence — it is
+        // ordinary (forwardable) output, and the *truncated* HB lines
+        // are malformed beats.
+        let lines = s.push(b"junkHB 1 4 25 100\nHB 1 4\nHB a b c d\nHB 2 4 50 100\n");
+        assert_eq!(
+            lines,
+            vec![
+                HbLine::Other("junkHB 1 4 25 100".into()),
+                HbLine::Malformed("HB 1 4".into()),
+                HbLine::Malformed("HB a b c d".into()),
+                beat(2, 4, 50, 100),
+            ]
+        );
+    }
+
+    #[test]
+    fn scanner_survives_invalid_utf8_and_keeps_decoding_later_beats() {
+        let mut s = HeartbeatScanner::new();
+        // 0xFF 0xFE is invalid UTF-8: `BufReader::lines` would error
+        // here and the old reader died, losing the beat that follows.
+        let mut bytes = b"binary \xFF\xFE garbage\n".to_vec();
+        bytes.extend_from_slice(b"HB 3 4 75 100\n");
+        let lines = s.push(&bytes);
+        assert_eq!(lines.len(), 2);
+        assert!(matches!(&lines[0], HbLine::Other(l) if l.contains("garbage")));
+        assert_eq!(lines[1], beat(3, 4, 75, 100));
+    }
+
+    #[test]
+    fn scanner_flushes_unterminated_tail_and_handles_crlf() {
+        let mut s = HeartbeatScanner::new();
+        assert_eq!(s.push(b"HB 1 2 3 4\r\n"), vec![beat(1, 2, 3, 4)]);
+        assert!(s.push(b"HB 9 9 9").is_empty());
+        assert_eq!(s.finish(), Some(HbLine::Malformed("HB 9 9 9".into())));
+        assert_eq!(s.finish(), None);
+    }
+
+    #[test]
+    fn scanner_caps_runaway_unterminated_lines() {
+        let mut s = HeartbeatScanner::new();
+        let lines = s.push(&vec![b'x'; (1 << 20) + 7]);
+        // The capped fragment is flushed as its own (Other) line rather
+        // than growing the buffer without bound.
+        assert_eq!(lines.len(), 1);
+        assert!(matches!(&lines[0], HbLine::Other(_)));
     }
 }

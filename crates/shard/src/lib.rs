@@ -38,7 +38,7 @@ pub mod split;
 pub mod supervisor;
 
 pub use coordinator::{run_coordinator, shard_dir, CoordinatorConfig, CoordinatorOutcome};
-pub use heartbeat::{format_heartbeat, parse_heartbeat, Heartbeat};
+pub use heartbeat::{format_heartbeat, parse_heartbeat, HbLine, Heartbeat, HeartbeatScanner};
 pub use merge::{merge_jplace, parse_jplace, JplaceDoc, MergeError};
 pub use process::{kill_registered_workers, ProcessWorker};
 pub use shutdown::{Phase, Shutdown, EXIT_ABORTED, EXIT_INTERRUPTED};

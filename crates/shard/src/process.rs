@@ -3,9 +3,9 @@
 //! reader thread, and forwards everything else to stderr with a shard
 //! prefix.
 
-use crate::heartbeat::{parse_heartbeat, Heartbeat};
+use crate::heartbeat::{HbLine, Heartbeat, HeartbeatScanner};
 use crate::supervisor::{Worker, WorkerProgress};
-use std::io::{self, BufRead, BufReader};
+use std::io::{self, Read};
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -63,6 +63,31 @@ pub fn kill_registered_workers() {
     }
 }
 
+/// Classifies one complete stdout line from a worker. Beats update the
+/// shared progress state; lines that *look* like beats but do not parse
+/// are skipped with a counter (a garbled beat is noise, not silence —
+/// the worker's next clean beat still proves liveness); everything else
+/// is forwarded to stderr with the shard prefix.
+fn handle_line(state: &Arc<Mutex<HbState>>, shard: usize, line: HbLine) {
+    match line {
+        HbLine::Beat(beat) => {
+            let mut s = state.lock().unwrap_or_else(|e| e.into_inner());
+            s.beats += 1;
+            s.hb = beat;
+            s.last_beat = Some(Instant::now());
+        }
+        HbLine::Malformed(raw) => {
+            phylo_obs::counter("shard.heartbeat_malformed").inc();
+            eprintln!("[shard {shard}] malformed heartbeat skipped: {raw}");
+        }
+        HbLine::Other(raw) => {
+            if !raw.trim().is_empty() {
+                eprintln!("[shard {shard}] {raw}");
+            }
+        }
+    }
+}
+
 impl ProcessWorker {
     /// Spawns `cmd` with piped stdout and starts the heartbeat reader.
     /// `shard` labels forwarded non-heartbeat output.
@@ -74,16 +99,27 @@ impl ProcessWorker {
         let hb: Arc<Mutex<HbState>> = Arc::default();
         let state = hb.clone();
         let reader = std::thread::spawn(move || {
-            for line in BufReader::new(stdout).lines() {
-                let Ok(line) = line else { break };
-                if let Some(beat) = parse_heartbeat(&line) {
-                    let mut s = state.lock().unwrap_or_else(|e| e.into_inner());
-                    s.beats += 1;
-                    s.hb = beat;
-                    s.last_beat = Some(Instant::now());
-                } else if !line.trim().is_empty() {
-                    eprintln!("[shard {shard}] {line}");
+            // Raw reads through an incremental scanner, not
+            // `BufReader::lines`: one invalid-UTF-8 byte on the pipe
+            // must not kill this thread — that silenced every later
+            // beat and made a *healthy* worker look hung, so the
+            // supervisor would kill and requeue it for nothing.
+            let mut stdout = stdout;
+            let mut scanner = HeartbeatScanner::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = match stdout.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                };
+                for line in scanner.push(&buf[..n]) {
+                    handle_line(&state, shard, line);
                 }
+            }
+            if let Some(line) = scanner.finish() {
+                handle_line(&state, shard, line);
             }
         });
         Ok(ProcessWorker { child, hb, reader: Some(reader) })
@@ -202,6 +238,29 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
         };
         assert_eq!(code, 7);
+    }
+
+    #[test]
+    fn garbage_and_malformed_lines_do_not_silence_later_beats() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Invalid UTF-8, then a truncated HB line, then a real beat: the
+        // old `BufReader::lines` reader died at the first byte of junk
+        // and never saw the beat, so the worker looked silent.
+        let mut w = ProcessWorker::spawn(
+            sh("printf 'bin \\377\\376 junk\\nHB 9 9\\nHB 2 4 50 100\\n'; exit 0"),
+            0,
+        )
+        .unwrap();
+        let code = loop {
+            if let Some(c) = w.try_wait().unwrap() {
+                break c;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        };
+        assert_eq!(code, 0);
+        let p = w.progress();
+        assert_eq!(p.beats, 1, "the beat after the garbage must still land");
+        assert_eq!((p.chunks_done, p.n_chunks, p.queries_done, p.n_queries), (2, 4, 50, 100));
     }
 
     #[test]

@@ -144,4 +144,83 @@ mod tests {
         a.on_signal();
         assert_eq!(b.phase(), Phase::Draining);
     }
+
+    #[test]
+    fn running_never_arms_the_token() {
+        let s = Shutdown::new();
+        assert_eq!(s.phase(), Phase::Running);
+        assert!(!s.cancel_token().is_cancelled());
+        // Mirroring a zero count (the watchdog's idle tick) is a no-op.
+        assert_eq!(s.record_signals(0), Phase::Running);
+        assert!(!s.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn external_token_feeds_the_machine_both_ways() {
+        // The binary wires one token through both the run and the
+        // machine: arming it from *either* side must be visible on the
+        // other, which is what lets a deadline watchdog and a signal
+        // handler share the drain path.
+        let token = CancelToken::new();
+        let s = Shutdown::with_cancel(token.clone());
+        token.cancel();
+        assert_eq!(s.phase(), Phase::Draining, "externally armed token drains");
+        let s2 = Shutdown::new();
+        let t2 = s2.cancel_token();
+        s2.on_signal();
+        assert!(t2.is_cancelled(), "signal arms previously handed-out tokens");
+    }
+
+    #[test]
+    fn mirrored_count_can_jump_straight_to_abort() {
+        // Two signals can land between watchdog polls; the first mirror
+        // the watchdog sees is then already 2 and must abort without an
+        // intermediate Draining observation.
+        let s = Shutdown::new();
+        assert_eq!(s.record_signals(2), Phase::Aborting);
+        assert!(s.cancel_token().is_cancelled());
+        assert_eq!(s.record_signals(1), Phase::Aborting, "stale mirror cannot de-escalate");
+    }
+
+    #[test]
+    fn deadline_then_mirrored_signal_is_still_one_escalation_step() {
+        // Double-signal ordering with a deadline in between: deadline
+        // drains, the first *mirrored* signal keeps draining, the second
+        // aborts — identical to the `on_signal` path.
+        let s = Shutdown::new();
+        s.cancel_token().cancel();
+        assert_eq!(s.record_signals(1), Phase::Draining);
+        assert_eq!(s.record_signals(2), Phase::Aborting);
+    }
+
+    #[test]
+    fn concurrent_mirrors_and_signals_never_de_escalate() {
+        // Hammer the machine from racing threads (watchdog mirrors and
+        // direct signals interleaved); every observer must see a
+        // monotonic Running -> Draining -> Aborting progression.
+        let s = Shutdown::new();
+        let rank = |p: Phase| match p {
+            Phase::Running => 0,
+            Phase::Draining => 1,
+            Phase::Aborting => 2,
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    for k in 0..100 {
+                        let p = if i % 2 == 0 { s.record_signals((k / 50) + 1) } else { s.phase() };
+                        let r = rank(p);
+                        assert!(r >= last, "phase rolled back from {last} to {r}");
+                        last = r;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.phase(), Phase::Aborting);
+    }
 }

@@ -1,0 +1,143 @@
+//! Measures what the daemon exists for: per-request latency against a
+//! warm engine versus paying the cold-start cost (tree parse, model
+//! eigendecomposition, CLV arena build, preplacement lookup) on every
+//! request.
+//!
+//! Three modes over the same synthetic CI dataset:
+//!
+//! * `warm` — one [`WarmEngine`] built up front, then each query placed
+//!   through `place_merged` (the daemon's request path, in-process);
+//! * `cold_engine` — a fresh `WarmEngine::build` per request (what a
+//!   library caller pays without a daemon);
+//! * `cold_process` — a full `phyloplace place` subprocess per request
+//!   (what a script pays), measured only when the release binary is
+//!   already built, since an example must not trigger a build.
+//!
+//! Run with: `cargo run --release --example bench_serve [out.json]`
+//! (default output: `BENCH_serve.json` in the working directory).
+
+use phyloplace::prelude::Scale;
+use phyloplace::serve::{EngineSettings, WarmEngine};
+use std::time::Instant;
+
+struct Mode {
+    name: &'static str,
+    mean_ns: f64,
+    min_ns: f64,
+    requests: usize,
+}
+
+fn stats(name: &'static str, samples: &[f64]) -> Mode {
+    let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min_ns = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    Mode { name, mean_ns, min_ns, requests: samples.len() }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let ds = phyloplace::datasets::generate(&phyloplace::datasets::neotrop(Scale::Ci));
+    let tree_text = phyloplace::tree::newick::write(&ds.tree);
+    let ref_fasta = phyloplace::seq::fasta::to_string(ds.reference.rows(), 70);
+    let queries: Vec<String> = ds
+        .queries
+        .iter()
+        .map(|q| phyloplace::seq::fasta::to_string(std::slice::from_ref(q), 70))
+        .collect();
+    let st = EngineSettings::default();
+    let n_requests = queries.len().min(8);
+
+    let mut modes: Vec<Mode> = Vec::new();
+
+    // Warm: the daemon's request path. Build once, serve many.
+    let t0 = Instant::now();
+    let engine = WarmEngine::build(&tree_text, &ref_fasta, &st).unwrap();
+    let warmup_ns = t0.elapsed().as_nanos() as f64;
+    let token = phyloplace::amc::CancelToken::new();
+    // One throwaway request so first-touch page faults are not billed
+    // to the first measured sample.
+    let rows0 = engine.parse_queries(&queries[0]).unwrap();
+    engine.place_merged(&[rows0], &token)[0].as_ref().unwrap();
+    let mut warm_samples = Vec::new();
+    for q in queries.iter().take(n_requests) {
+        let rows = engine.parse_queries(q).unwrap();
+        let t = Instant::now();
+        let served = engine.place_merged(&[rows], &token);
+        assert!(served[0].is_ok());
+        warm_samples.push(t.elapsed().as_nanos() as f64);
+    }
+    modes.push(stats("warm", &warm_samples));
+
+    // Cold engine: rebuild the full warm state per request.
+    let mut cold_samples = Vec::new();
+    for q in queries.iter().take(n_requests) {
+        let t = Instant::now();
+        let eng = WarmEngine::build(&tree_text, &ref_fasta, &st).unwrap();
+        let rows = eng.parse_queries(q).unwrap();
+        let served = eng.place_merged(&[rows], &phyloplace::amc::CancelToken::new());
+        assert!(served[0].is_ok());
+        cold_samples.push(t.elapsed().as_nanos() as f64);
+    }
+    modes.push(stats("cold_engine", &cold_samples));
+
+    // Cold process: one `phyloplace place` subprocess per request, only
+    // if the release binary already exists.
+    let bin = std::path::Path::new("target/release/phyloplace");
+    if bin.exists() {
+        let dir = std::env::temp_dir().join(format!("bench-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ref.nwk"), &tree_text).unwrap();
+        std::fs::write(dir.join("ref.fasta"), &ref_fasta).unwrap();
+        let mut proc_samples = Vec::new();
+        for (i, q) in queries.iter().take(n_requests).enumerate() {
+            let qpath = dir.join(format!("q{i}.fasta"));
+            std::fs::write(&qpath, q).unwrap();
+            let t = Instant::now();
+            let out = std::process::Command::new(bin)
+                .args(["place", "--tree"])
+                .arg(dir.join("ref.nwk"))
+                .arg("--ref-msa")
+                .arg(dir.join("ref.fasta"))
+                .arg("--queries")
+                .arg(&qpath)
+                .output()
+                .unwrap();
+            assert!(out.status.success(), "cold place run failed");
+            proc_samples.push(t.elapsed().as_nanos() as f64);
+        }
+        modes.push(stats("cold_process", &proc_samples));
+        let _ = std::fs::remove_dir_all(&dir);
+    } else {
+        eprintln!("target/release/phyloplace not built; skipping cold_process mode");
+    }
+
+    for m in &modes {
+        println!(
+            "serve [{:<12}] mean={:>9.1}us  min={:>9.1}us  ({} requests)",
+            m.name,
+            m.mean_ns / 1e3,
+            m.min_ns / 1e3,
+            m.requests,
+        );
+    }
+    println!("warm-up (one-time engine build): {:.1}us", warmup_ns / 1e3);
+
+    // Hand-rolled JSON (no serde in the tree): one object per mode plus
+    // the one-time warm-up cost the daemon amortizes away.
+    let mut json = String::from("[\n");
+    for (i, m) in modes.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"mode\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"requests\": {}, \"warmup_ns\": {:.1}}}{}\n",
+            m.name,
+            m.mean_ns,
+            m.min_ns,
+            m.requests,
+            warmup_ns,
+            if i + 1 < modes.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).unwrap();
+    println!("wrote {out_path}");
+}

@@ -144,6 +144,26 @@ for r in rows:
           f"crossover@cost={r['crossover_cost']:.0f}")
 EOF
 
+# Daemon warm-vs-cold latency: the speedup the placement service exists
+# for, refreshed into BENCH_serve.json. The warm (daemon request path)
+# mean must beat the cold rebuild-per-request mean, or serving is
+# pointless and the bench fails.
+echo "==> daemon warm-request latency vs cold start"
+serve_out="$(pwd)/BENCH_serve.json"
+cargo run --release -q --example bench_serve -- "$serve_out"
+python3 - "$serve_out" <<'EOF'
+import json, sys
+rows = {r["mode"]: r for r in json.load(open(sys.argv[1]))}
+warm, cold = rows["warm"], rows["cold_engine"]
+assert warm["mean_ns"] < cold["mean_ns"], \
+    f"warm requests ({warm['mean_ns']:.0f}ns) not faster than cold ({cold['mean_ns']:.0f}ns)"
+speedup = cold["mean_ns"] / warm["mean_ns"]
+line = f"serve speedup: warm={warm['mean_ns']/1e3:.1f}us cold={cold['mean_ns']/1e3:.1f}us ({speedup:.1f}x)"
+if "cold_process" in rows:
+    line += f"  cold_process={rows['cold_process']['mean_ns']/1e6:.1f}ms"
+print(line)
+EOF
+
 # Replacement-policy smoke: one tight-budget traced run per policy, then
 # the offline replay reports that policy's miss rate next to the Belady
 # oracle's floor at the same slot count — the paper's eviction ablation

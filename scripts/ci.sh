@@ -132,6 +132,88 @@ grep -q '"shard.hangs": 0' "$smoke_dir/chaos-hang.metrics.json" \
     && { echo "hung worker was not detected"; exit 1; }
 echo "    shard chaos OK (crash + hang requeued, merged output byte-identical)"
 
+echo "==> daemon pass (phyloplaced: typed per-request errors, byte-identity, SIGTERM drain)"
+# The service contract end-to-end: concurrent requests where one is past
+# its deadline and one is malformed must each get a typed response, the
+# good response must be byte-identical to a cold `phyloplace place` run,
+# and SIGTERM during an open session must drain to exit 0.
+dbin=target/release/phyloplaced
+serve_dir="$smoke_dir/serve"
+mkdir -p "$serve_dir"
+python3 - "$smoke_dir/query.fasta" "$serve_dir" <<'PY'
+import json, sys
+qfa, outdir = sys.argv[1], sys.argv[2]
+recs = ['>' + r for r in open(qfa).read().split('>') if r.strip()]
+open(outdir + '/q0.fasta', 'w').write(recs[0])
+with open(outdir + '/requests.ndjson', 'w') as f:
+    f.write(json.dumps({"id": "good", "op": "place", "queries": recs[0]}) + "\n")
+    f.write(json.dumps({"id": "late", "op": "place", "queries": recs[1],
+                        "deadline_ms": -1}) + "\n")
+    f.write("this is not a request\n")
+    f.write(json.dumps({"id": "st", "op": "status"}) + "\n")
+PY
+serve_args=(--tree "$smoke_dir/ref.nwk" --ref-msa "$smoke_dir/ref.fasta")
+"$dbin" "${serve_args[@]}" < "$serve_dir/requests.ndjson" \
+    > "$serve_dir/responses.ndjson" 2>/dev/null \
+    || { echo "daemon EOF drain did not exit 0"; exit 1; }
+"$bin" place "${serve_args[@]}" --queries "$serve_dir/q0.fasta" \
+    > "$serve_dir/cold.jplace" 2>/dev/null
+python3 - "$serve_dir" <<'PY'
+import json, sys
+d = sys.argv[1]
+codes, jplace = {}, None
+for line in open(d + '/responses.ndjson'):
+    r = json.loads(line)
+    codes[r.get('id', '')] = r['code']
+    if r.get('id') == 'good':
+        jplace = r['jplace']
+assert codes.get('good') == 'Ok', codes
+assert codes.get('late') == 'Deadline', codes
+assert codes.get('') == 'BadRequest', codes
+assert codes.get('st') == 'Ok', codes
+open(d + '/warm.jplace', 'w').write(jplace)
+PY
+cmp "$serve_dir/cold.jplace" "$serve_dir/warm.jplace" \
+    || { echo "daemon response differs from cold place run"; exit 1; }
+# SIGTERM drain: stdin stays open through a fifo; the daemon must answer
+# the in-flight request, then exit 0 on SIGTERM without waiting for EOF.
+mkfifo "$serve_dir/in"
+"$dbin" "${serve_args[@]}" < "$serve_dir/in" > "$serve_dir/drain.ndjson" 2>/dev/null &
+dpid=$!
+exec 3> "$serve_dir/in"
+head -1 "$serve_dir/requests.ndjson" >&3
+for _ in $(seq 1 300); do [ -s "$serve_dir/drain.ndjson" ] && break; sleep 0.1; done
+[ -s "$serve_dir/drain.ndjson" ] || { echo "daemon never answered"; exit 1; }
+kill -TERM "$dpid"
+rc=0; wait "$dpid" || rc=$?
+exec 3>&-
+[ "$rc" -eq 0 ] || { echo "SIGTERM drain exited $rc, want 0"; exit 1; }
+grep -q '"code":"Ok"' "$serve_dir/drain.ndjson" \
+    || { echo "drained daemon lost its in-flight response"; exit 1; }
+echo "    daemon pass OK (typed codes, byte-identity, SIGTERM drain -> 0)"
+
+echo "==> daemon chaos (mid-request crash isolated to its request)"
+# The faults-enabled debug build through the `phyloplace serve` alias:
+# one injected mid-request panic must yield exactly one typed Internal
+# error while every other concurrent request still gets its bytes.
+python3 - "$smoke_dir/query.fasta" "$serve_dir" <<'PY'
+import json, sys
+recs = ['>' + r for r in open(sys.argv[1]).read().split('>') if r.strip()]
+with open(sys.argv[2] + '/chaos.ndjson', 'w') as f:
+    for i in range(3):
+        f.write(json.dumps({"id": f"c{i}", "op": "place", "queries": recs[i]}) + "\n")
+PY
+PHYLO_FAULTS="serve::mid_request_crash=once" \
+    "$fbin" serve "${serve_args[@]}" < "$serve_dir/chaos.ndjson" \
+    > "$serve_dir/chaos-out.ndjson" 2>/dev/null \
+    || { echo "chaos daemon did not drain to exit 0"; exit 1; }
+python3 - "$serve_dir/chaos-out.ndjson" <<'PY'
+import json, sys
+codes = [json.loads(l)['code'] for l in open(sys.argv[1])]
+assert sorted(codes) == ['Internal', 'Ok', 'Ok'], codes
+PY
+echo "    daemon chaos OK (one Internal, siblings served)"
+
 echo "==> cargo test -q --features obs (suite again with live observability probes)"
 cargo test -q --features obs
 

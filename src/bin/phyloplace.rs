@@ -94,6 +94,25 @@ fn main() {
             }
         }
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        // Alias for the `phyloplaced` daemon binary: same flags, same
+        // exit-code contract (a completed drain is success, exit 0).
+        let opts = match phyloplace::serve_cli::parse_serve(&args[1..]) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        };
+        install_signal_handlers();
+        let shutdown = Shutdown::new();
+        spawn_signal_watchdog(shutdown.clone());
+        if let Err(e) = phyloplace::serve_cli::run_serve(&opts, &shutdown) {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("shard") {
         let opts = match phyloplace::shard_cli::parse_shard(&args) {
             Ok(o) => o,

@@ -391,11 +391,14 @@ pub fn run_placement_with(opts: &CliOptions, cancel: CancelToken) -> Result<RunO
     if let Some(path) = &opts.trace_path {
         phylo_obs::trace::stop();
         let json = phylo_obs::trace::chrome_json(&phylo_obs::trace::drain());
-        std::fs::write(path, json).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+        // Same crash-atomic helper as every other run artifact: a
+        // consumer polling for the file must never see a torn JSON.
+        phylo_journal::write_text_atomic(std::path::Path::new(path), &json)
+            .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
     }
     let report = &outcome.report;
     if let Some(path) = &opts.metrics_json {
-        std::fs::write(path, report.metrics.to_json())
+        phylo_journal::write_text_atomic(std::path::Path::new(path), &report.metrics.to_json())
             .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
     }
     let resumed = if report.resumed_chunks > 0 {

@@ -53,6 +53,7 @@
 
 pub mod cli;
 pub mod replay_cli;
+pub mod serve_cli;
 pub mod shard_cli;
 
 pub use epa_place as place;
@@ -64,6 +65,7 @@ pub use phylo_kernel as kernel;
 pub use phylo_models as models;
 pub use phylo_replay as replay;
 pub use phylo_seq as seq;
+pub use phylo_serve as serve;
 pub use phylo_shard as shard;
 pub use phylo_tree as tree;
 pub use pplacer_mmap as baseline;
